@@ -1,0 +1,26 @@
+"""Benchmark harness: each test regenerates one paper table/figure.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every benchmark
+executes its experiment once (rounds=1 — these are deterministic
+simulations, not microbenchmarks), prints the paper-vs-measured table,
+and asserts the result's *shape* so the suite doubles as a regression
+harness for the reproduction claims.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def runner(fn, **kwargs):
+        result = run_once(benchmark, fn, **kwargs)
+        print()
+        print(result.render())
+        return result
+    return runner

@@ -1,0 +1,249 @@
+"""Ablations of the XT-910's headline design choices.
+
+Each test switches one paper-described mechanism off and measures the
+cost on a workload chosen to exercise it — quantifying what each
+feature buys, the analysis DESIGN.md calls out.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.harness.runner import run_on_core
+from repro.uarch.presets import xt910
+from repro.workloads.coremark import coremark_suite, list_kernel
+from repro.workloads.stream import stream_kernel
+from repro.asm import assemble
+
+
+def run_cycles(program, config):
+    return run_on_core(program, config).cycles
+
+
+def total_cycles(config, workloads):
+    return sum(run_cycles(w.program(), config) for w in workloads)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return xt910()
+
+
+SMALL_LOOP = assemble("""
+_start:
+    li s0, 3000
+    li t1, 0
+loop:
+    add t1, t1, s0
+    addi s0, s0, -1
+    bnez s0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+""", compress=True)
+
+
+class TestFrontendAblations:
+    def test_loop_buffer(self, benchmark, base_config):
+        """Section III.C: the LBUF eliminates I$ accesses on small loops."""
+        no_lbuf = replace(base_config, frontend=replace(
+            base_config.frontend,
+            loop_buffer=replace(base_config.frontend.loop_buffer,
+                                enabled=False)))
+
+        def ablation():
+            with_l = run_on_core(SMALL_LOOP, base_config)
+            without = run_on_core(SMALL_LOOP, no_lbuf)
+            return with_l, without
+
+        with_l, without = benchmark.pedantic(ablation, rounds=1,
+                                             iterations=1)
+        assert with_l.stats.lbuf_supplied > 5000
+        assert with_l.cycles <= without.cycles + 2
+        # The power story: LBUF cuts instruction-fetch traffic.
+        assert with_l.pipeline.hier.stats.inst_fetches \
+            < without.pipeline.hier.stats.inst_fetches * 0.7
+
+    def test_l0_btb(self, benchmark, base_config):
+        """Section III.B: the L0 BTB removes taken-branch bubbles."""
+        from repro.uarch.btb import BtbConfig
+
+        no_l0 = replace(base_config, frontend=replace(
+            base_config.frontend,
+            btb=BtbConfig(l0_entries=0, l1_entries=1024, l1_ways=4),
+            loop_buffer=replace(base_config.frontend.loop_buffer,
+                                enabled=False)))
+        with_l0 = replace(base_config, frontend=replace(
+            base_config.frontend,
+            loop_buffer=replace(base_config.frontend.loop_buffer,
+                                enabled=False)))
+
+        def ablation():
+            return (run_on_core(SMALL_LOOP, with_l0),
+                    run_on_core(SMALL_LOOP, no_l0))
+
+        with_r, without_r = benchmark.pedantic(ablation, rounds=1,
+                                               iterations=1)
+        assert without_r.stats.taken_branch_bubbles \
+            > with_r.stats.taken_branch_bubbles
+        assert with_r.cycles <= without_r.cycles
+
+    def test_two_level_prediction_buffers(self, benchmark, base_config):
+        """Section III.A: BUF1/BUF2 let adjacent-cycle branches predict."""
+        from repro.uarch.branch import DirectionConfig
+
+        no_buffers = replace(base_config, frontend=replace(
+            base_config.frontend,
+            direction=DirectionConfig(two_level_buffers=False)))
+        workloads = [list_kernel()]
+
+        def ablation():
+            return (total_cycles(base_config, workloads),
+                    total_cycles(no_buffers, workloads))
+
+        with_c, without_c = benchmark.pedantic(ablation, rounds=1,
+                                               iterations=1)
+        assert with_c <= without_c
+
+
+class TestLsuAblations:
+    def test_dual_issue_lsu(self, benchmark, base_config):
+        """Section V.A: the only RISC-V dual-issue LSU of its time."""
+        single = replace(base_config,
+                         lsu=replace(base_config.lsu, dual_issue=False))
+        workload = stream_kernel("copy", elems=4096)
+
+        def ablation():
+            return (run_cycles(workload.program(), base_config),
+                    run_cycles(workload.program(), single))
+
+        dual_c, single_c = benchmark.pedantic(ablation, rounds=1,
+                                              iterations=1)
+        assert dual_c < single_c
+        print(f"\ndual-issue LSU: {single_c} -> {dual_c} cycles "
+              f"({single_c / dual_c:.2f}x) on STREAM copy")
+
+    def test_pseudo_double_store(self, benchmark, base_config):
+        """Section V.B: splitting st.addr/st.data decouples address
+        generation from late-arriving data."""
+        fused = replace(base_config,
+                        lsu=replace(base_config.lsu,
+                                    pseudo_dual_store=False))
+        program = assemble("""
+        .data
+        buf: .zero 8192
+        .text
+        _start:
+            la s1, buf
+            li s0, 800
+            li s3, 3
+        loop:
+            mul t0, s0, s3
+            mul t0, t0, s3     # store data arrives late
+            sd t0, 0(s1)
+            ld t1, 8(s1)       # independent load must disambiguate
+            add t2, t2, t1
+            addi s1, s1, 16
+            addi s0, s0, -1
+            bnez s0, loop
+            li a0, 0
+            li a7, 93
+            ecall
+        """, compress=True)
+
+        def ablation():
+            return (run_cycles(program, base_config),
+                    run_cycles(program, fused))
+
+        split_c, fused_c = benchmark.pedantic(ablation, rounds=1,
+                                              iterations=1)
+        assert split_c <= fused_c
+
+    def test_memory_dependence_predictor(self, benchmark, base_config):
+        """Section V.A: tagging violating loads avoids repeated global
+        flushes."""
+        no_memdep = replace(base_config,
+                            lsu=replace(base_config.lsu,
+                                        memdep_predictor=False))
+        # Same-address store->load with late store data: a violation
+        # factory without the predictor.
+        program = assemble("""
+        .data
+        cell: .zero 64
+        .text
+        _start:
+            la s1, cell
+            li s0, 600
+            li s3, 7
+        loop:
+            mul t0, s0, s3
+            mul t0, t0, s3
+            sd t0, 0(s1)
+            ld t1, 0(s1)       # depends on the store above
+            add t2, t2, t1
+            addi s0, s0, -1
+            bnez s0, loop
+            li a0, 0
+            li a7, 93
+            ecall
+        """, compress=True)
+
+        def ablation():
+            return (run_on_core(program, base_config),
+                    run_on_core(program, no_memdep))
+
+        with_r, without_r = benchmark.pedantic(ablation, rounds=1,
+                                               iterations=1)
+        assert with_r.stats.lsu_violations < without_r.stats.lsu_violations
+        assert with_r.cycles <= without_r.cycles
+
+
+class TestBackendAblations:
+    def test_rob_size(self, benchmark, base_config):
+        """192-entry ROB: the run-ahead window behind the MLP."""
+        small_rob = replace(base_config, rob_entries=32)
+        workload = stream_kernel("triad", elems=4096)
+
+        def ablation():
+            return (run_cycles(workload.program(), base_config),
+                    run_cycles(workload.program(), small_rob))
+
+        big_c, small_c = benchmark.pedantic(ablation, rounds=1,
+                                            iterations=1)
+        assert big_c <= small_c
+
+    def test_out_of_order_execution(self, benchmark, base_config):
+        """The headline: OoO vs in-order on the CoreMark suite."""
+        inorder = replace(base_config, out_of_order=False,
+                          rob_entries=8, iq_entries=8)
+        workloads = coremark_suite()
+
+        def ablation():
+            return (total_cycles(base_config, workloads),
+                    total_cycles(inorder, workloads))
+
+        ooo_c, ino_c = benchmark.pedantic(ablation, rounds=1, iterations=1)
+        assert ooo_c < ino_c * 0.75
+        print(f"\nOoO vs in-order on CoreMark suite: {ino_c} -> {ooo_c} "
+              f"cycles ({ino_c / ooo_c:.2f}x)")
+
+    def test_mshr_count(self, benchmark, base_config):
+        """MSHRs bound memory-level parallelism on demand-miss streams
+        (prefetchers off so misses actually reach the MSHRs)."""
+        from repro.mem.prefetch import PrefetchConfig
+
+        no_pf = replace(base_config.mem,
+                        l1_prefetch=PrefetchConfig.disabled(),
+                        l2_prefetch=PrefetchConfig.disabled())
+        many = replace(base_config, mem=replace(no_pf, mshrs=4))
+        one = replace(base_config, mem=replace(no_pf, mshrs=1))
+        workload = stream_kernel("add", elems=8192)
+
+        def ablation():
+            return (run_cycles(workload.program(), many),
+                    run_cycles(workload.program(), one))
+
+        many_c, one_c = benchmark.pedantic(ablation, rounds=1, iterations=1)
+        assert many_c < one_c
+        print(f"\nMSHR 1 -> 4: {one_c} -> {many_c} cycles "
+              f"({one_c / many_c:.2f}x MLP gain)")

@@ -1,0 +1,13 @@
+"""Section V.E: wide ASIDs cut context-switch TLB flushes ~10x."""
+
+from repro.harness.asid import run_asid
+
+
+def test_asid(experiment):
+    result = experiment(run_asid, quick=True)
+    rows = {r.name: r.measured for r in result.rows}
+    # The 13-bit-predecessor comparison lands on "almost 10X".
+    assert 6.0 <= rows["13-bit baseline ratio"] <= 12.0
+    # Monotone: narrower ASIDs always flush more.
+    assert rows["8-bit baseline ratio"] > rows["12-bit baseline ratio"] \
+        > rows["13-bit baseline ratio"] > rows["14-bit baseline ratio"]

@@ -1,0 +1,13 @@
+"""Section I: blockchain acceleration arithmetic."""
+
+from repro.harness.blockchain import run_blockchain
+
+
+def test_blockchain(experiment):
+    result = experiment(run_blockchain, quick=True)
+    rows = {r.name: r.measured for r in result.rows}
+    # The custom rotates measurably accelerate the hash.
+    assert rows["XT-extension speedup on hash"] > 1.15
+    # The ASIC projection reproduces the paper's 12-15x over Xeon.
+    assert abs(rows["ASIC@2.0GHz vs Xeon"] - 12.0) < 0.5
+    assert abs(rows["ASIC@2.5GHz vs Xeon"] - 15.0) < 0.5

@@ -1,0 +1,25 @@
+"""Fig. 17: the CoreMark/MHz ladder across embedded cores.
+
+Shape assertions: XT-910 tops the ladder, the dual-issue in-order cores
+(U74/A55/SweRV) form the middle band, single-issue and
+restricted-dual-issue cores trail, and the headline "40% faster than
+U74" claim holds to within modeling tolerance.
+"""
+
+from repro.harness.fig17 import run_fig17
+
+
+def test_fig17(experiment):
+    result = experiment(run_fig17, quick=True)
+    ipc = result.raw["ipc"]
+    # XT-910 tops the ladder.
+    assert ipc["xt910"] == max(ipc.values())
+    # The paper's headline: ~40% over the U74 (allow 1.25x - 1.75x).
+    ratio = ipc["xt910"] / ipc["u74"]
+    assert 1.25 <= ratio <= 1.75, ratio
+    # Middle band above the weak cores.
+    for strong in ("u74", "cortex-a55", "swerv"):
+        for weak in ("cortex-a53", "u54"):
+            assert ipc[strong] > ipc[weak], (strong, weak)
+    # Single-issue U54 is the slowest.
+    assert ipc["u54"] == min(ipc.values())

@@ -1,0 +1,13 @@
+"""Fig. 18: EEMBC-like suite vs Cortex-A73 — parity overall."""
+
+from repro.harness.fig18 import run_fig18
+
+
+def test_fig18(experiment):
+    result = experiment(run_fig18, quick=True)
+    geomean = result.rows[-1].measured
+    # "On par with the ARM Cortex-A73": geometric mean within +-20%.
+    assert 0.8 <= geomean <= 1.25, geomean
+    # Per-kernel scatter exists (the paper's figure is not flat).
+    ratios = result.raw["ratios"]
+    assert max(ratios) > 1.05 and min(ratios) < 0.95

@@ -1,0 +1,9 @@
+"""Fig. 19: NBench-like suite vs Cortex-A73 — parity overall."""
+
+from repro.harness.fig19 import run_fig19
+
+
+def test_fig19(experiment):
+    result = experiment(run_fig19, quick=True)
+    geomean = result.rows[-1].measured
+    assert 0.8 <= geomean <= 1.25, geomean

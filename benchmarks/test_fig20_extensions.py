@@ -1,0 +1,13 @@
+"""Fig. 20: extensions + optimized compiler ~= +20%."""
+
+from repro.harness.fig20 import run_fig20
+
+
+def test_fig20(experiment):
+    result = experiment(run_fig20, quick=True)
+    geomean = result.rows[-1].measured
+    # "Improved by about 20%": accept 1.1x - 1.45x.
+    assert 1.10 <= geomean <= 1.45, geomean
+    # Every kernel must benefit (no regressions from the optimizer).
+    for speedup in result.raw["speedups"]:
+        assert speedup > 1.0

@@ -1,0 +1,24 @@
+"""Fig. 21: the prefetch ablation on STREAM at 200-cycle DRAM.
+
+Shape assertions follow the paper's ordering:
+a (1.0) << b < c <= d, with e slightly below d (the TLB-prefetch cost).
+"""
+
+from repro.harness.fig21 import run_fig21
+
+
+def test_fig21(experiment):
+    result = experiment(run_fig21, quick=True)
+    cycles = result.raw["cycles"]
+    speedup = {s: cycles["a"] / cycles[s] for s in "abcde"}
+    # L1 prefetch alone is transformative (paper: 3.8x; accept 2.5-4.5).
+    assert 2.5 <= speedup["b"] <= 4.5, speedup["b"]
+    # Adding L2 + TLB prefetch helps further (paper: 4.9x).
+    assert speedup["c"] > speedup["b"]
+    # Large distance is the maximum (paper: 5.4x; accept 4.5-6.5).
+    assert speedup["d"] >= speedup["c"]
+    assert 4.5 <= speedup["d"] <= 6.5, speedup["d"]
+    # Disabling TLB prefetch costs a few percent (paper: 2.4%).
+    assert cycles["e"] >= cycles["d"]
+    drop = (cycles["e"] - cycles["d"]) / cycles["d"]
+    assert drop <= 0.12, drop

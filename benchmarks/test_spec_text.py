@@ -1,0 +1,11 @@
+"""SPECint-like: XT-910 close to but not above+10% of the A73."""
+
+from repro.harness.spec import run_spec
+
+
+def test_spec(experiment):
+    result = experiment(run_spec, quick=True)
+    ratio = result.raw["xt_ipc"] / result.raw["a73_ipc"]
+    # Paper: 10% lower. Accept the band [0.8, 1.05]: parity-class with
+    # the A73 modestly ahead on large-footprint workloads.
+    assert 0.80 <= ratio <= 1.05, ratio

@@ -1,0 +1,10 @@
+"""Table I: the supported configuration space builds and runs."""
+
+from repro.harness.table1 import run_table1
+
+
+def test_table1(experiment):
+    result = experiment(run_table1, quick=True)
+    rows = {r.name: r.measured for r in result.rows}
+    assert rows["configurations built"] == 72
+    assert rows["single-core smoke runs"] >= 1

@@ -1,0 +1,10 @@
+"""Table II: frequency/area/power from the calibrated analytical model."""
+
+from repro.harness.table2 import run_table2
+
+
+def test_table2(experiment):
+    result = experiment(run_table2, quick=True)
+    for row in result.rows:
+        paper, measured = float(row.paper), float(row.measured)
+        assert abs(measured - paper) / paper <= 0.10, row.name

@@ -1,0 +1,14 @@
+"""Section VII: vector MAC throughput and latency claims."""
+
+from repro.harness.vecmac import run_vecmac
+
+
+def test_vecmac(experiment):
+    result = experiment(run_vecmac, quick=True)
+    rows = {r.name: r.measured for r in result.rows}
+    assert rows["peak 16-bit MACs/cycle"] == 16
+    assert rows["vs A73 NEON peak"] == 2.0
+    assert rows["vector vs scalar MAC speedup"] > 2.0
+    assert rows["vector FP mul latency"] == 5
+    assert 6 <= rows["vector divide latency"] <= 25
+    assert 3 <= rows["vector ALU latency"] <= 4

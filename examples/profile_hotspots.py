@@ -1,0 +1,22 @@
+"""Profiling a workload with the CDS-style profiler (section IX).
+
+The paper's toolchain ships a graphical profiler over its simulator
+(Fig. 15/16); this example runs its textual equivalent over the
+CoreMark matrix kernel and prints the hot spots.
+
+    python examples/profile_hotspots.py
+"""
+
+from repro.tools import profile_program
+from repro.workloads.coremark import matrix_kernel
+
+
+def main() -> None:
+    workload = matrix_kernel()
+    print(f"profiling {workload.name} on xt910...\n")
+    profile = profile_program(workload.program())
+    print(profile.report(top=12))
+
+
+if __name__ == "__main__":
+    main()

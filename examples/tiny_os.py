@@ -1,0 +1,140 @@
+"""A tiny preemptive 'OS' on the XT-910 model.
+
+Ties together the OS-facing subsystems the paper describes: the CLINT
+timer drives preemption, an M-mode scheduler context-switches between
+two compute tasks, and the run ends when both tasks finish.  (Linux
+bootability is the paper's claim; this is its minimal mechanical core:
+timer interrupts, privileged state save/restore, mret.)
+
+    python examples/tiny_os.py
+"""
+
+from repro.asm import assemble
+from repro.sim import Emulator, Memory
+from repro.smp.interrupts import attach_interrupt_controllers
+
+KERNEL = """
+    .equ CLINT, 0x02000000
+    .equ QUANTUM, 120
+    .data
+    .align 3
+current:   .dword 0          # running task index
+ctx0:      .zero 256         # saved registers, task 0
+ctx1:      .zero 256
+done0:     .dword 0
+done1:     .dword 0
+switches:  .dword 0
+    .text
+_start:
+    la t0, scheduler
+    csrw mtvec, t0
+    # context 1 starts at task1 with its own stack
+    la t1, ctx1
+    la t2, task1
+    sd t2, 248(t1)           # saved pc
+    li t3, 0xF00000
+    sd t3, 16(t1)            # saved sp
+    # arm the timer and enable machine timer interrupts
+    call arm_timer
+    li t4, 0x80
+    csrw mie, t4
+    li t4, 0x8
+    csrs mstatus, t4
+    # fall through into task 0
+
+task0:
+    li s0, 1500
+t0_loop:
+    addi s0, s0, -1
+    bnez s0, t0_loop
+    la t0, done0
+    li t1, 1
+    sd t1, 0(t0)
+t0_wait:
+    la t0, done1
+    ld t1, 0(t0)
+    beqz t1, t0_wait
+    # both done: report switch count
+    la t0, switches
+    ld a0, 0(t0)
+    li a7, 93
+    ecall
+
+task1:
+    li s0, 1500
+t1_loop:
+    addi s0, s0, -1
+    bnez s0, t1_loop
+    la t0, done1
+    li t1, 1
+    sd t1, 0(t0)
+t1_spin:
+    j t1_spin                # task 0 exits the machine
+
+arm_timer:
+    li t5, CLINT
+    li t6, 0xBFF8
+    add t6, t5, t6
+    ld a1, 0(t6)             # mtime
+    addi a1, a1, QUANTUM
+    li t6, 0x4000
+    add t6, t5, t6
+    sd a1, 0(t6)             # mtimecmp
+    ret
+
+scheduler:
+    # save the outgoing task's context (subset: s0, sp, pc)
+    csrrw t0, mscratch, t0   # scratch t0
+    la t0, current
+    ld t1, 0(t0)
+    la t2, ctx0
+    beqz t1, save_ctx
+    la t2, ctx1
+save_ctx:
+    sd s0, 8(t2)
+    sd sp, 16(t2)
+    csrr t3, mepc
+    sd t3, 248(t2)
+    # flip tasks
+    xori t1, t1, 1
+    sd t1, 0(t0)
+    la t2, ctx0
+    beqz t1, load_ctx
+    la t2, ctx1
+load_ctx:
+    ld s0, 8(t2)
+    ld sp, 16(t2)
+    ld t3, 248(t2)
+    csrw mepc, t3
+    # count the switch, rearm, return to the incoming task
+    la t4, switches
+    ld t5, 0(t4)
+    addi t5, t5, 1
+    sd t5, 0(t4)
+    call arm_timer
+    csrrw t0, mscratch, t0
+    mret
+"""
+
+
+def main() -> None:
+    program = assemble(KERNEL)
+    memory = Memory()
+    memory.load_program(program)
+    emulator = Emulator(program, memory=memory, load=False)
+    clint, plic = attach_interrupt_controllers(
+        memory, harts=1, time_fn=lambda: emulator.state.instret)
+    emulator.interrupt_fn = lambda: clint.pending(0) | plic.pending(0)
+
+    switches = emulator.run(max_steps=200_000)
+    done0 = emulator.state.memory.load_int(program.symbol("done0"), 8)
+    done1 = emulator.state.memory.load_int(program.symbol("done1"), 8)
+    print("tiny preemptive scheduler on the XT-910 model")
+    print(f"  both tasks completed: {bool(done0 and done1)}")
+    print(f"  context switches: {switches}")
+    print(f"  instructions executed: {emulator.state.instret}")
+    assert done0 and done1 and switches >= 4
+
+
+if __name__ == "__main__":
+    main()

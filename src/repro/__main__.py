@@ -1,0 +1,116 @@
+"""Command-line interface.
+
+    python -m repro run program.s [--core xt910] [--mmu]
+    python -m repro disasm program.s
+    python -m repro profile program.s [--core xt910] [--top 15]
+    python -m repro compare program.s --cores xt910 u74 cortex-a73
+    python -m repro harness [experiment ...]      (alias of repro.harness)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .asm import assemble
+from .harness.runner import run_on_core
+from .isa.disasm import disassemble_program
+from .sim import Emulator
+from .tools import profile_program
+from .uarch.presets import PRESETS
+
+
+def _load(path: str, compress: bool) -> "Program":  # noqa: F821
+    with open(path) as handle:
+        return assemble(handle.read(), compress=compress)
+
+
+def cmd_run(args) -> int:
+    program = _load(args.program, not args.no_compress)
+    if args.core:
+        result = run_on_core(program, args.core)
+        print(f"core {args.core}: {result.cycles} cycles, "
+              f"IPC {result.ipc:.3f}, exit {result.exit_code}")
+        if result.stdout:
+            print(result.stdout, end="")
+        if args.stats:
+            print(result.stats.summary())
+        return result.exit_code
+    emulator = Emulator(program, enable_mmu=args.mmu)
+    code = emulator.run(args.max_steps)
+    if emulator.stdout:
+        print(emulator.stdout, end="")
+    print(f"exit {code} after {emulator.state.instret} instructions")
+    return code
+
+
+def cmd_disasm(args) -> int:
+    program = _load(args.program, not args.no_compress)
+    for line in disassemble_program(program):
+        print(line)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    program = _load(args.program, not args.no_compress)
+    profile = profile_program(program, core=args.core)
+    print(profile.report(top=args.top))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    program = _load(args.program, not args.no_compress)
+    rows = []
+    for core in args.cores:
+        result = run_on_core(program, core)
+        rows.append((core, result.cycles, result.ipc))
+    base = rows[0][1]
+    print(f"{'core':14s}{'cycles':>10}{'IPC':>8}{'vs ' + rows[0][0]:>12}")
+    for core, cycles, ipc in rows:
+        print(f"{core:14s}{cycles:>10}{ipc:>8.3f}{base / cycles:>11.2f}x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Xuantie-910 reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("program", help="assembly source file")
+        p.add_argument("--no-compress", action="store_true",
+                       help="disable RVC compression")
+
+    p_run = sub.add_parser("run", help="assemble and execute / time")
+    add_common(p_run)
+    p_run.add_argument("--core", choices=sorted(PRESETS),
+                       help="time on this core model (default: emulate only)")
+    p_run.add_argument("--mmu", action="store_true",
+                       help="enable SV39 translation in the emulator")
+    p_run.add_argument("--stats", action="store_true")
+    p_run.add_argument("--max-steps", type=int, default=None)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_dis = sub.add_parser("disasm", help="disassemble the text section")
+    add_common(p_dis)
+    p_dis.set_defaults(fn=cmd_disasm)
+
+    p_prof = sub.add_parser("profile", help="per-PC hot-spot profile")
+    add_common(p_prof)
+    p_prof.add_argument("--core", default="xt910", choices=sorted(PRESETS))
+    p_prof.add_argument("--top", type=int, default=15)
+    p_prof.set_defaults(fn=cmd_profile)
+
+    p_cmp = sub.add_parser("compare", help="same binary on several cores")
+    add_common(p_cmp)
+    p_cmp.add_argument("--cores", nargs="+", default=["xt910", "u74"],
+                       choices=sorted(PRESETS))
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,4 @@
+"""Assembler substrate: two-pass assembler and program container."""
+
+from .assembler import Assembler, AssemblerError, assemble, decode_vtype, encode_vtype  # noqa: F401
+from .program import DATA_BASE, HEAP_BASE, Program, STACK_TOP, TEXT_BASE, TOHOST_ADDR  # noqa: F401

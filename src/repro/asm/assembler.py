@@ -1,0 +1,780 @@
+"""A two-pass RISC-V assembler for the XT-910 ISA model.
+
+Supports the standard GNU-flavoured syntax subset the workload kernels
+use: labels, ``.text``/``.data`` sections, data directives, the common
+pseudo-instructions (``li``/``la``/``call``/``ret``/branch aliases), the
+vector 0.7.1 mnemonics, and the XT custom extensions.  With
+``compress=True`` it runs an RVC relaxation pass so code density (and
+therefore frontend behaviour) matches a real RV64GC toolchain.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass, field
+
+from ..isa import compressed
+from ..isa.csr import CSR_NAMES
+from ..isa.encoding import EncodingError, encode
+from ..isa.instructions import Instruction, SPECS, compute_operands
+from ..isa.registers import parse_fpr, parse_gpr, parse_vreg
+from .program import DATA_BASE, Program, TEXT_BASE
+
+
+class AssemblerError(Exception):
+    """Raised with file/line context on any assembly problem."""
+
+
+_COMMENT_RE = re.compile(r"(#|//).*$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:")
+_SEW_RE = re.compile(r"^e(\d+)$")
+_LMUL_RE = re.compile(r"^m(\d+)$")
+
+# vtype encoding used by vsetvli and the vector unit: lmul in bits 0-1
+# (log2), sew code in bits 2-4 (log2(sew/8)).
+SEW_CODES = {8: 0, 16: 1, 32: 2, 64: 3}
+
+
+def encode_vtype(sew: int, lmul: int) -> int:
+    """Pack (sew, lmul) into the vtype immediate."""
+    if sew not in SEW_CODES:
+        raise AssemblerError(f"unsupported SEW {sew}")
+    if lmul not in (1, 2, 4, 8):
+        raise AssemblerError(f"unsupported LMUL {lmul}")
+    return SEW_CODES[sew] << 2 | {1: 0, 2: 1, 4: 2, 8: 3}[lmul]
+
+
+def decode_vtype(vtype: int) -> tuple[int, int]:
+    """Unpack the vtype immediate into (sew, lmul)."""
+    sew = 8 << ((vtype >> 2) & 0x7)
+    lmul = 1 << (vtype & 0x3)
+    return sew, lmul
+
+
+@dataclass
+class _Item:
+    """One text-section statement after parsing."""
+
+    kind: str                     # 'inst'
+    mnemonic: str
+    operands: list[str]
+    line: int
+    size: int = 4                 # current size estimate (2 or 4)
+    no_compress: bool = False
+    inst: Instruction | None = None
+
+
+@dataclass
+class _Fixup:
+    """A data word whose value references a not-yet-placed label."""
+
+    offset: int
+    width: int
+    expr: str
+    line: int
+
+
+@dataclass
+class _Section:
+    data: bytearray = field(default_factory=bytearray)
+    fixups: list[_Fixup] = field(default_factory=list)
+
+
+class Assembler:
+    """Two-pass assembler with optional RVC compression relaxation."""
+
+    def __init__(self, compress: bool = False):
+        self.compress = compress
+
+    # -- public API --------------------------------------------------------
+
+    def assemble(self, source: str, text_base: int = TEXT_BASE,
+                 data_base: int = DATA_BASE) -> Program:
+        items, data, symbols_data, equs = self._parse(source, data_base)
+        symbols = dict(symbols_data)
+        symbols.update(equs)
+
+        # Relaxation: iterate label layout until instruction sizes settle.
+        text_labels = self._collect_text_labels(items)
+        for _ in range(16):
+            addr = text_base
+            for item in items:
+                if item.kind == "label":
+                    symbols[item.mnemonic] = addr
+                elif item.kind == "align":
+                    addr = _align_up(addr, item.size)
+                else:
+                    addr += item.size
+            changed = self._assign_sizes(items, symbols, text_base)
+            if not changed:
+                break
+        else:  # pragma: no cover - relaxation always converges
+            raise AssemblerError("compression relaxation did not converge")
+
+        # Final pass: encode.
+        blob = bytearray()
+        addr = text_base
+        for item in items:
+            if item.kind == "label":
+                continue
+            if item.kind == "align":
+                target = _align_up(addr, item.size)
+                while addr < target:
+                    blob += b"\x01\x00"  # c.nop padding
+                    addr += 2
+                continue
+            if item.kind in ("li", "la"):
+                for inst in self._expand_li_la(item, symbols):
+                    blob += struct.pack("<I", encode(inst))
+                    addr += 4
+                continue
+            inst = self._build(item, symbols, addr)
+            if item.size == 2:
+                half = compressed.compress(inst)
+                if half is None:
+                    raise AssemblerError(
+                        f"line {item.line}: compression regressed for "
+                        f"{item.mnemonic}")
+                blob += struct.pack("<H", half)
+            else:
+                blob += struct.pack("<I", encode(inst))
+            addr += item.size
+
+        # Resolve deferred data fixups against the final symbol table.
+        for fixup in data.fixups:
+            value = _parse_int(fixup.expr, symbols, fixup.line)
+            data.data[fixup.offset:fixup.offset + fixup.width] = \
+                (value & ((1 << (fixup.width * 8)) - 1)).to_bytes(
+                    fixup.width, "little")
+
+        entry = symbols.get("_start", text_base)
+        program = Program(text=bytes(blob), data=bytes(data.data),
+                          symbols=symbols, text_base=text_base,
+                          data_base=data_base, entry=entry, source=source)
+        return program
+
+    # -- parsing -----------------------------------------------------------
+
+    def _parse(self, source: str, data_base: int):
+        items: list[_Item] = []
+        data = _Section()
+        symbols: dict[str, int] = {}
+        equs: dict[str, int] = {}
+        section = "text"
+
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = _COMMENT_RE.sub("", raw).strip()
+            while line:
+                m = _LABEL_RE.match(line)
+                if m:
+                    name = m.group(1)
+                    if section == "text":
+                        items.append(_Item("label", name, [], lineno, size=0))
+                    else:
+                        symbols[name] = data_base + len(data.data)
+                    line = line[m.end():].strip()
+                    continue
+                break
+            if not line:
+                continue
+            if line.startswith("."):
+                section = self._directive(line, lineno, section, items, data,
+                                          equs, symbols)
+                continue
+            if section != "text":
+                raise AssemblerError(
+                    f"line {lineno}: instruction outside .text: {line}")
+            mnemonic, operands = self._split_operands(line)
+            for expanded in self._expand_pseudo(mnemonic, operands, lineno):
+                items.append(expanded)
+        return items, data, symbols, equs
+
+    @staticmethod
+    def _split_operands(line: str) -> tuple[str, list[str]]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if len(parts) == 1:
+            return mnemonic, []
+        operands: list[str] = []
+        current: list[str] = []
+        in_quote = False
+        for ch in parts[1]:
+            if ch == "'":
+                in_quote = not in_quote
+                current.append(ch)
+            elif ch == "," and not in_quote:
+                operands.append("".join(current).strip())
+                current = []
+            else:
+                current.append(ch)
+        operands.append("".join(current).strip())
+        return mnemonic, [op for op in operands if op]
+
+    def _directive(self, line: str, lineno: int, section: str,
+                   items: list[_Item], data: _Section,
+                   equs: dict[str, int],
+                   symbols: dict[str, int] | None = None) -> str:
+        # Expressions may reference .equ constants and already-defined
+        # data labels (e.g. ``ptrs: .dword some_string``).
+        env = dict(symbols) if symbols else {}
+        env.update(equs)
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        if name in (".text", ".section.text"):
+            return "text"
+        if name == ".data" or name == ".bss" or name == ".rodata":
+            return "data"
+        if name == ".section":
+            return "data" if "data" in rest or "bss" in rest else "text"
+        if name in (".globl", ".global", ".type", ".size", ".option",
+                    ".file", ".attribute", ".p2align"):
+            return section
+        if name == ".equ" or name == ".set":
+            sym, value = [p.strip() for p in rest.split(",", 1)]
+            equs[sym] = _parse_int(value, env, lineno)
+            return section
+        if name == ".align":
+            n = _parse_int(rest, env, lineno)
+            if section == "text":
+                items.append(_Item("align", "", [], lineno, size=1 << n))
+            else:
+                pad = _align_up(len(data.data), 1 << n) - len(data.data)
+                data.data += b"\x00" * pad
+            return section
+        if section != "data":
+            raise AssemblerError(
+                f"line {lineno}: data directive {name} outside .data")
+        if name in (".byte", ".half", ".short", ".word", ".long", ".dword",
+                    ".quad"):
+            width = {".byte": 1, ".half": 2, ".short": 2, ".word": 4,
+                     ".long": 4, ".dword": 8, ".quad": 8}[name]
+            fmt = {1: "<b", 2: "<h", 4: "<i", 8: "<q"}[width]
+            ufmt = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}[width]
+            for tok in rest.split(","):
+                try:
+                    value = _parse_int(tok.strip(), env, lineno)
+                except AssemblerError:
+                    # Forward reference (e.g. a jump table of text
+                    # labels): emit zeros now, patch after layout.
+                    data.fixups.append(_Fixup(
+                        offset=len(data.data), width=width,
+                        expr=tok.strip(), line=lineno))
+                    data.data += bytes(width)
+                    continue
+                try:
+                    data.data += struct.pack(fmt, value)
+                except struct.error:
+                    data.data += struct.pack(ufmt, value & ((1 << width * 8) - 1))
+            return section
+        if name in (".zero", ".space", ".skip"):
+            data.data += b"\x00" * _parse_int(rest, env, lineno)
+            return section
+        if name in (".asciz", ".string"):
+            data.data += _parse_string(rest, lineno) + b"\x00"
+            return section
+        if name == ".ascii":
+            data.data += _parse_string(rest, lineno)
+            return section
+        if name == ".float":
+            for tok in rest.split(","):
+                data.data += struct.pack("<f", float(tok.strip()))
+            return section
+        if name == ".double":
+            for tok in rest.split(","):
+                data.data += struct.pack("<d", float(tok.strip()))
+            return section
+        raise AssemblerError(f"line {lineno}: unknown directive {name}")
+
+    # -- pseudo-instruction expansion ---------------------------------------
+
+    def _expand_pseudo(self, mn: str, ops: list[str],
+                       lineno: int) -> list[_Item]:
+        def item(m, o):
+            return _Item("inst", m, o, lineno)
+
+        if mn == "nop":
+            return [item("addi", ["x0", "x0", "0"])]
+        if mn == "li":
+            return [_Item("li", "li", ops, lineno, size=0)]
+        if mn == "la":
+            return [_Item("la", "la", ops, lineno, size=8)]
+        if mn == "mv":
+            return [item("addi", [ops[0], ops[1], "0"])]
+        if mn == "not":
+            return [item("xori", [ops[0], ops[1], "-1"])]
+        if mn == "neg":
+            return [item("sub", [ops[0], "x0", ops[1]])]
+        if mn == "negw":
+            return [item("subw", [ops[0], "x0", ops[1]])]
+        if mn == "sext.w":
+            return [item("addiw", [ops[0], ops[1], "0"])]
+        if mn == "zext.w":
+            return [item("slli", [ops[0], ops[1], "32"]),
+                    item("srli", [ops[0], ops[0], "32"])]
+        if mn == "seqz":
+            return [item("sltiu", [ops[0], ops[1], "1"])]
+        if mn == "snez":
+            return [item("sltu", [ops[0], "x0", ops[1]])]
+        if mn == "sltz":
+            return [item("slt", [ops[0], ops[1], "x0"])]
+        if mn == "sgtz":
+            return [item("slt", [ops[0], "x0", ops[1]])]
+        if mn == "beqz":
+            return [item("beq", [ops[0], "x0", ops[1]])]
+        if mn == "bnez":
+            return [item("bne", [ops[0], "x0", ops[1]])]
+        if mn == "blez":
+            return [item("bge", ["x0", ops[0], ops[1]])]
+        if mn == "bgez":
+            return [item("bge", [ops[0], "x0", ops[1]])]
+        if mn == "bltz":
+            return [item("blt", [ops[0], "x0", ops[1]])]
+        if mn == "bgtz":
+            return [item("blt", ["x0", ops[0], ops[1]])]
+        if mn == "bgt":
+            return [item("blt", [ops[1], ops[0], ops[2]])]
+        if mn == "ble":
+            return [item("bge", [ops[1], ops[0], ops[2]])]
+        if mn == "bgtu":
+            return [item("bltu", [ops[1], ops[0], ops[2]])]
+        if mn == "bleu":
+            return [item("bgeu", [ops[1], ops[0], ops[2]])]
+        if mn == "j":
+            return [item("jal", ["x0", ops[0]])]
+        if mn == "jal" and len(ops) == 1:
+            return [item("jal", ["ra", ops[0]])]
+        if mn == "jr":
+            return [item("jalr", ["x0", ops[0], "0"])]
+        if mn == "jalr" and len(ops) == 1:
+            return [item("jalr", ["ra", ops[0], "0"])]
+        if mn == "call":
+            return [item("jal", ["ra", ops[0]])]
+        if mn == "tail":
+            return [item("jal", ["x0", ops[0]])]
+        if mn == "ret":
+            return [item("jalr", ["x0", "ra", "0"])]
+        if mn == "csrr":
+            return [item("csrrs", [ops[0], ops[1], "x0"])]
+        if mn == "csrw":
+            return [item("csrrw", ["x0", ops[0], ops[1]])]
+        if mn == "csrwi":
+            return [item("csrrwi", ["x0", ops[0], ops[1]])]
+        if mn == "csrs":
+            return [item("csrrs", ["x0", ops[0], ops[1]])]
+        if mn == "csrc":
+            return [item("csrrc", ["x0", ops[0], ops[1]])]
+        if mn == "fmv.s":
+            return [item("fsgnj.s", [ops[0], ops[1], ops[1]])]
+        if mn == "fmv.d":
+            return [item("fsgnj.d", [ops[0], ops[1], ops[1]])]
+        if mn == "fneg.s":
+            return [item("fsgnjn.s", [ops[0], ops[1], ops[1]])]
+        if mn == "fneg.d":
+            return [item("fsgnjn.d", [ops[0], ops[1], ops[1]])]
+        if mn == "fabs.d":
+            return [item("fsgnjx.d", [ops[0], ops[1], ops[1]])]
+        if mn not in SPECS:
+            raise AssemblerError(f"line {lineno}: unknown mnemonic {mn!r}")
+        return [item(mn, ops)]
+
+    # -- sizing / relaxation -------------------------------------------------
+
+    def _collect_text_labels(self, items: list[_Item]) -> set[str]:
+        return {i.mnemonic for i in items if i.kind == "label"}
+
+    def _assign_sizes(self, items: list[_Item], symbols: dict[str, int],
+                      text_base: int) -> bool:
+        """Recompute item sizes; returns True if anything changed."""
+        changed = False
+        addr = text_base
+        for item in items:
+            if item.kind == "label":
+                continue
+            if item.kind == "align":
+                addr = _align_up(addr, item.size)
+                continue
+            new_size = item.size
+            if item.kind == "li":
+                try:
+                    value = _parse_int(item.operands[1], symbols, item.line)
+                except AssemblerError:
+                    value = 1 << 40  # symbols not yet placed: assume big
+                new_size = 4 * len(_li_sequence(0, value))
+            elif item.kind == "la":
+                new_size = 8
+            elif self.compress and not item.no_compress:
+                try:
+                    inst = self._build(item, symbols, addr,
+                                       size_probe=True)
+                    half = compressed.compress(inst)
+                except (AssemblerError, EncodingError, KeyError):
+                    half = None
+                if half is not None:
+                    new_size = 2
+                else:
+                    if item.size == 2:
+                        item.no_compress = True  # grow-only: keeps fixpoint
+                    new_size = 4
+            if new_size != item.size:
+                item.size = new_size
+                changed = True
+            addr += item.size
+        return changed
+
+    # -- encoding one item ----------------------------------------------------
+
+    def _expand_li_la(self, item: _Item,
+                      symbols: dict[str, int]) -> list[Instruction]:
+        """Materialize li/la pseudo items as base-ISA sequences."""
+        try:
+            rd = parse_gpr(item.operands[0])
+            value = _parse_int(item.operands[1], symbols, item.line)
+        except (ValueError, IndexError) as exc:
+            raise AssemblerError(f"line {item.line}: {exc}") from exc
+        insts: list[Instruction] = []
+
+        def emit(mn: str, **kw) -> None:
+            inst = Instruction(spec=SPECS[mn], **kw)
+            compute_operands(inst)
+            insts.append(inst)
+
+        if item.kind == "la":
+            hi = ((value + 0x800) >> 12) & 0xFFFFF
+            lo = _to_signed64(value - ((_sext20(hi)) << 12))
+            emit("lui", rd=rd, imm=_sext20(hi) << 12)
+            emit("addi", rd=rd, rs1=rd, imm=lo)
+            return insts
+        for mn, src, imm in _li_sequence(rd, value):
+            if mn == "lui":
+                emit("lui", rd=rd, imm=_sext20(imm) << 12)
+            elif mn == "slli":
+                emit("slli", rd=rd, rs1=rd, imm=imm)
+            else:
+                emit(mn, rd=rd, rs1=src, imm=imm)
+        return insts
+
+    def _build(self, item: _Item, symbols: dict[str, int], addr: int,
+               size_probe: bool = False) -> Instruction:
+        try:
+            return self._build_inner(item, symbols, addr)
+        except (ValueError, KeyError, IndexError) as exc:
+            if size_probe:
+                raise AssemblerError(str(exc)) from exc
+            raise AssemblerError(
+                f"line {item.line}: {item.mnemonic} "
+                f"{', '.join(item.operands)}: {exc}") from exc
+
+    def _build_inner(self, item: _Item, symbols: dict[str, int],
+                     addr: int) -> Instruction:
+        mn, ops = item.mnemonic, item.operands
+        if item.kind in ("li", "la"):
+            raise AssemblerError("li/la handled by caller")  # pragma: no cover
+        spec = SPECS[mn]
+        fmt = spec.fmt
+        kw: dict = {}
+
+        def gx(i):
+            return parse_gpr(ops[i])
+
+        def imm(i):
+            return _parse_int(ops[i], symbols, item.line)
+
+        def target(i):
+            return _parse_int(ops[i], symbols, item.line) - addr
+
+        if fmt == "R":
+            if mn == "sfence.vma":
+                kw = {"rs1": gx(0) if ops else 0,
+                      "rs2": gx(1) if len(ops) > 1 else 0}
+            else:
+                kw = {"rd": gx(0), "rs1": gx(1), "rs2": gx(2)}
+        elif fmt == "I":
+            if spec.iclass.value == "load":
+                base, off = _parse_mem(ops[1], symbols, item.line)
+                rd = parse_fpr(ops[0]) if spec.rd_file == "f" else gx(0)
+                kw = {"rd": rd, "rs1": base, "imm": off}
+            elif mn == "jalr":
+                if "(" in ops[1]:
+                    base, off = _parse_mem(ops[1], symbols, item.line)
+                    kw = {"rd": gx(0), "rs1": base, "imm": off}
+                else:
+                    kw = {"rd": gx(0), "rs1": gx(1), "imm": imm(2)}
+            else:
+                kw = {"rd": gx(0), "rs1": gx(1), "imm": imm(2)}
+        elif fmt == "S":
+            base, off = _parse_mem(ops[1], symbols, item.line)
+            rs2 = parse_fpr(ops[0]) if spec.rs2_file == "f" else gx(0)
+            kw = {"rs1": base, "rs2": rs2, "imm": off}
+        elif fmt == "B":
+            kw = {"rs1": gx(0), "rs2": gx(1), "imm": target(2)}
+        elif fmt == "U":
+            kw = {"rd": gx(0), "imm": imm(1) << 12}
+        elif fmt == "J":
+            kw = {"rd": gx(0), "imm": target(1)}
+        elif fmt in ("SHIFT64", "SHIFT32"):
+            kw = {"rd": gx(0), "rs1": gx(1), "imm": imm(2)}
+        elif fmt == "CSR":
+            kw = {"rd": gx(0), "imm": _parse_csr(ops[1], item.line),
+                  "rs1": gx(2)}
+        elif fmt == "CSRI":
+            kw = {"rd": gx(0), "imm": _parse_csr(ops[1], item.line),
+                  "aux": imm(2)}
+        elif fmt in ("SYS", "FENCE"):
+            kw = {}
+        elif fmt == "AMO":
+            if mn.startswith("lr."):
+                kw = {"rd": gx(0), "rs1": _parse_paren(ops[1], item.line)}
+            else:
+                kw = {"rd": gx(0), "rs2": gx(1),
+                      "rs1": _parse_paren(ops[2], item.line)}
+        elif fmt in ("FR", "FR3"):
+            files = (spec.rd_file, spec.rs1_file, spec.rs2_file)
+            regs = [parse_fpr(ops[i]) if files[i] == "f" else parse_gpr(ops[i])
+                    for i in range(3)]
+            kw = {"rd": regs[0], "rs1": regs[1], "rs2": regs[2]}
+        elif fmt in ("FR1", "FCVT"):
+            rd = parse_fpr(ops[0]) if spec.rd_file == "f" else gx(0)
+            rs1 = parse_fpr(ops[1]) if spec.rs1_file == "f" else gx(1)
+            kw = {"rd": rd, "rs1": rs1}
+        elif fmt == "R4":
+            kw = {"rd": parse_fpr(ops[0]), "rs1": parse_fpr(ops[1]),
+                  "rs2": parse_fpr(ops[2]), "rs3": parse_fpr(ops[3])}
+        elif fmt == "VSETVLI":
+            sew, lmul = _parse_vtype(ops[2:], item.line)
+            kw = {"rd": gx(0), "rs1": gx(1), "imm": encode_vtype(sew, lmul)}
+        elif fmt == "VSETVL":
+            kw = {"rd": gx(0), "rs1": gx(1), "rs2": gx(2)}
+        elif fmt == "OPV":
+            kw = self._parse_opv(spec, ops, symbols, item.line)
+        elif fmt in ("VL", "VS"):
+            reg = parse_vreg(ops[0])
+            base = _parse_paren(ops[1], item.line)
+            masked = len(ops) > 2 and ops[2] == "v0.t"
+            key = "rd" if fmt == "VL" else "rs3"
+            kw = {key: reg, "rs1": base, "aux": 0 if masked else 1}
+        elif fmt in ("VLS", "VSS"):
+            reg = parse_vreg(ops[0])
+            base = _parse_paren(ops[1], item.line)
+            stride = gx(2)
+            masked = len(ops) > 3 and ops[3] == "v0.t"
+            key = "rd" if fmt == "VLS" else "rs3"
+            kw = {key: reg, "rs1": base, "rs2": stride,
+                  "aux": 0 if masked else 1}
+        elif fmt == "XTIDX":
+            kw = {"rd": gx(0), "rs1": gx(1), "rs2": gx(2),
+                  "aux": imm(3) if len(ops) > 3 else 0}
+        elif fmt == "XTIDXS":
+            kw = {"rs3": gx(0), "rs1": gx(1), "rs2": gx(2),
+                  "aux": imm(3) if len(ops) > 3 else 0}
+        elif fmt == "XTBF":
+            kw = {"rd": gx(0), "rs1": gx(1), "imm": imm(2) << 6 | imm(3)}
+        elif fmt == "XTR1":
+            kw = {"rd": gx(0), "rs1": gx(1)}
+        elif fmt == "XTSH":
+            kw = {"rd": gx(0), "rs1": gx(1), "imm": imm(2)}
+        elif fmt == "XTMAC":
+            kw = {"rd": gx(0), "rs1": gx(1), "rs2": gx(2)}
+        elif fmt == "XTCMO":
+            kw = {"rs1": gx(0)} if spec.rs1_file is not None and ops else {}
+        else:  # pragma: no cover - all table formats handled
+            raise AssemblerError(f"format {fmt} not handled")
+
+        inst = Instruction(spec=spec, **kw)
+        compute_operands(inst)
+        return inst
+
+    def _parse_opv(self, spec, ops: list[str], symbols, lineno: int) -> dict:
+        masked = bool(ops) and ops[-1] == "v0.t"
+        if masked:
+            ops = ops[:-1]
+        aux = 0 if masked else 1
+        mn = spec.mnemonic
+        if mn == "vmv.v.v":
+            return {"rd": parse_vreg(ops[0]), "rs1": parse_vreg(ops[1]),
+                    "aux": aux}
+        if mn == "vmv.v.x":
+            return {"rd": parse_vreg(ops[0]), "rs1": parse_gpr(ops[1]),
+                    "aux": aux}
+        if mn == "vmv.v.i":
+            return {"rd": parse_vreg(ops[0]),
+                    "imm": _parse_int(ops[1], symbols, lineno), "aux": aux}
+        if mn == "vmv.x.s":
+            return {"rd": parse_gpr(ops[0]), "rs2": parse_vreg(ops[1]),
+                    "aux": aux}
+        if mn == "vmv.s.x":
+            return {"rd": parse_vreg(ops[0]), "rs1": parse_gpr(ops[1]),
+                    "aux": aux}
+        if mn == "vfsqrt.v":
+            return {"rd": parse_vreg(ops[0]), "rs2": parse_vreg(ops[1]),
+                    "aux": aux}
+        if mn == "vid.v":
+            return {"rd": parse_vreg(ops[0]), "aux": aux}
+        if mn == "vcpop.m":
+            return {"rd": parse_gpr(ops[0]), "rs2": parse_vreg(ops[1]),
+                    "aux": aux}
+        if mn.endswith(".mm"):
+            return {"rd": parse_vreg(ops[0]), "rs2": parse_vreg(ops[1]),
+                    "rs1": parse_vreg(ops[2]), "aux": 1}
+        # MAC-family ops use RVV operand order vd, vs1/rs1, vs2;
+        # everything else is vd, vs2, (vs1 | rs1 | fs1 | imm).
+        base = mn.split(".", 1)[0]
+        if base in ("vmacc", "vnmsac", "vmadd", "vwmacc", "vwmaccu",
+                    "vfmacc", "vfnmacc", "vfmadd"):
+            op1, op2 = ops[2], ops[1]
+        else:
+            op1, op2 = ops[1], ops[2]
+        kw = {"rd": parse_vreg(ops[0]) if spec.rd_file == "v"
+              else parse_gpr(ops[0]),
+              "rs2": parse_vreg(op1), "aux": aux}
+        if spec.rs1_file == "v":
+            kw["rs1"] = parse_vreg(op2)
+        elif spec.rs1_file == "x":
+            kw["rs1"] = parse_gpr(op2)
+        elif spec.rs1_file == "f":
+            kw["rs1"] = parse_fpr(op2)
+        else:  # immediate form
+            kw["imm"] = _parse_int(op2, symbols, lineno)
+        return kw
+
+
+# --------------------------------------------------------------------------
+# Helpers
+# --------------------------------------------------------------------------
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+_MEM_RE = re.compile(r"^(.*)\(\s*(\w+)\s*\)$")
+
+
+def _parse_mem(op: str, symbols: dict[str, int], lineno: int):
+    m = _MEM_RE.match(op.strip())
+    if not m:
+        raise AssemblerError(f"line {lineno}: bad memory operand {op!r}")
+    off_str = m.group(1).strip()
+    offset = _parse_int(off_str, symbols, lineno) if off_str else 0
+    return parse_gpr(m.group(2)), offset
+
+
+def _parse_paren(op: str, lineno: int) -> int:
+    op = op.strip()
+    if op.startswith("(") and op.endswith(")"):
+        return parse_gpr(op[1:-1].strip())
+    raise AssemblerError(f"line {lineno}: expected (reg), got {op!r}")
+
+
+def _parse_vtype(tokens: list[str], lineno: int) -> tuple[int, int]:
+    """Parse the trailing 'e<sew>, m<lmul>' tokens of a vsetvli."""
+    sew, lmul = 64, 1
+    for token in tokens:
+        token = token.strip().lower()
+        m = _SEW_RE.match(token)
+        if m:
+            sew = int(m.group(1))
+            continue
+        m = _LMUL_RE.match(token)
+        if m:
+            lmul = int(m.group(1))
+            continue
+        if token in ("ta", "tu", "ma", "mu", "d1"):
+            continue  # tail/mask agnosticism: accepted, ignored
+        raise AssemblerError(f"line {lineno}: bad vtype token {token!r}")
+    return sew, lmul
+
+
+def _parse_csr(name: str, lineno: int) -> int:
+    name = name.strip().lower()
+    if name in CSR_NAMES:
+        return CSR_NAMES[name]
+    try:
+        return int(name, 0)
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: unknown CSR {name!r}") from None
+
+
+_INT_TOKEN_RE = re.compile(r"^[\w.$+\-*()<>&|^~ ]+$")
+_SYMBOL_RE = re.compile(r"[A-Za-z_.$][\w.$]*")
+
+
+def _parse_int(text: str, symbols: dict[str, int], lineno: int) -> int:
+    """Evaluate an immediate expression (ints, symbols, + - * << >> & | ^)."""
+    text = text.strip()
+    if not text:
+        raise AssemblerError(f"line {lineno}: empty immediate")
+    if len(text) == 3 and text[0] == text[2] == "'":
+        return ord(text[1])
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    if not _INT_TOKEN_RE.match(text):
+        raise AssemblerError(f"line {lineno}: bad immediate {text!r}")
+
+    def _sub(m: re.Match) -> str:
+        name = m.group(0)
+        if name in symbols:
+            return str(symbols[name])
+        if re.fullmatch(r"0[xXbBoO]\w+", name):
+            return name
+        raise AssemblerError(f"line {lineno}: undefined symbol {name!r}")
+
+    expr = _SYMBOL_RE.sub(_sub, text)
+    try:
+        return int(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:
+        raise AssemblerError(
+            f"line {lineno}: cannot evaluate {text!r}: {exc}") from exc
+
+
+def _parse_string(rest: str, lineno: int) -> bytes:
+    rest = rest.strip()
+    if not (rest.startswith('"') and rest.endswith('"')):
+        raise AssemblerError(f"line {lineno}: expected string literal")
+    body = rest[1:-1]
+    return body.encode().decode("unicode_escape").encode("latin-1")
+
+
+def _li_sequence(rd: int, value: int) -> list[tuple[str, int, int]]:
+    """Decompose ``li rd, value`` into (mnemonic, rs1, imm) steps.
+
+    Returns a list of ('addi'|'lui'|'addiw'|'slli', source-reg, imm)
+    tuples forming the constant; the standard GAS recursive algorithm.
+    """
+    value = _to_signed64(value)
+    if -2048 <= value < 2048:
+        return [("addi", 0, value)]
+    if -(1 << 31) <= value < (1 << 31):
+        hi = (value + 0x800) >> 12
+        lo = value - (hi << 12)
+        seq: list[tuple[str, int, int]] = [("lui", 0, hi & 0xFFFFF)]
+        if lo or not hi:
+            seq.append(("addiw", rd, lo))
+        return seq
+    lo12 = ((value & 0xFFF) ^ 0x800) - 0x800
+    hi = (value - lo12) >> 12
+    seq = _li_sequence(rd, hi)
+    seq.append(("slli", rd, 12))
+    if lo12:
+        seq.append(("addi", rd, lo12))
+    return seq
+
+
+def _sext20(value: int) -> int:
+    value &= 0xFFFFF
+    return value - (1 << 20) if value >= 1 << 19 else value
+
+
+def _to_signed64(value: int) -> int:
+    value &= (1 << 64) - 1
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def assemble(source: str, compress: bool = False,
+             text_base: int = TEXT_BASE, data_base: int = DATA_BASE) -> Program:
+    """Assemble *source* into a :class:`Program`."""
+    return Assembler(compress=compress).assemble(source, text_base, data_base)

@@ -1,0 +1,40 @@
+"""Experiment harness: one runner per paper table/figure.
+
+``run_all(quick=True)`` regenerates every experiment and returns the
+results; ``python -m repro.harness`` prints them.
+"""
+
+from __future__ import annotations
+
+from .asid import run_asid  # noqa: F401
+from .blockchain import run_blockchain  # noqa: F401
+from .fig17 import run_fig17  # noqa: F401
+from .fig18 import run_fig18  # noqa: F401
+from .fig19 import run_fig19  # noqa: F401
+from .fig20 import run_fig20  # noqa: F401
+from .fig21 import run_fig21  # noqa: F401
+from .report import ExperimentResult, Row, geomean  # noqa: F401
+from .runner import RunResult, compare_cores, run_on_core  # noqa: F401
+from .spec import run_spec  # noqa: F401
+from .table1 import run_table1  # noqa: F401
+from .table2 import run_table2  # noqa: F401
+from .vecmac import run_vecmac  # noqa: F401
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+    "fig19": run_fig19,
+    "fig20": run_fig20,
+    "fig21": run_fig21,
+    "spec": run_spec,
+    "asid": run_asid,
+    "vecmac": run_vecmac,
+    "blockchain": run_blockchain,
+}
+
+
+def run_all(quick: bool = True) -> dict[str, ExperimentResult]:
+    """Run every experiment; returns {name: result}."""
+    return {name: fn(quick=quick) for name, fn in EXPERIMENTS.items()}

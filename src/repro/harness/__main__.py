@@ -1,0 +1,32 @@
+"""CLI: ``python -m repro.harness [experiment ...] [--full]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[*EXPERIMENTS, []],
+                        help="experiments to run (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="full-size workloads (slower, closer shapes)")
+    args = parser.parse_args(argv)
+    names = args.experiments or list(EXPERIMENTS)
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name](quick=not args.full)
+        print(result.render())
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Fig. 18: EEMBC performance normalized to Cortex-A73.
+
+The paper plots per-kernel EEMBC scores normalized to the A73 and
+concludes XT-910 is broadly on par (per-kernel ratios scattered around
+1.0).  We run the EEMBC-like suite on both presets and report the
+normalized-per-MHz ratio per kernel plus the geometric mean.
+"""
+
+from __future__ import annotations
+
+from ..workloads.eembc import eembc_suite
+from .report import ExperimentResult, geomean
+from .runner import run_on_core
+
+
+def run_fig18(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig18",
+        title="EEMBC-like kernels, XT-910 normalized to Cortex-A73")
+    ratios = []
+    for workload in eembc_suite():
+        xt = run_on_core(workload.program(), "xt910")
+        a73 = run_on_core(workload.program(), "cortex-a73")
+        ratio = xt.ipc / a73.ipc
+        ratios.append(ratio)
+        result.add(workload.name, None, round(ratio, 3), "x A73",
+                   note=f"IPC {xt.ipc:.2f} vs {a73.ipc:.2f}")
+    result.add("geometric mean", 1.0, round(geomean(ratios), 3), "x A73",
+               note="paper: 'on par with the ARM Cortex-A73'")
+    result.raw = {"ratios": ratios}
+    return result

@@ -1,0 +1,29 @@
+"""Fig. 19: NBench performance normalized to Cortex-A73.
+
+"Overall, the performance of XT-910 is on par with the ARM Cortex-A73"
+— same methodology as Fig. 18 on the NBench-like suite.
+"""
+
+from __future__ import annotations
+
+from ..workloads.nbench import nbench_suite
+from .report import ExperimentResult, geomean
+from .runner import run_on_core
+
+
+def run_fig19(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig19",
+        title="NBench-like kernels, XT-910 normalized to Cortex-A73")
+    ratios = []
+    for workload in nbench_suite():
+        xt = run_on_core(workload.program(), "xt910")
+        a73 = run_on_core(workload.program(), "cortex-a73")
+        ratio = xt.ipc / a73.ipc
+        ratios.append(ratio)
+        result.add(workload.name, None, round(ratio, 3), "x A73",
+                   note=f"IPC {xt.ipc:.2f} vs {a73.ipc:.2f}")
+    result.add("geometric mean", 1.0, round(geomean(ratios), 3), "x A73",
+               note="paper: 'on par with the ARM Cortex-A73'")
+    result.raw = {"ratios": ratios}
+    return result

@@ -1,0 +1,66 @@
+"""Experiment result containers and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Row:
+    """One reported quantity: paper value vs measured value."""
+
+    name: str
+    paper: float | str | None
+    measured: float | str
+    unit: str = ""
+    note: str = ""
+
+
+@dataclass
+class ExperimentResult:
+    """One table/figure reproduction."""
+
+    experiment: str
+    title: str
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    raw: dict = field(default_factory=dict)
+
+    def add(self, name: str, paper, measured, unit: str = "",
+            note: str = "") -> None:
+        self.rows.append(Row(name, paper, measured, unit, note))
+
+    def render(self) -> str:
+        width = max((len(r.name) for r in self.rows), default=10) + 2
+        lines = [f"== {self.experiment}: {self.title} =="]
+        header = f"{'metric':<{width}}{'paper':>12}{'measured':>12}  unit"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            paper = _fmt(row.paper)
+            measured = _fmt(row.measured)
+            suffix = f"  {row.unit}"
+            if row.note:
+                suffix += f"   ({row.note})"
+            lines.append(f"{row.name:<{width}}{paper:>12}{measured:>12}"
+                         f"{suffix}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def geomean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

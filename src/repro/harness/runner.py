@@ -1,0 +1,57 @@
+"""Glue: run an assembled program through emulator + timing model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm.program import Program
+from ..mem.hierarchy import MemoryHierarchy
+from ..sim.emulator import Emulator
+from ..uarch.config import CoreConfig
+from ..uarch.core import PipelineModel
+from ..uarch.presets import get_preset
+from ..uarch.stats import CoreStats
+
+
+@dataclass
+class RunResult:
+    """Functional + timing outcome of one program on one core."""
+
+    core: str
+    stats: CoreStats
+    exit_code: int
+    stdout: str
+    pipeline: PipelineModel
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+def run_on_core(program: Program, core: CoreConfig | str,
+                max_steps: int | None = None,
+                hierarchy: MemoryHierarchy | None = None) -> RunResult:
+    """Execute *program* functionally and time it on *core*."""
+    config = get_preset(core) if isinstance(core, str) else core
+    emulator = Emulator(program)
+    pipeline = PipelineModel(config, hierarchy=hierarchy)
+    stats = pipeline.run(emulator.trace(max_steps))
+    if emulator.exit_code not in (0, None):
+        raise RuntimeError(
+            f"program exited with {emulator.exit_code} on {config.name}; "
+            f"stdout: {emulator.stdout!r}")
+    return RunResult(core=config.name, stats=stats,
+                     exit_code=emulator.exit_code or 0,
+                     stdout=emulator.stdout, pipeline=pipeline)
+
+
+def compare_cores(program: Program, cores: list[CoreConfig | str],
+                  max_steps: int | None = None) -> dict[str, RunResult]:
+    """Run the same binary on several cores (the paper's methodology)."""
+    return {result.core: result
+            for result in (run_on_core(program, core, max_steps)
+                           for core in cores)}

@@ -1,0 +1,27 @@
+"""ISA definition: registers, instruction specs, encodings, CSRs.
+
+Public surface:
+
+* :mod:`repro.isa.registers` — register files and ABI names.
+* :mod:`repro.isa.instructions` — :class:`InstrClass`,
+  :class:`InstrSpec`, :class:`Instruction` and the ``SPECS`` table.
+* :mod:`repro.isa.encoding` — 32-bit encode/decode.
+* :mod:`repro.isa.compressed` — RVC expand/compress.
+* :mod:`repro.isa.csr` — CSR addresses, privilege modes, ``CsrFile``.
+"""
+
+from .instructions import (  # noqa: F401
+    CONTROL_CLASSES,
+    Instruction,
+    InstrClass,
+    InstrSpec,
+    LOAD_CLASSES,
+    SPECS,
+    STORE_CLASSES,
+    VECTOR_CLASSES,
+    compute_operands,
+)
+from .registers import Reg, f, v, x  # noqa: F401
+from .encoding import EncodingError, decode_word, encode  # noqa: F401
+from .compressed import compress, expand, is_compressed  # noqa: F401
+from .csr import CsrFile, PrivMode, TrapCause  # noqa: F401

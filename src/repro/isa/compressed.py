@@ -1,0 +1,274 @@
+"""RVC compressed-instruction support (the C in RV64GCV).
+
+XT-910 fetches 128-bit lines holding up to 8 compressed instructions, so
+code density directly shapes frontend behaviour.  This module expands
+16-bit compressed words into their base-ISA :class:`Instruction`
+equivalents (with ``size=2`` so the fetch and PC logic stay correct) and
+offers :func:`compress`, the opportunistic compressor the assembler runs
+when ``compress=True``.
+
+The supported subset is the RV64C catalogue minus the FP forms
+(c.fld/c.fsd), which the workloads do not need.
+"""
+
+from __future__ import annotations
+
+from .encoding import EncodingError, _sign_extend
+from .instructions import Instruction, SPECS, compute_operands
+
+
+def is_compressed(halfword: int) -> bool:
+    """A 16-bit parcel is compressed iff its low two bits are not 0b11."""
+    return (halfword & 0x3) != 0x3
+
+
+def _mk(mnemonic: str, raw: int, **kw) -> Instruction:
+    inst = Instruction(spec=SPECS[mnemonic], raw=raw, size=2, **kw)
+    compute_operands(inst)
+    return inst
+
+
+def _f(word: int, lo: int, width: int) -> int:
+    return (word >> lo) & ((1 << width) - 1)
+
+
+def expand(word: int) -> Instruction:
+    """Expand a 16-bit compressed word into its base instruction."""
+    word &= 0xFFFF
+    quadrant = word & 0x3
+    funct3 = _f(word, 13, 3)
+
+    if quadrant == 0:
+        rdp = _f(word, 2, 3) + 8
+        rs1p = _f(word, 7, 3) + 8
+        if funct3 == 0:  # c.addi4spn
+            imm = (_f(word, 7, 4) << 6 | _f(word, 11, 2) << 4
+                   | _f(word, 5, 1) << 3 | _f(word, 6, 1) << 2)
+            if imm == 0:
+                raise EncodingError(f"illegal compressed word {word:#06x}")
+            return _mk("addi", word, rd=rdp, rs1=2, imm=imm)
+        if funct3 == 2:  # c.lw
+            imm = _f(word, 5, 1) << 6 | _f(word, 10, 3) << 3 | _f(word, 6, 1) << 2
+            return _mk("lw", word, rd=rdp, rs1=rs1p, imm=imm)
+        if funct3 == 3:  # c.ld
+            imm = _f(word, 5, 2) << 6 | _f(word, 10, 3) << 3
+            return _mk("ld", word, rd=rdp, rs1=rs1p, imm=imm)
+        if funct3 == 6:  # c.sw
+            imm = _f(word, 5, 1) << 6 | _f(word, 10, 3) << 3 | _f(word, 6, 1) << 2
+            return _mk("sw", word, rs1=rs1p, rs2=rdp, imm=imm)
+        if funct3 == 7:  # c.sd
+            imm = _f(word, 5, 2) << 6 | _f(word, 10, 3) << 3
+            return _mk("sd", word, rs1=rs1p, rs2=rdp, imm=imm)
+        raise EncodingError(f"unsupported compressed word {word:#06x}")
+
+    if quadrant == 1:
+        rd = _f(word, 7, 5)
+        imm6 = _sign_extend(_f(word, 12, 1) << 5 | _f(word, 2, 5), 6)
+        if funct3 == 0:  # c.addi / c.nop
+            return _mk("addi", word, rd=rd, rs1=rd, imm=imm6)
+        if funct3 == 1:  # c.addiw (RV64)
+            if rd == 0:
+                raise EncodingError(f"illegal c.addiw {word:#06x}")
+            return _mk("addiw", word, rd=rd, rs1=rd, imm=imm6)
+        if funct3 == 2:  # c.li
+            return _mk("addi", word, rd=rd, rs1=0, imm=imm6)
+        if funct3 == 3:
+            if rd == 2:  # c.addi16sp
+                imm = _sign_extend(
+                    _f(word, 12, 1) << 9 | _f(word, 3, 2) << 7
+                    | _f(word, 5, 1) << 6 | _f(word, 2, 1) << 5
+                    | _f(word, 6, 1) << 4, 10)
+                if imm == 0:
+                    raise EncodingError(f"illegal c.addi16sp {word:#06x}")
+                return _mk("addi", word, rd=2, rs1=2, imm=imm)
+            if imm6 == 0:
+                raise EncodingError(f"illegal c.lui {word:#06x}")
+            return _mk("lui", word, rd=rd, imm=imm6 << 12)  # c.lui
+        if funct3 == 4:
+            sub = _f(word, 10, 2)
+            rdp = _f(word, 7, 3) + 8
+            if sub == 0 or sub == 1:  # c.srli / c.srai
+                shamt = _f(word, 12, 1) << 5 | _f(word, 2, 5)
+                mn = "srli" if sub == 0 else "srai"
+                return _mk(mn, word, rd=rdp, rs1=rdp, imm=shamt)
+            if sub == 2:  # c.andi
+                return _mk("andi", word, rd=rdp, rs1=rdp, imm=imm6)
+            rs2p = _f(word, 2, 3) + 8
+            hi = _f(word, 12, 1)
+            op2 = _f(word, 5, 2)
+            table = {(0, 0): "sub", (0, 1): "xor", (0, 2): "or", (0, 3): "and",
+                     (1, 0): "subw", (1, 1): "addw"}
+            mn = table.get((hi, op2))
+            if mn is None:
+                raise EncodingError(f"bad compressed ALU word {word:#06x}")
+            return _mk(mn, word, rd=rdp, rs1=rdp, rs2=rs2p)
+        if funct3 == 5:  # c.j
+            imm = _sign_extend(
+                _f(word, 12, 1) << 11 | _f(word, 8, 1) << 10
+                | _f(word, 9, 2) << 8 | _f(word, 6, 1) << 7
+                | _f(word, 7, 1) << 6 | _f(word, 2, 1) << 5
+                | _f(word, 11, 1) << 4 | _f(word, 3, 3) << 1, 12)
+            return _mk("jal", word, rd=0, imm=imm)
+        # c.beqz / c.bnez
+        rs1p = _f(word, 7, 3) + 8
+        imm = _sign_extend(
+            _f(word, 12, 1) << 8 | _f(word, 5, 2) << 6
+            | _f(word, 2, 1) << 5 | _f(word, 10, 2) << 3
+            | _f(word, 3, 2) << 1, 9)
+        mn = "beq" if funct3 == 6 else "bne"
+        return _mk(mn, word, rs1=rs1p, rs2=0, imm=imm)
+
+    # quadrant == 2
+    rd = _f(word, 7, 5)
+    if funct3 == 0:  # c.slli
+        shamt = _f(word, 12, 1) << 5 | _f(word, 2, 5)
+        return _mk("slli", word, rd=rd, rs1=rd, imm=shamt)
+    if funct3 == 2:  # c.lwsp
+        imm = _f(word, 2, 2) << 6 | _f(word, 12, 1) << 5 | _f(word, 4, 3) << 2
+        return _mk("lw", word, rd=rd, rs1=2, imm=imm)
+    if funct3 == 3:  # c.ldsp
+        imm = _f(word, 2, 3) << 6 | _f(word, 12, 1) << 5 | _f(word, 5, 2) << 3
+        return _mk("ld", word, rd=rd, rs1=2, imm=imm)
+    if funct3 == 4:
+        rs2 = _f(word, 2, 5)
+        hi = _f(word, 12, 1)
+        if hi == 0:
+            if rs2 == 0:  # c.jr
+                if rd == 0:
+                    raise EncodingError(f"illegal c.jr {word:#06x}")
+                return _mk("jalr", word, rd=0, rs1=rd, imm=0)
+            return _mk("add", word, rd=rd, rs1=0, rs2=rs2)  # c.mv
+        if rs2 == 0 and rd == 0:
+            return _mk("ebreak", word)
+        if rs2 == 0:  # c.jalr
+            return _mk("jalr", word, rd=1, rs1=rd, imm=0)
+        return _mk("add", word, rd=rd, rs1=rd, rs2=rs2)  # c.add
+    if funct3 == 6:  # c.swsp
+        imm = _f(word, 7, 2) << 6 | _f(word, 9, 4) << 2
+        return _mk("sw", word, rs1=2, rs2=_f(word, 2, 5), imm=imm)
+    if funct3 == 7:  # c.sdsp
+        imm = _f(word, 7, 3) << 6 | _f(word, 10, 3) << 3
+        return _mk("sd", word, rs1=2, rs2=_f(word, 2, 5), imm=imm)
+    raise EncodingError(f"unsupported compressed word {word:#06x}")
+
+
+def _is_prime(reg: int) -> bool:
+    return 8 <= reg <= 15
+
+
+def compress(inst: Instruction) -> int | None:
+    """Return a 16-bit encoding for *inst*, or None if not compressible.
+
+    Branch/jump offsets are only compressed when the immediate fits, so
+    the assembler runs compression as a fixpoint relaxation pass.
+    """
+    mn = inst.spec.mnemonic
+    rd, rs1, rs2, imm = inst.rd, inst.rs1, inst.rs2, inst.imm
+
+    if mn == "addi":
+        if rd == rs1 and rd != 0 and -32 <= imm < 32:  # c.addi (incl. c.nop)
+            return (0 << 13 | _f(imm, 5, 1) << 12 | rd << 7
+                    | _f(imm, 0, 5) << 2 | 0x1)
+        if rs1 == 0 and rd != 0 and -32 <= imm < 32:  # c.li
+            return (2 << 13 | _f(imm, 5, 1) << 12 | rd << 7
+                    | _f(imm, 0, 5) << 2 | 0x1)
+        if (rd == rs1 == 2 and imm != 0 and -512 <= imm < 512
+                and imm % 16 == 0):  # c.addi16sp
+            return (3 << 13 | _f(imm, 9, 1) << 12 | 2 << 7
+                    | _f(imm, 4, 1) << 6 | _f(imm, 6, 1) << 5
+                    | _f(imm, 7, 2) << 3 | _f(imm, 5, 1) << 2 | 0x1)
+        if (rs1 == 2 and _is_prime(rd) and 0 < imm < 1024
+                and imm % 4 == 0):  # c.addi4spn
+            return (0 << 13 | _f(imm, 4, 2) << 11 | _f(imm, 6, 4) << 7
+                    | _f(imm, 2, 1) << 6 | _f(imm, 3, 1) << 5
+                    | (rd - 8) << 2 | 0x0)
+        return None
+    if mn == "addiw" and rd == rs1 and rd != 0 and -32 <= imm < 32:
+        return (1 << 13 | _f(imm, 5, 1) << 12 | rd << 7
+                | _f(imm, 0, 5) << 2 | 0x1)
+    if mn == "lui" and rd not in (0, 2):
+        value = imm >> 12
+        if value != 0 and -32 <= value < 32:
+            return (3 << 13 | _f(value, 5, 1) << 12 | rd << 7
+                    | _f(value, 0, 5) << 2 | 0x1)
+        return None
+    if mn in ("srli", "srai") and rd == rs1 and _is_prime(rd) and imm != 0:
+        sub = 0 if mn == "srli" else 1
+        return (4 << 13 | _f(imm, 5, 1) << 12 | sub << 10 | (rd - 8) << 7
+                | _f(imm, 0, 5) << 2 | 0x1)
+    if mn == "andi" and rd == rs1 and _is_prime(rd) and -32 <= imm < 32:
+        return (4 << 13 | _f(imm, 5, 1) << 12 | 2 << 10 | (rd - 8) << 7
+                | _f(imm, 0, 5) << 2 | 0x1)
+    if mn == "slli" and rd == rs1 and rd != 0 and imm != 0:
+        return (0 << 13 | _f(imm, 5, 1) << 12 | rd << 7
+                | _f(imm, 0, 5) << 2 | 0x2)
+    if mn in ("sub", "xor", "or", "and", "subw", "addw"):
+        if rd == rs1 and _is_prime(rd) and _is_prime(rs2):
+            hi, op2 = {"sub": (0, 0), "xor": (0, 1), "or": (0, 2),
+                       "and": (0, 3), "subw": (1, 0), "addw": (1, 1)}[mn]
+            return (4 << 13 | hi << 12 | 3 << 10 | (rd - 8) << 7
+                    | op2 << 5 | (rs2 - 8) << 2 | 0x1)
+    if mn == "add":
+        if rd != 0 and rs1 == 0 and rs2 != 0:  # c.mv
+            return 4 << 13 | 0 << 12 | rd << 7 | rs2 << 2 | 0x2
+        if rd == rs1 and rd != 0 and rs2 != 0:  # c.add
+            return 4 << 13 | 1 << 12 | rd << 7 | rs2 << 2 | 0x2
+        return None
+    if mn == "lw":
+        if (_is_prime(rd) and _is_prime(rs1) and 0 <= imm < 128
+                and imm % 4 == 0):
+            return (2 << 13 | _f(imm, 3, 3) << 10 | (rs1 - 8) << 7
+                    | _f(imm, 2, 1) << 6 | _f(imm, 6, 1) << 5
+                    | (rd - 8) << 2 | 0x0)
+        if rs1 == 2 and rd != 0 and 0 <= imm < 256 and imm % 4 == 0:
+            return (2 << 13 | _f(imm, 5, 1) << 12 | rd << 7
+                    | _f(imm, 2, 3) << 4 | _f(imm, 6, 2) << 2 | 0x2)
+        return None
+    if mn == "ld":
+        if (_is_prime(rd) and _is_prime(rs1) and 0 <= imm < 256
+                and imm % 8 == 0):
+            return (3 << 13 | _f(imm, 3, 3) << 10 | (rs1 - 8) << 7
+                    | _f(imm, 6, 2) << 5 | (rd - 8) << 2 | 0x0)
+        if rs1 == 2 and rd != 0 and 0 <= imm < 512 and imm % 8 == 0:
+            return (3 << 13 | _f(imm, 5, 1) << 12 | rd << 7
+                    | _f(imm, 3, 2) << 5 | _f(imm, 6, 3) << 2 | 0x2)
+        return None
+    if mn == "sw":
+        if (_is_prime(rs2) and _is_prime(rs1) and 0 <= imm < 128
+                and imm % 4 == 0):
+            return (6 << 13 | _f(imm, 3, 3) << 10 | (rs1 - 8) << 7
+                    | _f(imm, 2, 1) << 6 | _f(imm, 6, 1) << 5
+                    | (rs2 - 8) << 2 | 0x0)
+        if rs1 == 2 and 0 <= imm < 256 and imm % 4 == 0:
+            return (6 << 13 | _f(imm, 2, 4) << 9 | _f(imm, 6, 2) << 7
+                    | rs2 << 2 | 0x2)
+        return None
+    if mn == "sd":
+        if (_is_prime(rs2) and _is_prime(rs1) and 0 <= imm < 256
+                and imm % 8 == 0):
+            return (7 << 13 | _f(imm, 3, 3) << 10 | (rs1 - 8) << 7
+                    | _f(imm, 6, 2) << 5 | (rs2 - 8) << 2 | 0x0)
+        if rs1 == 2 and 0 <= imm < 512 and imm % 8 == 0:
+            return (7 << 13 | _f(imm, 3, 3) << 10 | _f(imm, 6, 3) << 7
+                    | rs2 << 2 | 0x2)
+        return None
+    if mn == "jal" and rd == 0 and -2048 <= imm < 2048 and imm % 2 == 0:
+        return (5 << 13 | _f(imm, 11, 1) << 12 | _f(imm, 4, 1) << 11
+                | _f(imm, 8, 2) << 9 | _f(imm, 10, 1) << 8
+                | _f(imm, 6, 1) << 7 | _f(imm, 7, 1) << 6
+                | _f(imm, 1, 3) << 3 | _f(imm, 5, 1) << 2 | 0x1)
+    if mn == "jalr" and imm == 0 and rs1 != 0:
+        if rd == 0:  # c.jr
+            return 4 << 13 | 0 << 12 | rs1 << 7 | 0x2
+        if rd == 1:  # c.jalr
+            return 4 << 13 | 1 << 12 | rs1 << 7 | 0x2
+        return None
+    if mn in ("beq", "bne") and rs2 == 0 and _is_prime(rs1):
+        if -256 <= imm < 256 and imm % 2 == 0:
+            f3 = 6 if mn == "beq" else 7
+            return (f3 << 13 | _f(imm, 8, 1) << 12 | _f(imm, 3, 2) << 10
+                    | (rs1 - 8) << 7 | _f(imm, 6, 2) << 5
+                    | _f(imm, 5, 1) << 2 | _f(imm, 1, 2) << 3 | 0x1)
+    if mn == "ebreak":
+        return 4 << 13 | 1 << 12 | 0x2
+    return None

@@ -1,0 +1,185 @@
+"""Disassembler: Instruction -> assembly text.
+
+Used by the profiler (the paper's CDS IDE ships a graphical profiler,
+Fig. 16 — ours is textual) and by debugging tools.  Output round-trips
+through the assembler for every encodable instruction, which the test
+suite verifies property-style.
+"""
+
+from __future__ import annotations
+
+from .csr import CSR_NAMES
+from .instructions import Instruction
+from .registers import fpr_name, gpr_name
+
+_CSR_BY_ADDR = {addr: name for name, addr in CSR_NAMES.items()}
+
+
+def _x(index: int) -> str:
+    return gpr_name(index)
+
+
+def _f(index: int) -> str:
+    return fpr_name(index)
+
+
+def _v(index: int) -> str:
+    return f"v{index}"
+
+
+def _csr(addr: int) -> str:
+    return _CSR_BY_ADDR.get(addr, hex(addr))
+
+
+def disassemble(inst: Instruction, pc: int | None = None) -> str:
+    """Render *inst* as assembler-compatible text.
+
+    Branch/jump targets are rendered as absolute addresses when *pc*
+    is given, else as relative offsets (``. + imm``).
+    """
+    spec = inst.spec
+    mn = spec.mnemonic
+    fmt = spec.fmt
+
+    def target() -> str:
+        if pc is not None:
+            return hex(pc + inst.imm)
+        return f". + {inst.imm}" if inst.imm >= 0 else f". - {-inst.imm}"
+
+    if fmt == "R":
+        if mn == "sfence.vma":
+            return f"sfence.vma {_x(inst.rs1)}, {_x(inst.rs2)}"
+        return f"{mn} {_x(inst.rd)}, {_x(inst.rs1)}, {_x(inst.rs2)}"
+    if fmt == "I":
+        if spec.iclass.value == "load":
+            reg = _f(inst.rd) if spec.rd_file == "f" else _x(inst.rd)
+            return f"{mn} {reg}, {inst.imm}({_x(inst.rs1)})"
+        if mn == "jalr":
+            return f"jalr {_x(inst.rd)}, {inst.imm}({_x(inst.rs1)})"
+        return f"{mn} {_x(inst.rd)}, {_x(inst.rs1)}, {inst.imm}"
+    if fmt == "S":
+        reg = _f(inst.rs2) if spec.rs2_file == "f" else _x(inst.rs2)
+        return f"{mn} {reg}, {inst.imm}({_x(inst.rs1)})"
+    if fmt == "B":
+        return f"{mn} {_x(inst.rs1)}, {_x(inst.rs2)}, {target()}"
+    if fmt == "U":
+        return f"{mn} {_x(inst.rd)}, {inst.imm >> 12}"
+    if fmt == "J":
+        return f"{mn} {_x(inst.rd)}, {target()}"
+    if fmt in ("SHIFT64", "SHIFT32"):
+        return f"{mn} {_x(inst.rd)}, {_x(inst.rs1)}, {inst.imm}"
+    if fmt == "CSR":
+        return f"{mn} {_x(inst.rd)}, {_csr(inst.imm)}, {_x(inst.rs1)}"
+    if fmt == "CSRI":
+        return f"{mn} {_x(inst.rd)}, {_csr(inst.imm)}, {inst.aux}"
+    if fmt in ("SYS", "FENCE"):
+        return mn
+    if fmt == "AMO":
+        if mn.startswith("lr."):
+            return f"{mn} {_x(inst.rd)}, ({_x(inst.rs1)})"
+        return f"{mn} {_x(inst.rd)}, {_x(inst.rs2)}, ({_x(inst.rs1)})"
+    if fmt in ("FR", "FR3"):
+        rd = _x(inst.rd) if spec.rd_file == "x" else _f(inst.rd)
+        return f"{mn} {rd}, {_f(inst.rs1)}, {_f(inst.rs2)}"
+    if fmt in ("FR1", "FCVT"):
+        rd = _x(inst.rd) if spec.rd_file == "x" else _f(inst.rd)
+        rs1 = _x(inst.rs1) if spec.rs1_file == "x" else _f(inst.rs1)
+        return f"{mn} {rd}, {rs1}"
+    if fmt == "R4":
+        return (f"{mn} {_f(inst.rd)}, {_f(inst.rs1)}, {_f(inst.rs2)}, "
+                f"{_f(inst.rs3)}")
+    if fmt == "VSETVLI":
+        from ..asm.assembler import decode_vtype
+
+        sew, lmul = decode_vtype(inst.imm)
+        return (f"vsetvli {_x(inst.rd)}, {_x(inst.rs1)}, e{sew}, m{lmul}")
+    if fmt == "VSETVL":
+        return f"vsetvl {_x(inst.rd)}, {_x(inst.rs1)}, {_x(inst.rs2)}"
+    if fmt == "OPV":
+        return _disasm_opv(inst)
+    if fmt in ("VL", "VS"):
+        reg = _v(inst.rd if fmt == "VL" else inst.rs3)
+        mask = "" if inst.aux else ", v0.t"
+        return f"{mn} {reg}, ({_x(inst.rs1)}){mask}"
+    if fmt in ("VLS", "VSS"):
+        reg = _v(inst.rd if fmt == "VLS" else inst.rs3)
+        mask = "" if inst.aux else ", v0.t"
+        return f"{mn} {reg}, ({_x(inst.rs1)}), {_x(inst.rs2)}{mask}"
+    if fmt == "XTIDX":
+        return (f"{mn} {_x(inst.rd)}, {_x(inst.rs1)}, {_x(inst.rs2)}, "
+                f"{inst.aux}")
+    if fmt == "XTIDXS":
+        return (f"{mn} {_x(inst.rs3)}, {_x(inst.rs1)}, {_x(inst.rs2)}, "
+                f"{inst.aux}")
+    if fmt == "XTBF":
+        return (f"{mn} {_x(inst.rd)}, {_x(inst.rs1)}, "
+                f"{inst.imm >> 6 & 0x3F}, {inst.imm & 0x3F}")
+    if fmt == "XTR1":
+        return f"{mn} {_x(inst.rd)}, {_x(inst.rs1)}"
+    if fmt == "XTSH":
+        return f"{mn} {_x(inst.rd)}, {_x(inst.rs1)}, {inst.imm}"
+    if fmt == "XTMAC":
+        return f"{mn} {_x(inst.rd)}, {_x(inst.rs1)}, {_x(inst.rs2)}"
+    if fmt == "XTCMO":
+        if spec.rs1_file is not None:
+            return f"{mn} {_x(inst.rs1)}"
+        return mn
+    return mn  # pragma: no cover
+
+
+def _disasm_opv(inst: Instruction) -> str:
+    spec = inst.spec
+    mn = spec.mnemonic
+    mask = "" if inst.aux else ", v0.t"
+    if mn == "vmv.v.v":
+        return f"{mn} {_v(inst.rd)}, {_v(inst.rs1)}"
+    if mn == "vmv.v.x":
+        return f"{mn} {_v(inst.rd)}, {_x(inst.rs1)}"
+    if mn == "vmv.v.i":
+        return f"{mn} {_v(inst.rd)}, {inst.imm}"
+    if mn == "vmv.x.s":
+        return f"{mn} {_x(inst.rd)}, {_v(inst.rs2)}"
+    if mn == "vmv.s.x":
+        return f"{mn} {_v(inst.rd)}, {_x(inst.rs1)}"
+    if mn == "vfsqrt.v":
+        return f"{mn} {_v(inst.rd)}, {_v(inst.rs2)}{mask}"
+    base = mn.split(".", 1)[0]
+    mac = base in ("vmacc", "vnmsac", "vmadd", "vwmacc", "vwmaccu",
+                   "vfmacc", "vfnmacc", "vfmadd")
+    if spec.rs1_file == "v":
+        operand = _v(inst.rs1)
+    elif spec.rs1_file == "x":
+        operand = _x(inst.rs1)
+    elif spec.rs1_file == "f":
+        operand = _f(inst.rs1)
+    else:
+        operand = str(inst.imm)
+    rd = _v(inst.rd) if spec.rd_file == "v" else _x(inst.rd)
+    if mac:
+        return f"{mn} {rd}, {operand}, {_v(inst.rs2)}{mask}"
+    return f"{mn} {rd}, {_v(inst.rs2)}, {operand}{mask}"
+
+
+def disassemble_program(program, limit: int | None = None) -> list[str]:
+    """Disassemble a Program's text section; returns 'addr: text' lines."""
+    from .compressed import expand, is_compressed
+    from .encoding import decode_word
+
+    lines = []
+    pos = 0
+    text = program.text
+    while pos < len(text) and (limit is None or len(lines) < limit):
+        addr = program.text_base + pos
+        half = int.from_bytes(text[pos:pos + 2], "little")
+        try:
+            if is_compressed(half):
+                inst = expand(half)
+            else:
+                word = int.from_bytes(text[pos:pos + 4], "little")
+                inst = decode_word(word)
+            lines.append(f"{addr:#x}: {disassemble(inst, pc=addr)}")
+            pos += inst.size
+        except Exception:
+            lines.append(f"{addr:#x}: .half {half:#06x}")
+            pos += 2
+    return lines

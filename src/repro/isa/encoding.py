@@ -1,0 +1,391 @@
+"""Binary encode/decode for the 32-bit instruction formats.
+
+The encoder produces real RISC-V machine words for the standard
+instructions and well-formed custom-opcode words for the vector and XT
+extensions; the decoder inverts the mapping.  The assembler writes these
+words into program memory and the functional emulator decodes them back,
+so the two directions are exercised against each other constantly (and
+round-trip property tests in ``tests/isa`` pin them down).
+"""
+
+from __future__ import annotations
+
+from .instructions import Instruction, InstrSpec, SPECS, compute_operands
+
+MASK32 = 0xFFFFFFFF
+
+
+class EncodingError(Exception):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _field(value: int, lo: int, width: int) -> int:
+    return (value >> lo) & ((1 << width) - 1)
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _check_signed(imm: int, bits: int, mnemonic: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= imm <= hi:
+        raise EncodingError(
+            f"{mnemonic}: immediate {imm} does not fit in {bits} signed bits")
+    return imm & ((1 << bits) - 1)
+
+
+# --------------------------------------------------------------------------
+# Encoding
+# --------------------------------------------------------------------------
+
+def encode(inst: Instruction) -> int:
+    """Encode a decoded/assembled instruction into a 32-bit word."""
+    spec = inst.spec
+    op = spec.opcode
+    f3 = spec.funct3 or 0
+    fmt = spec.fmt
+    rd, rs1, rs2, rs3 = inst.rd, inst.rs1, inst.rs2, inst.rs3
+    imm = inst.imm
+
+    if fmt == "R":
+        rd_slot = rd if spec.rd_file is not None else 0  # e.g. sfence.vma
+        return ((spec.funct7 or 0) << 25 | rs2 << 20 | rs1 << 15
+                | f3 << 12 | rd_slot << 7 | op)
+    if fmt == "I":
+        return (_check_signed(imm, 12, spec.mnemonic) << 20 | rs1 << 15
+                | f3 << 12 | rd << 7 | op)
+    if fmt == "S":
+        v = _check_signed(imm, 12, spec.mnemonic)
+        return (_field(v, 5, 7) << 25 | rs2 << 20 | rs1 << 15 | f3 << 12
+                | _field(v, 0, 5) << 7 | op)
+    if fmt == "B":
+        if imm % 2:
+            raise EncodingError(f"{spec.mnemonic}: branch offset {imm} is odd")
+        v = _check_signed(imm, 13, spec.mnemonic)
+        return (_field(v, 12, 1) << 31 | _field(v, 5, 6) << 25 | rs2 << 20
+                | rs1 << 15 | f3 << 12 | _field(v, 1, 4) << 8
+                | _field(v, 11, 1) << 7 | op)
+    if fmt == "U":
+        if not -(1 << 31) <= imm < (1 << 32):
+            raise EncodingError(f"{spec.mnemonic}: U-imm {imm} out of range")
+        return (imm & 0xFFFFF000) | rd << 7 | op
+    if fmt == "J":
+        if imm % 2:
+            raise EncodingError(f"{spec.mnemonic}: jump offset {imm} is odd")
+        v = _check_signed(imm, 21, spec.mnemonic)
+        return (_field(v, 20, 1) << 31 | _field(v, 1, 10) << 21
+                | _field(v, 11, 1) << 20 | _field(v, 12, 8) << 12
+                | rd << 7 | op)
+    if fmt == "SHIFT64":
+        if not 0 <= imm < 64:
+            raise EncodingError(f"{spec.mnemonic}: shamt {imm} out of range")
+        return ((spec.funct7 or 0) << 26 | imm << 20 | rs1 << 15 | f3 << 12
+                | rd << 7 | op)
+    if fmt == "SHIFT32":
+        if not 0 <= imm < 32:
+            raise EncodingError(f"{spec.mnemonic}: shamt {imm} out of range")
+        return ((spec.funct7 or 0) << 25 | imm << 20 | rs1 << 15 | f3 << 12
+                | rd << 7 | op)
+    if fmt == "CSR":
+        return (imm & 0xFFF) << 20 | rs1 << 15 | f3 << 12 | rd << 7 | op
+    if fmt == "CSRI":
+        return ((imm & 0xFFF) << 20 | (inst.aux & 0x1F) << 15 | f3 << 12
+                | rd << 7 | op)
+    if fmt == "SYS":
+        return (spec.funct7 or 0) << 20 | op
+    if fmt == "FENCE":
+        return f3 << 12 | op
+    if fmt == "AMO":
+        rs2_slot = rs2 if spec.rs2_file is not None else 0  # lr: rs2 = 0
+        return ((spec.funct7 or 0) << 27 | (inst.aux & 0x3) << 25
+                | rs2_slot << 20 | rs1 << 15 | f3 << 12 | rd << 7 | op)
+    if fmt == "FR":
+        return ((spec.funct7 or 0) << 25 | rs2 << 20 | rs1 << 15 | 0 << 12
+                | rd << 7 | op)
+    if fmt == "FR1":
+        return ((spec.funct7 or 0) << 25 | 0 << 20 | rs1 << 15 | f3 << 12
+                | rd << 7 | op)
+    if fmt == "FR3":
+        return ((spec.funct7 or 0) << 25 | rs2 << 20 | rs1 << 15 | f3 << 12
+                | rd << 7 | op)
+    if fmt == "FCVT":
+        # spec.funct3 carries the rs2-slot sub-opcode; rm field is 0.
+        return ((spec.funct7 or 0) << 25 | f3 << 20 | rs1 << 15 | 0 << 12
+                | rd << 7 | op)
+    if fmt == "R4":
+        return (rs3 << 27 | (spec.funct7 or 0) << 25 | rs2 << 20 | rs1 << 15
+                | 0 << 12 | rd << 7 | op)
+    if fmt == "VSETVLI":
+        return (imm & 0x7FF) << 20 | rs1 << 15 | 7 << 12 | rd << 7 | op
+    if fmt == "VSETVL":
+        return 0x40 << 25 | rs2 << 20 | rs1 << 15 | 7 << 12 | rd << 7 | op
+    if fmt == "OPV":
+        vm = inst.aux & 1
+        if spec.rs1_file is None and spec.mnemonic.startswith("vmv.v"):
+            rs1_slot = imm & 0x1F
+        elif spec.rs1_file is None:
+            rs1_slot = 0
+        elif spec.rs1_file == "v" or spec.rs1_file in ("x", "f"):
+            rs1_slot = rs1
+        else:  # pragma: no cover - table guards this
+            rs1_slot = 0
+        if spec.funct3 == 3:  # OPIVI: immediate in the rs1 slot
+            rs1_slot = imm & 0x1F
+        rs2_slot = rs2 if spec.rs2_file is not None else 0
+        return ((spec.funct7 or 0) << 26 | vm << 25 | rs2_slot << 20
+                | rs1_slot << 15 | f3 << 12 | rd << 7 | op)
+    if fmt in ("VL", "VLS"):
+        mop = 0 if fmt == "VL" else 2
+        vm = inst.aux & 1
+        stride = rs2 if fmt == "VLS" else 0   # unit-stride: lumop = 0
+        return (mop << 26 | vm << 25 | stride << 20 | rs1 << 15 | f3 << 12
+                | rd << 7 | op)
+    if fmt in ("VS", "VSS"):
+        mop = 0 if fmt == "VS" else 2
+        vm = inst.aux & 1
+        stride = rs2 if fmt == "VSS" else 0
+        return (mop << 26 | vm << 25 | stride << 20 | rs1 << 15 | f3 << 12
+                | rs3 << 7 | op)
+    if fmt == "XTIDX":
+        return (((spec.funct7 or 0) | (inst.aux & 3)) << 25 | rs2 << 20
+                | rs1 << 15 | f3 << 12 | rd << 7 | op)
+    if fmt == "XTIDXS":
+        return (((spec.funct7 or 0) | (inst.aux & 3)) << 25 | rs2 << 20
+                | rs1 << 15 | f3 << 12 | rs3 << 7 | op)
+    if fmt == "XTBF":
+        msb, lsb = _field(imm, 6, 6), _field(imm, 0, 6)
+        return (msb << 26 | lsb << 20 | rs1 << 15 | f3 << 12 | rd << 7 | op)
+    if fmt == "XTR1":
+        return ((spec.funct7 or 0) << 25 | rs1 << 15 | f3 << 12 | rd << 7 | op)
+    if fmt == "XTSH":
+        if not 0 <= imm < 64:
+            raise EncodingError(f"{spec.mnemonic}: shamt {imm} out of range")
+        return 0x11 << 26 | imm << 20 | rs1 << 15 | f3 << 12 | rd << 7 | op
+    if fmt == "XTMAC":
+        return ((spec.funct7 or 0) << 25 | rs2 << 20 | rs1 << 15 | f3 << 12
+                | rd << 7 | op)
+    if fmt == "XTCMO":
+        rs1_slot = rs1 if spec.rs1_file is not None else 0
+        return ((spec.funct7 or 0) << 25 | rs1_slot << 15 | f3 << 12 | op)
+    raise EncodingError(f"unknown format {fmt} for {spec.mnemonic}")
+
+
+# --------------------------------------------------------------------------
+# Decode tables built from SPECS
+# --------------------------------------------------------------------------
+
+_BY_OPCODE: dict[int, list[InstrSpec]] = {}
+for _s in SPECS.values():
+    _BY_OPCODE.setdefault(_s.opcode, []).append(_s)
+
+
+def _index(fmt_set: tuple[str, ...], key_fn) -> dict:
+    table: dict = {}
+    for s in SPECS.values():
+        if s.fmt in fmt_set:
+            key = key_fn(s)
+            if key in table:
+                raise EncodingError(
+                    f"decode-key collision: {s.mnemonic} vs {table[key].mnemonic}")
+            table[key] = s
+    return table
+
+
+_I_TABLE = _index(("I",), lambda s: (s.opcode, s.funct3))
+_S_TABLE = _index(("S",), lambda s: (s.opcode, s.funct3))
+_B_TABLE = _index(("B",), lambda s: (s.opcode, s.funct3))
+_R_TABLE = _index(("R",), lambda s: (s.opcode, s.funct3, s.funct7))
+_SH64_TABLE = _index(("SHIFT64",), lambda s: (s.opcode, s.funct3, s.funct7))
+_SH32_TABLE = _index(("SHIFT32",), lambda s: (s.opcode, s.funct3, s.funct7))
+_CSR_TABLE = _index(("CSR", "CSRI"), lambda s: s.funct3)
+_SYS_TABLE = _index(("SYS",), lambda s: s.funct7)
+_AMO_TABLE = _index(("AMO",), lambda s: (s.funct3, s.funct7))
+_FR_TABLE = _index(("FR",), lambda s: s.funct7)
+_FR1_TABLE = _index(("FR1",), lambda s: (s.funct7, s.funct3 or 0))
+_FR3_TABLE = _index(("FR3",), lambda s: (s.funct7, s.funct3))
+_FCVT_TABLE = _index(("FCVT",), lambda s: (s.funct7, s.funct3))
+_R4_TABLE = _index(("R4",), lambda s: (s.opcode, s.funct7))
+_OPV_TABLE = _index(("OPV",), lambda s: (s.funct3, s.funct7))
+_VL_TABLE = _index(("VL", "VLS"), lambda s: (s.fmt, s.funct3))
+_VS_TABLE = _index(("VS", "VSS"), lambda s: (s.fmt, s.funct3))
+_XTIDX_TABLE = _index(("XTIDX", "XTIDXS"), lambda s: (s.funct3, s.funct7))
+_XT2_TABLE = _index(("XTBF", "XTR1", "XTSH", "XTMAC", "XTCMO"),
+                    lambda s: (s.funct3, s.funct7))
+_FENCE_TABLE = _index(("FENCE",), lambda s: s.funct3)
+
+
+def _mk(spec: InstrSpec, raw: int, **kw) -> Instruction:
+    inst = Instruction(spec=spec, raw=raw, size=4, **kw)
+    compute_operands(inst)
+    return inst
+
+
+def decode_word(word: int) -> Instruction:
+    """Decode a 32-bit instruction word."""
+    word &= MASK32
+    op = word & 0x7F
+    rd = _field(word, 7, 5)
+    f3 = _field(word, 12, 3)
+    rs1 = _field(word, 15, 5)
+    rs2 = _field(word, 20, 5)
+    f7 = _field(word, 25, 7)
+
+    if op in (0x37, 0x17):  # lui / auipc
+        spec = SPECS["lui" if op == 0x37 else "auipc"]
+        return _mk(spec, word, rd=rd, imm=_sign_extend(word & 0xFFFFF000, 32))
+    if op == 0x6F:  # jal
+        imm = (_field(word, 31, 1) << 20 | _field(word, 12, 8) << 12
+               | _field(word, 20, 1) << 11 | _field(word, 21, 10) << 1)
+        return _mk(SPECS["jal"], word, rd=rd, imm=_sign_extend(imm, 21))
+    if op == 0x67:
+        return _mk(SPECS["jalr"], word, rd=rd, rs1=rs1,
+                   imm=_sign_extend(word >> 20, 12))
+    if op == 0x63:
+        spec = _B_TABLE.get((op, f3))
+        if spec is None:
+            raise EncodingError(f"bad branch funct3 {f3}")
+        imm = (_field(word, 31, 1) << 12 | _field(word, 7, 1) << 11
+               | _field(word, 25, 6) << 5 | _field(word, 8, 4) << 1)
+        return _mk(spec, word, rs1=rs1, rs2=rs2, imm=_sign_extend(imm, 13))
+    if op == 0x03 or (op == 0x07 and f3 in (2, 3)):
+        spec = _I_TABLE.get((op, f3))
+        if spec is None:
+            raise EncodingError(f"bad load opcode {op:#x} funct3 {f3}")
+        return _mk(spec, word, rd=rd, rs1=rs1,
+                   imm=_sign_extend(word >> 20, 12))
+    if op == 0x07:  # vector loads
+        fmt = "VL" if _field(word, 26, 2) == 0 else "VLS"
+        spec = _VL_TABLE.get((fmt, f3))
+        if spec is None:
+            raise EncodingError(f"bad vector load funct3 {f3}")
+        return _mk(spec, word, rd=rd, rs1=rs1, rs2=rs2,
+                   aux=_field(word, 25, 1))
+    if op == 0x23 or (op == 0x27 and f3 in (2, 3)):
+        spec = _S_TABLE.get((op, f3))
+        if spec is None:
+            raise EncodingError(f"bad store opcode {op:#x} funct3 {f3}")
+        imm = _field(word, 25, 7) << 5 | _field(word, 7, 5)
+        return _mk(spec, word, rs1=rs1, rs2=rs2, imm=_sign_extend(imm, 12))
+    if op == 0x27:  # vector stores
+        fmt = "VS" if _field(word, 26, 2) == 0 else "VSS"
+        spec = _VS_TABLE.get((fmt, f3))
+        if spec is None:
+            raise EncodingError(f"bad vector store funct3 {f3}")
+        return _mk(spec, word, rs1=rs1, rs2=rs2, rs3=rd,
+                   aux=_field(word, 25, 1))
+    if op in (0x13, 0x1B):
+        if f3 in (1, 5):  # shifts
+            if op == 0x13:
+                spec = _SH64_TABLE.get((op, f3, _field(word, 26, 6)))
+                shamt = _field(word, 20, 6)
+            else:
+                spec = _SH32_TABLE.get((op, f3, f7))
+                shamt = _field(word, 20, 5)
+            if spec is None:
+                raise EncodingError(f"bad shift encoding {word:#010x}")
+            return _mk(spec, word, rd=rd, rs1=rs1, imm=shamt)
+        spec = _I_TABLE.get((op, f3))
+        if spec is None:
+            raise EncodingError(f"bad op-imm funct3 {f3}")
+        return _mk(spec, word, rd=rd, rs1=rs1,
+                   imm=_sign_extend(word >> 20, 12))
+    if op in (0x33, 0x3B):
+        spec = _R_TABLE.get((op, f3, f7))
+        if spec is None:
+            raise EncodingError(f"bad R-type {word:#010x}")
+        return _mk(spec, word, rd=rd, rs1=rs1, rs2=rs2)
+    if op == 0x0F:
+        spec = _FENCE_TABLE.get(f3)
+        if spec is None:
+            raise EncodingError(f"bad fence funct3 {f3}")
+        return _mk(spec, word)
+    if op == 0x73:
+        if f3 == 0:
+            if f7 == 0x09:
+                return _mk(SPECS["sfence.vma"], word, rs1=rs1, rs2=rs2)
+            spec = _SYS_TABLE.get(word >> 20)
+            if spec is None:
+                raise EncodingError(f"bad system instruction {word:#010x}")
+            return _mk(spec, word)
+        spec = _CSR_TABLE.get(f3)
+        if spec is None:
+            raise EncodingError(f"bad csr funct3 {f3}")
+        if spec.fmt == "CSRI":
+            return _mk(spec, word, rd=rd, imm=word >> 20, aux=rs1)
+        return _mk(spec, word, rd=rd, rs1=rs1, imm=word >> 20)
+    if op == 0x2F:
+        spec = _AMO_TABLE.get((f3, _field(word, 27, 5)))
+        if spec is None:
+            raise EncodingError(f"bad AMO {word:#010x}")
+        return _mk(spec, word, rd=rd, rs1=rs1, rs2=rs2,
+                   aux=_field(word, 25, 2))
+    if op == 0x53:
+        if f7 in _FR_TABLE:
+            return _mk(_FR_TABLE[f7], word, rd=rd, rs1=rs1, rs2=rs2)
+        if (f7, rs2) in _FCVT_TABLE:
+            return _mk(_FCVT_TABLE[(f7, rs2)], word, rd=rd, rs1=rs1)
+        if (f7, f3) in _FR3_TABLE:
+            return _mk(_FR3_TABLE[(f7, f3)], word, rd=rd, rs1=rs1, rs2=rs2)
+        if (f7, f3) in _FR1_TABLE:
+            return _mk(_FR1_TABLE[(f7, f3)], word, rd=rd, rs1=rs1)
+        raise EncodingError(f"bad FP instruction {word:#010x}")
+    if op in (0x43, 0x47, 0x4B, 0x4F):
+        spec = _R4_TABLE.get((op, _field(word, 25, 2)))
+        if spec is None:
+            raise EncodingError(f"bad R4 instruction {word:#010x}")
+        return _mk(spec, word, rd=rd, rs1=rs1, rs2=rs2,
+                   rs3=_field(word, 27, 5))
+    if op == 0x57:
+        if f3 == 7:
+            if _field(word, 31, 1):
+                return _mk(SPECS["vsetvl"], word, rd=rd, rs1=rs1, rs2=rs2)
+            return _mk(SPECS["vsetvli"], word, rd=rd, rs1=rs1,
+                       imm=_field(word, 20, 11))
+        funct6 = _field(word, 26, 6)
+        spec = _OPV_TABLE.get((f3, funct6))
+        if spec is None:
+            raise EncodingError(f"bad OP-V instruction {word:#010x}")
+        vm = _field(word, 25, 1)
+        kw: dict = {"rd": rd, "rs2": rs2, "aux": vm}
+        if spec.funct3 == 3 or (spec.rs1_file is None
+                                and spec.mnemonic.startswith("vmv.v")):
+            kw["imm"] = _sign_extend(rs1, 5)
+        elif spec.rs1_file is not None:
+            kw["rs1"] = rs1
+        return _mk(spec, word, **kw)
+    if op == 0x0B:
+        spec = _XTIDX_TABLE.get((f3, f7 & ~3))
+        if spec is None:
+            raise EncodingError(f"bad XT custom-0 instruction {word:#010x}")
+        if spec.fmt == "XTIDXS":
+            return _mk(spec, word, rs1=rs1, rs2=rs2, rs3=rd, aux=f7 & 3)
+        return _mk(spec, word, rd=rd, rs1=rs1, rs2=rs2, aux=f7 & 3)
+    if op == 0x2B:
+        if f3 in (0, 1):  # ext/extu
+            spec = _XT2_TABLE.get((f3, None))
+            return _mk(spec, word, rd=rd, rs1=rs1,
+                       imm=_field(word, 26, 6) << 6 | _field(word, 20, 6))
+        if f3 == 2:
+            spec = _XT2_TABLE.get((f3, f7))
+            if spec is None:
+                raise EncodingError(f"bad XT bitop {word:#010x}")
+            return _mk(spec, word, rd=rd, rs1=rs1)
+        if f3 in (3, 4):  # srri / srriw
+            spec = _XT2_TABLE.get((f3, None))
+            return _mk(spec, word, rd=rd, rs1=rs1, imm=_field(word, 20, 6))
+        if f3 == 5:  # MAC family
+            spec = _XT2_TABLE.get((f3, f7))
+            if spec is None:
+                raise EncodingError(f"bad XT MAC {word:#010x}")
+            return _mk(spec, word, rd=rd, rs1=rs1, rs2=rs2)
+        if f3 == 6:  # cache/TLB maintenance
+            spec = _XT2_TABLE.get((f3, f7))
+            if spec is None:
+                raise EncodingError(f"bad XT cache op {word:#010x}")
+            if spec.rs1_file is not None:
+                return _mk(spec, word, rs1=rs1)
+            return _mk(spec, word)
+        raise EncodingError(f"bad XT custom-1 instruction {word:#010x}")
+    raise EncodingError(f"unknown opcode {op:#04x} in word {word:#010x}")

@@ -1,0 +1,581 @@
+"""Instruction specifications for the XT-910 ISA model.
+
+The table below covers:
+
+* RV64I base integer ISA (the G in RV64GCV, minus CSR plumbing handled
+  by :mod:`repro.isa.csr`),
+* the M (multiply/divide) and A (atomics) standard extensions,
+* a working subset of F/D (single/double float) sufficient for the
+  paper's workloads,
+* an RVV-0.7.1-flavoured vector extension (section VII of the paper),
+* the XT-910 non-standard extensions (section VIII): indexed loads and
+  stores, address-generation zero extension, bit manipulation, and
+  multiply-accumulate.
+
+Each mnemonic maps to an :class:`InstrSpec` that records its binary
+format, opcode fields, and timing class.  Decoded instructions are
+:class:`Instruction` instances carrying resolved operand indices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .registers import Reg
+
+
+class InstrClass(enum.Enum):
+    """Timing class: selects the execution pipe and latency in the core."""
+
+    ALU = "alu"            # single-cycle integer ALU
+    MUL = "mul"            # integer multiply (shares pipe with ALUs)
+    DIV = "div"            # integer divide (shares pipe with multi-cycle ALU)
+    BRANCH = "branch"      # conditional branch (BJU)
+    JUMP = "jump"          # jal/jalr (BJU)
+    LOAD = "load"          # LSU load pipe
+    STORE = "store"        # LSU store pipe (split into st.addr / st.data uops)
+    AMO = "amo"            # atomic memory op (LSU, serialized)
+    FP = "fp"              # FP add/sub/convert/compare/move
+    FMUL = "fmul"          # FP multiply / fused multiply-add
+    FDIV = "fdiv"          # FP divide / sqrt
+    CSR = "csr"            # CSR access (serializing)
+    SYSTEM = "system"      # ecall/ebreak/fence/sfence
+    VSET = "vset"          # vsetvl/vsetvli configuration
+    VALU = "valu"          # vector integer ALU
+    VMUL = "vmul"          # vector multiply / MAC
+    VDIV = "vdiv"          # vector divide
+    VFP = "vfp"            # vector FP add-class
+    VFMUL = "vfmul"        # vector FP multiply / FMA
+    VFDIV = "vfdiv"        # vector FP divide / sqrt
+    VLOAD = "vload"        # vector load
+    VSTORE = "vstore"      # vector store
+    VREDUCE = "vreduce"    # vector reduction
+    VPERM = "vperm"        # cross-slice permutation (slide, gather, ...)
+
+
+#: Classes executed by the LSU load pipe.
+LOAD_CLASSES = frozenset({InstrClass.LOAD, InstrClass.VLOAD, InstrClass.AMO})
+#: Classes executed by the LSU store pipe.
+STORE_CLASSES = frozenset({InstrClass.STORE, InstrClass.VSTORE})
+#: Control-flow classes.
+CONTROL_CLASSES = frozenset({InstrClass.BRANCH, InstrClass.JUMP})
+#: Vector classes (dispatched to the vector slices).
+VECTOR_CLASSES = frozenset(
+    {
+        InstrClass.VALU,
+        InstrClass.VMUL,
+        InstrClass.VDIV,
+        InstrClass.VFP,
+        InstrClass.VFMUL,
+        InstrClass.VFDIV,
+        InstrClass.VREDUCE,
+        InstrClass.VPERM,
+        InstrClass.VSET,
+    }
+)
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one mnemonic.
+
+    ``fmt`` selects the binary layout understood by
+    :mod:`repro.isa.encoding`; the ``*_file`` fields say which register
+    file (``'x'``, ``'f'``, ``'v'`` or ``None``) each operand slot uses,
+    which drives both operand parsing in the assembler and dependence
+    tracking in the timing model.
+    """
+
+    mnemonic: str
+    fmt: str
+    iclass: InstrClass
+    opcode: int
+    funct3: int | None = None
+    funct7: int | None = None
+    rd_file: str | None = "x"
+    rs1_file: str | None = "x"
+    rs2_file: str | None = None
+    rs3_file: str | None = None
+    mem_bytes: int = 0        # access width for loads/stores
+    mem_unsigned: bool = False
+
+
+@dataclass(slots=True)
+class Instruction:
+    """A decoded instruction instance."""
+
+    spec: InstrSpec
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    rs3: int = 0
+    imm: int = 0
+    aux: int = 0          # XT shift amount, vector vm bit, AMO aq/rl, ...
+    size: int = 4         # 4 or 2 (compressed)
+    raw: int = 0
+    srcs: tuple[Reg, ...] = field(default=())
+    dests: tuple[Reg, ...] = field(default=())
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def iclass(self) -> InstrClass:
+        return self.spec.iclass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Instruction({self.spec.mnemonic} rd={self.rd} rs1={self.rs1} "
+            f"rs2={self.rs2} imm={self.imm})"
+        )
+
+
+def compute_operands(inst: Instruction) -> None:
+    """Fill ``inst.srcs``/``inst.dests`` from the spec's register files.
+
+    x0 never appears as a tracked operand: it is hardwired zero, reads
+    are free and writes are discarded, so the renamer must not create a
+    dependence through it.
+    """
+    spec = inst.spec
+    srcs: list[Reg] = []
+    dests: list[Reg] = []
+    if spec.rs1_file and not (spec.rs1_file == "x" and inst.rs1 == 0):
+        srcs.append(Reg(spec.rs1_file, inst.rs1))
+    if spec.rs2_file and not (spec.rs2_file == "x" and inst.rs2 == 0):
+        srcs.append(Reg(spec.rs2_file, inst.rs2))
+    if spec.rs3_file and not (spec.rs3_file == "x" and inst.rs3 == 0):
+        srcs.append(Reg(spec.rs3_file, inst.rs3))
+    if spec.rd_file and not (spec.rd_file == "x" and inst.rd == 0):
+        dests.append(Reg(spec.rd_file, inst.rd))
+    # Vector ops under mask implicitly read v0; widening MACs read vd.
+    if spec.fmt in ("OPV", "VL", "VS", "VLS", "VSS") and inst.aux == 0:
+        srcs.append(Reg("v", 0))
+    if spec.mnemonic in _VD_IS_SOURCE:
+        srcs.append(Reg("v", inst.rd))
+    if spec.mnemonic in _XT_RD_IS_SOURCE and inst.rd != 0:
+        srcs.append(Reg("x", inst.rd))
+    inst.srcs = tuple(srcs)
+    inst.dests = tuple(dests)
+
+
+#: Vector mnemonics whose destination is also a source (accumulators).
+_VD_IS_SOURCE = frozenset(
+    {"vmacc.vv", "vmacc.vx", "vnmsac.vv", "vnmsac.vx",
+     "vmadd.vv", "vmadd.vx", "vwmacc.vv", "vwmacc.vx",
+     "vfmacc.vv", "vfmacc.vf", "vfnmacc.vv", "vfnmacc.vf",
+     "vfmadd.vv", "vfmadd.vf", "vwmaccu.vv", "vwmaccu.vx"}
+)
+
+#: XT MAC mnemonics whose rd is an accumulator (read-modify-write).
+_XT_RD_IS_SOURCE = frozenset(
+    {"mula", "muls", "mulaw", "mulsw", "mulah", "mulsh"}
+)
+
+
+SPECS: dict[str, InstrSpec] = {}
+
+
+def _spec(mnemonic: str, **kwargs) -> InstrSpec:
+    spec = InstrSpec(mnemonic=mnemonic, **kwargs)
+    if mnemonic in SPECS:
+        raise ValueError(f"duplicate spec {mnemonic}")
+    SPECS[mnemonic] = spec
+    return spec
+
+
+# --------------------------------------------------------------------------
+# RV64I base
+# --------------------------------------------------------------------------
+
+_spec("lui", fmt="U", iclass=InstrClass.ALU, opcode=0x37, rs1_file=None)
+_spec("auipc", fmt="U", iclass=InstrClass.ALU, opcode=0x17, rs1_file=None)
+_spec("jal", fmt="J", iclass=InstrClass.JUMP, opcode=0x6F, rs1_file=None)
+_spec("jalr", fmt="I", iclass=InstrClass.JUMP, opcode=0x67, funct3=0)
+
+for _i, _br in enumerate(["beq", "bne", None, None, "blt", "bge", "bltu", "bgeu"]):
+    if _br:
+        _spec(_br, fmt="B", iclass=InstrClass.BRANCH, opcode=0x63, funct3=_i,
+              rd_file=None, rs2_file="x")
+
+for _f3, (_ld, _nbytes, _uns) in {
+    0: ("lb", 1, False), 1: ("lh", 2, False), 2: ("lw", 4, False),
+    3: ("ld", 8, False), 4: ("lbu", 1, True), 5: ("lhu", 2, True),
+    6: ("lwu", 4, True),
+}.items():
+    _spec(_ld, fmt="I", iclass=InstrClass.LOAD, opcode=0x03, funct3=_f3,
+          mem_bytes=_nbytes, mem_unsigned=_uns)
+
+for _f3, (_st, _nbytes) in {0: ("sb", 1), 1: ("sh", 2), 2: ("sw", 4), 3: ("sd", 8)}.items():
+    _spec(_st, fmt="S", iclass=InstrClass.STORE, opcode=0x23, funct3=_f3,
+          rd_file=None, rs2_file="x", mem_bytes=_nbytes)
+
+for _f3, _op in {0: "addi", 2: "slti", 3: "sltiu", 4: "xori", 6: "ori", 7: "andi"}.items():
+    _spec(_op, fmt="I", iclass=InstrClass.ALU, opcode=0x13, funct3=_f3)
+
+_spec("slli", fmt="SHIFT64", iclass=InstrClass.ALU, opcode=0x13, funct3=1, funct7=0x00)
+_spec("srli", fmt="SHIFT64", iclass=InstrClass.ALU, opcode=0x13, funct3=5, funct7=0x00)
+_spec("srai", fmt="SHIFT64", iclass=InstrClass.ALU, opcode=0x13, funct3=5, funct7=0x10)
+
+for _f3, _f7, _op in [
+    (0, 0x00, "add"), (0, 0x20, "sub"), (1, 0x00, "sll"), (2, 0x00, "slt"),
+    (3, 0x00, "sltu"), (4, 0x00, "xor"), (5, 0x00, "srl"), (5, 0x20, "sra"),
+    (6, 0x00, "or"), (7, 0x00, "and"),
+]:
+    _spec(_op, fmt="R", iclass=InstrClass.ALU, opcode=0x33, funct3=_f3,
+          funct7=_f7, rs2_file="x")
+
+_spec("addiw", fmt="I", iclass=InstrClass.ALU, opcode=0x1B, funct3=0)
+_spec("slliw", fmt="SHIFT32", iclass=InstrClass.ALU, opcode=0x1B, funct3=1, funct7=0x00)
+_spec("srliw", fmt="SHIFT32", iclass=InstrClass.ALU, opcode=0x1B, funct3=5, funct7=0x00)
+_spec("sraiw", fmt="SHIFT32", iclass=InstrClass.ALU, opcode=0x1B, funct3=5, funct7=0x20)
+
+for _f3, _f7, _op in [
+    (0, 0x00, "addw"), (0, 0x20, "subw"), (1, 0x00, "sllw"),
+    (5, 0x00, "srlw"), (5, 0x20, "sraw"),
+]:
+    _spec(_op, fmt="R", iclass=InstrClass.ALU, opcode=0x3B, funct3=_f3,
+          funct7=_f7, rs2_file="x")
+
+_spec("fence", fmt="FENCE", iclass=InstrClass.SYSTEM, opcode=0x0F, funct3=0,
+      rd_file=None, rs1_file=None)
+_spec("fence.i", fmt="FENCE", iclass=InstrClass.SYSTEM, opcode=0x0F, funct3=1,
+      rd_file=None, rs1_file=None)
+_spec("ecall", fmt="SYS", iclass=InstrClass.SYSTEM, opcode=0x73, funct3=0,
+      funct7=0x00, rd_file=None, rs1_file=None)
+_spec("ebreak", fmt="SYS", iclass=InstrClass.SYSTEM, opcode=0x73, funct3=0,
+      funct7=0x01, rd_file=None, rs1_file=None)
+_spec("mret", fmt="SYS", iclass=InstrClass.SYSTEM, opcode=0x73, funct3=0,
+      funct7=0x302, rd_file=None, rs1_file=None)
+_spec("sret", fmt="SYS", iclass=InstrClass.SYSTEM, opcode=0x73, funct3=0,
+      funct7=0x102, rd_file=None, rs1_file=None)
+_spec("wfi", fmt="SYS", iclass=InstrClass.SYSTEM, opcode=0x73, funct3=0,
+      funct7=0x105, rd_file=None, rs1_file=None)
+_spec("sfence.vma", fmt="R", iclass=InstrClass.SYSTEM, opcode=0x73, funct3=0,
+      funct7=0x09, rd_file=None, rs2_file="x")
+
+for _f3, _op in {1: "csrrw", 2: "csrrs", 3: "csrrc"}.items():
+    _spec(_op, fmt="CSR", iclass=InstrClass.CSR, opcode=0x73, funct3=_f3)
+for _f3, _op in {5: "csrrwi", 6: "csrrsi", 7: "csrrci"}.items():
+    _spec(_op, fmt="CSRI", iclass=InstrClass.CSR, opcode=0x73, funct3=_f3,
+          rs1_file=None)
+
+# --------------------------------------------------------------------------
+# RV64M multiply / divide
+# --------------------------------------------------------------------------
+
+for _f3, _op, _cls in [
+    (0, "mul", InstrClass.MUL), (1, "mulh", InstrClass.MUL),
+    (2, "mulhsu", InstrClass.MUL), (3, "mulhu", InstrClass.MUL),
+    (4, "div", InstrClass.DIV), (5, "divu", InstrClass.DIV),
+    (6, "rem", InstrClass.DIV), (7, "remu", InstrClass.DIV),
+]:
+    _spec(_op, fmt="R", iclass=_cls, opcode=0x33, funct3=_f3, funct7=0x01,
+          rs2_file="x")
+
+for _f3, _op, _cls in [
+    (0, "mulw", InstrClass.MUL), (4, "divw", InstrClass.DIV),
+    (5, "divuw", InstrClass.DIV), (6, "remw", InstrClass.DIV),
+    (7, "remuw", InstrClass.DIV),
+]:
+    _spec(_op, fmt="R", iclass=_cls, opcode=0x3B, funct3=_f3, funct7=0x01,
+          rs2_file="x")
+
+# --------------------------------------------------------------------------
+# RV64A atomics (exclusive access, used by the SMP workloads)
+# --------------------------------------------------------------------------
+
+for _f3, _suffix, _nbytes in [(2, "w", 4), (3, "d", 8)]:
+    for _f5, _op in [
+        (0x02, "lr"), (0x03, "sc"), (0x01, "amoswap"), (0x00, "amoadd"),
+        (0x04, "amoxor"), (0x0C, "amoand"), (0x08, "amoor"),
+        (0x10, "amomin"), (0x14, "amomax"), (0x18, "amominu"), (0x1C, "amomaxu"),
+    ]:
+        _spec(f"{_op}.{_suffix}", fmt="AMO", iclass=InstrClass.AMO,
+              opcode=0x2F, funct3=_f3, funct7=_f5,
+              rs2_file=None if _op == "lr" else "x", mem_bytes=_nbytes)
+
+# --------------------------------------------------------------------------
+# RV64F / RV64D subset
+# --------------------------------------------------------------------------
+
+_spec("flw", fmt="I", iclass=InstrClass.LOAD, opcode=0x07, funct3=2,
+      rd_file="f", mem_bytes=4)
+_spec("fld", fmt="I", iclass=InstrClass.LOAD, opcode=0x07, funct3=3,
+      rd_file="f", mem_bytes=8)
+_spec("fsw", fmt="S", iclass=InstrClass.STORE, opcode=0x27, funct3=2,
+      rd_file=None, rs2_file="f", mem_bytes=4)
+_spec("fsd", fmt="S", iclass=InstrClass.STORE, opcode=0x27, funct3=3,
+      rd_file=None, rs2_file="f", mem_bytes=8)
+
+for _fmtbits, _sfx in [(0, "s"), (1, "d")]:
+    _spec(f"fadd.{_sfx}", fmt="FR", iclass=InstrClass.FP, opcode=0x53,
+          funct7=0x00 | _fmtbits, rd_file="f", rs1_file="f", rs2_file="f")
+    _spec(f"fsub.{_sfx}", fmt="FR", iclass=InstrClass.FP, opcode=0x53,
+          funct7=0x04 | _fmtbits, rd_file="f", rs1_file="f", rs2_file="f")
+    _spec(f"fmul.{_sfx}", fmt="FR", iclass=InstrClass.FMUL, opcode=0x53,
+          funct7=0x08 | _fmtbits, rd_file="f", rs1_file="f", rs2_file="f")
+    _spec(f"fdiv.{_sfx}", fmt="FR", iclass=InstrClass.FDIV, opcode=0x53,
+          funct7=0x0C | _fmtbits, rd_file="f", rs1_file="f", rs2_file="f")
+    _spec(f"fsqrt.{_sfx}", fmt="FR1", iclass=InstrClass.FDIV, opcode=0x53,
+          funct7=0x2C | _fmtbits, rd_file="f", rs1_file="f")
+    for _f3, _op in [(0, "fsgnj"), (1, "fsgnjn"), (2, "fsgnjx")]:
+        _spec(f"{_op}.{_sfx}", fmt="FR3", iclass=InstrClass.FP, opcode=0x53,
+              funct3=_f3, funct7=0x10 | _fmtbits, rd_file="f", rs1_file="f",
+              rs2_file="f")
+    for _f3, _op in [(0, "fmin"), (1, "fmax")]:
+        _spec(f"{_op}.{_sfx}", fmt="FR3", iclass=InstrClass.FP, opcode=0x53,
+              funct3=_f3, funct7=0x14 | _fmtbits, rd_file="f", rs1_file="f",
+              rs2_file="f")
+    for _f3, _op in [(2, "feq"), (1, "flt"), (0, "fle")]:
+        _spec(f"{_op}.{_sfx}", fmt="FR3", iclass=InstrClass.FP, opcode=0x53,
+              funct3=_f3, funct7=0x50 | _fmtbits, rd_file="x", rs1_file="f",
+              rs2_file="f")
+    _spec(f"fclass.{_sfx}", fmt="FR1", iclass=InstrClass.FP, opcode=0x53,
+          funct3=1, funct7=0x70 | _fmtbits, rd_file="x", rs1_file="f")
+    # int <-> float conversions; rs2 field encodes the integer width.
+    for _rs2, _int in [(0, "w"), (1, "wu"), (2, "l"), (3, "lu")]:
+        _spec(f"fcvt.{_int}.{_sfx}", fmt="FCVT", iclass=InstrClass.FP,
+              opcode=0x53, funct7=0x60 | _fmtbits, rd_file="x", rs1_file="f",
+              funct3=_rs2)
+        _spec(f"fcvt.{_sfx}.{_int}", fmt="FCVT", iclass=InstrClass.FP,
+              opcode=0x53, funct7=0x68 | _fmtbits, rd_file="f", rs1_file="x",
+              funct3=_rs2)
+    for _r4op, _f2base in [("fmadd", 0x43), ("fmsub", 0x47),
+                           ("fnmsub", 0x4B), ("fnmadd", 0x4F)]:
+        _spec(f"{_r4op}.{_sfx}", fmt="R4", iclass=InstrClass.FMUL,
+              opcode=_f2base, funct7=_fmtbits, rd_file="f", rs1_file="f",
+              rs2_file="f", rs3_file="f")
+
+_spec("fcvt.s.d", fmt="FCVT", iclass=InstrClass.FP, opcode=0x53, funct7=0x20,
+      funct3=1, rd_file="f", rs1_file="f")
+_spec("fcvt.d.s", fmt="FCVT", iclass=InstrClass.FP, opcode=0x53, funct7=0x21,
+      funct3=0, rd_file="f", rs1_file="f")
+_spec("fmv.x.w", fmt="FR1", iclass=InstrClass.FP, opcode=0x53, funct3=0,
+      funct7=0x70, rd_file="x", rs1_file="f")
+_spec("fmv.w.x", fmt="FR1", iclass=InstrClass.FP, opcode=0x53, funct3=0,
+      funct7=0x78, rd_file="f", rs1_file="x")
+_spec("fmv.x.d", fmt="FR1", iclass=InstrClass.FP, opcode=0x53, funct3=0,
+      funct7=0x71, rd_file="x", rs1_file="f")
+_spec("fmv.d.x", fmt="FR1", iclass=InstrClass.FP, opcode=0x53, funct3=0,
+      funct7=0x79, rd_file="f", rs1_file="x")
+
+# --------------------------------------------------------------------------
+# Vector extension (RVV 0.7.1 flavour; section VII)
+# --------------------------------------------------------------------------
+# Encodings follow the 0.7.1 draft layout: OP-V major opcode 0x57 with
+# funct3 selecting the operand style and funct6 the operation; unit-stride
+# and strided loads/stores live under the FP load/store opcodes with the
+# vector width encodings.
+
+_spec("vsetvli", fmt="VSETVLI", iclass=InstrClass.VSET, opcode=0x57, funct3=7)
+_spec("vsetvl", fmt="VSETVL", iclass=InstrClass.VSET, opcode=0x57, funct3=7,
+      funct7=0x40, rs2_file="x")
+
+_OPIVV, _OPFVV, _OPMVV, _OPIVI, _OPIVX, _OPFVF, _OPMVX = range(7)
+
+
+def _vspec(mnemonic: str, funct6: int, style: int, iclass: InstrClass,
+           rd_file: str = "v") -> None:
+    """Register one OP-V instruction.
+
+    ``style`` picks the funct3 slot (vv / vx / vi / vf) which in turn
+    dictates whether rs1 is a vector, scalar, or immediate operand.
+    """
+    rs1_file = {"vv": "v", "vx": "x", "vi": None, "vf": "f"}[
+        {_OPIVV: "vv", _OPFVV: "vv", _OPMVV: "vv", _OPIVI: "vi",
+         _OPIVX: "vx", _OPFVF: "vf", _OPMVX: "vx"}[style]]
+    _spec(mnemonic, fmt="OPV", iclass=iclass, opcode=0x57, funct3=style,
+          funct7=funct6, rd_file=rd_file, rs1_file=rs1_file, rs2_file="v")
+
+
+# Integer ALU ops: .vv / .vx / (.vi for a subset)
+for _funct6, _name in [
+    (0x00, "vadd"), (0x02, "vsub"), (0x03, "vrsub"), (0x09, "vand"),
+    (0x0A, "vor"), (0x0B, "vxor"), (0x25, "vsll"), (0x28, "vsrl"),
+    (0x29, "vsra"), (0x04, "vminu"), (0x05, "vmin"), (0x06, "vmaxu"),
+    (0x07, "vmax"),
+]:
+    _vspec(f"{_name}.vv", _funct6, _OPIVV, InstrClass.VALU)
+    _vspec(f"{_name}.vx", _funct6, _OPIVX, InstrClass.VALU)
+    if _name not in ("vminu", "vmin", "vmaxu", "vmax"):
+        _vspec(f"{_name}.vi", _funct6, _OPIVI, InstrClass.VALU)
+
+# Compares produce mask registers.
+for _funct6, _name in [
+    (0x18, "vmseq"), (0x19, "vmsne"), (0x1A, "vmsltu"), (0x1B, "vmslt"),
+    (0x1C, "vmsleu"), (0x1D, "vmsle"),
+]:
+    _vspec(f"{_name}.vv", _funct6, _OPIVV, InstrClass.VALU)
+    _vspec(f"{_name}.vx", _funct6, _OPIVX, InstrClass.VALU)
+
+# Merge / move.
+_vspec("vmerge.vvm", 0x17, _OPIVV, InstrClass.VALU)
+_vspec("vmerge.vxm", 0x17, _OPIVX, InstrClass.VALU)
+_spec("vmv.v.v", fmt="OPV", iclass=InstrClass.VALU, opcode=0x57,
+      funct3=_OPIVV, funct7=0x3E, rd_file="v", rs1_file="v", rs2_file=None)
+_spec("vmv.v.x", fmt="OPV", iclass=InstrClass.VALU, opcode=0x57,
+      funct3=_OPIVX, funct7=0x3E, rd_file="v", rs1_file="x", rs2_file=None)
+_spec("vmv.v.i", fmt="OPV", iclass=InstrClass.VALU, opcode=0x57,
+      funct3=_OPIVI, funct7=0x3E, rd_file="v", rs1_file=None, rs2_file=None)
+_spec("vmv.x.s", fmt="OPV", iclass=InstrClass.VALU, opcode=0x57,
+      funct3=_OPMVV, funct7=0x32, rd_file="x", rs1_file=None, rs2_file="v")
+_spec("vmv.s.x", fmt="OPV", iclass=InstrClass.VALU, opcode=0x57,
+      funct3=_OPMVX, funct7=0x32, rd_file="v", rs1_file="x", rs2_file=None)
+
+# Integer multiply / MAC (OPM styles).
+for _funct6, _name, _cls in [
+    (0x24, "vmulhu", InstrClass.VMUL), (0x25, "vmul", InstrClass.VMUL),
+    (0x27, "vmulh", InstrClass.VMUL), (0x20, "vdivu", InstrClass.VDIV),
+    (0x21, "vdiv", InstrClass.VDIV), (0x22, "vremu", InstrClass.VDIV),
+    (0x23, "vrem", InstrClass.VDIV), (0x2D, "vmacc", InstrClass.VMUL),
+    (0x2F, "vnmsac", InstrClass.VMUL), (0x29, "vmadd", InstrClass.VMUL),
+    (0x3B, "vwmul", InstrClass.VMUL), (0x38, "vwmulu", InstrClass.VMUL),
+    (0x3D, "vwmacc", InstrClass.VMUL), (0x3C, "vwmaccu", InstrClass.VMUL),
+    (0x30, "vwaddu", InstrClass.VALU), (0x31, "vwadd", InstrClass.VALU),
+]:
+    _vspec(f"{_name}.vv", _funct6, _OPMVV, _cls)
+    _vspec(f"{_name}.vx", _funct6, _OPMVX, _cls)
+
+# Reductions.
+for _funct6, _name in [(0x00, "vredsum"), (0x07, "vredmax"), (0x05, "vredmin"),
+                       (0x06, "vredmaxu"), (0x04, "vredminu"),
+                       (0x01, "vredand"), (0x02, "vredor"), (0x03, "vredxor")]:
+    _vspec(f"{_name}.vs", _funct6, _OPMVV, InstrClass.VREDUCE)
+
+# Mask-register logical ops (mask manipulation runs on the mask unit).
+for _funct6, _name in [(0x19, "vmand"), (0x1A, "vmor"), (0x1B, "vmxor"),
+                       (0x1D, "vmnand"), (0x1E, "vmnor"), (0x1F, "vmxnor")]:
+    _spec(f"{_name}.mm", fmt="OPV", iclass=InstrClass.VALU, opcode=0x57,
+          funct3=_OPMVV, funct7=_funct6, rd_file="v", rs1_file="v",
+          rs2_file="v")
+
+# vid.v (element indices) and vcpop.m (mask population count).
+_spec("vid.v", fmt="OPV", iclass=InstrClass.VALU, opcode=0x57,
+      funct3=_OPMVV, funct7=0x14, rd_file="v", rs1_file=None, rs2_file=None)
+_spec("vcpop.m", fmt="OPV", iclass=InstrClass.VREDUCE, opcode=0x57,
+      funct3=_OPMVV, funct7=0x10, rd_file="x", rs1_file=None, rs2_file="v")
+
+# Permutations (cross-slice traffic).
+_vspec("vslideup.vx", 0x0E, _OPIVX, InstrClass.VPERM)
+_vspec("vslidedown.vx", 0x0F, _OPIVX, InstrClass.VPERM)
+_vspec("vslideup.vi", 0x0E, _OPIVI, InstrClass.VPERM)
+_vspec("vslidedown.vi", 0x0F, _OPIVI, InstrClass.VPERM)
+_vspec("vrgather.vv", 0x0C, _OPIVV, InstrClass.VPERM)
+
+# FP vector ops.
+for _funct6, _name, _cls in [
+    (0x00, "vfadd", InstrClass.VFP), (0x02, "vfsub", InstrClass.VFP),
+    (0x24, "vfmul", InstrClass.VFMUL), (0x20, "vfdiv", InstrClass.VFDIV),
+    (0x2C, "vfmacc", InstrClass.VFMUL), (0x2A, "vfmadd", InstrClass.VFMUL),
+    (0x29, "vfnmacc", InstrClass.VFMUL),
+    (0x04, "vfmin", InstrClass.VFP), (0x06, "vfmax", InstrClass.VFP),
+]:
+    _vspec(f"{_name}.vv", _funct6, _OPFVV, _cls)
+    _vspec(f"{_name}.vf", _funct6, _OPFVF, _cls)
+
+_spec("vfsqrt.v", fmt="OPV", iclass=InstrClass.VFDIV, opcode=0x57,
+      funct3=_OPFVV, funct7=0x13, rd_file="v", rs1_file=None, rs2_file="v")
+_vspec("vfredsum.vs", 0x01, _OPFVV, InstrClass.VREDUCE)
+_vspec("vfredmax.vs", 0x07, _OPFVV, InstrClass.VREDUCE)
+_vspec("vfredmin.vs", 0x05, _OPFVV, InstrClass.VREDUCE)
+
+# Vector loads/stores: unit-stride and strided, element widths 8-64.
+for _width, _f3 in [(8, 0), (16, 5), (32, 6), (64, 7)]:
+    _spec(f"vle{_width}.v", fmt="VL", iclass=InstrClass.VLOAD, opcode=0x07,
+          funct3=_f3, rd_file="v", mem_bytes=_width // 8)
+    _spec(f"vse{_width}.v", fmt="VS", iclass=InstrClass.VSTORE, opcode=0x27,
+          funct3=_f3, rd_file=None, rs3_file="v", mem_bytes=_width // 8)
+    _spec(f"vlse{_width}.v", fmt="VLS", iclass=InstrClass.VLOAD, opcode=0x07,
+          funct3=_f3, rd_file="v", rs2_file="x", mem_bytes=_width // 8)
+    _spec(f"vsse{_width}.v", fmt="VSS", iclass=InstrClass.VSTORE, opcode=0x27,
+          funct3=_f3, rd_file=None, rs2_file="x", rs3_file="v",
+          mem_bytes=_width // 8)
+
+# --------------------------------------------------------------------------
+# XT-910 non-standard extensions (section VIII)
+# --------------------------------------------------------------------------
+# Modeled on the (later-published) T-Head extension set.  Indexed loads
+# and stores use register+register addressing with a 2-bit scale:
+#   lrw rd, rs1, rs2, imm2   =>  rd = sext(mem32[rs1 + (rs2 << imm2)])
+# The *u* address variants ("address generation zero-extension") compute
+# rs1 + (zext32(rs2) << imm2), saving the shift+mask pair the base ISA
+# needs when indexing with 32-bit induction variables.
+
+_XT_OPCODE = 0x0B  # custom-0 major opcode
+
+for _f3, (_name, _nbytes, _uns) in {
+    0: ("lrb", 1, False), 1: ("lrh", 2, False), 2: ("lrw", 4, False),
+    3: ("lrd", 8, False), 4: ("lrbu", 1, True), 5: ("lrhu", 2, True),
+    6: ("lrwu", 4, True),
+}.items():
+    _spec(_name, fmt="XTIDX", iclass=InstrClass.LOAD, opcode=_XT_OPCODE,
+          funct3=_f3, funct7=0x00, rs2_file="x", mem_bytes=_nbytes,
+          mem_unsigned=_uns)
+    # Address-zero-extended variants (funct7 bit 3 set).
+    _spec(f"{_name}.u", fmt="XTIDX", iclass=InstrClass.LOAD,
+          opcode=_XT_OPCODE, funct3=_f3, funct7=0x08, rs2_file="x",
+          mem_bytes=_nbytes, mem_unsigned=_uns)
+
+for _f3, (_name, _nbytes) in {0: ("srb", 1), 1: ("srh", 2), 2: ("srw", 4),
+                              3: ("srd", 8)}.items():
+    _spec(_name, fmt="XTIDXS", iclass=InstrClass.STORE, opcode=_XT_OPCODE,
+          funct3=_f3, funct7=0x10, rd_file=None, rs2_file="x", rs3_file="x",
+          mem_bytes=_nbytes)
+    _spec(f"{_name}.u", fmt="XTIDXS", iclass=InstrClass.STORE,
+          opcode=_XT_OPCODE, funct3=_f3, funct7=0x18, rd_file=None,
+          rs2_file="x", rs3_file="x", mem_bytes=_nbytes)
+
+# addsl rd, rs1, rs2, imm2: rd = rs1 + (rs2 << imm2) — one-instruction
+# scaled index computation.
+_spec("addsl", fmt="XTIDX", iclass=InstrClass.ALU, opcode=_XT_OPCODE,
+      funct3=7, funct7=0x00, rs2_file="x")
+
+_XT2_OPCODE = 0x2B  # custom-1: bit manipulation and MAC
+
+# Bit manipulation: ext/extu (bit-field extract), ff0/ff1 (find first
+# zero/one), rev (byte reverse), srri (rotate right), tstnbz (test no
+# byte is zero — string ops).
+_spec("ext", fmt="XTBF", iclass=InstrClass.ALU, opcode=_XT2_OPCODE, funct3=0)
+_spec("extu", fmt="XTBF", iclass=InstrClass.ALU, opcode=_XT2_OPCODE, funct3=1)
+_spec("ff0", fmt="XTR1", iclass=InstrClass.ALU, opcode=_XT2_OPCODE, funct3=2,
+      funct7=0x00)
+_spec("ff1", fmt="XTR1", iclass=InstrClass.ALU, opcode=_XT2_OPCODE, funct3=2,
+      funct7=0x01)
+_spec("rev", fmt="XTR1", iclass=InstrClass.ALU, opcode=_XT2_OPCODE, funct3=2,
+      funct7=0x02)
+_spec("revw", fmt="XTR1", iclass=InstrClass.ALU, opcode=_XT2_OPCODE, funct3=2,
+      funct7=0x03)
+_spec("tstnbz", fmt="XTR1", iclass=InstrClass.ALU, opcode=_XT2_OPCODE,
+      funct3=2, funct7=0x04)
+_spec("srri", fmt="XTSH", iclass=InstrClass.ALU, opcode=_XT2_OPCODE, funct3=3)
+_spec("srriw", fmt="XTSH", iclass=InstrClass.ALU, opcode=_XT2_OPCODE, funct3=4)
+
+# Multiply-accumulate: mula rd, rs1, rs2: rd += rs1 * rs2 (rd is both a
+# source and a destination).
+for _f7, _name in [(0x00, "mula"), (0x01, "muls"),
+                   (0x02, "mulaw"), (0x03, "mulsw"),
+                   (0x04, "mulah"), (0x05, "mulsh")]:
+    _spec(_name, fmt="XTMAC", iclass=InstrClass.MUL, opcode=_XT2_OPCODE,
+          funct3=5, funct7=_f7, rs2_file="x")
+
+# Cache/TLB maintenance operations (section VIII / conclusion: "some of
+# the extensions (such as cache operations) have already drawn
+# attention and are considered into future RISC-V standard ISA
+# release").  dcache.* clean/invalidate data-cache lines, icache.*
+# invalidates instruction-cache state, tlbi.bcast broadcasts TLB
+# maintenance over the interconnect (section V.E item i).
+for _f7, _name, _has_rs1 in [(0x00, "dcache.call", False),
+                             (0x01, "dcache.iall", False),
+                             (0x02, "dcache.ciall", False),
+                             (0x04, "dcache.cva", True),
+                             (0x05, "dcache.iva", True),
+                             (0x06, "dcache.civa", True),
+                             (0x08, "icache.iall", False),
+                             (0x09, "icache.iva", True),
+                             (0x0C, "tlbi.bcast", False)]:
+    _spec(_name, fmt="XTCMO", iclass=InstrClass.SYSTEM, opcode=_XT2_OPCODE,
+          funct3=6, funct7=_f7, rd_file=None,
+          rs1_file="x" if _has_rs1 else None)

@@ -1,0 +1,106 @@
+"""Register files and ABI names for the RV64 ISA model.
+
+XT-910 implements RV64GCV: 32 integer registers (x0-x31), 32 floating
+point registers (f0-f31) and 32 vector registers (v0-v31).  The timing
+model tracks operands as ``Reg`` tuples of (register file, index) so that
+renaming and dependence tracking treat the three files uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+XLEN = 64
+NUM_GPRS = 32
+NUM_FPRS = 32
+NUM_VREGS = 32
+
+
+class Reg(NamedTuple):
+    """An architectural register operand: ('x'|'f'|'v', index)."""
+
+    file: str
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.file}{self.index}"
+
+
+def x(index: int) -> Reg:
+    """Integer register ``x<index>``."""
+    return Reg("x", index)
+
+
+def f(index: int) -> Reg:
+    """Floating point register ``f<index>``."""
+    return Reg("f", index)
+
+
+def v(index: int) -> Reg:
+    """Vector register ``v<index>``."""
+    return Reg("v", index)
+
+
+ZERO = x(0)
+
+# ABI names from the RISC-V calling convention.
+ABI_GPR_NAMES = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+ABI_FPR_NAMES = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+]
+
+_GPR_LOOKUP: dict[str, int] = {}
+for _i, _name in enumerate(ABI_GPR_NAMES):
+    _GPR_LOOKUP[_name] = _i
+    _GPR_LOOKUP[f"x{_i}"] = _i
+_GPR_LOOKUP["fp"] = 8  # alias for s0
+
+_FPR_LOOKUP: dict[str, int] = {}
+for _i, _name in enumerate(ABI_FPR_NAMES):
+    _FPR_LOOKUP[_name] = _i
+    _FPR_LOOKUP[f"f{_i}"] = _i
+
+_VREG_LOOKUP: dict[str, int] = {f"v{_i}": _i for _i in range(NUM_VREGS)}
+
+
+def parse_gpr(name: str) -> int:
+    """Parse an integer-register name ('a0', 'x10', 'fp') to its index."""
+    try:
+        return _GPR_LOOKUP[name]
+    except KeyError:
+        raise ValueError(f"unknown integer register {name!r}") from None
+
+
+def parse_fpr(name: str) -> int:
+    """Parse a floating-point register name ('fa0', 'f10') to its index."""
+    try:
+        return _FPR_LOOKUP[name]
+    except KeyError:
+        raise ValueError(f"unknown FP register {name!r}") from None
+
+
+def parse_vreg(name: str) -> int:
+    """Parse a vector register name ('v0'..'v31') to its index."""
+    try:
+        return _VREG_LOOKUP[name]
+    except KeyError:
+        raise ValueError(f"unknown vector register {name!r}") from None
+
+
+def gpr_name(index: int) -> str:
+    """ABI name for integer register index."""
+    return ABI_GPR_NAMES[index]
+
+
+def fpr_name(index: int) -> str:
+    """ABI name for floating point register index."""
+    return ABI_FPR_NAMES[index]

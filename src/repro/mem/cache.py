@@ -1,0 +1,172 @@
+"""Set-associative cache model with MOSEI line states.
+
+Used for the L1 instruction/data caches (32/64 KB) and the shared
+inclusive L2 (256 KB - 8 MB, 8/16-way) described in section II of the
+paper.  Lines carry a MOSEI coherence state so the same structure
+backs both the single-core hierarchy and the SMP cluster (section VI).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+class LineState(enum.Enum):
+    """MOSEI coherence states (the paper's L2 protocol, section VI)."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+VALID_STATES = frozenset(
+    {LineState.MODIFIED, LineState.OWNED, LineState.EXCLUSIVE,
+     LineState.SHARED})
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, including prefetch usefulness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0      # demand hits on prefetched lines
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+@dataclass
+class CacheLine:
+    tag: int
+    state: LineState = LineState.EXCLUSIVE
+    dirty: bool = False
+    prefetched: bool = False
+    sharers: set[int] = field(default_factory=set)  # L2 snoop filter bits
+
+
+class Cache:
+    """An LRU set-associative cache.
+
+    Addresses are split as ``| tag | set | offset |``.  The model tracks
+    line presence and state only (data lives in the functional memory),
+    which is exactly what the timing model needs.
+    """
+
+    def __init__(self, name: str, size: int, assoc: int,
+                 line_size: int = 64):
+        if size % (assoc * line_size):
+            raise ValueError(
+                f"{name}: size {size} not divisible by assoc*line_size")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.num_sets = size // (assoc * line_size)
+        self._offset_bits = line_size.bit_length() - 1
+        self._sets: list[OrderedDict[int, CacheLine]] = [
+            OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # -- address helpers ------------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self._offset_bits
+
+    def _index(self, line_addr: int) -> int:
+        return line_addr % self.num_sets
+
+    # -- operations ------------------------------------------------------------
+
+    def lookup(self, addr: int, update_lru: bool = True) -> CacheLine | None:
+        """Probe for the line containing *addr*; None on miss."""
+        laddr = self.line_addr(addr)
+        cache_set = self._sets[self._index(laddr)]
+        line = cache_set.get(laddr)
+        if line is None or line.state is LineState.INVALID:
+            return None
+        if update_lru:
+            cache_set.move_to_end(laddr)
+        return line
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Demand access; returns True on hit and updates stats/state."""
+        line = self.lookup(addr)
+        if line is None:
+            self.stats.misses += 1
+            return False
+        self.stats.hits += 1
+        if line.prefetched:
+            self.stats.prefetch_hits += 1
+            line.prefetched = False
+        if is_write:
+            line.dirty = True
+            if line.state in (LineState.EXCLUSIVE, LineState.SHARED,
+                              LineState.OWNED):
+                line.state = LineState.MODIFIED
+        return True
+
+    def fill(self, addr: int, state: LineState = LineState.EXCLUSIVE,
+             prefetched: bool = False) -> CacheLine | None:
+        """Insert the line for *addr*; returns the evicted line (if any)."""
+        laddr = self.line_addr(addr)
+        cache_set = self._sets[self._index(laddr)]
+        victim: CacheLine | None = None
+        if laddr in cache_set:
+            line = cache_set[laddr]
+            line.state = state
+            line.prefetched = prefetched
+            cache_set.move_to_end(laddr)
+            return None
+        if len(cache_set) >= self.assoc:
+            _, victim = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+        cache_set[laddr] = CacheLine(tag=laddr, state=state,
+                                     prefetched=prefetched)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return victim
+
+    def invalidate(self, addr: int) -> CacheLine | None:
+        """Drop the line containing *addr*; returns it if present."""
+        laddr = self.line_addr(addr)
+        cache_set = self._sets[self._index(laddr)]
+        return cache_set.pop(laddr, None)
+
+    def contains(self, addr: int) -> bool:
+        return self.lookup(addr, update_lru=False) is not None
+
+    def flush_all(self) -> int:
+        """Invalidate everything; returns the number of dirty lines."""
+        dirty = 0
+        for cache_set in self._sets:
+            dirty += sum(1 for line in cache_set.values() if line.dirty)
+            cache_set.clear()
+        return dirty
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def lines(self):
+        """Iterate over all (line_addr, CacheLine) pairs."""
+        for cache_set in self._sets:
+            yield from cache_set.items()

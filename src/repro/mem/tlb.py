@@ -1,0 +1,201 @@
+"""Multi-size multi-level TLBs (paper section V.D) with 16-bit ASIDs.
+
+The XT-910 translation path:
+
+* a fully-associative micro-TLB probed first (every entry carries a
+  page-size property, so one probe covers 4K/2M/1G entries),
+* a 4-way set-associative joint TLB (jTLB) probed per page size in the
+  order 4K -> 2M -> 1G, each probe costing one extra cycle,
+* a page-table walk on full miss.
+
+ASIDs are 16 bits wide (section V.E): the TLB only needs flushing when
+the ASID space wraps, which the paper credits with ~10x fewer flushes
+on context-switch-heavy workloads.  ``asid_bits`` is a knob so the
+harness can reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+PAGE_SIZES = (4 << 10, 2 << 20, 1 << 30)  # 4K, 2M, 1G
+
+
+@dataclass
+class TlbConfig:
+    utlb_entries: int = 32
+    jtlb_entries: int = 1024
+    jtlb_ways: int = 4
+    asid_bits: int = 16
+    utlb_latency: int = 0       # folded into the load-to-use latency
+    jtlb_probe_latency: int = 1  # per page-size probe
+
+
+@dataclass
+class TlbStats:
+    utlb_hits: int = 0
+    jtlb_hits: int = 0
+    misses: int = 0             # full misses -> page-table walk
+    flushes: int = 0
+    prefetch_fills: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.utlb_hits + self.jtlb_hits + self.misses
+
+
+@dataclass
+class TlbEntry:
+    vpn: int                    # virtual page number (in units of its size)
+    page_size: int
+    asid: int
+    ppn: int = 0
+    global_page: bool = False
+
+
+class _SetAssocTlb:
+    """The jTLB: 4-way set associative, one index per page size."""
+
+    def __init__(self, entries: int, ways: int):
+        self.ways = ways
+        self.sets = max(1, entries // ways)
+        self._data: list[OrderedDict[tuple, TlbEntry]] = [
+            OrderedDict() for _ in range(self.sets)]
+
+    def _index(self, vpn: int) -> int:
+        return vpn % self.sets
+
+    def lookup(self, vpn: int, page_size: int, asid: int) -> TlbEntry | None:
+        tlb_set = self._data[self._index(vpn)]
+        key = (vpn, page_size)
+        entry = tlb_set.get(key)
+        if entry is not None and (entry.asid == asid or entry.global_page):
+            tlb_set.move_to_end(key)
+            return entry
+        return None
+
+    def insert(self, entry: TlbEntry) -> None:
+        tlb_set = self._data[self._index(entry.vpn)]
+        key = (entry.vpn, entry.page_size)
+        if key in tlb_set:
+            tlb_set.pop(key)
+        elif len(tlb_set) >= self.ways:
+            tlb_set.popitem(last=False)
+        tlb_set[key] = entry
+
+    def flush(self) -> None:
+        for tlb_set in self._data:
+            tlb_set.clear()
+
+    def flush_asid(self, asid: int) -> None:
+        for tlb_set in self._data:
+            stale = [k for k, e in tlb_set.items()
+                     if e.asid == asid and not e.global_page]
+            for key in stale:
+                del tlb_set[key]
+
+
+class Tlb:
+    """The two-level multi-size TLB with ASID management."""
+
+    def __init__(self, config: TlbConfig | None = None):
+        self.config = config if config is not None else TlbConfig()
+        self._utlb: OrderedDict[tuple, TlbEntry] = OrderedDict()
+        self._jtlb = _SetAssocTlb(self.config.jtlb_entries,
+                                  self.config.jtlb_ways)
+        self.stats = TlbStats()
+        self.asid = 1
+        self._next_asid = 2
+
+    # -- translation ---------------------------------------------------------------
+
+    def translate(self, vaddr: int) -> tuple[int, TlbEntry | None]:
+        """Probe the TLBs for *vaddr*.
+
+        Returns ``(latency, entry)``; ``entry`` is None on a full miss
+        (the caller runs the page-table walk and calls :meth:`refill`).
+        """
+        # uTLB: fully associative, every entry knows its page size.
+        for key, entry in self._utlb.items():
+            if self._covers(entry, vaddr):
+                self._utlb.move_to_end(key)
+                self.stats.utlb_hits += 1
+                return self.config.utlb_latency, entry
+        # jTLB: probe 4K, then 2M, then 1G indexes (paper Fig. 12).
+        latency = self.config.utlb_latency
+        for page_size in PAGE_SIZES:
+            latency += self.config.jtlb_probe_latency
+            vpn = vaddr // page_size
+            entry = self._jtlb.lookup(vpn, page_size, self.asid)
+            if entry is not None:
+                self.stats.jtlb_hits += 1
+                self._utlb_fill(entry)   # refill micro-TLB on page hit
+                return latency, entry
+        self.stats.misses += 1
+        return latency, None
+
+    def _covers(self, entry: TlbEntry, vaddr: int) -> bool:
+        if entry.asid != self.asid and not entry.global_page:
+            return False
+        return (vaddr // entry.page_size) == entry.vpn
+
+    # -- fills ------------------------------------------------------------------------
+
+    def refill(self, vaddr: int, page_size: int = 4096, ppn: int = 0,
+               global_page: bool = False,
+               prefetched: bool = False) -> TlbEntry:
+        """Install a translation after a walk (or a TLB prefetch)."""
+        entry = TlbEntry(vpn=vaddr // page_size, page_size=page_size,
+                         asid=self.asid, ppn=ppn, global_page=global_page)
+        self._jtlb.insert(entry)
+        self._utlb_fill(entry)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return entry
+
+    def _utlb_fill(self, entry: TlbEntry) -> None:
+        key = (entry.vpn, entry.page_size, entry.asid)
+        if key in self._utlb:
+            self._utlb.move_to_end(key)
+            return
+        if len(self._utlb) >= self.config.utlb_entries:
+            self._utlb.popitem(last=False)
+        self._utlb[key] = entry
+
+    def contains(self, vaddr: int) -> bool:
+        if any(self._covers(e, vaddr) for e in self._utlb.values()):
+            return True
+        return any(
+            self._jtlb.lookup(vaddr // ps, ps, self.asid) is not None
+            for ps in PAGE_SIZES)
+
+    # -- ASID / flush management (section V.E) ---------------------------------------
+
+    def flush(self) -> None:
+        self._utlb.clear()
+        self._jtlb.flush()
+        self.stats.flushes += 1
+
+    def flush_asid(self, asid: int) -> None:
+        stale = [k for k, e in self._utlb.items()
+                 if e.asid == asid and not e.global_page]
+        for key in stale:
+            del self._utlb[key]
+        self._jtlb.flush_asid(asid)
+
+    def context_switch(self) -> bool:
+        """Switch to a fresh ASID; returns True if a flush was required.
+
+        When the ASID counter wraps (16-bit space by default) every
+        cached translation becomes ambiguous and the whole TLB must be
+        flushed — the event the wide ASID makes ~10x rarer.
+        """
+        limit = 1 << self.config.asid_bits
+        self.asid = self._next_asid
+        self._next_asid += 1
+        if self._next_asid >= limit:
+            self._next_asid = 1
+            self.flush()
+            return True
+        return False

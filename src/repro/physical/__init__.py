@@ -1,0 +1,9 @@
+"""Analytical silicon model (Table II substitution — see DESIGN.md)."""
+
+from .model import (  # noqa: F401
+    OperatingPoint,
+    PhysicalEstimate,
+    PhysicalModel,
+    ProcessNode,
+    table2_rows,
+)

@@ -1,0 +1,7 @@
+"""Functional simulation substrate: emulator, memory, machine state."""
+
+from .emulator import Emulator, EmulatorError, run_program  # noqa: F401
+from .memory import Memory  # noqa: F401
+from .state import MachineState  # noqa: F401
+from .syscalls import ExitRequest, SyscallShim  # noqa: F401
+from .trace import DynInst  # noqa: F401

@@ -1,0 +1,263 @@
+"""The functional RV64GCV emulator.
+
+Executes assembled programs instruction-by-instruction and (optionally)
+yields a :class:`~repro.sim.trace.DynInst` stream for the timing model.
+Decoding goes through the real binary encodings — the emulator fetches
+bytes from memory, checks the RVC parcel bits, and expands/decodes, so
+the assembler and decoder continuously validate each other.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..asm.program import STACK_TOP, Program
+from ..isa import compressed
+from ..isa.csr import TrapCause
+from ..isa.encoding import decode_word
+from ..isa.instructions import Instruction
+from .exec_scalar import SCALAR_EXEC, EcallShim, Trap
+from .exec_vector import VECTOR_EXEC
+from .memory import Memory
+from .state import MASK64, MachineState
+from .syscalls import ExitRequest, SyscallShim
+from .trace import DynInst
+
+
+class EmulatorError(Exception):
+    """Raised for unrecoverable emulation problems (bad fetch etc.)."""
+
+
+class Emulator:
+    """One hart running a program on a (possibly shared) memory."""
+
+    def __init__(self, program: Program, memory: Memory | None = None,
+                 hart_id: int = 0, stack_top: int = STACK_TOP,
+                 load: bool = True, interrupt_fn=None,
+                 enable_mmu: bool = False):
+        self.program = program
+        self.state = MachineState(memory=memory, hart_id=hart_id)
+        #: optional zero-arg callable returning pending mip bits
+        #: (wired to a CLINT/PLIC via repro.smp.interrupts)
+        self.interrupt_fn = interrupt_fn
+        self.mmu = None
+        if enable_mmu:
+            from .vm import VirtualMemoryView
+
+            self.mmu = VirtualMemoryView(self.state.memory, self.state)
+            self.state.memory = self.mmu
+        if load:
+            self.state.memory.load_program(program)
+        self.state.pc = program.entry
+        self.state.regs[2] = stack_top - hart_id * 0x1_0000  # sp
+        self.state.regs[3] = program.data_base + 0x800       # gp anchor
+        self.syscalls = SyscallShim()
+        self.exit_code: int | None = None
+        self.halted = False
+        self._decode_cache: dict[int, Instruction] = {}
+        self.instruction_limit = 50_000_000
+
+    # -- fetch/decode -----------------------------------------------------------
+
+    def _fetch(self, pc: int) -> Instruction:
+        cached = self._decode_cache.get(pc)
+        if cached is not None:
+            return cached
+        mem = self.state.memory
+        if self.mmu is not None:
+            half = int.from_bytes(self.mmu.fetch_bytes(pc, 2), "little")
+        else:
+            half = mem.load_int(pc, 2)
+        try:
+            if compressed.is_compressed(half):
+                inst = compressed.expand(half)
+            else:
+                if self.mmu is not None:
+                    upper = int.from_bytes(
+                        self.mmu.fetch_bytes(pc + 2, 2), "little")
+                else:
+                    upper = mem.load_int(pc + 2, 2)
+                word = half | (upper << 16)
+                inst = decode_word(word)
+        except Trap:
+            raise
+        except Exception as exc:
+            raise EmulatorError(
+                f"cannot decode instruction at pc={pc:#x}: {exc}") from exc
+        if self.mmu is None or not self.mmu._active():
+            self._decode_cache[pc] = inst
+        return inst
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self) -> DynInst:
+        """Execute one instruction and return its dynamic record."""
+        state = self.state
+        if self.interrupt_fn is not None:
+            self._check_interrupts()
+        pc = state.pc
+        try:
+            inst = self._fetch(pc)
+        except Trap as trap:
+            self._take_trap(trap)
+            state.instret += 1
+            from ..isa.instructions import SPECS
+            nop = Instruction(spec=SPECS["addi"])
+            return DynInst(seq=state.instret, pc=pc, inst=nop,
+                           next_pc=state.pc)
+        side = state.side
+        side.reset()
+        mnemonic = inst.spec.mnemonic
+
+        handler = SCALAR_EXEC.get(mnemonic)
+        next_pc: int | None = None
+        try:
+            if handler is not None:
+                next_pc = handler(state, inst)
+            else:
+                vhandler = VECTOR_EXEC.get(mnemonic)
+                if vhandler is None:
+                    raise EmulatorError(
+                        f"no semantics for {mnemonic} at pc={pc:#x}")
+                vhandler(state, inst)
+        except EcallShim:
+            from ..isa.csr import PrivMode, TrapCause
+
+            if state.priv == PrivMode.MACHINE:
+                try:
+                    self.syscalls.handle(state)
+                except ExitRequest as exit_req:
+                    self.exit_code = exit_req.code
+                    self.halted = True
+            else:
+                cause = TrapCause.ECALL_FROM_U                     if state.priv == PrivMode.USER                     else TrapCause.ECALL_FROM_S
+                self._take_trap(Trap(cause, 0))
+                record = self._record(pc, inst, state.pc)
+                state.instret += 1
+                return record
+        except ExitRequest as exit_req:
+            self.exit_code = exit_req.code
+            self.halted = True
+        except Trap as trap:
+            self._take_trap(trap)
+            next_pc = state.pc  # updated by the trap handler
+            record = self._record(pc, inst, next_pc)
+            state.pc = next_pc
+            state.instret += 1
+            return record
+
+        if mnemonic == "sfence.vma":
+            self._decode_cache.clear()
+            if self.mmu is not None:
+                self.mmu.flush_tlb()
+        if next_pc is None:
+            next_pc = (pc + inst.size) & MASK64
+        record = self._record(pc, inst, next_pc)
+        state.pc = next_pc
+        state.instret += 1
+        return record
+
+    def _record(self, pc: int, inst: Instruction, next_pc: int) -> DynInst:
+        side = self.state.side
+        return DynInst(
+            seq=self.state.instret, pc=pc, inst=inst, next_pc=next_pc,
+            taken=side.taken, target=side.target,
+            mem_addr=side.mem_addr, mem_size=side.mem_size,
+            vl=self.state.vl, sew=self.state.sew,
+            div_bits=side.div_bits)
+
+    def _check_interrupts(self) -> None:
+        """Take the highest-priority enabled pending interrupt, if any."""
+        from ..isa.csr import (
+            CSR_MCAUSE,
+            CSR_MEPC,
+            CSR_MIE,
+            CSR_MSTATUS,
+            CSR_MTVEC,
+        )
+
+        csrs = self.state.csrs
+        mstatus = csrs.read(CSR_MSTATUS)
+        if not mstatus & 0x8:        # mstatus.MIE clear: masked
+            return
+        pending = self.interrupt_fn() & csrs.read(CSR_MIE)
+        if not pending:
+            return
+        # Priority order per the privileged spec: MEI > MSI > MTI.
+        for bit, code in ((11, 11), (3, 3), (7, 7)):
+            if (pending >> bit) & 1:
+                break
+        else:  # pragma: no cover
+            return
+        mtvec = csrs.read(CSR_MTVEC)
+        if mtvec == 0:
+            raise EmulatorError("interrupt pending with no mtvec handler")
+        from ..isa.csr import PrivMode
+
+        csrs.write(CSR_MEPC, self.state.pc)
+        csrs.write(CSR_MCAUSE, (1 << 63) | code)
+        # Push the interrupt-enable stack (MPIE <- MIE, MIE <- 0) and
+        # record the interrupted privilege in MPP.
+        mpie = (mstatus >> 3) & 1
+        mstatus = (mstatus & ~0x88 & ~(3 << 11)) | (mpie << 7) \
+            | (int(self.state.priv) << 11)
+        csrs.write(CSR_MSTATUS, mstatus)
+        self.state.priv = PrivMode.MACHINE
+        self.state.pc = mtvec & ~3
+
+    def _take_trap(self, trap: Trap) -> None:
+        from ..isa.csr import CSR_MCAUSE, CSR_MEPC, CSR_MTVAL, CSR_MTVEC
+
+        from ..isa.csr import CSR_MSTATUS, PrivMode
+
+        csrs = self.state.csrs
+        csrs.write(CSR_MEPC, self.state.pc)
+        csrs.write(CSR_MCAUSE, trap.cause.value)
+        csrs.write(CSR_MTVAL, trap.tval)
+        mtvec = csrs.read(CSR_MTVEC)
+        if mtvec == 0:
+            raise EmulatorError(
+                f"trap {trap.cause.name} at pc={self.state.pc:#x} "
+                f"with no mtvec handler")
+        # Record the interrupted privilege in mstatus.MPP; enter M-mode.
+        mstatus = csrs.read(CSR_MSTATUS)
+        mstatus = (mstatus & ~(3 << 11)) | (int(self.state.priv) << 11)
+        csrs.write(CSR_MSTATUS, mstatus)
+        self.state.priv = PrivMode.MACHINE
+        self.state.pc = mtvec & ~3
+
+    def run(self, max_steps: int | None = None) -> int:
+        """Run to exit (or *max_steps*); returns the exit code."""
+        limit = max_steps if max_steps is not None else self.instruction_limit
+        steps = 0
+        while not self.halted:
+            if steps >= limit:
+                raise EmulatorError(
+                    f"instruction limit {limit} exceeded at "
+                    f"pc={self.state.pc:#x}")
+            self.step()
+            steps += 1
+        return self.exit_code if self.exit_code is not None else -1
+
+    def trace(self, max_steps: int | None = None) -> Iterator[DynInst]:
+        """Yield the dynamic instruction stream until exit."""
+        limit = max_steps if max_steps is not None else self.instruction_limit
+        steps = 0
+        while not self.halted and steps < limit:
+            yield self.step()
+            steps += 1
+        if not self.halted and steps >= limit:
+            raise EmulatorError(
+                f"instruction limit {limit} exceeded at "
+                f"pc={self.state.pc:#x}")
+
+    @property
+    def stdout(self) -> str:
+        return self.syscalls.stdout_text
+
+
+def run_program(program: Program, max_steps: int | None = None) -> Emulator:
+    """Convenience: run *program* to completion, return the emulator."""
+    emulator = Emulator(program)
+    emulator.run(max_steps)
+    return emulator

@@ -1,0 +1,850 @@
+"""Functional semantics for the scalar ISA (RV64IMAFD + XT extensions).
+
+Each handler mutates the :class:`~repro.sim.state.MachineState` and
+returns the next PC, or ``None`` for straight-line fall-through.  The
+emulator records control/memory side effects via ``state.side``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..isa.csr import TrapCause
+from ..isa.instructions import Instruction
+from .state import (
+    MASK32,
+    MASK64,
+    MachineState,
+    f32_bits_to_float,
+    f64_bits_to_float,
+    float_to_f32_bits,
+    float_to_f64_bits,
+    sext32,
+    to_signed,
+)
+
+
+class Trap(Exception):
+    """A synchronous exception raised mid-instruction."""
+
+    def __init__(self, cause: TrapCause, tval: int = 0):
+        super().__init__(cause.name)
+        self.cause = cause
+        self.tval = tval
+
+
+class EcallShim(Exception):
+    """Raised on ecall so the emulator can run the syscall shim."""
+
+
+Handler = Callable[[MachineState, Instruction], int | None]
+SCALAR_EXEC: dict[str, Handler] = {}
+
+
+def _op(*names: str):
+    def register(fn: Handler) -> Handler:
+        for name in names:
+            SCALAR_EXEC[name] = fn
+        return fn
+    return register
+
+
+# -- integer computational -------------------------------------------------
+
+@_op("lui")
+def _lui(s, i):
+    s.write_x(i.rd, i.imm)
+
+
+@_op("auipc")
+def _auipc(s, i):
+    s.write_x(i.rd, s.pc + i.imm)
+
+
+@_op("addi")
+def _addi(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] + i.imm)
+
+
+@_op("slti")
+def _slti(s, i):
+    s.write_x(i.rd, int(to_signed(s.regs[i.rs1]) < i.imm))
+
+
+@_op("sltiu")
+def _sltiu(s, i):
+    s.write_x(i.rd, int(s.regs[i.rs1] < (i.imm & MASK64)))
+
+
+@_op("xori")
+def _xori(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] ^ i.imm)
+
+
+@_op("ori")
+def _ori(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] | i.imm)
+
+
+@_op("andi")
+def _andi(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] & i.imm)
+
+
+@_op("slli")
+def _slli(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] << i.imm)
+
+
+@_op("srli")
+def _srli(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] >> i.imm)
+
+
+@_op("srai")
+def _srai(s, i):
+    s.write_x(i.rd, to_signed(s.regs[i.rs1]) >> i.imm)
+
+
+@_op("add")
+def _add(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] + s.regs[i.rs2])
+
+
+@_op("sub")
+def _sub(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] - s.regs[i.rs2])
+
+
+@_op("sll")
+def _sll(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] << (s.regs[i.rs2] & 63))
+
+
+@_op("slt")
+def _slt(s, i):
+    s.write_x(i.rd, int(to_signed(s.regs[i.rs1]) < to_signed(s.regs[i.rs2])))
+
+
+@_op("sltu")
+def _sltu(s, i):
+    s.write_x(i.rd, int(s.regs[i.rs1] < s.regs[i.rs2]))
+
+
+@_op("xor")
+def _xor(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] ^ s.regs[i.rs2])
+
+
+@_op("srl")
+def _srl(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] >> (s.regs[i.rs2] & 63))
+
+
+@_op("sra")
+def _sra(s, i):
+    s.write_x(i.rd, to_signed(s.regs[i.rs1]) >> (s.regs[i.rs2] & 63))
+
+
+@_op("or")
+def _or(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] | s.regs[i.rs2])
+
+
+@_op("and")
+def _and(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] & s.regs[i.rs2])
+
+
+@_op("addiw")
+def _addiw(s, i):
+    s.write_x(i.rd, sext32(s.regs[i.rs1] + i.imm))
+
+
+@_op("slliw")
+def _slliw(s, i):
+    s.write_x(i.rd, sext32(s.regs[i.rs1] << i.imm))
+
+
+@_op("srliw")
+def _srliw(s, i):
+    s.write_x(i.rd, sext32((s.regs[i.rs1] & MASK32) >> i.imm))
+
+
+@_op("sraiw")
+def _sraiw(s, i):
+    s.write_x(i.rd, sext32(to_signed(s.regs[i.rs1], 32) >> i.imm))
+
+
+@_op("addw")
+def _addw(s, i):
+    s.write_x(i.rd, sext32(s.regs[i.rs1] + s.regs[i.rs2]))
+
+
+@_op("subw")
+def _subw(s, i):
+    s.write_x(i.rd, sext32(s.regs[i.rs1] - s.regs[i.rs2]))
+
+
+@_op("sllw")
+def _sllw(s, i):
+    s.write_x(i.rd, sext32(s.regs[i.rs1] << (s.regs[i.rs2] & 31)))
+
+
+@_op("srlw")
+def _srlw(s, i):
+    s.write_x(i.rd, sext32((s.regs[i.rs1] & MASK32) >> (s.regs[i.rs2] & 31)))
+
+
+@_op("sraw")
+def _sraw(s, i):
+    s.write_x(i.rd, sext32(to_signed(s.regs[i.rs1], 32)
+                           >> (s.regs[i.rs2] & 31)))
+
+
+# -- control flow ------------------------------------------------------------
+
+@_op("jal")
+def _jal(s, i):
+    s.write_x(i.rd, s.pc + i.size)
+    s.side.taken = True
+    s.side.target = (s.pc + i.imm) & MASK64
+    return s.side.target
+
+
+@_op("jalr")
+def _jalr(s, i):
+    target = (s.regs[i.rs1] + i.imm) & MASK64 & ~1
+    s.write_x(i.rd, s.pc + i.size)
+    s.side.taken = True
+    s.side.target = target
+    return target
+
+
+def _branch(cond_fn):
+    def handler(s, i):
+        taken = cond_fn(s.regs[i.rs1], s.regs[i.rs2])
+        s.side.taken = taken
+        s.side.target = (s.pc + i.imm) & MASK64
+        return s.side.target if taken else None
+    return handler
+
+
+SCALAR_EXEC["beq"] = _branch(lambda a, b: a == b)
+SCALAR_EXEC["bne"] = _branch(lambda a, b: a != b)
+SCALAR_EXEC["blt"] = _branch(lambda a, b: to_signed(a) < to_signed(b))
+SCALAR_EXEC["bge"] = _branch(lambda a, b: to_signed(a) >= to_signed(b))
+SCALAR_EXEC["bltu"] = _branch(lambda a, b: a < b)
+SCALAR_EXEC["bgeu"] = _branch(lambda a, b: a >= b)
+
+
+# -- memory ------------------------------------------------------------------
+
+def _load(s: MachineState, i: Instruction):
+    addr = (s.regs[i.rs1] + i.imm) & MASK64
+    spec = i.spec
+    s.side.mem_addr = addr
+    s.side.mem_size = spec.mem_bytes
+    value = s.memory.load_int(addr, spec.mem_bytes,
+                              signed=not spec.mem_unsigned)
+    if spec.rd_file == "f":
+        if spec.mem_bytes == 4:
+            value = (value & MASK32) | 0xFFFF_FFFF_0000_0000  # NaN-box
+        s.fregs[i.rd] = value & MASK64
+    else:
+        s.write_x(i.rd, value)
+
+
+for _mn in ("lb", "lh", "lw", "ld", "lbu", "lhu", "lwu", "flw", "fld"):
+    SCALAR_EXEC[_mn] = _load
+
+
+def _store(s: MachineState, i: Instruction):
+    addr = (s.regs[i.rs1] + i.imm) & MASK64
+    spec = i.spec
+    s.side.mem_addr = addr
+    s.side.mem_size = spec.mem_bytes
+    value = s.fregs[i.rs2] if spec.rs2_file == "f" else s.regs[i.rs2]
+    s.memory.store_int(addr, value, spec.mem_bytes)
+
+
+for _mn in ("sb", "sh", "sw", "sd", "fsw", "fsd"):
+    SCALAR_EXEC[_mn] = _store
+
+
+# -- M extension -------------------------------------------------------------
+
+@_op("mul")
+def _mul(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] * s.regs[i.rs2])
+
+
+@_op("mulh")
+def _mulh(s, i):
+    s.write_x(i.rd, (to_signed(s.regs[i.rs1]) * to_signed(s.regs[i.rs2])) >> 64)
+
+
+@_op("mulhsu")
+def _mulhsu(s, i):
+    s.write_x(i.rd, (to_signed(s.regs[i.rs1]) * s.regs[i.rs2]) >> 64)
+
+
+@_op("mulhu")
+def _mulhu(s, i):
+    s.write_x(i.rd, (s.regs[i.rs1] * s.regs[i.rs2]) >> 64)
+
+
+def _record_div(s: MachineState, a: int, bits: int) -> None:
+    """Record dividend magnitude for the early-out divider timing."""
+    s.side.div_bits = abs(to_signed(a, bits)).bit_length()
+
+
+def _divmod(a: int, b: int, signed: bool, bits: int) -> tuple[int, int]:
+    """RISC-V division semantics: trunc toward zero, defined div-by-0."""
+    if signed:
+        a, b = to_signed(a, bits), to_signed(b, bits)
+        if b == 0:
+            return -1, a
+        minval = -(1 << (bits - 1))
+        if a == minval and b == -1:
+            return minval, 0
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return q, a - q * b
+    if b == 0:
+        return (1 << bits) - 1, a
+    return a // b, a % b
+
+
+@_op("div")
+def _div(s, i):
+    _record_div(s, s.regs[i.rs1], 64)
+    q, _ = _divmod(s.regs[i.rs1], s.regs[i.rs2], True, 64)
+    s.write_x(i.rd, q)
+
+
+@_op("divu")
+def _divu(s, i):
+    _record_div(s, s.regs[i.rs1], 64)
+    q, _ = _divmod(s.regs[i.rs1], s.regs[i.rs2], False, 64)
+    s.write_x(i.rd, q)
+
+
+@_op("rem")
+def _rem(s, i):
+    _record_div(s, s.regs[i.rs1], 64)
+    _, r = _divmod(s.regs[i.rs1], s.regs[i.rs2], True, 64)
+    s.write_x(i.rd, r)
+
+
+@_op("remu")
+def _remu(s, i):
+    _record_div(s, s.regs[i.rs1], 64)
+    _, r = _divmod(s.regs[i.rs1], s.regs[i.rs2], False, 64)
+    s.write_x(i.rd, r)
+
+
+@_op("mulw")
+def _mulw(s, i):
+    s.write_x(i.rd, sext32(s.regs[i.rs1] * s.regs[i.rs2]))
+
+
+@_op("divw")
+def _divw(s, i):
+    _record_div(s, s.regs[i.rs1] & MASK32, 32)
+    q, _ = _divmod(s.regs[i.rs1] & MASK32, s.regs[i.rs2] & MASK32, True, 32)
+    s.write_x(i.rd, sext32(q))
+
+
+@_op("divuw")
+def _divuw(s, i):
+    _record_div(s, s.regs[i.rs1] & MASK32, 32)
+    q, _ = _divmod(s.regs[i.rs1] & MASK32, s.regs[i.rs2] & MASK32, False, 32)
+    s.write_x(i.rd, sext32(q))
+
+
+@_op("remw")
+def _remw(s, i):
+    _record_div(s, s.regs[i.rs1] & MASK32, 32)
+    _, r = _divmod(s.regs[i.rs1] & MASK32, s.regs[i.rs2] & MASK32, True, 32)
+    s.write_x(i.rd, sext32(r))
+
+
+@_op("remuw")
+def _remuw(s, i):
+    _record_div(s, s.regs[i.rs1] & MASK32, 32)
+    _, r = _divmod(s.regs[i.rs1] & MASK32, s.regs[i.rs2] & MASK32, False, 32)
+    s.write_x(i.rd, sext32(r))
+
+
+# -- A extension -------------------------------------------------------------
+
+def _amo(s: MachineState, i: Instruction):
+    mn = i.spec.mnemonic
+    op, width = mn.rsplit(".", 1)
+    nbytes = 4 if width == "w" else 8
+    addr = s.regs[i.rs1] & MASK64
+    s.side.mem_addr = addr
+    s.side.mem_size = nbytes
+    if addr % nbytes:
+        raise Trap(TrapCause.STORE_MISALIGNED, addr)
+    if op == "lr":
+        value = s.memory.load_int(addr, nbytes, signed=True)
+        s.reservation = addr
+        s.write_x(i.rd, value)
+        return
+    if op == "sc":
+        if s.reservation == addr:
+            s.memory.store_int(addr, s.regs[i.rs2], nbytes)
+            s.write_x(i.rd, 0)
+        else:
+            s.write_x(i.rd, 1)
+        s.reservation = None
+        return
+    old = s.memory.load_int(addr, nbytes, signed=True)
+    rs2 = s.regs[i.rs2]
+    bits = nbytes * 8
+    if op == "amoswap":
+        new = rs2
+    elif op == "amoadd":
+        new = old + rs2
+    elif op == "amoxor":
+        new = old ^ rs2
+    elif op == "amoand":
+        new = old & rs2
+    elif op == "amoor":
+        new = old | rs2
+    elif op == "amomin":
+        new = min(old, to_signed(rs2, bits))
+    elif op == "amomax":
+        new = max(old, to_signed(rs2, bits))
+    elif op == "amominu":
+        new = min(old & ((1 << bits) - 1), rs2 & ((1 << bits) - 1))
+    else:  # amomaxu
+        new = max(old & ((1 << bits) - 1), rs2 & ((1 << bits) - 1))
+    s.memory.store_int(addr, new, nbytes)
+    s.write_x(i.rd, sext32(old) if nbytes == 4 else old)
+
+
+for _amo_op in ("lr", "sc", "amoswap", "amoadd", "amoxor", "amoand",
+                "amoor", "amomin", "amomax", "amominu", "amomaxu"):
+    for _w in ("w", "d"):
+        SCALAR_EXEC[f"{_amo_op}.{_w}"] = _amo
+
+
+# -- F / D -------------------------------------------------------------------
+
+def _fsrc(s: MachineState, idx: int, single: bool) -> float:
+    bits = s.fregs[idx]
+    return f32_bits_to_float(bits) if single else f64_bits_to_float(bits)
+
+
+def _fdst(s: MachineState, idx: int, value: float, single: bool) -> None:
+    if single:
+        s.fregs[idx] = float_to_f32_bits(value) | 0xFFFF_FFFF_0000_0000
+    else:
+        s.fregs[idx] = float_to_f64_bits(value)
+
+
+def _fp_binop(fn, single: bool):
+    def handler(s, i):
+        a, b = _fsrc(s, i.rs1, single), _fsrc(s, i.rs2, single)
+        try:
+            value = fn(a, b)
+        except ZeroDivisionError:
+            value = math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+        except (OverflowError, ValueError):
+            value = math.nan
+        _fdst(s, i.rd, value, single)
+    return handler
+
+
+for _single, _sfx in ((True, "s"), (False, "d")):
+    SCALAR_EXEC[f"fadd.{_sfx}"] = _fp_binop(lambda a, b: a + b, _single)
+    SCALAR_EXEC[f"fsub.{_sfx}"] = _fp_binop(lambda a, b: a - b, _single)
+    SCALAR_EXEC[f"fmul.{_sfx}"] = _fp_binop(lambda a, b: a * b, _single)
+    SCALAR_EXEC[f"fdiv.{_sfx}"] = _fp_binop(lambda a, b: a / b, _single)
+    SCALAR_EXEC[f"fmin.{_sfx}"] = _fp_binop(
+        lambda a, b: b if (math.isnan(a) or b < a) else a, _single)
+    SCALAR_EXEC[f"fmax.{_sfx}"] = _fp_binop(
+        lambda a, b: b if (math.isnan(a) or b > a) else a, _single)
+
+
+def _fsqrt(single: bool):
+    def handler(s, i):
+        a = _fsrc(s, i.rs1, single)
+        _fdst(s, i.rd, math.sqrt(a) if a >= 0 else math.nan, single)
+    return handler
+
+
+SCALAR_EXEC["fsqrt.s"] = _fsqrt(True)
+SCALAR_EXEC["fsqrt.d"] = _fsqrt(False)
+
+
+def _fsgnj(kind: str, single: bool):
+    width_sign = 1 << (31 if single else 63)
+    mask = MASK32 if single else MASK64
+
+    def handler(s, i):
+        a = s.fregs[i.rs1] & mask
+        b = s.fregs[i.rs2] & mask
+        if kind == "j":
+            sign = b & width_sign
+        elif kind == "n":
+            sign = (~b) & width_sign
+        else:
+            sign = (a ^ b) & width_sign
+        value = (a & ~width_sign) | sign
+        if single:
+            value |= 0xFFFF_FFFF_0000_0000
+        s.fregs[i.rd] = value
+    return handler
+
+
+for _single, _sfx in ((True, "s"), (False, "d")):
+    SCALAR_EXEC[f"fsgnj.{_sfx}"] = _fsgnj("j", _single)
+    SCALAR_EXEC[f"fsgnjn.{_sfx}"] = _fsgnj("n", _single)
+    SCALAR_EXEC[f"fsgnjx.{_sfx}"] = _fsgnj("x", _single)
+
+
+def _fcmp(fn, single: bool):
+    def handler(s, i):
+        a, b = _fsrc(s, i.rs1, single), _fsrc(s, i.rs2, single)
+        if math.isnan(a) or math.isnan(b):
+            s.write_x(i.rd, 0)
+        else:
+            s.write_x(i.rd, int(fn(a, b)))
+    return handler
+
+
+for _single, _sfx in ((True, "s"), (False, "d")):
+    SCALAR_EXEC[f"feq.{_sfx}"] = _fcmp(lambda a, b: a == b, _single)
+    SCALAR_EXEC[f"flt.{_sfx}"] = _fcmp(lambda a, b: a < b, _single)
+    SCALAR_EXEC[f"fle.{_sfx}"] = _fcmp(lambda a, b: a <= b, _single)
+
+
+def _fclass(single: bool):
+    def handler(s, i):
+        a = _fsrc(s, i.rs1, single)
+        if math.isnan(a):
+            cls = 9  # quiet NaN
+        elif math.isinf(a):
+            cls = 7 if a > 0 else 0
+        elif a == 0:
+            cls = 4 if math.copysign(1.0, a) > 0 else 3
+        elif a > 0:
+            cls = 6
+        else:
+            cls = 1
+        s.write_x(i.rd, 1 << cls)
+    return handler
+
+
+SCALAR_EXEC["fclass.s"] = _fclass(True)
+SCALAR_EXEC["fclass.d"] = _fclass(False)
+
+
+def _fma(sign_prod: int, sign_addend: int, single: bool):
+    def handler(s, i):
+        a, b = _fsrc(s, i.rs1, single), _fsrc(s, i.rs2, single)
+        c = _fsrc(s, i.rs3, single)
+        _fdst(s, i.rd, sign_prod * a * b + sign_addend * c, single)
+    return handler
+
+
+for _single, _sfx in ((True, "s"), (False, "d")):
+    SCALAR_EXEC[f"fmadd.{_sfx}"] = _fma(1, 1, _single)
+    SCALAR_EXEC[f"fmsub.{_sfx}"] = _fma(1, -1, _single)
+    SCALAR_EXEC[f"fnmsub.{_sfx}"] = _fma(-1, 1, _single)
+    SCALAR_EXEC[f"fnmadd.{_sfx}"] = _fma(-1, -1, _single)
+
+
+def _clamp_int(value: float, signed: bool, bits: int) -> int:
+    if math.isnan(value):
+        return (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+    lo = -(1 << (bits - 1)) if signed else 0
+    hi = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return int(value)
+
+
+def _fcvt_to_int(signed: bool, bits: int, single: bool):
+    def handler(s, i):
+        a = _fsrc(s, i.rs1, single)
+        value = _clamp_int(a, signed, bits)
+        s.write_x(i.rd, sext32(value) if bits == 32 else value)
+    return handler
+
+
+def _fcvt_from_int(signed: bool, bits: int, single: bool):
+    def handler(s, i):
+        raw = s.regs[i.rs1]
+        value = to_signed(raw, bits) if signed else raw & ((1 << bits) - 1)
+        _fdst(s, i.rd, float(value), single)
+    return handler
+
+
+for _single, _sfx in ((True, "s"), (False, "d")):
+    for _int, _signed, _bits in (("w", True, 32), ("wu", False, 32),
+                                 ("l", True, 64), ("lu", False, 64)):
+        SCALAR_EXEC[f"fcvt.{_int}.{_sfx}"] = _fcvt_to_int(_signed, _bits, _single)
+        SCALAR_EXEC[f"fcvt.{_sfx}.{_int}"] = _fcvt_from_int(_signed, _bits, _single)
+
+
+@_op("fcvt.s.d")
+def _fcvt_s_d(s, i):
+    _fdst(s, i.rd, f64_bits_to_float(s.fregs[i.rs1]), True)
+
+
+@_op("fcvt.d.s")
+def _fcvt_d_s(s, i):
+    _fdst(s, i.rd, f32_bits_to_float(s.fregs[i.rs1]), False)
+
+
+@_op("fmv.x.w")
+def _fmv_x_w(s, i):
+    s.write_x(i.rd, sext32(s.fregs[i.rs1]))
+
+
+@_op("fmv.w.x")
+def _fmv_w_x(s, i):
+    s.fregs[i.rd] = (s.regs[i.rs1] & MASK32) | 0xFFFF_FFFF_0000_0000
+
+
+@_op("fmv.x.d")
+def _fmv_x_d(s, i):
+    s.write_x(i.rd, s.fregs[i.rs1])
+
+
+@_op("fmv.d.x")
+def _fmv_d_x(s, i):
+    s.fregs[i.rd] = s.regs[i.rs1] & MASK64
+
+
+# -- system ------------------------------------------------------------------
+
+@_op("fence", "fence.i", "wfi", "sfence.vma",
+     "dcache.call", "dcache.iall", "dcache.ciall", "dcache.cva",
+     "dcache.iva", "dcache.civa", "icache.iall", "icache.iva",
+     "tlbi.bcast")
+def _fence(s, i):
+    return None
+
+
+@_op("ecall")
+def _ecall(s, i):
+    raise EcallShim()
+
+
+@_op("ebreak")
+def _ebreak(s, i):
+    raise Trap(TrapCause.BREAKPOINT, s.pc)
+
+
+def _csr_value(s: MachineState, i: Instruction) -> int:
+    if i.spec.fmt == "CSRI":
+        return i.aux
+    return s.regs[i.rs1]
+
+
+@_op("csrrw", "csrrwi")
+def _csrrw(s, i):
+    old = s.csrs.read(i.imm) if i.rd else 0
+    s.csrs.write(i.imm, _csr_value(s, i))
+    s.write_x(i.rd, old)
+    _apply_csr_side_effects(s, i.imm)
+
+
+@_op("csrrs", "csrrsi")
+def _csrrs(s, i):
+    value = _csr_value(s, i)
+    old = s.csrs.read(i.imm)
+    if value:
+        s.csrs.write(i.imm, old | value)
+        _apply_csr_side_effects(s, i.imm)
+    s.write_x(i.rd, old)
+
+
+@_op("csrrc", "csrrci")
+def _csrrc(s, i):
+    value = _csr_value(s, i)
+    old = s.csrs.read(i.imm)
+    if value:
+        s.csrs.write(i.imm, old & ~value)
+        _apply_csr_side_effects(s, i.imm)
+    s.write_x(i.rd, old)
+
+
+def _apply_csr_side_effects(s: MachineState, addr: int) -> None:
+    from ..isa.csr import CSR_VL, CSR_VTYPE
+
+    if addr == CSR_VTYPE:
+        s.set_vtype(s.csrs.read(CSR_VTYPE), s.vl)
+    elif addr == CSR_VL:
+        s.vl = s.csrs.read(CSR_VL)
+
+
+@_op("mret")
+def _mret(s, i):
+    from ..isa.csr import CSR_MEPC, CSR_MSTATUS, PrivMode
+
+    # Restore the interrupt-enable stack: MIE <- MPIE, MPIE <- 1,
+    # and drop to the privilege recorded in MPP.
+    mstatus = s.csrs.read(CSR_MSTATUS)
+    mpie = (mstatus >> 7) & 1
+    mpp = (mstatus >> 11) & 3
+    mstatus = (mstatus & ~0x8 & ~(3 << 11)) | (mpie << 3) | (1 << 7)
+    s.csrs.write(CSR_MSTATUS, mstatus)
+    s.priv = PrivMode(mpp) if mpp != 2 else PrivMode.MACHINE
+    return s.csrs.read(CSR_MEPC)
+
+
+@_op("sret")
+def _sret(s, i):
+    from ..isa.csr import CSR_SEPC
+
+    return s.csrs.read(CSR_SEPC)
+
+
+# -- XT custom extensions (section VIII) -------------------------------------
+
+def _xt_index_addr(s: MachineState, i: Instruction) -> int:
+    index = s.regs[i.rs2]
+    if i.spec.funct7 & 0x08:  # address-generation zero extension
+        index &= MASK32
+    return (s.regs[i.rs1] + (index << i.aux)) & MASK64
+
+
+def _xt_load(s: MachineState, i: Instruction):
+    addr = _xt_index_addr(s, i)
+    spec = i.spec
+    s.side.mem_addr = addr
+    s.side.mem_size = spec.mem_bytes
+    s.write_x(i.rd, s.memory.load_int(addr, spec.mem_bytes,
+                                      signed=not spec.mem_unsigned))
+
+
+def _xt_store(s: MachineState, i: Instruction):
+    addr = _xt_index_addr(s, i)
+    spec = i.spec
+    s.side.mem_addr = addr
+    s.side.mem_size = spec.mem_bytes
+    s.memory.store_int(addr, s.regs[i.rs3], spec.mem_bytes)
+
+
+for _mn in ("lrb", "lrh", "lrw", "lrd", "lrbu", "lrhu", "lrwu"):
+    SCALAR_EXEC[_mn] = _xt_load
+    SCALAR_EXEC[f"{_mn}.u"] = _xt_load
+for _mn in ("srb", "srh", "srw", "srd"):
+    SCALAR_EXEC[_mn] = _xt_store
+    SCALAR_EXEC[f"{_mn}.u"] = _xt_store
+
+
+@_op("addsl")
+def _addsl(s, i):
+    s.write_x(i.rd, s.regs[i.rs1] + (s.regs[i.rs2] << i.aux))
+
+
+@_op("ext")
+def _ext(s, i):
+    msb, lsb = i.imm >> 6 & 0x3F, i.imm & 0x3F
+    width = msb - lsb + 1
+    value = (s.regs[i.rs1] >> lsb) & ((1 << width) - 1)
+    s.write_x(i.rd, to_signed(value, width))
+
+
+@_op("extu")
+def _extu(s, i):
+    msb, lsb = i.imm >> 6 & 0x3F, i.imm & 0x3F
+    width = msb - lsb + 1
+    s.write_x(i.rd, (s.regs[i.rs1] >> lsb) & ((1 << width) - 1))
+
+
+@_op("ff0")
+def _ff0(s, i):
+    value = s.regs[i.rs1]
+    for bit in range(63, -1, -1):
+        if not (value >> bit) & 1:
+            s.write_x(i.rd, 63 - bit)
+            return
+    s.write_x(i.rd, 64)
+
+
+@_op("ff1")
+def _ff1(s, i):
+    value = s.regs[i.rs1]
+    s.write_x(i.rd, 64 - value.bit_length())
+
+
+@_op("rev")
+def _rev(s, i):
+    s.write_x(i.rd, int.from_bytes(s.regs[i.rs1].to_bytes(8, "little"), "big"))
+
+
+@_op("revw")
+def _revw(s, i):
+    low = s.regs[i.rs1] & MASK32
+    s.write_x(i.rd, sext32(int.from_bytes(low.to_bytes(4, "little"), "big")))
+
+
+@_op("tstnbz")
+def _tstnbz(s, i):
+    """Set each result byte to 0xFF where the source byte is zero."""
+    value = s.regs[i.rs1]
+    out = 0
+    for byte in range(8):
+        if not (value >> (byte * 8)) & 0xFF:
+            out |= 0xFF << (byte * 8)
+    s.write_x(i.rd, out)
+
+
+@_op("srri")
+def _srri(s, i):
+    amount = i.imm & 63
+    value = s.regs[i.rs1]
+    s.write_x(i.rd, (value >> amount) | (value << (64 - amount)))
+
+
+@_op("srriw")
+def _srriw(s, i):
+    amount = i.imm & 31
+    value = s.regs[i.rs1] & MASK32
+    rotated = ((value >> amount) | (value << (32 - amount))) & MASK32
+    s.write_x(i.rd, sext32(rotated))
+
+
+@_op("mula")
+def _mula(s, i):
+    s.write_x(i.rd, s.regs[i.rd] + s.regs[i.rs1] * s.regs[i.rs2])
+
+
+@_op("muls")
+def _muls(s, i):
+    s.write_x(i.rd, s.regs[i.rd] - s.regs[i.rs1] * s.regs[i.rs2])
+
+
+@_op("mulaw")
+def _mulaw(s, i):
+    s.write_x(i.rd, sext32(s.regs[i.rd] + s.regs[i.rs1] * s.regs[i.rs2]))
+
+
+@_op("mulsw")
+def _mulsw(s, i):
+    s.write_x(i.rd, sext32(s.regs[i.rd] - s.regs[i.rs1] * s.regs[i.rs2]))
+
+
+@_op("mulah")
+def _mulah(s, i):
+    prod = to_signed(s.regs[i.rs1], 16) * to_signed(s.regs[i.rs2], 16)
+    s.write_x(i.rd, sext32(s.regs[i.rd] + prod))
+
+
+@_op("mulsh")
+def _mulsh(s, i):
+    prod = to_signed(s.regs[i.rs1], 16) * to_signed(s.regs[i.rs2], 16)
+    s.write_x(i.rd, sext32(s.regs[i.rd] - prod))

@@ -1,0 +1,499 @@
+"""Functional semantics for the 0.7.1-flavoured vector extension.
+
+Vector state lives in :class:`~repro.sim.state.MachineState`: 32
+VLEN-bit registers, ``vl``/``vtype`` set by vsetvl(i).  Operations are
+tail-undisturbed and honour the v0 mask when the instruction's ``vm``
+bit (``inst.aux``) is 0, matching the paper's description of masked
+dual-issue vector execution (section VII).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..isa.instructions import Instruction
+from .state import (
+    MachineState,
+    f16_bits_to_float,
+    f32_bits_to_float,
+    f64_bits_to_float,
+    float_to_f16_bits,
+    float_to_f32_bits,
+    float_to_f64_bits,
+    to_signed,
+)
+
+VectorHandler = Callable[[MachineState, Instruction], None]
+VECTOR_EXEC: dict[str, VectorHandler] = {}
+
+_FP_UNPACK = {16: f16_bits_to_float, 32: f32_bits_to_float,
+              64: f64_bits_to_float}
+_FP_PACK = {16: float_to_f16_bits, 32: float_to_f32_bits,
+            64: float_to_f64_bits}
+
+
+def _vop(*names: str):
+    def register(fn: VectorHandler) -> VectorHandler:
+        for name in names:
+            VECTOR_EXEC[name] = fn
+        return fn
+    return register
+
+
+# -- element access ------------------------------------------------------------
+
+def _read_group(s: MachineState, start: int, sew: int, count: int,
+                signed: bool = False, lmul: int | None = None) -> list[int]:
+    lmul = lmul if lmul is not None else s.lmul
+    width = sew // 8
+    data = bytes(s.vregs[start]) if lmul == 1 else bytes(
+        b for r in range(lmul) for b in s.vregs[(start + r) % 32])
+    out = []
+    for idx in range(count):
+        value = int.from_bytes(data[idx * width:(idx + 1) * width], "little")
+        if signed and value >= 1 << (sew - 1):
+            value -= 1 << sew
+        out.append(value)
+    return out
+
+
+def _write_group(s: MachineState, start: int, sew: int,
+                 values: dict[int, int], lmul: int | None = None) -> None:
+    """Write {element-index: value}; untouched elements keep old bytes."""
+    lmul = lmul if lmul is not None else s.lmul
+    width = sew // 8
+    per_reg = s.vlenb // width
+    for idx, value in values.items():
+        reg = s.vregs[(start + idx // per_reg) % 32]
+        off = (idx % per_reg) * width
+        reg[off:off + width] = (value & ((1 << sew) - 1)).to_bytes(
+            width, "little")
+
+
+def _active(s: MachineState, inst: Instruction) -> list[int]:
+    """Element indices this op touches (vl and mask applied)."""
+    if inst.aux:  # unmasked
+        return list(range(s.vl))
+    return [e for e in range(s.vl) if s.mask_bit(e)]
+
+
+def _operand_rs1(s: MachineState, inst: Instruction, sew: int,
+                 count: int, signed: bool) -> list[int]:
+    """The vs1/rs1/imm operand broadcast appropriately."""
+    spec = inst.spec
+    if spec.rs1_file == "v":
+        return _read_group(s, inst.rs1, sew, count, signed)
+    if spec.rs1_file == "x":
+        scalar = s.regs[inst.rs1] & ((1 << sew) - 1)
+        if signed and scalar >= 1 << (sew - 1):
+            scalar -= 1 << sew
+        return [scalar] * count
+    if spec.rs1_file == "f":
+        return [s.fregs[inst.rs1]] * count  # raw bits; FP ops unpack
+    value = inst.imm
+    return [value] * count
+
+
+# -- configuration ----------------------------------------------------------------
+
+@_vop("vsetvli")
+def _vsetvli(s, i):
+    avl = s.regs[i.rs1] if i.rs1 else (s.vlen * 8)  # rs1=x0: VLMAX request
+    s.write_x(i.rd, s.set_vtype(i.imm, avl))
+
+
+@_vop("vsetvl")
+def _vsetvl(s, i):
+    avl = s.regs[i.rs1] if i.rs1 else (s.vlen * 8)
+    s.write_x(i.rd, s.set_vtype(s.regs[i.rs2], avl))
+
+
+# -- integer ALU -------------------------------------------------------------------
+
+def _int_binop(fn, signed: bool = False):
+    def handler(s: MachineState, i: Instruction) -> None:
+        sew = s.sew
+        active = _active(s, i)
+        a = _read_group(s, i.rs2, sew, s.vl, signed)   # vs2
+        b = _operand_rs1(s, i, sew, s.vl, signed)      # vs1/rs1/imm
+        _write_group(s, i.rd, sew, {e: fn(a[e], b[e], sew) for e in active})
+    return handler
+
+
+VECTOR_EXEC.update({
+    f"vadd.{sfx}": _int_binop(lambda x, y, w: x + y)
+    for sfx in ("vv", "vx", "vi")})
+VECTOR_EXEC.update({
+    f"vsub.{sfx}": _int_binop(lambda x, y, w: x - y)
+    for sfx in ("vv", "vx", "vi")})
+VECTOR_EXEC.update({
+    f"vrsub.{sfx}": _int_binop(lambda x, y, w: y - x)
+    for sfx in ("vv", "vx", "vi")})
+VECTOR_EXEC.update({
+    f"vand.{sfx}": _int_binop(lambda x, y, w: x & y)
+    for sfx in ("vv", "vx", "vi")})
+VECTOR_EXEC.update({
+    f"vor.{sfx}": _int_binop(lambda x, y, w: x | y)
+    for sfx in ("vv", "vx", "vi")})
+VECTOR_EXEC.update({
+    f"vxor.{sfx}": _int_binop(lambda x, y, w: x ^ y)
+    for sfx in ("vv", "vx", "vi")})
+VECTOR_EXEC.update({
+    f"vsll.{sfx}": _int_binop(lambda x, y, w: x << (y & (w - 1)))
+    for sfx in ("vv", "vx", "vi")})
+VECTOR_EXEC.update({
+    f"vsrl.{sfx}": _int_binop(lambda x, y, w: (x & ((1 << w) - 1)) >> (y & (w - 1)))
+    for sfx in ("vv", "vx", "vi")})
+VECTOR_EXEC.update({
+    f"vsra.{sfx}": _int_binop(lambda x, y, w: x >> (y & (w - 1)), signed=True)
+    for sfx in ("vv", "vx", "vi")})
+VECTOR_EXEC.update({
+    f"vmin.{sfx}": _int_binop(min, signed=True) for sfx in ("vv", "vx")})
+VECTOR_EXEC.update({
+    f"vmax.{sfx}": _int_binop(max, signed=True) for sfx in ("vv", "vx")})
+VECTOR_EXEC.update({
+    f"vminu.{sfx}": _int_binop(min) for sfx in ("vv", "vx")})
+VECTOR_EXEC.update({
+    f"vmaxu.{sfx}": _int_binop(max) for sfx in ("vv", "vx")})
+VECTOR_EXEC.update({
+    f"vmul.{sfx}": _int_binop(lambda x, y, w: x * y, signed=True)
+    for sfx in ("vv", "vx")})
+VECTOR_EXEC.update({
+    f"vmulh.{sfx}": _int_binop(lambda x, y, w: (x * y) >> w, signed=True)
+    for sfx in ("vv", "vx")})
+VECTOR_EXEC.update({
+    f"vmulhu.{sfx}": _int_binop(lambda x, y, w: (x * y) >> w)
+    for sfx in ("vv", "vx")})
+
+
+def _int_div(fn, signed: bool):
+    def div_op(x: int, y: int, w: int) -> int:
+        if y == 0:
+            return -1 if signed else (1 << w) - 1
+        q = abs(x) // abs(y)
+        if (x < 0) != (y < 0):
+            q = -q
+        return fn(x, y, q)
+    return _int_binop(div_op, signed)
+
+
+VECTOR_EXEC.update({f"vdiv.{s}": _int_div(lambda x, y, q: q, True)
+                    for s in ("vv", "vx")})
+VECTOR_EXEC.update({f"vdivu.{s}": _int_div(lambda x, y, q: q, False)
+                    for s in ("vv", "vx")})
+VECTOR_EXEC.update({f"vrem.{s}": _int_div(lambda x, y, q: x - q * y, True)
+                    for s in ("vv", "vx")})
+VECTOR_EXEC.update({f"vremu.{s}": _int_div(lambda x, y, q: x - q * y, False)
+                    for s in ("vv", "vx")})
+
+
+def _int_mac(sign: int, dest_is_addend: bool):
+    def handler(s: MachineState, i: Instruction) -> None:
+        sew = s.sew
+        active = _active(s, i)
+        a = _read_group(s, i.rs2, sew, s.vl, True)
+        b = _operand_rs1(s, i, sew, s.vl, True)
+        d = _read_group(s, i.rd, sew, s.vl, True)
+        if dest_is_addend:  # vmacc: vd += vs1*vs2
+            out = {e: d[e] + sign * a[e] * b[e] for e in active}
+        else:               # vmadd: vd = vd*vs1 + vs2
+            out = {e: d[e] * b[e] + sign * a[e] for e in active}
+        _write_group(s, i.rd, sew, out)
+    return handler
+
+
+for _sfx in ("vv", "vx"):
+    VECTOR_EXEC[f"vmacc.{_sfx}"] = _int_mac(1, True)
+    VECTOR_EXEC[f"vnmsac.{_sfx}"] = _int_mac(-1, True)
+    VECTOR_EXEC[f"vmadd.{_sfx}"] = _int_mac(1, False)
+
+
+# Widening ops: destination EEW = 2*SEW, EMUL = 2*LMUL.
+def _widening(fn, mac: bool = False, signed: bool = True):
+    def handler(s: MachineState, i: Instruction) -> None:
+        sew, wide = s.sew, s.sew * 2
+        active = _active(s, i)
+        a = _read_group(s, i.rs2, sew, s.vl, signed)
+        b = _operand_rs1(s, i, sew, s.vl, signed)
+        wide_lmul = min(s.lmul * 2, 8)
+        if mac:
+            d = _read_group(s, i.rd, wide, s.vl, signed, lmul=wide_lmul)
+            out = {e: d[e] + fn(a[e], b[e]) for e in active}
+        else:
+            out = {e: fn(a[e], b[e]) for e in active}
+        _write_group(s, i.rd, wide, out, lmul=wide_lmul)
+    return handler
+
+
+for _sfx in ("vv", "vx"):
+    VECTOR_EXEC[f"vwmul.{_sfx}"] = _widening(lambda x, y: x * y)
+    VECTOR_EXEC[f"vwmulu.{_sfx}"] = _widening(lambda x, y: x * y, signed=False)
+    VECTOR_EXEC[f"vwmacc.{_sfx}"] = _widening(lambda x, y: x * y, mac=True)
+    VECTOR_EXEC[f"vwmaccu.{_sfx}"] = _widening(lambda x, y: x * y, mac=True,
+                                               signed=False)
+    VECTOR_EXEC[f"vwadd.{_sfx}"] = _widening(lambda x, y: x + y)
+    VECTOR_EXEC[f"vwaddu.{_sfx}"] = _widening(lambda x, y: x + y, signed=False)
+
+
+# Compares write mask bits into vd.
+def _compare(fn, signed: bool):
+    def handler(s: MachineState, i: Instruction) -> None:
+        sew = s.sew
+        active = _active(s, i)
+        a = _read_group(s, i.rs2, sew, s.vl, signed)
+        b = _operand_rs1(s, i, sew, s.vl, signed)
+        dest = s.vregs[i.rd]
+        for e in active:
+            if fn(a[e], b[e]):
+                dest[e >> 3] |= 1 << (e & 7)
+            else:
+                dest[e >> 3] &= ~(1 << (e & 7))
+    return handler
+
+
+for _sfx in ("vv", "vx"):
+    VECTOR_EXEC[f"vmseq.{_sfx}"] = _compare(lambda x, y: x == y, False)
+    VECTOR_EXEC[f"vmsne.{_sfx}"] = _compare(lambda x, y: x != y, False)
+    VECTOR_EXEC[f"vmsltu.{_sfx}"] = _compare(lambda x, y: x < y, False)
+    VECTOR_EXEC[f"vmslt.{_sfx}"] = _compare(lambda x, y: x < y, True)
+    VECTOR_EXEC[f"vmsleu.{_sfx}"] = _compare(lambda x, y: x <= y, False)
+    VECTOR_EXEC[f"vmsle.{_sfx}"] = _compare(lambda x, y: x <= y, True)
+
+
+# Merge and moves.
+def _merge(s: MachineState, i: Instruction) -> None:
+    sew = s.sew
+    a = _read_group(s, i.rs2, sew, s.vl)
+    b = _operand_rs1(s, i, sew, s.vl, False)
+    out = {e: b[e] if s.mask_bit(e) else a[e] for e in range(s.vl)}
+    _write_group(s, i.rd, sew, out)
+
+
+VECTOR_EXEC["vmerge.vvm"] = _merge
+VECTOR_EXEC["vmerge.vxm"] = _merge
+
+
+@_vop("vmv.v.v", "vmv.v.x", "vmv.v.i")
+def _vmv_v(s, i):
+    sew = s.sew
+    b = _operand_rs1(s, i, sew, s.vl, False)
+    _write_group(s, i.rd, sew, dict(enumerate(b[:s.vl])))
+
+
+@_vop("vmv.x.s")
+def _vmv_x_s(s, i):
+    value = _read_group(s, i.rs2, s.sew, 1, signed=True)[0]
+    s.write_x(i.rd, value)
+
+
+@_vop("vmv.s.x")
+def _vmv_s_x(s, i):
+    _write_group(s, i.rd, s.sew, {0: s.regs[i.rs1]})
+
+
+# Reductions: vd[0] = reduce(vs2[0..vl-1], init=vs1[0]).
+def _reduce(fn, signed: bool, fp: bool = False):
+    def handler(s: MachineState, i: Instruction) -> None:
+        sew = s.sew
+        elems = _read_group(s, i.rs2, sew, s.vl, signed)
+        init = _read_group(s, i.rs1, sew, 1, signed)[0]
+        if fp:
+            unpack, pack = _FP_UNPACK[sew], _FP_PACK[sew]
+            acc = unpack(init)
+            for e in _active(s, i):
+                acc = fn(acc, unpack(elems[e]))
+            _write_group(s, i.rd, sew, {0: pack(acc)})
+            return
+        acc = init
+        for e in _active(s, i):
+            acc = fn(acc, elems[e])
+        _write_group(s, i.rd, sew, {0: acc})
+    return handler
+
+
+VECTOR_EXEC["vredsum.vs"] = _reduce(lambda a, b: a + b, True)
+VECTOR_EXEC["vredmax.vs"] = _reduce(max, True)
+VECTOR_EXEC["vredmin.vs"] = _reduce(min, True)
+VECTOR_EXEC["vredmaxu.vs"] = _reduce(max, False)
+VECTOR_EXEC["vredminu.vs"] = _reduce(min, False)
+VECTOR_EXEC["vredand.vs"] = _reduce(lambda a, b: a & b, False)
+VECTOR_EXEC["vredor.vs"] = _reduce(lambda a, b: a | b, False)
+VECTOR_EXEC["vredxor.vs"] = _reduce(lambda a, b: a ^ b, False)
+VECTOR_EXEC["vfredsum.vs"] = _reduce(lambda a, b: a + b, False, fp=True)
+VECTOR_EXEC["vfredmax.vs"] = _reduce(max, False, fp=True)
+VECTOR_EXEC["vfredmin.vs"] = _reduce(min, False, fp=True)
+
+
+# Mask-register logical operations: bitwise over the first vl bits.
+def _mask_logical(fn):
+    def handler(s: MachineState, i: Instruction) -> None:
+        dest = s.vregs[i.rd]
+        a = s.vregs[i.rs2]
+        b = s.vregs[i.rs1]
+        for e in range(s.vl):
+            byte, bit = e >> 3, e & 7
+            va = (a[byte] >> bit) & 1
+            vb = (b[byte] >> bit) & 1
+            if fn(va, vb):
+                dest[byte] |= 1 << bit
+            else:
+                dest[byte] &= ~(1 << bit)
+    return handler
+
+
+VECTOR_EXEC["vmand.mm"] = _mask_logical(lambda a, b: a & b)
+VECTOR_EXEC["vmor.mm"] = _mask_logical(lambda a, b: a | b)
+VECTOR_EXEC["vmxor.mm"] = _mask_logical(lambda a, b: a ^ b)
+VECTOR_EXEC["vmnand.mm"] = _mask_logical(lambda a, b: 1 - (a & b))
+VECTOR_EXEC["vmnor.mm"] = _mask_logical(lambda a, b: 1 - (a | b))
+VECTOR_EXEC["vmxnor.mm"] = _mask_logical(lambda a, b: 1 - (a ^ b))
+
+
+@_vop("vid.v")
+def _vid(s, i):
+    out = {e: e for e in _active(s, i)}
+    _write_group(s, i.rd, s.sew, out)
+
+
+@_vop("vcpop.m")
+def _vcpop(s, i):
+    src = s.vregs[i.rs2]
+    count = 0
+    for e in range(s.vl):
+        if not i.aux and not s.mask_bit(e):
+            continue
+        if (src[e >> 3] >> (e & 7)) & 1:
+            count += 1
+    s.write_x(i.rd, count)
+
+
+# Permutations.
+@_vop("vslideup.vx", "vslideup.vi")
+def _vslideup(s, i):
+    offset = s.regs[i.rs1] if i.spec.rs1_file == "x" else i.imm
+    src = _read_group(s, i.rs2, s.sew, s.vl)
+    out = {e: src[e - offset] for e in _active(s, i) if e >= offset}
+    _write_group(s, i.rd, s.sew, out)
+
+
+@_vop("vslidedown.vx", "vslidedown.vi")
+def _vslidedown(s, i):
+    offset = s.regs[i.rs1] if i.spec.rs1_file == "x" else i.imm
+    src = _read_group(s, i.rs2, s.sew, s.vlmax)
+    out = {e: (src[e + offset] if e + offset < s.vlmax else 0)
+           for e in _active(s, i)}
+    _write_group(s, i.rd, s.sew, out)
+
+
+@_vop("vrgather.vv")
+def _vrgather(s, i):
+    indexes = _read_group(s, i.rs1, s.sew, s.vl)
+    src = _read_group(s, i.rs2, s.sew, s.vlmax)
+    out = {e: (src[indexes[e]] if indexes[e] < s.vlmax else 0)
+           for e in _active(s, i)}
+    _write_group(s, i.rd, s.sew, out)
+
+
+# -- FP --------------------------------------------------------------------------
+
+def _fp_operand(s: MachineState, i: Instruction, sew: int,
+                count: int) -> list[float]:
+    unpack = _FP_UNPACK[sew]
+    if i.spec.rs1_file == "v":
+        return [unpack(v) for v in _read_group(s, i.rs1, sew, count)]
+    # scalar f register broadcast: take the raw low sew bits
+    return [unpack(s.fregs[i.rs1])] * count
+
+
+def _fp_binop(fn):
+    def handler(s: MachineState, i: Instruction) -> None:
+        sew = s.sew
+        unpack, pack = _FP_UNPACK[sew], _FP_PACK[sew]
+        active = _active(s, i)
+        a = [unpack(v) for v in _read_group(s, i.rs2, sew, s.vl)]
+        b = _fp_operand(s, i, sew, s.vl)
+        out = {}
+        for e in active:
+            try:
+                out[e] = pack(fn(a[e], b[e]))
+            except ZeroDivisionError:
+                out[e] = pack(float("inf") if a[e] > 0 else float("-inf"))
+        _write_group(s, i.rd, sew, out)
+    return handler
+
+
+for _sfx in ("vv", "vf"):
+    VECTOR_EXEC[f"vfadd.{_sfx}"] = _fp_binop(lambda x, y: x + y)
+    VECTOR_EXEC[f"vfsub.{_sfx}"] = _fp_binop(lambda x, y: x - y)
+    VECTOR_EXEC[f"vfmul.{_sfx}"] = _fp_binop(lambda x, y: x * y)
+    VECTOR_EXEC[f"vfdiv.{_sfx}"] = _fp_binop(lambda x, y: x / y)
+    VECTOR_EXEC[f"vfmin.{_sfx}"] = _fp_binop(min)
+    VECTOR_EXEC[f"vfmax.{_sfx}"] = _fp_binop(max)
+
+
+def _fp_mac(sign_prod: int, dest_is_addend: bool):
+    def handler(s: MachineState, i: Instruction) -> None:
+        sew = s.sew
+        unpack, pack = _FP_UNPACK[sew], _FP_PACK[sew]
+        active = _active(s, i)
+        a = [unpack(v) for v in _read_group(s, i.rs2, sew, s.vl)]
+        b = _fp_operand(s, i, sew, s.vl)
+        d = [unpack(v) for v in _read_group(s, i.rd, sew, s.vl)]
+        if dest_is_addend:
+            out = {e: pack(sign_prod * a[e] * b[e] + d[e]) for e in active}
+        else:
+            out = {e: pack(sign_prod * d[e] * b[e] + a[e]) for e in active}
+        _write_group(s, i.rd, sew, out)
+    return handler
+
+
+for _sfx in ("vv", "vf"):
+    VECTOR_EXEC[f"vfmacc.{_sfx}"] = _fp_mac(1, True)
+    VECTOR_EXEC[f"vfnmacc.{_sfx}"] = _fp_mac(-1, True)
+    VECTOR_EXEC[f"vfmadd.{_sfx}"] = _fp_mac(1, False)
+
+
+@_vop("vfsqrt.v")
+def _vfsqrt(s, i):
+    import math
+
+    sew = s.sew
+    unpack, pack = _FP_UNPACK[sew], _FP_PACK[sew]
+    a = [unpack(v) for v in _read_group(s, i.rs2, sew, s.vl)]
+    out = {e: pack(math.sqrt(a[e]) if a[e] >= 0 else float("nan"))
+           for e in _active(s, i)}
+    _write_group(s, i.rd, sew, out)
+
+
+# -- memory ----------------------------------------------------------------------
+
+def _vload(s: MachineState, i: Instruction) -> None:
+    width = i.spec.mem_bytes
+    base = s.regs[i.rs1]
+    stride = s.regs[i.rs2] if i.spec.fmt == "VLS" else width
+    out = {}
+    for e in _active(s, i):
+        out[e] = s.memory.load_int(base + e * stride, width)
+    _write_group(s, i.rd, width * 8, out,
+                 lmul=max(1, (s.vl * width + s.vlenb - 1) // s.vlenb))
+    s.side.mem_addr = base
+    s.side.mem_size = max(s.vl, 1) * (stride if stride > 0 else width)
+
+
+def _vstore(s: MachineState, i: Instruction) -> None:
+    width = i.spec.mem_bytes
+    base = s.regs[i.rs1]
+    stride = s.regs[i.rs2] if i.spec.fmt == "VSS" else width
+    lmul = max(1, (s.vl * width + s.vlenb - 1) // s.vlenb)
+    values = _read_group(s, i.rs3, width * 8, s.vl, lmul=lmul)
+    for e in _active(s, i):
+        s.memory.store_int(base + e * stride, values[e], width)
+    s.side.mem_addr = base
+    s.side.mem_size = max(s.vl, 1) * (stride if stride > 0 else width)
+
+
+for _w in (8, 16, 32, 64):
+    VECTOR_EXEC[f"vle{_w}.v"] = _vload
+    VECTOR_EXEC[f"vlse{_w}.v"] = _vload
+    VECTOR_EXEC[f"vse{_w}.v"] = _vstore
+    VECTOR_EXEC[f"vsse{_w}.v"] = _vstore

@@ -1,0 +1,111 @@
+"""Sparse flat physical memory for the functional model.
+
+Backed by 4 KiB pages allocated on demand.  Unaligned accesses are
+legal (the XT-910 LSU supports unaligned data access, section II), so
+reads and writes transparently cross page boundaries.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class Memory:
+    """Byte-addressable sparse memory with optional MMIO windows."""
+
+    def __init__(self):
+        self._pages: dict[int, bytearray] = {}
+        self._mmio: list[tuple[int, int, object]] = []  # (base, size, device)
+
+    def register_mmio(self, base: int, size: int, device) -> None:
+        """Map *device* at [base, base+size).
+
+        The device implements ``load(offset, size) -> int`` and
+        ``store(offset, value, size)``; accesses must not straddle the
+        window boundary.
+        """
+        self._mmio.append((base, size, device))
+
+    def _mmio_at(self, addr: int):
+        for base, size, device in self._mmio:
+            if base <= addr < base + size:
+                return base, device
+        return None
+
+    def _page(self, ppn: int) -> bytearray:
+        page = self._pages.get(ppn)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[ppn] = page
+        return page
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        if self._mmio:
+            hit = self._mmio_at(addr)
+            if hit is not None:
+                base, device = hit
+                value = device.load(addr - base, size)
+                return (value & ((1 << (size * 8)) - 1)).to_bytes(
+                    size, "little")
+        return self._load_bytes_ram(addr, size)
+
+    def _load_bytes_ram(self, addr: int, size: int) -> bytes:
+        ppn, offset = addr >> PAGE_SHIFT, addr & PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            page = self._pages.get(ppn)
+            if page is None:
+                return bytes(size)
+            return bytes(page[offset:offset + size])
+        out = bytearray()
+        while size:
+            chunk = min(size, PAGE_SIZE - offset)
+            page = self._pages.get(ppn)
+            out += (page[offset:offset + chunk] if page is not None
+                    else bytes(chunk))
+            size -= chunk
+            ppn += 1
+            offset = 0
+        return bytes(out)
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        if self._mmio:
+            hit = self._mmio_at(addr)
+            if hit is not None:
+                base, device = hit
+                device.store(addr - base,
+                             int.from_bytes(data, "little"), len(data))
+                return
+        ppn, offset = addr >> PAGE_SHIFT, addr & PAGE_MASK
+        size = len(data)
+        if offset + size <= PAGE_SIZE:
+            self._page(ppn)[offset:offset + size] = data
+            return
+        pos = 0
+        while pos < size:
+            chunk = min(size - pos, PAGE_SIZE - offset)
+            self._page(ppn)[offset:offset + chunk] = data[pos:pos + chunk]
+            pos += chunk
+            ppn += 1
+            offset = 0
+
+    def load_int(self, addr: int, size: int, signed: bool = False) -> int:
+        value = int.from_bytes(self.load_bytes(addr, size), "little")
+        if signed and value >= 1 << (size * 8 - 1):
+            value -= 1 << (size * 8)
+        return value
+
+    def store_int(self, addr: int, value: int, size: int) -> None:
+        self.store_bytes(addr, (value & ((1 << (size * 8)) - 1))
+                         .to_bytes(size, "little"))
+
+    def load_program(self, program) -> None:
+        """Copy a :class:`repro.asm.Program`'s segments into memory."""
+        self.store_bytes(program.text_base, program.text)
+        if program.data:
+            self.store_bytes(program.data_base, program.data)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE

@@ -1,0 +1,159 @@
+"""Architectural machine state for the functional emulator."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..isa.csr import (
+    CSR_CYCLE,
+    CSR_INSTRET,
+    CSR_TIME,
+    CSR_VL,
+    CSR_VTYPE,
+    CsrFile,
+    PrivMode,
+)
+from .memory import Memory
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+
+def to_signed(value: int, bits: int = 64) -> int:
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value >= 1 << (bits - 1) else value
+
+
+def to_unsigned(value: int, bits: int = 64) -> int:
+    return value & ((1 << bits) - 1)
+
+
+def sext32(value: int) -> int:
+    """Sign-extend the low 32 bits of *value* into a 64-bit value."""
+    value &= MASK32
+    return (value | ~MASK32) & MASK64 if value >= 1 << 31 else value
+
+
+def f32_bits_to_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & MASK32))[0]
+
+
+def float_to_f32_bits(value: float) -> int:
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except OverflowError:
+        sign = 0x8000_0000 if value < 0 else 0
+        return sign | 0x7F80_0000  # +/- infinity
+
+def f64_bits_to_float(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & MASK64))[0]
+
+
+def float_to_f64_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def f16_bits_to_float(bits: int) -> float:
+    return struct.unpack("<e", struct.pack("<H", bits & 0xFFFF))[0]
+
+
+def float_to_f16_bits(value: float) -> int:
+    try:
+        return struct.unpack("<H", struct.pack("<e", value))[0]
+    except OverflowError:
+        return 0xFC00 if value < 0 else 0x7C00  # +/- infinity
+
+
+@dataclass(slots=True)
+class SideEffects:
+    """Per-instruction scratch the emulator turns into a DynInst."""
+
+    mem_addr: int = 0
+    mem_size: int = 0
+    taken: bool = False
+    target: int = 0
+    div_bits: int = 0      # dividend magnitude for early-out dividers
+
+    def reset(self) -> None:
+        self.mem_addr = 0
+        self.mem_size = 0
+        self.taken = False
+        self.target = 0
+        self.div_bits = 0
+
+
+class MachineState:
+    """Registers, CSRs, vector state, and memory for one hart."""
+
+    VLEN_DEFAULT = 128  # bits; two 64-bit slices (section VII)
+
+    def __init__(self, memory: Memory | None = None, hart_id: int = 0,
+                 vlen: int = VLEN_DEFAULT):
+        self.memory = memory if memory is not None else Memory()
+        self.pc = 0
+        self.regs: list[int] = [0] * 32
+        self.fregs: list[int] = [0] * 32
+        self.vlen = vlen
+        self.vlenb = vlen // 8
+        self.vregs: list[bytearray] = [bytearray(self.vlenb)
+                                       for _ in range(32)]
+        self.vl = 0
+        self.vtype = 0
+        self.sew = 64
+        self.lmul = 1
+        self.priv = PrivMode.MACHINE
+        self.csrs = CsrFile(hart_id=hart_id)
+        self.instret = 0
+        self.reservation: int | None = None  # LR/SC reservation address
+        self.side = SideEffects()
+        self.csrs.bind_counter(CSR_INSTRET, lambda: self.instret)
+        self.csrs.bind_counter(CSR_CYCLE, lambda: self.instret)
+        self.csrs.bind_counter(CSR_TIME, lambda: self.instret)
+        self.csrs.bind_counter(CSR_VL, lambda: self.vl)
+        self.csrs.bind_counter(CSR_VTYPE, lambda: self.vtype)
+
+    # -- integer registers ---------------------------------------------------
+
+    def read_x(self, index: int) -> int:
+        return self.regs[index]
+
+    def write_x(self, index: int, value: int) -> None:
+        if index:
+            self.regs[index] = value & MASK64
+
+    # -- vector helpers --------------------------------------------------------
+
+    def set_vtype(self, vtype: int, avl: int) -> int:
+        """Apply a vsetvl and return the granted vl (VLMAX-clamped)."""
+        from ..asm.assembler import decode_vtype
+
+        self.vtype = vtype
+        self.sew, self.lmul = decode_vtype(vtype)
+        vlmax = self.vlen * self.lmul // self.sew
+        self.vl = min(avl, vlmax)
+        return self.vl
+
+    @property
+    def vlmax(self) -> int:
+        return self.vlen * self.lmul // self.sew
+
+    def vreg_group(self, start: int) -> bytearray:
+        """Concatenated bytes of the LMUL register group starting at *start*."""
+        if self.lmul == 1:
+            return self.vregs[start]
+        out = bytearray()
+        for i in range(self.lmul):
+            out += self.vregs[(start + i) % 32]
+        return out
+
+    def write_vreg_group(self, start: int, data: bytearray) -> None:
+        for i in range(self.lmul):
+            chunk = data[i * self.vlenb:(i + 1) * self.vlenb]
+            if len(chunk) < self.vlenb:
+                chunk = chunk + bytes(self.vlenb - len(chunk))
+            self.vregs[(start + i) % 32] = bytearray(chunk)
+
+    def mask_bit(self, element: int) -> bool:
+        """Bit *element* of the mask register v0."""
+        return bool(self.vregs[0][element >> 3] >> (element & 7) & 1)

@@ -1,0 +1,52 @@
+"""Minimal bare-metal syscall shim (newlib-flavoured ecall ABI).
+
+Workloads signal completion and print results through ``ecall`` with the
+syscall number in a7.  Supported calls: exit(93), write(64) to the
+captured stdout buffer, and a brk-style sbrk(214) over the heap region.
+"""
+
+from __future__ import annotations
+
+from ..asm.program import HEAP_BASE
+from .state import MachineState, to_signed
+
+SYS_EXIT = 93
+SYS_WRITE = 64
+SYS_SBRK = 214
+
+
+class ExitRequest(Exception):
+    """Raised by the shim when the program calls exit."""
+
+    def __init__(self, code: int):
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+class SyscallShim:
+    """Dispatches ecall traps; captures program output."""
+
+    def __init__(self):
+        self.stdout = bytearray()
+        self._brk = HEAP_BASE
+
+    def handle(self, state: MachineState) -> None:
+        number = state.regs[17]  # a7
+        a0, a1, a2 = state.regs[10], state.regs[11], state.regs[12]
+        if number == SYS_EXIT:
+            raise ExitRequest(to_signed(a0, 32))
+        if number == SYS_WRITE:
+            data = state.memory.load_bytes(a1, a2)
+            self.stdout += data
+            state.write_x(10, a2)
+            return
+        if number == SYS_SBRK:
+            old = self._brk
+            self._brk += a0
+            state.write_x(10, old)
+            return
+        raise ValueError(f"unsupported syscall {number}")
+
+    @property
+    def stdout_text(self) -> str:
+        return self.stdout.decode(errors="replace")

@@ -1,0 +1,48 @@
+"""Dynamic-instruction records consumed by the timing model.
+
+The timing pipeline is trace-driven: the functional emulator retires an
+instruction and emits one :class:`DynInst` carrying everything the
+cycle model needs — control-flow outcome for predictor training, memory
+footprint for the cache/TLB hierarchy, and the static
+:class:`~repro.isa.instructions.Instruction` for operand dependences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instructions import Instruction
+
+
+@dataclass(slots=True)
+class DynInst:
+    """One retired instruction in the dynamic stream."""
+
+    seq: int
+    pc: int
+    inst: Instruction
+    next_pc: int
+    # Control flow (valid when inst is a branch/jump).
+    taken: bool = False
+    target: int = 0
+    # Memory (valid for loads/stores/AMOs; vector accesses set
+    # mem_size to the whole access footprint).
+    mem_addr: int = 0
+    mem_size: int = 0
+    # Vector state at this instruction (for slice timing).
+    vl: int = 0
+    sew: int = 0
+    # Dividend magnitude (bit length) for early-out divider timing.
+    div_bits: int = 0
+
+    @property
+    def is_control(self) -> bool:
+        return self.inst.spec.iclass.value in ("branch", "jump")
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.spec.iclass.value in ("load", "vload", "amo")
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.spec.iclass.value in ("store", "vstore", "amo")

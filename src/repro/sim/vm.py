@@ -1,0 +1,150 @@
+"""SV39 virtual memory for the functional emulator (section V.E).
+
+``VirtualMemoryView`` wraps the physical :class:`Memory`: when ``satp``
+selects SV39 and the hart is not in M-mode, every access is translated
+through the page tables (with a small software TLB standing in for the
+hardware uTLB/jTLB, flushed by ``sfence.vma``).  Permission violations
+and unmapped pages raise the architecturally-correct page-fault traps.
+
+Enable with ``Emulator(..., enable_mmu=True)``; the default stays the
+bare-metal identity mapping so the fast path is untouched.
+"""
+
+from __future__ import annotations
+
+from ..isa.csr import CSR_SATP, PrivMode, TrapCause
+from ..mem.ptw import PTE_R, PTE_U, PTE_W, PTE_X, PageFault, PageTableWalker
+from .exec_scalar import Trap
+from .memory import Memory
+
+SATP_MODE_SV39 = 8
+PAGE_SIZE = 4096
+
+_FAULT_BY_ACCESS = {
+    "r": TrapCause.LOAD_PAGE_FAULT,
+    "w": TrapCause.STORE_PAGE_FAULT,
+    "x": TrapCause.INSTRUCTION_PAGE_FAULT,
+}
+_PERM_BIT = {"r": PTE_R, "w": PTE_W, "x": PTE_X}
+
+
+class VirtualMemoryView:
+    """A Memory-compatible view applying SV39 translation on demand."""
+
+    def __init__(self, physical: Memory, state):
+        self.physical = physical
+        self.state = state
+        self._tlb: dict[int, tuple[int, int, int]] = {}  # vpn -> (base, size, flags)
+        self._cached_root: int | None = None
+
+    # -- control ---------------------------------------------------------------
+
+    def flush_tlb(self) -> None:
+        """sfence.vma: drop every cached translation."""
+        self._tlb.clear()
+
+    # -- translation -----------------------------------------------------------
+
+    def _active(self) -> bool:
+        if self.state.priv == PrivMode.MACHINE:
+            return False
+        satp = self.state.csrs.read(CSR_SATP)
+        return (satp >> 60) == SATP_MODE_SV39
+
+    def _root(self) -> int:
+        satp = self.state.csrs.read(CSR_SATP)
+        return (satp & ((1 << 44) - 1)) << 12
+
+    def translate(self, vaddr: int, access: str) -> int:
+        """Translate one address (no page crossing); may raise Trap."""
+        if not self._active():
+            return vaddr
+        vpn = vaddr >> 12
+        cached = self._tlb.get(vpn)
+        if cached is None:
+            root = self._root()
+            if root != self._cached_root:
+                self._tlb.clear()
+                self._cached_root = root
+            walker = PageTableWalker(self.physical, root)
+            try:
+                translation = walker.walk(vaddr)
+            except PageFault:
+                raise Trap(_FAULT_BY_ACCESS[access], vaddr) from None
+            # Cache at 4K granularity (one entry per touched 4K page,
+            # even inside a huge page) — what a 4K-indexed TLB sees.
+            huge_base_va = vaddr - (vaddr % translation.page_size)
+            huge_base_pa = translation.paddr - (vaddr % translation.page_size)
+            va_page = vaddr & ~(PAGE_SIZE - 1)
+            pa_page = huge_base_pa + (va_page - huge_base_va)
+            cached = (pa_page, PAGE_SIZE, translation.flags)
+            self._tlb[vpn] = cached
+        base, size, flags = cached
+        if not flags & _PERM_BIT[access]:
+            raise Trap(_FAULT_BY_ACCESS[access], vaddr)
+        if self.state.priv == PrivMode.USER and not flags & PTE_U:
+            raise Trap(_FAULT_BY_ACCESS[access], vaddr)
+        if self.state.priv == PrivMode.SUPERVISOR and flags & PTE_U \
+                and access == "x":
+            raise Trap(_FAULT_BY_ACCESS[access], vaddr)
+        return base + (vaddr % size)
+
+    # -- Memory protocol ----------------------------------------------------------
+
+    def _split(self, addr: int, size: int):
+        """Yield (vaddr, chunk) pieces that never cross a page."""
+        while size > 0:
+            chunk = min(size, PAGE_SIZE - (addr % PAGE_SIZE))
+            yield addr, chunk
+            addr += chunk
+            size -= chunk
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        if not self._active():
+            return self.physical.load_bytes(addr, size)
+        out = bytearray()
+        for vaddr, chunk in self._split(addr, size):
+            paddr = self.translate(vaddr, "r")
+            out += self.physical.load_bytes(paddr, chunk)
+        return bytes(out)
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        if not self._active():
+            self.physical.store_bytes(addr, data)
+            return
+        pos = 0
+        for vaddr, chunk in self._split(addr, len(data)):
+            paddr = self.translate(vaddr, "w")
+            self.physical.store_bytes(paddr, data[pos:pos + chunk])
+            pos += chunk
+
+    def fetch_bytes(self, addr: int, size: int) -> bytes:
+        """Instruction fetch: translated with execute permission."""
+        if not self._active():
+            return self.physical.load_bytes(addr, size)
+        out = bytearray()
+        for vaddr, chunk in self._split(addr, size):
+            paddr = self.translate(vaddr, "x")
+            out += self.physical.load_bytes(paddr, chunk)
+        return bytes(out)
+
+    # Convenience parity with Memory.
+    def load_int(self, addr: int, size: int, signed: bool = False) -> int:
+        value = int.from_bytes(self.load_bytes(addr, size), "little")
+        if signed and value >= 1 << (size * 8 - 1):
+            value -= 1 << (size * 8)
+        return value
+
+    def store_int(self, addr: int, value: int, size: int) -> None:
+        self.store_bytes(addr, (value & ((1 << (size * 8)) - 1))
+                         .to_bytes(size, "little"))
+
+    def load_program(self, program) -> None:
+        self.physical.load_program(program)
+
+    def register_mmio(self, base: int, size: int, device) -> None:
+        self.physical.register_mmio(base, size, device)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.physical.allocated_bytes

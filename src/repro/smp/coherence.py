@@ -1,0 +1,209 @@
+"""MOSEI cache coherence for one XT-910 cluster (paper section VI).
+
+Up to 4 cores share an inclusive L2 whose lines carry a sharer bitmap —
+the snoop filter: "a snoop filter that monitors access by the cores to
+the shared L2 cache effectively reduces the inter-core communications".
+With the filter, an access only disturbs the cores the bitmap names;
+without it every miss broadcasts to all cores (the counter difference
+is the experiment).
+
+State machine (M-O-S-E-I):
+
+* read miss, no other sharer      -> E
+* read miss, other sharer present -> S (owner M downgrades to O and
+  supplies the data cache-to-cache)
+* write                           -> M (other copies invalidated)
+* L2 eviction back-invalidates L1 copies (inclusive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mem.cache import Cache, LineState
+from ..mem.dram import Dram, DramConfig
+
+
+@dataclass
+class CoherenceConfig:
+    cores: int = 4
+    l1_size: int = 64 << 10
+    l1_assoc: int = 4
+    l2_size: int = 2 << 20
+    l2_assoc: int = 16
+    line_size: int = 64
+    l1_latency: int = 1
+    l2_latency: int = 12
+    snoop_latency: int = 8          # cache-to-cache transfer
+    snoop_filter: bool = True
+    dram: DramConfig = field(default_factory=DramConfig)
+
+
+@dataclass
+class CoherenceStats:
+    reads: int = 0
+    writes: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    dram_fills: int = 0
+    cache_to_cache: int = 0
+    invalidations: int = 0
+    snoops_sent: int = 0            # probe messages to other cores
+    upgrades: int = 0               # S/O -> M transitions
+    back_invalidations: int = 0
+
+
+class CoherentCluster:
+    """N private L1Ds + one shared inclusive L2 with a snoop filter."""
+
+    def __init__(self, config: CoherenceConfig | None = None):
+        self.config = config = config if config is not None \
+            else CoherenceConfig()
+        if not 1 <= config.cores <= 4:
+            raise ValueError("a cluster holds 1 to 4 cores (Table I)")
+        self.l1s = [Cache(f"L1D{i}", config.l1_size, config.l1_assoc,
+                          config.line_size) for i in range(config.cores)]
+        self.l2 = Cache("L2", config.l2_size, config.l2_assoc,
+                        config.line_size)
+        self.dram = Dram(config.dram)
+        self.stats = CoherenceStats()
+
+    # -- public ------------------------------------------------------------------
+
+    def access(self, core: int, addr: int, is_write: bool,
+               cycle: int = 0) -> int:
+        """One data access by *core*; returns the latency."""
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        l1 = self.l1s[core]
+        line = l1.lookup(addr)
+        if line is not None:
+            if not is_write or line.state in (LineState.MODIFIED,
+                                              LineState.EXCLUSIVE):
+                self.stats.l1_hits += 1
+                l1.access(addr, is_write)
+                return self.config.l1_latency
+            # Write hit on a shared/owned line: upgrade.
+            latency = self._invalidate_others(core, addr)
+            line.state = LineState.MODIFIED
+            line.dirty = True
+            self.stats.upgrades += 1
+            self.stats.l1_hits += 1
+            return self.config.l1_latency + latency
+        return self._miss(core, addr, is_write, cycle)
+
+    def _invalidate_others(self, core: int, addr: int) -> int:
+        """Upgrade path: invalidate every other copy; returns latency."""
+        l2_line = self.l2.lookup(addr, update_lru=False)
+        holders = (set(l2_line.sharers) - {core}) if l2_line is not None \
+            else set(range(self.config.cores)) - {core}
+        if not holders:
+            return 0
+        self.stats.snoops_sent += len(holders)
+        for other in holders:
+            if self.l1s[other].invalidate(addr) is not None:
+                self.stats.invalidations += 1
+        if l2_line is not None:
+            l2_line.sharers = {core}
+        return self.config.snoop_latency
+
+    # -- misses ------------------------------------------------------------------
+
+    def _miss(self, core: int, addr: int, is_write: bool, cycle: int) -> int:
+        cfg = self.config
+        latency = cfg.l1_latency + cfg.l2_latency
+        l2_line = self.l2.lookup(addr)
+
+        if l2_line is None:
+            ready = self.dram.request(cycle, cfg.line_size)
+            latency += ready - cycle
+            self.stats.dram_fills += 1
+            victim = self.l2.fill(addr)
+            if victim is not None:
+                self._back_invalidate(victim.tag)
+            l2_line = self.l2.lookup(addr)
+        else:
+            self.l2.access(addr, False)
+            self.stats.l2_hits += 1
+
+        holders = set(l2_line.sharers) - {core}
+        if holders:
+            latency += self._handle_remote_copies(core, addr, holders,
+                                                  is_write)
+        elif not cfg.snoop_filter:
+            # Without the filter, every miss probes every other core.
+            self.stats.snoops_sent += cfg.cores - 1
+            latency += cfg.snoop_latency
+
+        state = LineState.MODIFIED if is_write else (
+            LineState.SHARED if holders and not is_write
+            else LineState.EXCLUSIVE)
+        self.l1s[core].fill(addr, state)
+        if is_write:
+            self.l1s[core].lookup(addr).dirty = True
+        l2_line.sharers.add(core)
+        if is_write:
+            l2_line.sharers = {core}
+        return latency
+
+    def _handle_remote_copies(self, core: int, addr: int, holders: set[int],
+                              is_write: bool) -> int:
+        """Probe the cores the snoop filter names; returns added latency."""
+        cfg = self.config
+        latency = cfg.snoop_latency
+        self.stats.snoops_sent += len(holders)
+        transferred = False
+        for other in holders:
+            other_line = self.l1s[other].lookup(addr, update_lru=False)
+            if other_line is None:
+                continue  # stale filter bit: line was silently evicted
+            if other_line.state in (LineState.MODIFIED, LineState.OWNED):
+                transferred = True
+            if is_write:
+                self.l1s[other].invalidate(addr)
+                self.stats.invalidations += 1
+            elif other_line.state is LineState.MODIFIED:
+                other_line.state = LineState.OWNED  # keeps supplying data
+            elif other_line.state is LineState.EXCLUSIVE:
+                other_line.state = LineState.SHARED
+        if is_write:
+            l2_line = self.l2.lookup(addr, update_lru=False)
+            if l2_line is not None:
+                l2_line.sharers.clear()
+        if transferred:
+            self.stats.cache_to_cache += 1
+        return latency
+
+    def _back_invalidate(self, line_tag: int) -> None:
+        """Inclusive L2: an evicted line leaves no L1 copies behind."""
+        addr = line_tag << (self.config.line_size.bit_length() - 1)
+        for l1 in self.l1s:
+            if l1.invalidate(addr) is not None:
+                self.stats.back_invalidations += 1
+
+    # -- introspection --------------------------------------------------------------
+
+    def state_of(self, core: int, addr: int) -> LineState:
+        line = self.l1s[core].lookup(addr, update_lru=False)
+        return line.state if line is not None else LineState.INVALID
+
+    def check_invariants(self) -> None:
+        """MOSEI single-writer / inclusive invariants (for tests)."""
+        seen: dict[int, list[tuple[int, LineState]]] = {}
+        for core, l1 in enumerate(self.l1s):
+            for line_addr, line in l1.lines():
+                seen.setdefault(line_addr, []).append((core, line.state))
+        for line_addr, copies in seen.items():
+            states = [s for _, s in copies]
+            modified = states.count(LineState.MODIFIED)
+            exclusive = states.count(LineState.EXCLUSIVE)
+            if modified + exclusive > 0 and len(copies) > 1:
+                raise AssertionError(
+                    f"line {line_addr:#x}: M/E copy coexists with others: "
+                    f"{copies}")
+            addr = line_addr << (self.config.line_size.bit_length() - 1)
+            if not self.l2.contains(addr):
+                raise AssertionError(
+                    f"line {line_addr:#x} in L1 but not in inclusive L2")

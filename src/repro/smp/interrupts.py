@@ -1,0 +1,208 @@
+"""CLINT and PLIC interrupt controllers (paper section II).
+
+"It also incorporates standard CLint and PLIC multi-core interrupt
+controllers, timers ..." — both are implemented with the standard
+RISC-V memory maps so bare-metal code programs them exactly as it
+would on silicon:
+
+* **CLINT** at its usual base: per-hart ``msip`` (software interrupts,
+  the IPI mechanism), per-hart ``mtimecmp`` and the shared ``mtime``.
+* **PLIC**: per-source priorities, per-context enables and thresholds,
+  and the claim/complete protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+CLINT_BASE = 0x0200_0000
+CLINT_SIZE = 0x1_0000
+_MSIP_OFFSET = 0x0
+_MTIMECMP_OFFSET = 0x4000
+_MTIME_OFFSET = 0xBFF8
+
+PLIC_BASE = 0x0C00_0000
+PLIC_SIZE = 0x400_0000
+_PRIORITY_OFFSET = 0x0
+_PENDING_OFFSET = 0x1000
+_ENABLE_OFFSET = 0x2000
+_ENABLE_STRIDE = 0x80
+_CONTEXT_OFFSET = 0x20_0000
+_CONTEXT_STRIDE = 0x1000
+
+MIP_MSIP = 1 << 3    # machine software interrupt
+MIP_MTIP = 1 << 7    # machine timer interrupt
+MIP_MEIP = 1 << 11   # machine external interrupt
+
+
+class Clint:
+    """Core-local interruptor: software + timer interrupts per hart."""
+
+    def __init__(self, harts: int = 4,
+                 time_fn: Callable[[], int] | None = None):
+        self.harts = harts
+        self.msip = [0] * harts
+        self.mtimecmp = [(1 << 64) - 1] * harts
+        self._time_fn = time_fn
+        self._mtime = 0
+
+    # -- time source --------------------------------------------------------------
+
+    @property
+    def mtime(self) -> int:
+        return self._time_fn() if self._time_fn is not None else self._mtime
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance the internal counter (when no time_fn is bound)."""
+        self._mtime += cycles
+
+    # -- interrupt lines ------------------------------------------------------------
+
+    def pending(self, hart: int) -> int:
+        """mip bits this controller asserts for *hart*."""
+        bits = 0
+        if self.msip[hart]:
+            bits |= MIP_MSIP
+        if self.mtime >= self.mtimecmp[hart]:
+            bits |= MIP_MTIP
+        return bits
+
+    def send_ipi(self, hart: int) -> None:
+        self.msip[hart] = 1
+
+    # -- MMIO ------------------------------------------------------------------------
+
+    def load(self, offset: int, size: int) -> int:
+        if _MSIP_OFFSET <= offset < _MSIP_OFFSET + 4 * self.harts:
+            return self.msip[(offset - _MSIP_OFFSET) // 4]
+        if _MTIMECMP_OFFSET <= offset < _MTIMECMP_OFFSET + 8 * self.harts:
+            hart = (offset - _MTIMECMP_OFFSET) // 8
+            return self.mtimecmp[hart]
+        if offset == _MTIME_OFFSET:
+            return self.mtime
+        return 0
+
+    def store(self, offset: int, value: int, size: int) -> None:
+        if _MSIP_OFFSET <= offset < _MSIP_OFFSET + 4 * self.harts:
+            self.msip[(offset - _MSIP_OFFSET) // 4] = value & 1
+            return
+        if _MTIMECMP_OFFSET <= offset < _MTIMECMP_OFFSET + 8 * self.harts:
+            hart = (offset - _MTIMECMP_OFFSET) // 8
+            self.mtimecmp[hart] = value & ((1 << 64) - 1)
+            return
+        if offset == _MTIME_OFFSET and self._time_fn is None:
+            self._mtime = value
+
+
+@dataclass
+class _PlicContext:
+    enables: int = 0          # bitmask over sources
+    threshold: int = 0
+    claimed: set[int] = field(default_factory=set)
+
+
+class Plic:
+    """Platform-level interrupt controller with claim/complete."""
+
+    def __init__(self, sources: int = 32, contexts: int = 4):
+        self.sources = sources
+        self.priority = [0] * (sources + 1)    # source 0 reserved
+        self.pending_bits = 0
+        self.contexts = [_PlicContext() for _ in range(contexts)]
+
+    # -- device side -------------------------------------------------------------------
+
+    def raise_interrupt(self, source: int) -> None:
+        if not 1 <= source <= self.sources:
+            raise ValueError(f"bad interrupt source {source}")
+        self.pending_bits |= 1 << source
+
+    # -- core side ------------------------------------------------------------------------
+
+    def _best_source(self, context: int) -> int:
+        ctx = self.contexts[context]
+        best, best_priority = 0, ctx.threshold
+        for source in range(1, self.sources + 1):
+            if not (self.pending_bits >> source) & 1:
+                continue
+            if not (ctx.enables >> source) & 1:
+                continue
+            if source in ctx.claimed:
+                continue
+            if self.priority[source] > best_priority:
+                best, best_priority = source, self.priority[source]
+        return best
+
+    def pending(self, context: int) -> int:
+        """mip bits (MEIP or 0) for *context*."""
+        return MIP_MEIP if self._best_source(context) else 0
+
+    def claim(self, context: int) -> int:
+        source = self._best_source(context)
+        if source:
+            self.pending_bits &= ~(1 << source)
+            self.contexts[context].claimed.add(source)
+        return source
+
+    def complete(self, context: int, source: int) -> None:
+        self.contexts[context].claimed.discard(source)
+
+    # -- MMIO ---------------------------------------------------------------------------------
+
+    def load(self, offset: int, size: int) -> int:
+        if offset < _PENDING_OFFSET:
+            source = offset // 4
+            return self.priority[source] if source <= self.sources else 0
+        if _PENDING_OFFSET <= offset < _ENABLE_OFFSET:
+            word = (offset - _PENDING_OFFSET) // 4
+            return (self.pending_bits >> (word * 32)) & 0xFFFFFFFF
+        if _ENABLE_OFFSET <= offset < _CONTEXT_OFFSET:
+            context = (offset - _ENABLE_OFFSET) // _ENABLE_STRIDE
+            word = ((offset - _ENABLE_OFFSET) % _ENABLE_STRIDE) // 4
+            if context < len(self.contexts):
+                return (self.contexts[context].enables >> (word * 32)) \
+                    & 0xFFFFFFFF
+            return 0
+        context = (offset - _CONTEXT_OFFSET) // _CONTEXT_STRIDE
+        reg = (offset - _CONTEXT_OFFSET) % _CONTEXT_STRIDE
+        if context < len(self.contexts):
+            if reg == 0:
+                return self.contexts[context].threshold
+            if reg == 4:
+                return self.claim(context)
+        return 0
+
+    def store(self, offset: int, value: int, size: int) -> None:
+        if offset < _PENDING_OFFSET:
+            source = offset // 4
+            if 1 <= source <= self.sources:
+                self.priority[source] = value & 0x7
+            return
+        if _ENABLE_OFFSET <= offset < _CONTEXT_OFFSET:
+            context = (offset - _ENABLE_OFFSET) // _ENABLE_STRIDE
+            word = ((offset - _ENABLE_OFFSET) % _ENABLE_STRIDE) // 4
+            if context < len(self.contexts):
+                ctx = self.contexts[context]
+                mask = 0xFFFFFFFF << (word * 32)
+                ctx.enables = (ctx.enables & ~mask) \
+                    | ((value & 0xFFFFFFFF) << (word * 32))
+            return
+        context = (offset - _CONTEXT_OFFSET) // _CONTEXT_STRIDE
+        reg = (offset - _CONTEXT_OFFSET) % _CONTEXT_STRIDE
+        if context < len(self.contexts):
+            if reg == 0:
+                self.contexts[context].threshold = value & 0x7
+            elif reg == 4:
+                self.complete(context, value)
+
+
+def attach_interrupt_controllers(memory, harts: int = 1,
+                                 time_fn: Callable[[], int] | None = None
+                                 ) -> tuple[Clint, Plic]:
+    """Map a CLINT and a PLIC into *memory* at the standard bases."""
+    clint = Clint(harts=harts, time_fn=time_fn)
+    plic = Plic(contexts=max(harts, 1))
+    memory.register_mmio(CLINT_BASE, CLINT_SIZE, clint)
+    memory.register_mmio(PLIC_BASE, PLIC_SIZE, plic)
+    return clint, plic

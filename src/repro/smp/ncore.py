@@ -1,0 +1,76 @@
+"""Multi-cluster interconnect ("Ncore", paper section VI, Fig. 13).
+
+Up to 4 clusters of up to 4 cores connect through the Ncore coherent
+interconnect.  Each cluster keeps its own L2 + snoop filter; Ncore adds
+a system-level directory that tracks which clusters hold each line and
+forwards cross-cluster requests at a higher latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .coherence import CoherenceConfig, CoherentCluster
+
+
+@dataclass
+class NcoreConfig:
+    clusters: int = 2
+    cluster: CoherenceConfig = field(default_factory=CoherenceConfig)
+    cross_cluster_latency: int = 40
+
+
+@dataclass
+class NcoreStats:
+    cross_cluster_transfers: int = 0
+    directory_lookups: int = 0
+
+
+class NcoreSystem:
+    """Multi-cluster SMP: cluster-of-clusters with a global directory."""
+
+    def __init__(self, config: NcoreConfig | None = None):
+        self.config = config = config if config is not None else NcoreConfig()
+        if not 1 <= config.clusters <= 4:
+            raise ValueError("Ncore connects 1 to 4 clusters")
+        self.clusters = [CoherentCluster(config.cluster)
+                         for _ in range(config.clusters)]
+        self._directory: dict[int, set[int]] = {}   # line -> cluster ids
+        self.stats = NcoreStats()
+        self._line_shift = config.cluster.line_size.bit_length() - 1
+
+    @property
+    def total_cores(self) -> int:
+        return self.config.clusters * self.config.cluster.cores
+
+    def _locate(self, core: int) -> tuple[int, int]:
+        per = self.config.cluster.cores
+        return core // per, core % per
+
+    def access(self, core: int, addr: int, is_write: bool,
+               cycle: int = 0) -> int:
+        """System-level access; returns total latency."""
+        cluster_id, local_core = self._locate(core)
+        line = addr >> self._line_shift
+        holders = self._directory.get(line, set())
+        self.stats.directory_lookups += 1
+        latency = 0
+        remote = holders - {cluster_id}
+        if remote and (is_write or cluster_id not in holders):
+            # Cross-cluster transfer (and invalidation on writes).
+            latency += self.config.cross_cluster_latency
+            self.stats.cross_cluster_transfers += 1
+            if is_write:
+                for other in remote:
+                    other_cluster = self.clusters[other]
+                    for l1 in other_cluster.l1s:
+                        l1.invalidate(addr)
+                    other_cluster.l2.invalidate(addr)
+                holders = set()
+        latency += self.clusters[cluster_id].access(
+            local_core, addr, is_write, cycle)
+        holders = holders | {cluster_id}
+        if is_write:
+            holders = {cluster_id}
+        self._directory[line] = holders
+        return latency

@@ -1,0 +1,90 @@
+"""Functional SMP execution: several harts sharing one memory.
+
+The emulators share a single :class:`~repro.sim.memory.Memory` and step
+round-robin; LR/SC reservations and AMOs provide synchronization, and
+``mhartid`` tells each hart who it is — enough to run real parallel
+kernels (the section VI claim that each cluster's cores boot one
+coherent OS reduces, at this modeling level, to coherent shared-memory
+execution with working atomics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm.program import Program, STACK_TOP
+from ..sim.emulator import Emulator
+from ..sim.memory import Memory
+
+
+@dataclass
+class SmpResult:
+    exit_codes: list[int]
+    steps: list[int]
+    memory: Memory
+
+    @property
+    def all_succeeded(self) -> bool:
+        return all(code == 0 for code in self.exit_codes)
+
+
+class SmpMachine:
+    """N harts, one physical memory, round-robin interleaving."""
+
+    def __init__(self, program: Program, cores: int = 4,
+                 interleave: int = 1):
+        self.memory = Memory()
+        self.memory.load_program(program)
+        self.interleave = interleave
+        self.harts = [
+            Emulator(program, memory=self.memory, hart_id=i,
+                     stack_top=STACK_TOP, load=False)
+            for i in range(cores)
+        ]
+        # Any store by another hart breaks an LR reservation; emulators
+        # share memory but not reservation state, so bridge it here.
+        self._wrap_reservations()
+
+    def _wrap_reservations(self) -> None:
+        original_store = self.memory.store_bytes
+        harts = self.harts
+
+        def store_bytes(addr: int, data: bytes) -> None:
+            original_store(addr, data)
+            for hart in harts:
+                reservation = hart.state.reservation
+                if reservation is not None and \
+                        addr <= reservation < addr + max(len(data), 1):
+                    hart.state.reservation = None
+
+        self.memory.store_bytes = store_bytes  # type: ignore[method-assign]
+
+    def run(self, max_steps_per_hart: int = 5_000_000) -> SmpResult:
+        """Round-robin step all harts until they all exit."""
+        steps = [0] * len(self.harts)
+        active = True
+        while active:
+            active = False
+            for index, hart in enumerate(self.harts):
+                if hart.halted:
+                    continue
+                for _ in range(self.interleave):
+                    if hart.halted:
+                        break
+                    hart.step()
+                    steps[index] += 1
+                    if steps[index] > max_steps_per_hart:
+                        raise RuntimeError(
+                            f"hart {index} exceeded {max_steps_per_hart} steps")
+                active = True
+        return SmpResult(
+            exit_codes=[h.exit_code if h.exit_code is not None else -1
+                        for h in self.harts],
+            steps=steps, memory=self.memory)
+
+
+def run_smp(program: Program, cores: int = 4,
+            interleave: int = 1) -> SmpResult:
+    """Run *program* on all harts simultaneously."""
+    machine = SmpMachine(program, cores=cores, interleave=interleave)
+    return machine.run()

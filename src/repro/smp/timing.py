@@ -1,0 +1,147 @@
+"""Multi-core timing: per-core pipelines over one shared L2 (section VI).
+
+Methodology: the functional SMP machine runs all harts round-robin
+(real atomics, shared memory) while recording each hart's dynamic
+trace; each trace then drives its own pipeline model.  The cores share
+the L2 cache and the DRAM bandwidth model, and writes invalidate other
+cores' L1 copies (write-invalidate coherence), so capacity contention,
+bandwidth contention and sharing misses are all represented.  The
+makespan is the slowest core's cycle count.
+
+Approximation: the per-core cycle clocks are not lock-stepped, so
+fine-grained timing interleavings (e.g. lock convoy dynamics) are
+outside the model — standard for trace-driven multi-core simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm.program import Program
+from ..mem.cache import Cache
+from ..mem.dram import Dram
+from ..mem.hierarchy import MemHierConfig, MemoryHierarchy
+from ..sim.trace import DynInst
+from ..uarch.config import CoreConfig
+from ..uarch.core import PipelineModel
+from ..uarch.presets import xt910
+from ..uarch.stats import CoreStats
+from .runner import SmpMachine
+
+
+@dataclass
+class SmpTimingStats:
+    sharing_invalidations: int = 0
+    snoop_stall_cycles: int = 0
+
+
+class _CoherentHierarchy(MemoryHierarchy):
+    """A per-core hierarchy whose writes invalidate sibling L1 copies."""
+
+    def __init__(self, config: MemHierConfig, l2: Cache, dram: Dram,
+                 shared_stats: SmpTimingStats, snoop_latency: int = 8):
+        super().__init__(config, l2=l2, dram=dram)
+        self._siblings: list[_CoherentHierarchy] = []
+        self._shared = shared_stats
+        self._snoop_latency = snoop_latency
+
+    def set_siblings(self, siblings: list["_CoherentHierarchy"]) -> None:
+        self._siblings = [s for s in siblings if s is not self]
+
+    def access_data(self, vaddr: int, cycle: int, is_write: bool = False,
+                    size: int = 8) -> int:
+        latency = super().access_data(vaddr, cycle, is_write, size)
+        if is_write:
+            snooped = False
+            for sibling in self._siblings:
+                if sibling.l1d.invalidate(vaddr) is not None:
+                    self._shared.sharing_invalidations += 1
+                    snooped = True
+            if snooped:
+                latency += self._snoop_latency
+                self._shared.snoop_stall_cycles += self._snoop_latency
+        return latency
+
+
+@dataclass
+class SmpTimingResult:
+    per_core: list[CoreStats]
+    coherence: SmpTimingStats
+    exit_codes: list[int]
+
+    @property
+    def makespan(self) -> int:
+        return max(stats.cycles for stats in self.per_core)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(stats.instructions for stats in self.per_core)
+
+    def speedup_vs(self, single_core_cycles: int) -> float:
+        return single_core_cycles / self.makespan if self.makespan else 0.0
+
+
+def run_smp_timing(program: Program, cores: int = 4,
+                   config: CoreConfig | None = None,
+                   interleave: int = 4,
+                   max_steps_per_hart: int = 5_000_000) -> SmpTimingResult:
+    """Functionally execute on *cores* harts, then time every trace."""
+    config = config if config is not None else xt910()
+
+    # 1. Functional SMP run, collecting per-hart traces.
+    machine = SmpMachine(program, cores=cores, interleave=interleave)
+    traces: list[list[DynInst]] = [[] for _ in range(cores)]
+    steps = [0] * cores
+    active = True
+    while active:
+        active = False
+        for index, hart in enumerate(machine.harts):
+            if hart.halted:
+                continue
+            for _ in range(interleave):
+                if hart.halted:
+                    break
+                traces[index].append(hart.step())
+                steps[index] += 1
+                if steps[index] > max_steps_per_hart:
+                    raise RuntimeError(
+                        f"hart {index} exceeded {max_steps_per_hart} steps")
+            active = True
+
+    # 2. Shared memory-system substrate.
+    shared_stats = SmpTimingStats()
+    mem = config.mem
+    l2 = Cache("L2-shared", mem.l2_size, mem.l2_assoc, mem.line_size)
+    dram = Dram(mem.dram)
+    hierarchies = [
+        _CoherentHierarchy(mem, l2=l2, dram=dram, shared_stats=shared_stats)
+        for _ in range(cores)]
+    for hierarchy in hierarchies:
+        hierarchy.set_siblings(hierarchies)
+
+    # 3. Per-core timing, interleaved in chunks so the per-core cycle
+    # clocks stay roughly aligned (shared DRAM/L2 state is meaningful
+    # only between cores at comparable times).
+    pipelines = [PipelineModel(config, hierarchy=hierarchies[index])
+                 for index in range(cores)]
+    for pipeline in pipelines:
+        pipeline._reset_run_state()
+    positions = [0] * cores
+    chunk = 64
+    remaining = True
+    while remaining:
+        remaining = False
+        for index in range(cores):
+            trace = traces[index]
+            pos = positions[index]
+            end = min(pos + chunk, len(trace))
+            for k in range(pos, end):
+                pipelines[index].feed(trace[k])
+            positions[index] = end
+            if end < len(trace):
+                remaining = True
+    per_core = [pipeline.finish() for pipeline in pipelines]
+    return SmpTimingResult(
+        per_core=per_core, coherence=shared_stats,
+        exit_codes=[h.exit_code if h.exit_code is not None else -1
+                    for h in machine.harts])

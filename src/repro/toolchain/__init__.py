@@ -1,0 +1,33 @@
+"""Mini compiler toolchain: IR, passes, base & extended codegen."""
+
+from __future__ import annotations
+
+from ..asm import Program, assemble
+from .codegen import Codegen, CodegenError, CodegenOptions, compile_function  # noqa: F401
+from .ir import (  # noqa: F401
+    ArrayDecl,
+    Bin,
+    Const,
+    Expr,
+    For,
+    Function,
+    GlobalDecl,
+    Interpreter,
+    Let,
+    Load,
+    LoadGlobal,
+    Stmt,
+    Store,
+    StoreGlobal,
+    U32,
+    Var,
+)
+from .kernels import fig20_kernels  # noqa: F401
+from .passes import constant_fold, dead_store_elimination, fold_function  # noqa: F401
+
+
+def build_program(function: Function,
+                  options: CodegenOptions | None = None,
+                  compress: bool = True) -> Program:
+    """Compile an IR function and assemble it into a Program."""
+    return assemble(compile_function(function, options), compress=compress)

@@ -1,0 +1,511 @@
+"""Code generation: IR -> RV64 assembly, base or extended+optimized.
+
+Two compiler personalities (paper Fig. 20):
+
+* ``CodegenOptions.base()`` — models stock RISC-V GCC of the paper's
+  era: 32-bit unsigned indices cost a slli/srli zero-extension pair,
+  array element addresses are recomputed (shift + add) at every access,
+  every global access materializes its own absolute address, and no
+  dead-store elimination.  (Loop bounds are hoisted — every real
+  compiler does that.)
+* ``CodegenOptions.optimized()`` — the XT-910 toolchain: XT indexed
+  loads/stores with address zero-extension (one instruction per
+  access), pointer strength-reduction and hoisted loop bounds
+  (induction-variable optimization), the anchor scheme for globals,
+  MAC fusion onto ``mula``/``mulah``, and IR-level DSE.
+
+Both personalities are verified against the IR interpreter, so the
+Fig. 20 speedup is measured between two *correct* compilers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ir import (
+    Bin,
+    Const,
+    Expr,
+    For,
+    Function,
+    Let,
+    Load,
+    LoadGlobal,
+    Stmt,
+    Store,
+    StoreGlobal,
+    U32,
+    Var,
+)
+from .passes import dead_store_elimination, fold_function
+
+
+class CodegenError(Exception):
+    """Raised when a kernel exceeds the simple register allocator."""
+
+
+@dataclass
+class CodegenOptions:
+    use_extensions: bool = True      # XT indexed ld/st, addsl, mula/mulah
+    induction_opt: bool = True       # pointer strength reduction + hoisting
+    anchor_opt: bool = True          # single anchor register for globals
+    dse: bool = True                 # IR dead-store elimination
+
+    @classmethod
+    def base(cls) -> "CodegenOptions":
+        return cls(use_extensions=False, induction_opt=False,
+                   anchor_opt=False, dse=False)
+
+    @classmethod
+    def optimized(cls) -> "CodegenOptions":
+        return cls()
+
+
+_SCALAR_POOL = ["s1", "s2", "s3", "s4", "s5", "s6"]
+_ARRAY_POOL = ["a2", "a3", "a4", "a5", "a6", "a7"]
+_PTR_POOL = ["s7", "s8", "s9"]
+_TMP_POOL = ["t0", "t1", "t2", "t3", "t4", "t5", "t6", "a1"]
+_ANCHOR = "s10"
+
+_LOAD_OP = {(1, True): "lb", (1, False): "lbu", (2, True): "lh",
+            (2, False): "lhu", (4, True): "lw", (4, False): "lwu",
+            (8, True): "ld", (8, False): "ld"}
+_STORE_OP = {1: "sb", 2: "sh", 4: "sw", 8: "sd"}
+_XT_LOAD_OP = {(1, True): "lrb", (1, False): "lrbu", (2, True): "lrh",
+               (2, False): "lrhu", (4, True): "lrw", (4, False): "lrwu",
+               (8, True): "lrd", (8, False): "lrd"}
+_XT_STORE_OP = {1: "srb", 2: "srh", 4: "srw", 8: "srd"}
+
+
+class Codegen:
+    """Tree-walking code generator with a stack of temporaries."""
+
+    def __init__(self, function: Function,
+                 options: CodegenOptions | None = None):
+        self.fn = function
+        self.options = options if options is not None else CodegenOptions()
+        self.lines: list[str] = []
+        self.scalar_regs: dict[str, str] = {}
+        self.array_regs: dict[str, str] = {}
+        self._tmp_depth = 0
+        self._label = 0
+        self._ptr_ctx: list[dict[str, str]] = []   # per-loop pointer regs
+        self._free_ptrs = list(_PTR_POOL)
+        self.stats = {"instructions": 0, "dse_removed": 0}
+
+    # -- public -----------------------------------------------------------------
+
+    def generate(self) -> str:
+        fn = self.fn
+        if self.options.dse:
+            fn, removed = dead_store_elimination(fn)
+            self.stats["dse_removed"] = removed
+        fn = fold_function(fn)
+
+        data_lines = ["    .data", "    .align 3"]
+        for decl in fn.arrays:
+            directive = {1: ".byte", 2: ".half", 4: ".word",
+                         8: ".dword"}[decl.elem_bytes]
+            if decl.init:
+                init = list(decl.init) + [0] * (decl.elems - len(decl.init))
+                data_lines.append(f"{decl.name}:")
+                for chunk_start in range(0, decl.elems, 16):
+                    chunk = init[chunk_start:chunk_start + 16]
+                    data_lines.append(
+                        f"    {directive} " + ", ".join(map(str, chunk)))
+            else:
+                data_lines.append(
+                    f"{decl.name}: .zero {decl.elems * decl.elem_bytes}")
+            data_lines.append("    .align 3")
+        for g in fn.globals_:
+            data_lines.append(f"{g.name}: .dword {g.init}")
+        data_lines.append("result: .dword 0")
+
+        self._allocate_registers()
+        self._emit_prologue()
+        for stmt in fn.body:
+            self._stmt(stmt)
+        self._emit_epilogue()
+        text = "\n".join(data_lines) + "\n    .text\n_start:\n" \
+            + "\n".join(self.lines) + "\n"
+        return text
+
+    # -- register allocation --------------------------------------------------------
+
+    def _allocate_registers(self) -> None:
+        scalars = sorted(self._collect_scalars())
+        pool = list(_SCALAR_POOL)
+        for name in scalars:
+            if not pool:
+                raise CodegenError(
+                    f"{self.fn.name}: too many scalars ({len(scalars)})")
+            self.scalar_regs[name] = pool.pop(0)
+        pool = list(_ARRAY_POOL)
+        for decl in self.fn.arrays:
+            if not pool:
+                raise CodegenError(f"{self.fn.name}: too many arrays")
+            self.array_regs[decl.name] = pool.pop(0)
+
+    def _collect_scalars(self) -> set[str]:
+        names: set[str] = set()
+
+        def walk_expr(expr: Expr) -> None:
+            if isinstance(expr, Var):
+                names.add(expr.name)
+            elif isinstance(expr, Bin):
+                walk_expr(expr.left)
+                walk_expr(expr.right)
+            elif isinstance(expr, U32):
+                walk_expr(expr.operand)
+            elif isinstance(expr, Load):
+                walk_expr(expr.index)
+
+        def walk(stmt: Stmt) -> None:
+            if isinstance(stmt, Let):
+                names.add(stmt.name)
+                walk_expr(stmt.expr)
+            elif isinstance(stmt, Store):
+                walk_expr(stmt.index)
+                walk_expr(stmt.value)
+            elif isinstance(stmt, StoreGlobal):
+                walk_expr(stmt.value)
+            elif isinstance(stmt, For):
+                names.add(stmt.var)
+                walk_expr(stmt.count)
+                for inner in stmt.body:
+                    walk(inner)
+
+        for stmt in self.fn.body:
+            walk(stmt)
+        return names
+
+    # -- emission helpers -------------------------------------------------------------
+
+    def _emit(self, line: str) -> None:
+        self.lines.append(f"    {line}")
+        self.stats["instructions"] += 1
+
+    def _emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def _new_label(self, prefix: str) -> str:
+        self._label += 1
+        return f".L{prefix}{self._label}"
+
+    def _push_tmp(self) -> str:
+        if self._tmp_depth >= len(_TMP_POOL):
+            raise CodegenError(f"{self.fn.name}: expression too deep")
+        reg = _TMP_POOL[self._tmp_depth]
+        self._tmp_depth += 1
+        return reg
+
+    def _pop_tmp(self, count: int = 1) -> None:
+        self._tmp_depth -= count
+
+    def _emit_prologue(self) -> None:
+        for decl in self.fn.arrays:
+            self._emit(f"la {self.array_regs[decl.name]}, {decl.name}")
+        if self.options.anchor_opt and self.fn.globals_:
+            # Anchor scheme: one register addresses the whole cluster
+            # of a function's globals (section IX item 2).
+            self._emit(f"la {_ANCHOR}, {self.fn.globals_[0].name}")
+        for name, reg in sorted(self.scalar_regs.items()):
+            self._emit(f"li {reg}, 0")
+
+    def _emit_epilogue(self) -> None:
+        result_reg = self.scalar_regs.get(self.fn.result)
+        tmp = self._push_tmp()
+        self._emit(f"la {tmp}, result")
+        if result_reg is None:
+            self._emit(f"sd x0, 0({tmp})")
+        else:
+            self._emit(f"sd {result_reg}, 0({tmp})")
+        self._pop_tmp()
+        self._emit("li a0, 0")
+        self._emit("li a7, 93")
+        self._emit("ecall")
+
+    def _global_offset(self, name: str) -> int:
+        for position, g in enumerate(self.fn.globals_):
+            if g.name == name:
+                return position * 8
+        raise KeyError(f"global {name!r} not declared")
+
+    # -- statements ----------------------------------------------------------------------
+
+    def _stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Let):
+            reg = self._expr(stmt.expr)
+            self._emit(f"mv {self.scalar_regs[stmt.name]}, {reg}")
+            self._pop_tmp()
+        elif isinstance(stmt, Store):
+            self._store(stmt)
+        elif isinstance(stmt, StoreGlobal):
+            value = self._expr(stmt.value)
+            if self.options.anchor_opt:
+                self._emit(f"sd {value}, {self._global_offset(stmt.name)}"
+                           f"({_ANCHOR})")
+            else:
+                addr = self._push_tmp()
+                self._emit(f"la {addr}, {stmt.name}")
+                self._emit(f"sd {value}, 0({addr})")
+                self._pop_tmp()
+            self._pop_tmp()
+        elif isinstance(stmt, For):
+            self._for(stmt)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown statement {stmt}")
+
+    def _for(self, stmt: For) -> None:
+        var_reg = self.scalar_regs[stmt.var]
+        head = self._new_label("loop")
+        done = self._new_label("done")
+        self._emit(f"li {var_reg}, 0")
+
+        # Loop bounds are hoisted by every real compiler; only the
+        # pointer strength reduction is the XT-910-specific part.
+        hoisted_count = self._expr(stmt.count)
+        ptrs = self._setup_pointers(stmt) if self.options.induction_opt \
+            else {}
+
+        self._emit_label(head)
+        self._emit(f"bge {var_reg}, {hoisted_count}, {done}")
+
+        self._ptr_ctx.append(ptrs)
+        for inner in stmt.body:
+            self._stmt(inner)
+        # induction step (+ pointer strength reduction increments)
+        for array, reg in ptrs.items():
+            self._emit(f"addi {reg}, {reg}, {self.fn.array(array).elem_bytes}")
+        self._emit(f"addi {var_reg}, {var_reg}, 1")
+        self._emit(f"j {head}")
+        self._emit_label(done)
+        self._ptr_ctx.pop()
+        for array in ptrs:
+            self._free_ptrs.append(ptrs[array])
+        self._pop_tmp()  # the hoisted bound
+
+    def _setup_pointers(self, stmt: For) -> dict[str, str]:
+        """Pointer strength reduction for arrays indexed by the loop var."""
+        arrays = self._arrays_indexed_by(stmt.body, stmt.var)
+        ptrs: dict[str, str] = {}
+        for array in sorted(arrays):
+            if not self._free_ptrs:
+                break
+            reg = self._free_ptrs.pop()
+            self._emit(f"mv {reg}, {self.array_regs[array]}")
+            ptrs[array] = reg
+        return ptrs
+
+    def _arrays_indexed_by(self, body: tuple[Stmt, ...],
+                           var: str) -> set[str]:
+        found: set[str] = set()
+
+        def is_var(index: Expr) -> bool:
+            return (isinstance(index, Var) and index.name == var) or \
+                (isinstance(index, U32) and is_var(index.operand))
+
+        def walk_expr(expr: Expr) -> None:
+            if isinstance(expr, Load):
+                if is_var(expr.index):
+                    found.add(expr.array)
+                walk_expr(expr.index)
+            elif isinstance(expr, Bin):
+                walk_expr(expr.left)
+                walk_expr(expr.right)
+            elif isinstance(expr, U32):
+                walk_expr(expr.operand)
+
+        def walk(stmt: Stmt) -> None:
+            if isinstance(stmt, Let):
+                walk_expr(stmt.expr)
+            elif isinstance(stmt, Store):
+                if is_var(stmt.index):
+                    found.add(stmt.array)
+                walk_expr(stmt.index)
+                walk_expr(stmt.value)
+            elif isinstance(stmt, StoreGlobal):
+                walk_expr(stmt.value)
+            elif isinstance(stmt, For):
+                # inner loops manage their own pointers
+                return
+
+        for inner in body:
+            walk(inner)
+        return found
+
+    def _current_ptr(self, array: str, index: Expr) -> str | None:
+        if not self._ptr_ctx:
+            return None
+        ptrs = self._ptr_ctx[-1]
+        if array not in ptrs:
+            return None
+        if isinstance(index, U32):
+            index = index.operand
+        if isinstance(index, Var):
+            # only valid when indexed by the innermost loop variable,
+            # which is what _setup_pointers established
+            return ptrs[array]
+        return None
+
+    # -- memory access -----------------------------------------------------------------------
+
+    def _store(self, stmt: Store) -> None:
+        decl = self.fn.array(stmt.array)
+        ptr = self._current_ptr(stmt.array, stmt.index) \
+            if self.options.induction_opt else None
+        value = self._expr(stmt.value)
+        if ptr is not None:
+            self._emit(f"{_STORE_OP[decl.elem_bytes]} {value}, 0({ptr})")
+            self._pop_tmp()
+            return
+        index, zero_extended = self._index_value(stmt.index)
+        shift = decl.elem_bytes.bit_length() - 1
+        if self.options.use_extensions:
+            op = _XT_STORE_OP[decl.elem_bytes]
+            if zero_extended:
+                op += ".u"
+            self._emit(f"{op} {value}, {self.array_regs[stmt.array]}, "
+                       f"{index}, {shift}")
+            self._pop_tmp(2)
+            return
+        addr = self._push_tmp()
+        if shift:
+            self._emit(f"slli {addr}, {index}, {shift}")
+            self._emit(f"add {addr}, {addr}, {self.array_regs[stmt.array]}")
+        else:
+            self._emit(f"add {addr}, {index}, {self.array_regs[stmt.array]}")
+        self._emit(f"{_STORE_OP[decl.elem_bytes]} {value}, 0({addr})")
+        self._pop_tmp(3)
+
+    def _index_value(self, index: Expr) -> tuple[str, bool]:
+        """Evaluate an index; returns (reg, needs-zero-extension).
+
+        With extensions the U32 wrapper maps onto the ``.u`` addressing
+        mode; on the base ISA it costs an slli/srli pair right here.
+        """
+        if isinstance(index, U32):
+            reg = self._expr(index.operand)
+            if self.options.use_extensions:
+                return reg, True
+            self._emit(f"slli {reg}, {reg}, 32")
+            self._emit(f"srli {reg}, {reg}, 32")
+            return reg, False
+        return self._expr(index), False
+
+    # -- expressions -----------------------------------------------------------------------------
+
+    def _expr(self, expr: Expr) -> str:
+        if isinstance(expr, Const):
+            reg = self._push_tmp()
+            self._emit(f"li {reg}, {expr.value}")
+            return reg
+        if isinstance(expr, Var):
+            reg = self._push_tmp()
+            self._emit(f"mv {reg}, {self.scalar_regs[expr.name]}")
+            return reg
+        if isinstance(expr, U32):
+            reg = self._expr(expr.operand)
+            self._emit(f"slli {reg}, {reg}, 32")
+            self._emit(f"srli {reg}, {reg}, 32")
+            return reg
+        if isinstance(expr, LoadGlobal):
+            reg = self._push_tmp()
+            if self.options.anchor_opt:
+                self._emit(f"ld {reg}, {self._global_offset(expr.name)}"
+                           f"({_ANCHOR})")
+            else:
+                self._emit(f"la {reg}, {expr.name}")
+                self._emit(f"ld {reg}, 0({reg})")
+            return reg
+        if isinstance(expr, Load):
+            return self._load(expr)
+        if isinstance(expr, Bin):
+            return self._bin(expr)
+        raise TypeError(f"unknown expression {expr}")  # pragma: no cover
+
+    def _load(self, expr: Load) -> str:
+        decl = self.fn.array(expr.array)
+        op = _LOAD_OP[(decl.elem_bytes, decl.signed)]
+        ptr = self._current_ptr(expr.array, expr.index) \
+            if self.options.induction_opt else None
+        if ptr is not None:
+            reg = self._push_tmp()
+            self._emit(f"{op} {reg}, 0({ptr})")
+            return reg
+        index, zero_extended = self._index_value(expr.index)
+        shift = decl.elem_bytes.bit_length() - 1
+        if self.options.use_extensions:
+            xt_op = _XT_LOAD_OP[(decl.elem_bytes, decl.signed)]
+            if zero_extended:
+                xt_op += ".u"
+            self._emit(f"{xt_op} {index}, {self.array_regs[expr.array]}, "
+                       f"{index}, {shift}")
+            return index
+        if shift:
+            self._emit(f"slli {index}, {index}, {shift}")
+        self._emit(f"add {index}, {index}, {self.array_regs[expr.array]}")
+        self._emit(f"{op} {index}, 0({index})")
+        return index
+
+    _BIN_OPS = {"add": "add", "sub": "sub", "mul": "mul", "div": "div",
+                "rem": "rem", "and": "and", "or": "or", "xor": "xor",
+                "shl": "sll", "shr": "srl", "sra": "sra"}
+
+    def _bin(self, expr: Bin) -> str:
+        # MAC fusion: add(x, mul(a, b)) -> mula when extensions are on.
+        if (self.options.use_extensions and expr.op == "add"
+                and isinstance(expr.right, Bin) and expr.right.op == "mul"):
+            acc = self._expr(expr.left)
+            lhs = self._expr(expr.right.left)
+            rhs = self._expr(expr.right.right)
+            self._emit(f"mula {acc}, {lhs}, {rhs}")
+            self._pop_tmp(2)
+            return acc
+        if expr.op == "rotr32":
+            if self.options.use_extensions \
+                    and isinstance(expr.right, Const):
+                reg = self._expr(expr.left)
+                self._emit(f"srriw {reg}, {reg}, {expr.right.value & 31}")
+                self._emit(f"slli {reg}, {reg}, 32")
+                self._emit(f"srli {reg}, {reg}, 32")
+                return reg
+            return self._rotr32_base(expr)
+        left = self._expr(expr.left)
+        # Immediate forms where available.
+        if isinstance(expr.right, Const) and expr.op in ("add", "and", "or",
+                                                         "xor") \
+                and -2048 <= expr.right.value < 2048:
+            mn = {"add": "addi", "and": "andi", "or": "ori",
+                  "xor": "xori"}[expr.op]
+            self._emit(f"{mn} {left}, {left}, {expr.right.value}")
+            return left
+        if isinstance(expr.right, Const) and expr.op in ("shl", "shr", "sra") \
+                and 0 <= expr.right.value < 64:
+            mn = {"shl": "slli", "shr": "srli", "sra": "srai"}[expr.op]
+            self._emit(f"{mn} {left}, {left}, {expr.right.value}")
+            return left
+        right = self._expr(expr.right)
+        self._emit(f"{self._BIN_OPS[expr.op]} {left}, {left}, {right}")
+        self._pop_tmp()
+        return left
+
+    def _rotr32_base(self, expr: Bin) -> str:
+        reg = self._expr(expr.left)
+        if isinstance(expr.right, Const):
+            amount = expr.right.value & 31
+            tmp = self._push_tmp()
+            self._emit(f"srliw {tmp}, {reg}, {amount}")
+            self._emit(f"slliw {reg}, {reg}, {32 - amount}")
+            self._emit(f"or {reg}, {reg}, {tmp}")
+            self._emit(f"slli {reg}, {reg}, 32")
+            self._emit(f"srli {reg}, {reg}, 32")
+            self._pop_tmp()
+            return reg
+        raise CodegenError("rotr32 requires a constant amount")
+
+
+def compile_function(function: Function,
+                     options: CodegenOptions | None = None) -> str:
+    """Compile *function* to assembly source."""
+    return Codegen(function, options).generate()

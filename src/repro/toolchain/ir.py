@@ -1,0 +1,258 @@
+"""A small loop-oriented IR for the compiler experiments (section IX).
+
+The paper's Fig. 20 measures "XT-910 with instruction extensions and
+optimized compiler" against "native RISC-V ISA and compiler".  To
+reproduce that we need a compiler with both behaviours, which needs a
+program representation: this IR describes the array/global/loop kernels
+the experiment compiles.
+
+The IR also has a direct interpreter used as the reference semantics —
+generated code is always validated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+
+def _signed(value: int, bits: int = 64) -> int:
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value >= 1 << (bits - 1) else value
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A 64-bit scalar variable (or loop counter)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class U32(Expr):
+    """Treat the operand as an unsigned 32-bit value.
+
+    On the base ISA this costs a slli/srli zero-extension pair (the
+    section VIII.A complaint); the extended ISA folds it into the
+    addressing mode of indexed loads/stores.
+    """
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    op: str          # add sub mul div rem and or xor shl shr sra rotr32
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    array: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class LoadGlobal(Expr):
+    name: str
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class Let(Stmt):
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class StoreGlobal(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    var: str
+    count: Expr
+    body: tuple[Stmt, ...]
+
+
+# --------------------------------------------------------------------------
+# Declarations / function
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    name: str
+    elems: int
+    elem_bytes: int = 8
+    signed: bool = True
+    init: tuple[int, ...] = ()   # initial contents (zero-filled if short)
+
+
+@dataclass(frozen=True)
+class GlobalDecl:
+    name: str
+    init: int = 0
+
+
+@dataclass
+class Function:
+    """One kernel: declarations, body, and the scalar result."""
+
+    name: str
+    arrays: list[ArrayDecl] = field(default_factory=list)
+    globals_: list[GlobalDecl] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    result: str = "acc"
+
+    def array(self, name: str) -> ArrayDecl:
+        for decl in self.arrays:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"array {name!r} not declared in {self.name}")
+
+
+# --------------------------------------------------------------------------
+# Reference interpreter
+# --------------------------------------------------------------------------
+
+class Interpreter:
+    """Executes a Function with the exact RV64 semantics codegen targets."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.scalars: dict[str, int] = {}
+        self.globals_: dict[str, int] = {g.name: g.init & MASK64
+                                         for g in function.globals_}
+        self.arrays: dict[str, list[int]] = {}
+        for decl in function.arrays:
+            data = list(decl.init[:decl.elems])
+            data += [0] * (decl.elems - len(data))
+            self.arrays[decl.name] = [v & ((1 << (decl.elem_bytes * 8)) - 1)
+                                      for v in data]
+
+    def run(self) -> int:
+        for stmt in self.function.body:
+            self._stmt(stmt)
+        return self.scalars.get(self.function.result, 0) & MASK64
+
+    # -- statements ----------------------------------------------------------
+
+    def _stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Let):
+            self.scalars[stmt.name] = self._expr(stmt.expr) & MASK64
+        elif isinstance(stmt, Store):
+            decl = self.function.array(stmt.array)
+            index = self._expr(stmt.index) & MASK64
+            value = self._expr(stmt.value)
+            mask = (1 << (decl.elem_bytes * 8)) - 1
+            self.arrays[stmt.array][index] = value & mask
+        elif isinstance(stmt, StoreGlobal):
+            self.globals_[stmt.name] = self._expr(stmt.value) & MASK64
+        elif isinstance(stmt, For):
+            count = self._expr(stmt.count)
+            for i in range(count):
+                self.scalars[stmt.var] = i
+                for inner in stmt.body:
+                    self._stmt(inner)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown statement {stmt}")
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self, expr: Expr) -> int:
+        if isinstance(expr, Const):
+            return expr.value & MASK64
+        if isinstance(expr, Var):
+            return self.scalars.get(expr.name, 0)
+        if isinstance(expr, U32):
+            return self._expr(expr.operand) & MASK32
+        if isinstance(expr, LoadGlobal):
+            return self.globals_[expr.name]
+        if isinstance(expr, Load):
+            decl = self.function.array(expr.array)
+            index = self._expr(expr.index) & MASK64
+            raw = self.arrays[expr.array][index]
+            if decl.signed:
+                raw = _signed(raw, decl.elem_bytes * 8) & MASK64
+            return raw
+        if isinstance(expr, Bin):
+            a = self._expr(expr.left)
+            b = self._expr(expr.right)
+            return self._bin(expr.op, a, b)
+        raise TypeError(f"unknown expression {expr}")  # pragma: no cover
+
+    @staticmethod
+    def _bin(op: str, a: int, b: int) -> int:
+        if op == "add":
+            return (a + b) & MASK64
+        if op == "sub":
+            return (a - b) & MASK64
+        if op == "mul":
+            return (a * b) & MASK64
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "shl":
+            return (a << (b & 63)) & MASK64
+        if op == "shr":
+            return a >> (b & 63)
+        if op == "sra":
+            return (_signed(a) >> (b & 63)) & MASK64
+        if op == "div":
+            sa, sb = _signed(a), _signed(b)
+            if sb == 0:
+                return MASK64
+            q = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                q = -q
+            return q & MASK64
+        if op == "rem":
+            sa, sb = _signed(a), _signed(b)
+            if sb == 0:
+                return a
+            q = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                q = -q
+            return (sa - q * sb) & MASK64
+        if op == "rotr32":
+            a &= MASK32
+            b &= 31
+            return ((a >> b) | (a << (32 - b))) & MASK32
+        raise ValueError(f"unknown op {op}")

@@ -1,0 +1,173 @@
+"""IR kernels for the compiler/extension experiment (Fig. 20).
+
+Each kernel stresses one of the paper's optimization targets:
+
+* ``saxpy_u32``       — 32-bit unsigned induction indexing (zero-extension
+  elimination + indexed load/store + MAC fusion),
+* ``dot_mac``         — multiply-accumulate reduction (mula fusion),
+* ``global_counters`` — several hot globals (the anchor scheme),
+* ``blur_dse``        — naive double-write pattern (dead-store elimination),
+* ``crypto_mix``      — 32-bit rotates (srriw),
+* ``gather_u32``      — indirection table with unsigned 32-bit indices.
+"""
+
+from __future__ import annotations
+
+from .ir import (
+    ArrayDecl,
+    Bin,
+    Const,
+    For,
+    Function,
+    GlobalDecl,
+    Let,
+    Load,
+    LoadGlobal,
+    Store,
+    StoreGlobal,
+    U32,
+    Var,
+)
+
+
+def _add(a, b):
+    return Bin("add", a, b)
+
+
+def _mul(a, b):
+    return Bin("mul", a, b)
+
+
+def saxpy_u32(n: int = 256) -> Function:
+    x_init = tuple((i * 7 + 1) % 1000 for i in range(n))
+    y_init = tuple((i * 3 + 2) % 1000 for i in range(n))
+    body = [
+        For("i", Const(n), (
+            Store("y", U32(Var("i")),
+                  _add(Load("y", U32(Var("i"))),
+                       _mul(Const(12), Load("x", U32(Var("i")))))),
+            # surrounding scalar work, identical under both compilers
+            Let("t", Bin("xor", Var("t"), Var("i"))),
+            Let("t", Bin("shl", Var("t"), Const(1))),
+            Let("t", _add(Var("t"), Const(3))),
+            Let("u", Bin("sra", Var("t"), Const(2))),
+            Let("u", Bin("and", Var("u"), Const(1023))),
+        )),
+        For("i", Const(n), (
+            Let("acc", _add(Var("acc"), Load("y", U32(Var("i"))))),
+            Let("acc", Bin("xor", Var("acc"), Var("u"))),
+        )),
+    ]
+    return Function(
+        name="saxpy_u32",
+        arrays=[ArrayDecl("x", n, 4, True, x_init),
+                ArrayDecl("y", n, 4, True, y_init)],
+        body=body)
+
+
+def dot_mac(n: int = 300) -> Function:
+    a_init = tuple((i * 13 + 5) % 200 for i in range(n))
+    b_init = tuple((i * 11 + 3) % 200 for i in range(n))
+    body = [
+        For("i", Const(n), (
+            Let("acc", _add(Var("acc"),
+                            _mul(Load("a", Var("i")), Load("b", Var("i"))))),
+        )),
+    ]
+    return Function(
+        name="dot_mac",
+        arrays=[ArrayDecl("a", n, 4, True, a_init),
+                ArrayDecl("b", n, 4, True, b_init)],
+        body=body)
+
+
+def global_counters(n: int = 250) -> Function:
+    data = tuple((i * 37 + 11) % 256 for i in range(n))
+    body = [
+        For("i", Const(n), (
+            Let("v", Load("data", Var("i"))),
+            Let("bucket", Bin("and", Var("v"), Const(3))),
+            Let("v", Bin("xor", Var("v"), Bin("shr", Var("v"), Const(3)))),
+            Let("v", _add(Var("v"), Bin("shl", Var("bucket"), Const(2)))),
+            Let("v", Bin("and", Var("v"), Const(2047))),
+            StoreGlobal("hits", _add(LoadGlobal("hits"), Const(1))),
+            StoreGlobal("sum", _add(LoadGlobal("sum"), Var("v"))),
+            StoreGlobal("wsum", _add(LoadGlobal("wsum"),
+                                     _mul(Var("v"), Var("bucket")))),
+        )),
+        Let("acc", _add(LoadGlobal("hits"),
+                        _add(LoadGlobal("sum"), LoadGlobal("wsum")))),
+    ]
+    return Function(
+        name="global_counters",
+        arrays=[ArrayDecl("data", n, 4, True, data)],
+        globals_=[GlobalDecl("hits"), GlobalDecl("sum"),
+                  GlobalDecl("wsum")],
+        body=body)
+
+
+def blur_dse(n: int = 200) -> Function:
+    src = tuple((i * 29 + 7) % 512 for i in range(n))
+    body = [
+        For("i", Const(n), (
+            # The naive frontend writes a default, then overwrites it —
+            # the classic pattern DSE removes.
+            Store("out", Var("i"), Load("src", Var("i"))),
+            Let("w", _add(Load("src", Var("i")), Const(100))),
+            Let("w", Bin("xor", Var("w"), Bin("shr", Var("w"), Const(5)))),
+            Let("w", _mul(Var("w"), Const(3))),
+            Let("w", Bin("and", Var("w"), Const(4095))),
+            Store("out", Var("i"),
+                  Bin("shr", _add(Load("src", Var("i")), Const(100)),
+                      Const(1))),
+        )),
+        For("i", Const(n), (
+            Let("acc", _add(Var("acc"), Load("out", Var("i")))),
+        )),
+    ]
+    return Function(
+        name="blur_dse",
+        arrays=[ArrayDecl("src", n, 4, True, src),
+                ArrayDecl("out", n, 4, True)],
+        body=body)
+
+
+def crypto_mix(n: int = 200) -> Function:
+    msg = tuple((i * 2654435761) & 0xFFFFFFFF for i in range(n))
+    body = [
+        For("i", Const(n), (
+            Let("w", Load("msg", Var("i"))),
+            Let("m", Bin("xor",
+                         Bin("rotr32", U32(Var("w")), Const(7)),
+                         Bin("rotr32", U32(Var("w")), Const(18)))),
+            Let("m", Bin("xor", Var("m"),
+                         Bin("shr", U32(Var("w")), Const(3)))),
+            Let("acc", _add(Var("acc"), Var("m"))),
+        )),
+    ]
+    return Function(
+        name="crypto_mix",
+        arrays=[ArrayDecl("msg", n, 4, False, msg)],
+        body=body)
+
+
+def gather_u32(n: int = 220) -> Function:
+    table = tuple((i * i * 3 + 1) % 4096 for i in range(n))
+    idx = tuple((i * 53 + 9) % n for i in range(n))
+    body = [
+        For("i", Const(n), (
+            Let("j", Load("idx", U32(Var("i")))),
+            Let("acc", _add(Var("acc"), Load("table", U32(Var("j"))))),
+        )),
+    ]
+    return Function(
+        name="gather_u32",
+        arrays=[ArrayDecl("table", n, 4, True, table),
+                ArrayDecl("idx", n, 4, False, idx)],
+        body=body)
+
+
+def fig20_kernels() -> list[Function]:
+    """The kernel set driving the Fig. 20 experiment."""
+    return [saxpy_u32(), dot_mac(), global_counters(), blur_dse(),
+            crypto_mix(), gather_u32()]

@@ -1,0 +1,3 @@
+"""Developer tools: profiler (the paper's CDS tooling, section IX)."""
+
+from .profiler import Profile, Profiler, profile_program  # noqa: F401

@@ -1,0 +1,113 @@
+"""Branch direction prediction (paper section III.A).
+
+XT-910 uses a hybrid multi-mode predictor: SRAM banks of history-based
+counters with a dynamic monitoring algorithm selecting the final result,
+plus the two-level prefetch-buffer scheme (BUF1/BUF2) that hides the
+one-cycle SRAM read latency so back-to-back branches predict in
+consecutive cycles.
+
+The model implements the hybrid as a bimodal table + a gshare bank with
+a per-branch chooser ("dynamic monitoring"), and exposes the BUF1/BUF2
+mechanism as ``consecutive_ok`` — when disabled, two conditional
+branches in adjacent cycles cost a bubble, which the frontend model
+charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DirectionConfig:
+    bimodal_bits: int = 12          # 4K-entry bimodal bank
+    gshare_bits: int = 12           # 4K-entry gshare bank
+    history_bits: int = 12
+    chooser_bits: int = 12
+    two_level_buffers: bool = True  # BUF1/BUF2 prefetch scheme
+
+
+@dataclass
+class DirectionStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class _CounterTable:
+    """2-bit saturating counter bank (an SRAM bank in hardware)."""
+
+    def __init__(self, index_bits: int, init: int = 1):
+        self.mask = (1 << index_bits) - 1
+        self.table = [init] * (1 << index_bits)
+
+    def predict(self, index: int) -> bool:
+        return self.table[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        i = index & self.mask
+        value = self.table[i]
+        if taken:
+            self.table[i] = min(value + 1, 3)
+        else:
+            self.table[i] = max(value - 1, 0)
+
+
+class HybridDirectionPredictor:
+    """Bimodal + gshare banks with a chooser (the "dynamic monitoring
+    algorithm" that selects one bank's output as the final result)."""
+
+    def __init__(self, config: DirectionConfig | None = None):
+        self.config = config if config is not None else DirectionConfig()
+        self._bimodal = _CounterTable(self.config.bimodal_bits)
+        self._gshare = _CounterTable(self.config.gshare_bits)
+        self._chooser = _CounterTable(self.config.chooser_bits, init=2)
+        self._history = 0
+        self._history_mask = (1 << self.config.history_bits) - 1
+        self.stats = DirectionStats()
+
+    def _gshare_index(self, pc: int) -> int:
+        return (pc >> 1) ^ self._history
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at *pc*."""
+        use_gshare = self._chooser.predict(pc >> 1)
+        if use_gshare:
+            return self._gshare.predict(self._gshare_index(pc))
+        return self._bimodal.predict(pc >> 1)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train with the real outcome; returns True iff mispredicted."""
+        bimodal_pred = self._bimodal.predict(pc >> 1)
+        gshare_index = self._gshare_index(pc)
+        gshare_pred = self._gshare.predict(gshare_index)
+        used_gshare = self._chooser.predict(pc >> 1)
+        prediction = gshare_pred if used_gshare else bimodal_pred
+
+        self.stats.predictions += 1
+        mispredicted = prediction != taken
+        if mispredicted:
+            self.stats.mispredictions += 1
+
+        # Chooser trains toward whichever bank was right (when they differ).
+        if bimodal_pred != gshare_pred:
+            self._chooser.update(pc >> 1, gshare_pred == taken)
+        self._bimodal.update(pc >> 1, taken)
+        self._gshare.update(gshare_index, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return mispredicted
+
+    @property
+    def consecutive_ok(self) -> bool:
+        """Can two adjacent-cycle branches both be predicted?
+
+        True with the BUF1/BUF2 two-level prefetch buffers (section
+        III.A, Fig. 6); without them the SRAM read latency inserts a
+        one-cycle gap between dependent predictions.
+        """
+        return self.config.two_level_buffers

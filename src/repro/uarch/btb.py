@@ -1,0 +1,176 @@
+"""Cascaded branch target buffers (paper section III.B).
+
+* **L0 BTB** — 16 entries, fully associative, consulted at the IF
+  stage.  A hit executes the jump immediately, eliminating the taken-
+  branch bubble entirely.  It exists for jump-dense code whose bubbles
+  the IBUF cannot hide.
+* **L1 BTB** — the main BTB, >1K entries, set-associative, providing
+  the target for jumps executed at the IP stage (one bubble, usually
+  hidden by IBUF occupancy).  Its prediction is checked at IB and
+  corrected immediately on mismatch.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+class BtbLevel(enum.Enum):
+    """Where a taken branch found its target (drives the bubble cost)."""
+
+    L0 = "l0"        # jump at IF: zero bubbles
+    L1 = "l1"        # jump at IP: one bubble
+    MISS = "miss"    # no target known: redirect at IB after decode
+
+
+@dataclass
+class BtbConfig:
+    l0_entries: int = 16
+    l1_entries: int = 1024
+    l1_ways: int = 4
+
+
+@dataclass
+class BtbStats:
+    l0_hits: int = 0
+    l1_hits: int = 0
+    misses: int = 0
+    target_mispredicts: int = 0
+
+
+class CascadedBtb:
+    """The L0/L1 target-buffer pair."""
+
+    def __init__(self, config: BtbConfig | None = None):
+        self.config = config if config is not None else BtbConfig()
+        self._l0: OrderedDict[int, int] = OrderedDict()
+        self._l1_sets = max(1, self.config.l1_entries // self.config.l1_ways)
+        self._l1: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(self._l1_sets)]
+        self.stats = BtbStats()
+
+    def _l1_set(self, pc: int) -> OrderedDict[int, int]:
+        return self._l1[(pc >> 1) % self._l1_sets]
+
+    def predict(self, pc: int) -> tuple[BtbLevel, int | None]:
+        """Look up the target for the (predicted-taken) branch at *pc*."""
+        target = self._l0.get(pc)
+        if target is not None:
+            self._l0.move_to_end(pc)
+            self.stats.l0_hits += 1
+            return BtbLevel.L0, target
+        l1_set = self._l1_set(pc)
+        target = l1_set.get(pc)
+        if target is not None:
+            l1_set.move_to_end(pc)
+            self.stats.l1_hits += 1
+            return BtbLevel.L1, target
+        self.stats.misses += 1
+        return BtbLevel.MISS, None
+
+    def update(self, pc: int, target: int, predicted: int | None) -> bool:
+        """Install/refresh the target; returns True on target mispredict."""
+        mispredicted = predicted is not None and predicted != target
+        if mispredicted:
+            self.stats.target_mispredicts += 1
+        l1_set = self._l1_set(pc)
+        if pc in l1_set:
+            l1_set[pc] = target
+            l1_set.move_to_end(pc)
+        else:
+            if len(l1_set) >= self.config.l1_ways:
+                l1_set.popitem(last=False)
+            l1_set[pc] = target
+        # Promote into L0: it captures the branches whose bubbles the
+        # IBUF cannot hide; a simple recency policy approximates that.
+        if self.config.l0_entries > 0:
+            if pc in self._l0:
+                self._l0[pc] = target
+                self._l0.move_to_end(pc)
+            else:
+                if len(self._l0) >= self.config.l0_entries:
+                    self._l0.popitem(last=False)
+                self._l0[pc] = target
+        return mispredicted
+
+
+@dataclass
+class RasStats:
+    pushes: int = 0
+    pops: int = 0
+    mispredicts: int = 0
+    overflows: int = 0
+
+
+class ReturnAddressStack:
+    """The subroutine return-address predictor (section III.B)."""
+
+    def __init__(self, entries: int = 16):
+        self.entries = entries
+        self._stack: list[int] = []
+        self.stats = RasStats()
+
+    def push(self, return_addr: int) -> None:
+        self.stats.pushes += 1
+        if len(self._stack) >= self.entries:
+            self._stack.pop(0)  # circular overwrite of the oldest
+            self.stats.overflows += 1
+        self._stack.append(return_addr)
+
+    def predict_pop(self) -> int | None:
+        self.stats.pops += 1
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def check(self, predicted: int | None, actual: int) -> bool:
+        """Returns True iff the return target was mispredicted."""
+        if predicted != actual:
+            self.stats.mispredicts += 1
+            self._stack.clear()  # corrupted beyond repair after a miss
+            return True
+        return False
+
+
+@dataclass
+class IndirectStats:
+    predictions: int = 0
+    mispredicts: int = 0
+
+
+class IndirectPredictor:
+    """Target predictor for non-return indirect branches.
+
+    Tagged, path-history-hashed target table (ITTAGE-lite): good enough
+    to capture switch dispatch and virtual calls, the cases the paper's
+    "indirect branch predictor" exists for.
+    """
+
+    def __init__(self, entries: int = 512, history_bits: int = 8):
+        self._mask = entries - 1
+        self._table: dict[int, int] = {}
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self.stats = IndirectStats()
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 1) ^ (self._history << 2)) & self._mask
+
+    def predict(self, pc: int) -> int | None:
+        return self._table.get(self._index(pc))
+
+    def update(self, pc: int, target: int) -> bool:
+        """Train; returns True iff the prediction was wrong/absent."""
+        self.stats.predictions += 1
+        index = self._index(pc)
+        predicted = self._table.get(index)
+        self._table[index] = target
+        folded = (target >> 1) ^ (target >> 6) ^ (target >> 12)
+        self._history = ((self._history << 1) ^ folded) \
+            & self._history_mask
+        if predicted != target:
+            self.stats.mispredicts += 1
+            return True
+        return False

@@ -1,0 +1,71 @@
+"""Aggregated run statistics for one core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreStats:
+    """Everything a benchmark harness needs to report."""
+
+    instructions: int = 0
+    uops: int = 0
+    cycles: int = 0
+    # frontend
+    fetch_bubbles: int = 0
+    taken_branch_bubbles: int = 0
+    direction_mispredicts: int = 0
+    target_mispredicts: int = 0
+    ras_mispredicts: int = 0
+    indirect_mispredicts: int = 0
+    branches: int = 0
+    icache_stall_cycles: int = 0
+    lbuf_supplied: int = 0
+    # backend
+    rob_stall_cycles: int = 0
+    iq_stall_cycles: int = 0
+    sq_stall_cycles: int = 0
+    lsu_violations: int = 0
+    lsu_forwards: int = 0
+    memdep_delays: int = 0
+    serializations: int = 0
+    vector_instructions: int = 0
+    vector_beats: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        if not self.branches:
+            return 0.0
+        return self.direction_mispredicts / self.branches
+
+    def mpki(self, event_count: int) -> float:
+        """Events per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * event_count / self.instructions
+
+    def summary(self) -> str:
+        lines = [
+            f"instructions      {self.instructions}",
+            f"cycles            {self.cycles}",
+            f"IPC               {self.ipc:.3f}",
+            f"branches          {self.branches}"
+            f" (mispredict {100 * self.branch_mispredict_rate:.2f}%)",
+            f"taken bubbles     {self.taken_branch_bubbles}",
+            f"icache stalls     {self.icache_stall_cycles}",
+            f"LBUF supplied     {self.lbuf_supplied}",
+            f"LSU violations    {self.lsu_violations}"
+            f" forwards {self.lsu_forwards}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Benchmark workloads: each an assembly kernel + Python reference."""
+
+from .base import Workload, crc16_update  # noqa: F401
+from .blockchain import blockchain_kernel  # noqa: F401
+from .coremark import coremark_suite  # noqa: F401
+from .dhrystone import dhrystone  # noqa: F401
+from .eembc import eembc_suite  # noqa: F401
+from .nbench import nbench_suite  # noqa: F401
+from .specint import specint_workload  # noqa: F401
+from .stream import stream_kernel, stream_suite  # noqa: F401
+from .stringops import strlen_base, strlen_xt  # noqa: F401
+from .vector import scalar_mac16, vec_fp16_axpy, vec_mac16, vector_suite  # noqa: F401
+
+
+def all_workloads() -> list[Workload]:
+    """Every verified workload in the repository."""
+    return (coremark_suite() + eembc_suite() + nbench_suite()
+            + stream_suite(elems=2048) + [specint_workload(
+                chase_nodes=4096, scan_elems=8192, chase_steps=4000,
+                scan_passes=1, hash_ops=2000)]
+            + vector_suite()
+            + [blockchain_kernel(xt=False, blocks=4),
+               blockchain_kernel(xt=True, blocks=4),
+               strlen_base(), strlen_xt(), dhrystone()])

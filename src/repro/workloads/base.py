@@ -1,0 +1,71 @@
+"""Workload framework: assembly kernels with Python reference models.
+
+Every benchmark kernel is an assembly program plus a pure-Python
+reference function computing the same checksum.  Tests run the kernel
+on the functional emulator and compare the memory-resident result
+against the reference, so the timing experiments are built on verified
+binaries (the same discipline CoreMark's seed-verified checksums give
+the paper's numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..asm import Program, assemble
+from ..sim.emulator import Emulator
+
+MASK16 = 0xFFFF
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass
+class Workload:
+    """One benchmark kernel."""
+
+    name: str
+    source: str
+    reference: Callable[[], int] | None = None
+    result_symbol: str = "result"
+    compress: bool = True
+    category: str = "misc"
+    _program: Program | None = field(default=None, repr=False)
+
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = assemble(self.source, compress=self.compress)
+        return self._program
+
+    def run_functional(self, max_steps: int = 20_000_000) -> tuple[int, int]:
+        """Emulate; returns (exit_code, checksum-at-result-symbol)."""
+        emulator = Emulator(self.program())
+        emulator.run(max_steps)
+        checksum = emulator.state.memory.load_int(
+            self.program().symbol(self.result_symbol), 8)
+        return emulator.exit_code or 0, checksum
+
+    def verify(self) -> None:
+        """Assert the kernel's checksum matches the Python reference."""
+        if self.reference is None:
+            return
+        exit_code, checksum = self.run_functional()
+        expected = self.reference()
+        if exit_code != 0:
+            raise AssertionError(
+                f"{self.name}: kernel exited with {exit_code}")
+        if checksum != expected:
+            raise AssertionError(
+                f"{self.name}: checksum {checksum:#x} != "
+                f"reference {expected:#x}")
+
+
+def crc16_update(crc: int, data: int, bits: int = 16) -> int:
+    """The CoreMark-style CRC step (polynomial 0xA001, LSB-first)."""
+    for i in range(bits):
+        bit = (data >> i) & 1
+        carry = (crc ^ bit) & 1
+        crc >>= 1
+        if carry:
+            crc ^= 0xA001
+    return crc & MASK16

@@ -1,0 +1,545 @@
+"""CoreMark-like benchmark suite (paper section X, Fig. 17).
+
+The paper: "the Coremark ... contains implementations of the following
+algorithms: list processing (find and sort), matrix manipulation
+(common matrix operations), state machine (determine if an input
+stream contains valid numbers), and CRC".  The four kernels below
+implement those algorithm classes from scratch in our assembler, each
+with a Python reference model verifying its checksum.  Like CoreMark
+itself, everything is sized to stay cache-resident ("basically all
+cache-hit and hardly affected by DDR latency").
+"""
+
+from __future__ import annotations
+
+from .base import MASK16, MASK32, Workload, crc16_update
+
+LIST_NODES = 24
+LIST_ITERS = 20
+MAT_N = 10
+MAT_ITERS = 4
+STATE_ITERS = 12
+CRC_BYTES = 200
+CRC_ITERS = 6
+
+
+def _rotl16(value: int, amount: int = 1) -> int:
+    value &= MASK16
+    return ((value << amount) | (value >> (16 - amount))) & MASK16
+
+
+# ---------------------------------------------------------------------------
+# Kernel 1: list processing (find and sort)
+# ---------------------------------------------------------------------------
+
+_LIST_SRC = f"""
+    .equ N, {LIST_NODES}
+    .equ ITERS, {LIST_ITERS}
+    .data
+    .align 3
+nodes:  .zero {LIST_NODES * 16}
+result: .dword 0
+    .text
+_start:
+    la s0, nodes
+    li t0, 0
+    li t1, N
+build:                        # node: [0]=next ptr, [8]=value
+    slli t2, t0, 4
+    add t3, s0, t2
+    addi t4, t0, 1
+    slli t5, t4, 4
+    add t5, s0, t5
+    blt t4, t1, build_link
+    li t5, 0
+build_link:
+    sd t5, 0(t3)
+    li t6, 13
+    mul a1, t0, t6
+    addi a1, a1, 7
+    andi a1, a1, 255
+    sw a1, 8(t3)
+    addi t0, t0, 1
+    blt t0, t1, build
+
+    mv s1, s0                 # head
+    li s2, 0                  # chk
+    li s3, 0                  # iter
+    li s4, ITERS
+iter_loop:
+    # --- find: value (iter%N)*13+7 ---
+    li t0, N
+    rem t1, s3, t0
+    li t2, 13
+    mul t1, t1, t2
+    addi t1, t1, 7
+    andi t1, t1, 255          # target value
+    mv t3, s1                 # cursor
+    li t4, 0                  # hops
+find_loop:
+    lw t5, 8(t3)
+    beq t5, t1, found
+    ld t3, 0(t3)
+    addi t4, t4, 1
+    bnez t3, find_loop
+found:
+    xor s2, s2, t4            # chk ^= hops
+
+    # --- reverse the list ---
+    li t0, 0                  # prev
+    mv t1, s1                 # cur
+rev_loop:
+    ld t2, 0(t1)              # next
+    sd t0, 0(t1)
+    mv t0, t1
+    mv t1, t2
+    bnez t1, rev_loop
+    mv s1, t0                 # new head
+
+    # --- checksum traversal: chk = rotl16(chk) ^ value ---
+    mv t3, s1
+sum_loop:
+    slli t4, s2, 1
+    srli t5, s2, 15
+    or s2, t4, t5
+    li t6, 0xffff
+    and s2, s2, t6
+    lw t4, 8(t3)
+    xor s2, s2, t4
+    ld t3, 0(t3)
+    bnez t3, sum_loop
+
+    addi s3, s3, 1
+    blt s3, s4, iter_loop
+
+    la t0, result
+    sd s2, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def _list_reference() -> int:
+    values = [(i * 13 + 7) & 255 for i in range(LIST_NODES)]
+    order = list(range(LIST_NODES))
+    chk = 0
+    for it in range(LIST_ITERS):
+        target = ((it % LIST_NODES) * 13 + 7) & 255
+        hops = 0
+        for idx in order:
+            if values[idx] == target:
+                break
+            hops += 1
+        chk ^= hops
+        order.reverse()
+        for idx in order:
+            chk = _rotl16(chk) ^ values[idx]
+    return chk
+
+
+# ---------------------------------------------------------------------------
+# Kernel 2: matrix manipulation
+# ---------------------------------------------------------------------------
+
+_MATRIX_SRC = f"""
+    .equ N, {MAT_N}
+    .equ ITERS, {MAT_ITERS}
+    .data
+    .align 3
+mat_a:  .zero {MAT_N * MAT_N * 4}
+mat_b:  .zero {MAT_N * MAT_N * 4}
+mat_c:  .zero {MAT_N * MAT_N * 4}
+result: .dword 0
+    .text
+_start:
+    la s0, mat_a
+    la s1, mat_b
+    la s2, mat_c
+    li t0, 0
+    li t1, {MAT_N * MAT_N}
+init:                         # a[k]=(k*3+1)&0x7fff ; b[k]=(k*5+2)&0x7fff
+    slli t2, t0, 2
+    add t3, s0, t2
+    li t4, 3
+    mul t5, t0, t4
+    addi t5, t5, 1
+    li t6, 0x7fff
+    and t5, t5, t6
+    sw t5, 0(t3)
+    add t3, s1, t2
+    li t4, 5
+    mul t5, t0, t4
+    addi t5, t5, 2
+    and t5, t5, t6
+    sw t5, 0(t3)
+    addi t0, t0, 1
+    blt t0, t1, init
+
+    li s3, 0                  # chk
+    li s4, 0                  # iter
+matmul_iter:
+    li t0, 0                  # i
+    li a4, N                  # loop bound hoisted (-O2 style)
+mm_i:
+    mul a5, t0, a4            # i*N hoisted out of the j/k loops
+    li t1, 0                  # j
+mm_j:
+    li t2, 0                  # k
+    li a3, 0                  # acc
+    # Strength-reduced pointers (-O2 style): t3 walks a's row, a6
+    # walks b's column by a whole row per step.
+    slli t3, a5, 2
+    add t3, s0, t3            # &a[i][0]
+    slli a6, t1, 2
+    add a6, s1, a6            # &b[0][j]
+mm_k:
+    lw t5, 0(t3)              # a[i][k]
+    lw t6, 0(a6)              # b[k][j]
+    addi t3, t3, 4
+    addi a6, a6, {MAT_N * 4}
+    addi t2, t2, 1
+    mul t5, t5, t6
+    addw a3, a3, t5
+    blt t2, a4, mm_k
+    add t3, a5, t1
+    slli t3, t3, 2
+    add t3, s2, t3
+    sw a3, 0(t3)              # c[i][j]
+    # chk = (chk + c*(i+j+1)) mod 2^32
+    add t4, t0, t1
+    addi t4, t4, 1
+    mul t5, a3, t4
+    addw s3, s3, t5
+    addi t1, t1, 1
+    li a4, N
+    blt t1, a4, mm_j
+    addi t0, t0, 1
+    blt t0, a4, mm_i
+
+    # a[k] += iter+1 (matrix-constant add between passes)
+    li t0, 0
+    li t1, {MAT_N * MAT_N}
+add_const:
+    slli t2, t0, 2
+    add t3, s0, t2
+    lw t4, 0(t3)
+    addi t5, s4, 1
+    addw t4, t4, t5
+    sw t4, 0(t3)
+    addi t0, t0, 1
+    blt t0, t1, add_const
+
+    addi s4, s4, 1
+    li t0, ITERS
+    blt s4, t0, matmul_iter
+
+    # fold checksum to unsigned 32-bit
+    slli s3, s3, 32
+    srli s3, s3, 32
+    la t0, result
+    sd s3, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def _matrix_reference() -> int:
+    n = MAT_N
+    a = [(k * 3 + 1) & 0x7FFF for k in range(n * n)]
+    b = [(k * 5 + 2) & 0x7FFF for k in range(n * n)]
+    chk = 0
+    for it in range(MAT_ITERS):
+        for i in range(n):
+            for j in range(n):
+                acc = 0
+                for k in range(n):
+                    acc = (acc + a[i * n + k] * b[k * n + j]) & MASK32
+                    if acc >= 1 << 31:
+                        acc -= 1 << 32
+                    acc &= MASK32
+                c = acc
+                chk = (chk + c * (i + j + 1)) & MASK32
+        a = [(v + it + 1) & MASK32 for v in a]
+    return chk
+
+
+# ---------------------------------------------------------------------------
+# Kernel 3: state machine (validate numbers in an input stream)
+# ---------------------------------------------------------------------------
+
+_STATE_INPUT = "512,19.9,-7,+42e3,1x2,.5,100,9.,e9,777,-0.01,12e,5,abc,+3.1,"
+
+_STATE_SRC = f"""
+    .equ ITERS, {STATE_ITERS}
+    .data
+input:  .asciz "{_STATE_INPUT}"
+    .align 3
+counts: .zero 32              # [int, float, sci, invalid]
+result: .dword 0
+    .text
+    # States: 0=start 1=int 2=dot 3=float 4=e 5=esign 6=sci 7=invalid
+_start:
+    li s5, 0                  # chk
+    li s6, 0                  # iter
+state_iter:
+    la s0, input
+    li s1, 0                  # state
+token_loop:
+    lbu t0, 0(s0)
+    addi s0, s0, 1
+    beqz t0, pass_done
+    li t1, ','
+    beq t0, t1, token_end
+    # classify char: digit / dot / e / sign / other
+    li t1, '0'
+    blt t0, t1, not_digit
+    li t1, '9'
+    bgt t0, t1, not_digit
+    # --- digit ---
+    beqz s1, to_int           # start -> int
+    li t1, 2
+    beq s1, t1, to_float      # dot -> float
+    li t1, 4
+    beq s1, t1, to_sci        # e -> sci
+    li t1, 5
+    beq s1, t1, to_sci        # esign -> sci
+    j token_loop              # int/float/sci stay
+to_int:
+    li s1, 1
+    j token_loop
+to_float:
+    li s1, 3
+    j token_loop
+to_sci:
+    li s1, 6
+    j token_loop
+not_digit:
+    li t1, '.'
+    bne t0, t1, not_dot
+    beqz s1, dot_ok           # start -> dot
+    li t1, 1
+    beq s1, t1, dot_ok        # int -> dot(fraction)
+    li s1, 7
+    j token_loop
+dot_ok:
+    li s1, 2
+    j token_loop
+not_dot:
+    li t1, 'e'
+    bne t0, t1, not_e
+    li t1, 1
+    beq s1, t1, e_ok          # int -> e
+    li t1, 3
+    beq s1, t1, e_ok          # float -> e
+    li s1, 7
+    j token_loop
+e_ok:
+    li s1, 4
+    j token_loop
+not_e:
+    li t1, '+'
+    beq t0, t1, sign
+    li t1, '-'
+    beq t0, t1, sign
+    li s1, 7                  # anything else: invalid
+    j token_loop
+sign:
+    beqz s1, sign_start
+    li t1, 4
+    beq s1, t1, sign_exp      # e -> esign
+    li s1, 7
+    j token_loop
+sign_start:
+    li s1, 0                  # sign before digits: stay in start
+    j token_loop
+sign_exp:
+    li s1, 5
+    j token_loop
+
+token_end:                    # classify final state
+    la t2, counts
+    li t1, 1
+    beq s1, t1, cls_int
+    li t1, 3
+    beq s1, t1, cls_float
+    li t1, 6
+    beq s1, t1, cls_sci
+    li t3, 24                 # invalid bucket
+    j cls_store
+cls_int:
+    li t3, 0
+    j cls_store
+cls_float:
+    li t3, 8
+    j cls_store
+cls_sci:
+    li t3, 16
+cls_store:
+    add t2, t2, t3
+    ld t4, 0(t2)
+    addi t4, t4, 1
+    sd t4, 0(t2)
+    li s1, 0                  # reset DFA
+    j token_loop
+
+pass_done:
+    # chk = rotl16(chk) ^ (ints + 3*floats + 5*sci + 7*invalid)
+    la t2, counts
+    ld t3, 0(t2)
+    ld t4, 8(t2)
+    li t5, 3
+    mul t4, t4, t5
+    add t3, t3, t4
+    ld t4, 16(t2)
+    li t5, 5
+    mul t4, t4, t5
+    add t3, t3, t4
+    ld t4, 24(t2)
+    li t5, 7
+    mul t4, t4, t5
+    add t3, t3, t4
+    slli t4, s5, 1
+    srli t5, s5, 15
+    or s5, t4, t5
+    li t6, 0xffff
+    and s5, s5, t6
+    xor s5, s5, t3
+    addi s6, s6, 1
+    li t0, ITERS
+    blt s6, t0, state_iter
+
+    la t0, result
+    sd s5, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def _state_classify(token: str) -> str:
+    state = 0
+    for ch in token:
+        if ch.isdigit():
+            state = {0: 1, 1: 1, 2: 3, 3: 3, 4: 6, 5: 6, 6: 6}.get(state, 7)
+        elif ch == ".":
+            state = {0: 2, 1: 2}.get(state, 7)
+        elif ch == "e":
+            state = {1: 4, 3: 4}.get(state, 7)
+        elif ch in "+-":
+            state = {0: 0, 4: 5}.get(state, 7)
+        else:
+            state = 7
+    return {1: "int", 3: "float", 6: "sci"}.get(state, "invalid")
+
+
+def _state_reference() -> int:
+    counts = {"int": 0, "float": 0, "sci": 0, "invalid": 0}
+    chk = 0
+    tokens = _STATE_INPUT.split(",")[:-1]
+    for _ in range(STATE_ITERS):
+        for token in tokens:
+            counts[_state_classify(token)] += 1
+        mixed = (counts["int"] + 3 * counts["float"] + 5 * counts["sci"]
+                 + 7 * counts["invalid"])
+        chk = _rotl16(chk) ^ mixed
+        chk &= MASK16
+    return chk
+
+
+# ---------------------------------------------------------------------------
+# Kernel 4: CRC16
+# ---------------------------------------------------------------------------
+
+_CRC_SRC = f"""
+    .equ BYTES, {CRC_BYTES}
+    .equ ITERS, {CRC_ITERS}
+    .data
+buf:    .zero {CRC_BYTES}
+    .align 3
+result: .dword 0
+    .text
+_start:
+    la s0, buf
+    li t0, 0
+    li t1, BYTES
+fill:                         # buf[i] = (i*i + i) & 0xff
+    mul t2, t0, t0
+    add t2, t2, t0
+    andi t2, t2, 255
+    add t3, s0, t0
+    sb t2, 0(t3)
+    addi t0, t0, 1
+    blt t0, t1, fill
+
+    li s1, 0                  # crc
+    li s2, 0                  # iter
+crc_iter:
+    li t0, 0                  # byte index
+crc_byte:
+    add t1, s0, t0
+    lbu t2, 0(t1)             # data byte
+    li t3, 0                  # bit
+crc_bit:
+    srl t4, t2, t3
+    andi t4, t4, 1            # data bit
+    xor t5, s1, t4
+    andi t5, t5, 1            # carry
+    srli s1, s1, 1
+    beqz t5, no_poly
+    li t6, 0xA001
+    xor s1, s1, t6
+no_poly:
+    addi t3, t3, 1
+    li t4, 8
+    blt t3, t4, crc_bit
+    addi t0, t0, 1
+    li t4, BYTES
+    blt t0, t4, crc_byte
+    addi s2, s2, 1
+    li t0, ITERS
+    blt s2, t0, crc_iter
+
+    la t0, result
+    sd s1, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def _crc_reference() -> int:
+    crc = 0
+    data = [(i * i + i) & 255 for i in range(CRC_BYTES)]
+    for _ in range(CRC_ITERS):
+        for byte in data:
+            crc = crc16_update(crc, byte, bits=8)
+    return crc
+
+
+# ---------------------------------------------------------------------------
+
+def list_kernel() -> Workload:
+    return Workload(name="coremark-list", source=_LIST_SRC,
+                    reference=_list_reference, category="coremark")
+
+
+def matrix_kernel() -> Workload:
+    return Workload(name="coremark-matrix", source=_MATRIX_SRC,
+                    reference=_matrix_reference, category="coremark")
+
+
+def state_kernel() -> Workload:
+    return Workload(name="coremark-state", source=_STATE_SRC,
+                    reference=_state_reference, category="coremark")
+
+
+def crc_kernel() -> Workload:
+    return Workload(name="coremark-crc", source=_CRC_SRC,
+                    reference=_crc_reference, category="coremark")
+
+
+def coremark_suite() -> list[Workload]:
+    """The four CoreMark algorithm classes."""
+    return [list_kernel(), matrix_kernel(), state_kernel(), crc_kernel()]

@@ -1,0 +1,180 @@
+"""Dhrystone-like workload: the classic embedded integer mix.
+
+Not one of the paper's figures, but the canonical "industrial control
+flow" benchmark class the paper's abstract claims ("the highest
+performance ... for a number of industrial control flow ... benchmarks").
+The loop reproduces Dhrystone's behaviour mix: record (struct) copies,
+30-character string compares, call-heavy small procedures, global
+updates, and an enumeration switch implemented with a jump table
+(exercising the indirect branch predictor).
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+
+ITERATIONS = 60
+STR_A = "DHRYSTONE PROGRAM, 1ST STRING"
+STR_B = "DHRYSTONE PROGRAM, 2ND STRING"
+
+
+def dhrystone(iterations: int = ITERATIONS) -> Workload:
+    source = f"""
+    .equ ITERS, {iterations}
+    .data
+record1:                       # Dhrystone Rec_Type: 6 dwords
+    .dword 0, 1, 2, 3, 4, 5
+record2:
+    .zero 48
+str_a: .asciz "{STR_A}"
+    .align 3
+str_b: .asciz "{STR_B}"
+    .align 3
+jumptab:
+    .dword case0, case1, case2, case3
+    .align 3
+int_glob: .dword 0
+bool_glob: .dword 0
+result: .dword 0
+    .text
+_start:
+    li s11, 0                 # checksum
+    li s10, 0                 # iteration
+main_loop:
+    # --- Proc: record copy (structure assignment) ---
+    la a0, record1
+    la a1, record2
+    call copy_record
+    # mutate the source record a little
+    la t0, record1
+    ld t1, 16(t0)
+    addi t1, t1, 3
+    sd t1, 16(t0)
+
+    # --- string comparison (Func_2 flavour) ---
+    la a0, str_a
+    la a1, str_b
+    call str_cmp
+    beqz a0, strings_equal
+    la t0, int_glob
+    ld t1, 0(t0)
+    addi t1, t1, 1
+    sd t1, 0(t0)
+strings_equal:
+
+    # --- enumeration switch via jump table (Proc_6 flavour) ---
+    andi t2, s10, 3           # discriminant 0..3
+    la t3, jumptab
+    slli t4, t2, 3
+    add t3, t3, t4
+    ld t5, 0(t3)
+    jr t5
+case0:
+    addi s11, s11, 1
+    j switch_done
+case1:
+    la t0, bool_glob
+    li t1, 1
+    sd t1, 0(t0)
+    addi s11, s11, 2
+    j switch_done
+case2:
+    slli s11, s11, 1
+    j switch_done
+case3:
+    la t0, int_glob
+    ld t1, 0(t0)
+    add s11, s11, t1
+switch_done:
+
+    # --- call-heavy small procedures (Proc_7: add with globals) ---
+    mv a0, s10
+    li a1, 17
+    call proc_add
+    add s11, s11, a0
+    li t6, 0xffff
+    and s11, s11, t6
+
+    addi s10, s10, 1
+    li t0, ITERS
+    blt s10, t0, main_loop
+
+    # fold in the copied record and globals
+    la t0, record2
+    ld t1, 40(t0)
+    add s11, s11, t1
+    la t0, int_glob
+    ld t1, 0(t0)
+    add s11, s11, t1
+    la t2, result
+    sd s11, 0(t2)
+    li a0, 0
+    li a7, 93
+    ecall
+
+copy_record:                  # 6-dword struct copy
+    ld t0, 0(a0)
+    sd t0, 0(a1)
+    ld t0, 8(a0)
+    sd t0, 8(a1)
+    ld t0, 16(a0)
+    sd t0, 16(a1)
+    ld t0, 24(a0)
+    sd t0, 24(a1)
+    ld t0, 32(a0)
+    sd t0, 32(a1)
+    ld t0, 40(a0)
+    sd t0, 40(a1)
+    ret
+
+str_cmp:                      # returns 0 if equal, nonzero otherwise
+    lbu t0, 0(a0)
+    lbu t1, 0(a1)
+    bne t0, t1, cmp_diff
+    beqz t0, cmp_equal
+    addi a0, a0, 1
+    addi a1, a1, 1
+    j str_cmp
+cmp_equal:
+    li a0, 0
+    ret
+cmp_diff:
+    sub a0, t0, t1
+    ret
+
+proc_add:                     # a0 = a0 + a1 + int_glob%7
+    la t0, int_glob
+    ld t1, 0(t0)
+    li t2, 7
+    rem t1, t1, t2
+    add a0, a0, a1
+    add a0, a0, t1
+    ret
+"""
+
+    def reference() -> int:
+        record1 = [0, 1, 2, 3, 4, 5]
+        record2 = [0] * 6
+        int_glob = 0
+        checksum = 0
+        for i in range(iterations):
+            record2 = list(record1)
+            record1[2] += 3
+            if STR_A != STR_B:
+                int_glob += 1
+            case = i & 3
+            if case == 0:
+                checksum += 1
+            elif case == 1:
+                checksum += 2
+            elif case == 2:
+                checksum <<= 1
+            else:
+                checksum += int_glob
+            checksum += i + 17 + (int_glob % 7)
+            checksum &= 0xFFFF
+        checksum += record2[5] + int_glob
+        return checksum & ((1 << 64) - 1)
+
+    return Workload(name="dhrystone-like", source=source,
+                    reference=reference, category="dhrystone")

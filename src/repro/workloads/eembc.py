@@ -1,0 +1,528 @@
+"""EEMBC-like automotive/industrial kernels (paper Fig. 18).
+
+"EEMBC ... is a benchmark for the hardware and software used in
+autonomous driving, the Internet of Things, mobile devices" — the
+paper normalizes per-kernel scores against Cortex-A73.  The kernels
+below cover the EEMBC automotive suite's behaviour classes: sensor
+arithmetic (a2time, rspeed), filters (aifirf, iirflt), bit twiddling
+(bitmnp, canrdr), transforms (idctrn), pointer chasing (pntrch) and
+table lookup with interpolation (tblook).
+"""
+
+from __future__ import annotations
+
+from .base import MASK32, Workload
+
+_TAIL = """
+    la t0, result
+    sd s11, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def _wrap(name: str, body: str, data: str = "") -> str:
+    return f"""
+    .data
+    .align 3
+{data}
+result: .dword 0
+    .text
+_start:
+    li s11, 0
+{body}
+{_TAIL}
+"""
+
+
+# --- a2time: angle-to-time pulse computation --------------------------------
+
+_A2TIME_N = 600
+
+_A2TIME_BODY = f"""
+    li s0, 0                  # i
+    li s1, {_A2TIME_N}
+a2_loop:
+    li t0, 37
+    mul t1, s0, t0
+    li t0, 720
+    rem t1, t1, t0            # angle
+    li t0, 360
+    blt t1, t0, a2_low
+    sub t2, t1, t0
+    li t3, 7
+    mul t2, t2, t3
+    li t3, 3
+    div t2, t2, t3
+    j a2_acc
+a2_low:
+    li t3, 5
+    mul t2, t1, t3
+    li t3, 2
+    div t2, t2, t3
+a2_acc:
+    add s11, s11, t2
+    addi s0, s0, 1
+    blt s0, s1, a2_loop
+"""
+
+
+def _a2time_ref() -> int:
+    acc = 0
+    for i in range(_A2TIME_N):
+        angle = (i * 37) % 720
+        if angle >= 360:
+            acc += (angle - 360) * 7 // 3
+        else:
+            acc += angle * 5 // 2
+    return acc & ((1 << 64) - 1)
+
+
+# --- aifirf: 16-tap FIR filter ------------------------------------------------
+
+_FIR_N = 256
+_FIR_TAPS = 16
+
+_FIR_DATA = f"""
+samples: .zero {_FIR_N * 4}
+taps:    .zero {_FIR_TAPS * 4}
+"""
+
+_FIR_BODY = f"""
+    la s0, samples
+    la s1, taps
+    li t0, 0
+    li t1, {_FIR_N}
+fir_init_x:                  # x[i] = ((i*31) % 199) - 99
+    li t2, 31
+    mul t3, t0, t2
+    li t2, 199
+    rem t3, t3, t2
+    addi t3, t3, -99
+    slli t4, t0, 2
+    add t4, s0, t4
+    sw t3, 0(t4)
+    addi t0, t0, 1
+    blt t0, t1, fir_init_x
+    li t0, 0
+    li t1, {_FIR_TAPS}
+fir_init_h:                  # h[k] = (k*k) % 17 - 8
+    mul t3, t0, t0
+    li t2, 17
+    rem t3, t3, t2
+    addi t3, t3, -8
+    slli t4, t0, 2
+    add t4, s1, t4
+    sw t3, 0(t4)
+    addi t0, t0, 1
+    blt t0, t1, fir_init_h
+
+    li s2, {_FIR_TAPS - 1}    # n
+    li s3, {_FIR_N}
+fir_outer:
+    li t0, 0                  # k
+    li t1, 0                  # acc
+fir_inner:
+    sub t2, s2, t0            # n - k
+    slli t3, t2, 2
+    add t3, s0, t3
+    lw t4, 0(t3)              # x[n-k]
+    slli t3, t0, 2
+    add t3, s1, t3
+    lw t5, 0(t3)              # h[k]
+    mul t6, t4, t5
+    addw t1, t1, t6
+    addi t0, t0, 1
+    li t2, {_FIR_TAPS}
+    blt t0, t2, fir_inner
+    addw s11, s11, t1
+    addi s2, s2, 1
+    blt s2, s3, fir_outer
+    slli s11, s11, 32
+    srli s11, s11, 32
+"""
+
+
+def _fir_ref() -> int:
+    x = [((i * 31) % 199) - 99 for i in range(_FIR_N)]
+    h = [(k * k) % 17 - 8 for k in range(_FIR_TAPS)]
+    acc = 0
+
+    def w32(v: int) -> int:
+        v &= MASK32
+        return v - (1 << 32) if v >= 1 << 31 else v
+
+    for n in range(_FIR_TAPS - 1, _FIR_N):
+        y = 0
+        for k in range(_FIR_TAPS):
+            y = w32(y + x[n - k] * h[k])
+        acc = w32(acc + y)
+    return acc & MASK32
+
+
+# --- iirflt: biquad IIR filter -------------------------------------------------
+
+_IIR_N = 512
+
+_IIR_BODY = f"""
+    # y[n] = (3*x[n] + 2*x[n-1] + x[n-2] + y[n-1] - y[n-2]) >> 2 (arith)
+    li s0, 0                  # x[n-1]
+    li s1, 0                  # x[n-2]
+    li s2, 0                  # y[n-1]
+    li s3, 0                  # y[n-2]
+    li s4, 0                  # n
+    li s5, {_IIR_N}
+iir_loop:
+    li t0, 57
+    mul t1, s4, t0
+    li t0, 251
+    rem t1, t1, t0
+    addi t1, t1, -125         # x[n]
+    li t2, 3
+    mul t3, t1, t2
+    slli t4, s0, 1
+    add t3, t3, t4
+    add t3, t3, s1
+    add t3, t3, s2
+    sub t3, t3, s3
+    srai t3, t3, 2            # y[n]
+    add s11, s11, t3
+    mv s1, s0
+    mv s0, t1
+    mv s3, s2
+    mv s2, t3
+    addi s4, s4, 1
+    blt s4, s5, iir_loop
+"""
+
+
+def _iir_ref() -> int:
+    xm1 = xm2 = ym1 = ym2 = 0
+    acc = 0
+    for n in range(_IIR_N):
+        x = (n * 57) % 251 - 125
+        y = (3 * x + 2 * xm1 + xm2 + ym1 - ym2) >> 2
+        acc += y
+        xm2, xm1 = xm1, x
+        ym2, ym1 = ym1, y
+    return acc & ((1 << 64) - 1)
+
+
+# --- bitmnp: bit manipulation ---------------------------------------------------
+
+_BITMNP_N = 300
+
+_BITMNP_BODY = f"""
+    li s0, 0
+    li s1, {_BITMNP_N}
+bm_loop:
+    li t0, 0x5DEECE66D
+    mul t1, s0, t0
+    addi t1, t1, 11           # value
+    # popcount
+    mv t2, t1
+    li t3, 0                  # count
+bm_pop:
+    andi t4, t2, 1
+    add t3, t3, t4
+    srli t2, t2, 1
+    bnez t2, bm_pop
+    add s11, s11, t3
+    # reverse low byte via shifts
+    andi t2, t1, 255
+    li t4, 0
+    li t5, 8
+bm_rev:
+    slli t4, t4, 1
+    andi t6, t2, 1
+    or t4, t4, t6
+    srli t2, t2, 1
+    addi t5, t5, -1
+    bnez t5, bm_rev
+    xor s11, s11, t4
+    addi s0, s0, 1
+    blt s0, s1, bm_loop
+"""
+
+
+def _bitmnp_ref() -> int:
+    acc = 0
+    for i in range(_BITMNP_N):
+        value = (i * 0x5DEECE66D + 11) & ((1 << 64) - 1)
+        acc += bin(value).count("1")
+        byte = value & 255
+        rev = 0
+        for _ in range(8):
+            rev = (rev << 1) | (byte & 1)
+            byte >>= 1
+        acc ^= rev
+    return acc & ((1 << 64) - 1)
+
+
+# --- canrdr: CAN message field pack/unpack ----------------------------------------
+
+_CAN_N = 256
+
+_CAN_BODY = f"""
+    li s0, 0
+    li s1, {_CAN_N}
+can_loop:
+    li t0, 2654435761
+    mul t1, s0, t0            # raw message word
+    # unpack: id = bits 21..31 (11b), dlc = bits 17..20, data = low 16
+    srli t2, t1, 21
+    andi t3, t2, 0x7FF        # ... 11 bits
+    li t4, 0x7FF
+    and t3, t2, t4
+    srli t2, t1, 17
+    andi t4, t2, 0xF          # dlc
+    slli t5, t1, 48
+    srli t5, t5, 48           # data16
+    # remote frame if dlc == 0: respond by echoing id<<4 | 0xF
+    bnez t4, can_data
+    slli t6, t3, 4
+    ori t6, t6, 0xF
+    add s11, s11, t6
+    j can_next
+can_data:
+    xor t6, t5, t3
+    add s11, s11, t6
+can_next:
+    addi s0, s0, 1
+    blt s0, s1, can_loop
+"""
+
+
+def _can_ref() -> int:
+    acc = 0
+    for i in range(_CAN_N):
+        raw = (i * 2654435761) & ((1 << 64) - 1)
+        msg_id = (raw >> 21) & 0x7FF
+        dlc = (raw >> 17) & 0xF
+        data = raw & 0xFFFF
+        if dlc == 0:
+            acc += (msg_id << 4) | 0xF
+        else:
+            acc += data ^ msg_id
+    return acc & ((1 << 64) - 1)
+
+
+# --- idctrn: 8x8 integer transform -------------------------------------------------
+
+_IDCT_BODY = """
+    # out[i][j] = sum_k coef[i][k]*blk[k][j], coef/blk synthesized.
+    li s0, 0                  # i
+idct_i:
+    li s1, 0                  # j
+idct_j:
+    li s2, 0                  # k
+    li s3, 0                  # acc
+idct_k:
+    # coef[i][k] = ((i+1)*(2k+1)) % 13 - 6
+    addi t0, s0, 1
+    slli t1, s2, 1
+    addi t1, t1, 1
+    mul t2, t0, t1
+    li t3, 13
+    rem t2, t2, t3
+    addi t2, t2, -6
+    # blk[k][j] = (k*8+j)*5 % 256 - 128
+    slli t3, s2, 3
+    add t3, t3, s1
+    li t4, 5
+    mul t3, t3, t4
+    andi t3, t3, 255
+    addi t3, t3, -128
+    mul t5, t2, t3
+    add s3, s3, t5
+    addi s2, s2, 1
+    li t6, 8
+    blt s2, t6, idct_k
+    srai s3, s3, 3            # descale
+    add s11, s11, s3
+    addi s1, s1, 1
+    li t6, 8
+    blt s1, t6, idct_j
+    addi s0, s0, 1
+    blt s0, t6, idct_i
+"""
+
+
+def _idct_ref() -> int:
+    acc = 0
+    for i in range(8):
+        for j in range(8):
+            s = 0
+            for k in range(8):
+                coef = ((i + 1) * (2 * k + 1)) % 13 - 6
+                blk = ((k * 8 + j) * 5) % 256 - 128
+                s += coef * blk
+            acc += s >> 3
+    return acc & ((1 << 64) - 1)
+
+
+# --- pntrch: pointer chase over a small graph ----------------------------------------
+
+_PNTRCH_NODES = 64
+_PNTRCH_STEPS = 2000
+
+_PNTRCH_DATA = f"""
+pnodes: .zero {_PNTRCH_NODES * 16}
+"""
+
+_PNTRCH_BODY = f"""
+    la s0, pnodes
+    li t0, 0
+    li t1, {_PNTRCH_NODES}
+pc_build:                    # next[i] = nodes[(i*29+13) % N]; val = i*i
+    li t2, 29
+    mul t3, t0, t2
+    addi t3, t3, 13
+    li t2, {_PNTRCH_NODES}
+    rem t3, t3, t2
+    slli t3, t3, 4
+    add t3, s0, t3
+    slli t4, t0, 4
+    add t4, s0, t4
+    sd t3, 0(t4)
+    mul t5, t0, t0
+    sd t5, 8(t4)
+    addi t0, t0, 1
+    blt t0, t1, pc_build
+
+    mv t0, s0
+    li t1, 0
+pc_chase:
+    ld t2, 8(t0)
+    add s11, s11, t2
+    ld t0, 0(t0)
+    addi t1, t1, 1
+    li t3, {_PNTRCH_STEPS}
+    blt t1, t3, pc_chase
+"""
+
+
+def _pntrch_ref() -> int:
+    n = _PNTRCH_NODES
+    acc = 0
+    cur = 0
+    for _ in range(_PNTRCH_STEPS):
+        acc += cur * cur
+        cur = (cur * 29 + 13) % n
+    return acc & ((1 << 64) - 1)
+
+
+# --- rspeed: road speed (division heavy) -----------------------------------------------
+
+_RSPEED_N = 400
+
+_RSPEED_BODY = f"""
+    li s0, 1
+    li s1, {_RSPEED_N + 1}
+rs_loop:
+    li t0, 1771
+    mul t1, s0, t0
+    li t0, 4096
+    rem t1, t1, t0
+    addi t1, t1, 64           # distance ticks
+    andi t2, s0, 127
+    addi t2, t2, 5            # time ticks
+    li t3, 3600
+    mul t1, t1, t3
+    div t4, t1, t2            # speed
+    li t5, 200000
+    blt t4, t5, rs_ok
+    li t4, 200000             # clamp
+rs_ok:
+    add s11, s11, t4
+    addi s0, s0, 1
+    blt s0, s1, rs_loop
+"""
+
+
+def _rspeed_ref() -> int:
+    acc = 0
+    for i in range(1, _RSPEED_N + 1):
+        dist = (i * 1771) % 4096 + 64
+        ticks = (i & 127) + 5
+        speed = dist * 3600 // ticks
+        acc += min(speed, 200000)
+    return acc & ((1 << 64) - 1)
+
+
+# --- tblook: table lookup with interpolation ----------------------------------------------
+
+_TBL_SIZE = 64
+_TBL_N = 500
+
+_TBL_DATA = f"""
+table: .zero {_TBL_SIZE * 4}
+"""
+
+_TBL_BODY = f"""
+    la s0, table
+    li t0, 0
+    li t1, {_TBL_SIZE}
+tb_init:                     # table[i] = i*i*3
+    mul t2, t0, t0
+    li t3, 3
+    mul t2, t2, t3
+    slli t4, t0, 2
+    add t4, s0, t4
+    sw t2, 0(t4)
+    addi t0, t0, 1
+    blt t0, t1, tb_init
+
+    li s1, 0
+    li s2, {_TBL_N}
+tb_loop:
+    li t0, 97
+    mul t1, s1, t0
+    li t0, {(_TBL_SIZE - 1) * 16}
+    rem t1, t1, t0            # query in fixed point (x16)
+    srai t2, t1, 4            # index
+    andi t3, t1, 15           # fraction
+    slli t4, t2, 2
+    add t4, s0, t4
+    lw t5, 0(t4)              # table[idx]
+    lw t6, 4(t4)              # table[idx+1]
+    sub t6, t6, t5
+    mul t6, t6, t3
+    srai t6, t6, 4
+    add t5, t5, t6            # interpolated
+    add s11, s11, t5
+    addi s1, s1, 1
+    blt s1, s2, tb_loop
+"""
+
+
+def _tblook_ref() -> int:
+    table = [i * i * 3 for i in range(_TBL_SIZE)]
+    acc = 0
+    for i in range(_TBL_N):
+        q = (i * 97) % ((_TBL_SIZE - 1) * 16)
+        idx, frac = q >> 4, q & 15
+        val = table[idx] + ((table[idx + 1] - table[idx]) * frac >> 4)
+        acc += val
+    return acc & ((1 << 64) - 1)
+
+
+# ---------------------------------------------------------------------------
+
+def eembc_suite() -> list[Workload]:
+    """Nine EEMBC-automotive-like kernels."""
+    specs = [
+        ("eembc-a2time", _A2TIME_BODY, "", _a2time_ref),
+        ("eembc-aifirf", _FIR_BODY, _FIR_DATA, _fir_ref),
+        ("eembc-iirflt", _IIR_BODY, "", _iir_ref),
+        ("eembc-bitmnp", _BITMNP_BODY, "", _bitmnp_ref),
+        ("eembc-canrdr", _CAN_BODY, "", _can_ref),
+        ("eembc-idctrn", _IDCT_BODY, "", _idct_ref),
+        ("eembc-pntrch", _PNTRCH_BODY, _PNTRCH_DATA, _pntrch_ref),
+        ("eembc-rspeed", _RSPEED_BODY, "", _rspeed_ref),
+        ("eembc-tblook", _TBL_BODY, _TBL_DATA, _tblook_ref),
+    ]
+    return [Workload(name=name, source=_wrap(name, body, data),
+                     reference=ref, category="eembc")
+            for name, body, data, ref in specs]

@@ -1,0 +1,641 @@
+"""NBench-like kernels (paper Fig. 19).
+
+Covers NBench's behaviour classes: numeric sort, string sort, bitfield
+operations, integer block cipher (IDEA-like), FP series evaluation
+(Fourier), FP matrix work (neural-net forward pass, LU elimination).
+FP kernels verify against the same arithmetic done in Python floats —
+bit-exact because both sides use IEEE double operations in the same
+order.
+"""
+
+from __future__ import annotations
+
+
+from .base import Workload
+
+_TAIL = """
+    la t0, result
+    sd s11, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def _wrap(body: str, data: str = "") -> str:
+    return f"""
+    .data
+    .align 3
+{data}
+result: .dword 0
+    .text
+_start:
+    li s11, 0
+{body}
+{_TAIL}
+"""
+
+
+# --- numeric sort: shellsort over int64 ----------------------------------------
+
+_NSORT_N = 400
+
+_NSORT_DATA = f"arr: .zero {_NSORT_N * 8}\n"
+
+_NSORT_BODY = f"""
+    la s0, arr
+    li t0, 0
+    li t1, {_NSORT_N}
+ns_init:                     # arr[i] = (i*8191 + 3) % 65536
+    li t2, 8191
+    mul t3, t0, t2
+    addi t3, t3, 3
+    slli t4, t3, 48
+    srli t3, t4, 48
+    slli t4, t0, 3
+    add t4, s0, t4
+    sd t3, 0(t4)
+    addi t0, t0, 1
+    blt t0, t1, ns_init
+
+    # shellsort, gap sequence n/2, n/4, ...
+    li s1, {_NSORT_N // 2}    # gap
+ns_gap:
+    mv s2, s1                 # i = gap
+ns_outer:
+    slli t0, s2, 3
+    add t0, s0, t0
+    ld s3, 0(t0)              # tmp = arr[i]
+    mv s4, s2                 # j
+ns_inner:
+    blt s4, s1, ns_place      # j < gap
+    sub t1, s4, s1
+    slli t2, t1, 3
+    add t2, s0, t2
+    ld t3, 0(t2)              # arr[j-gap]
+    bge s3, t3, ns_place      # tmp >= arr[j-gap]: stop
+    slli t4, s4, 3
+    add t4, s0, t4
+    sd t3, 0(t4)              # arr[j] = arr[j-gap]
+    mv s4, t1
+    j ns_inner
+ns_place:
+    slli t4, s4, 3
+    add t4, s0, t4
+    sd s3, 0(t4)
+    addi s2, s2, 1
+    li t5, {_NSORT_N}
+    blt s2, t5, ns_outer
+    srai s1, s1, 1
+    bnez s1, ns_gap
+
+    # checksum: arr[0] + arr[N-1] + arr[N/2]*3
+    ld t0, 0(s0)
+    add s11, s11, t0
+    li t1, {(_NSORT_N - 1) * 8}
+    add t1, s0, t1
+    ld t0, 0(t1)
+    add s11, s11, t0
+    li t1, {(_NSORT_N // 2) * 8}
+    add t1, s0, t1
+    ld t0, 0(t1)
+    li t1, 3
+    mul t0, t0, t1
+    add s11, s11, t0
+"""
+
+
+def _nsort_ref() -> int:
+    arr = sorted(((i * 8191 + 3) & 0xFFFF) for i in range(_NSORT_N))
+    return (arr[0] + arr[-1] + arr[_NSORT_N // 2] * 3) & ((1 << 64) - 1)
+
+
+# --- string sort: insertion sort of 12-byte strings ------------------------------
+
+_SSORT_N = 40
+_SSORT_LEN = 12
+
+
+def _ssort_strings() -> list[bytes]:
+    out = []
+    for i in range(_SSORT_N):
+        s = bytes(((i * 7 + j * 13 + (i * j) % 5) % 26) + 97
+                  for j in range(_SSORT_LEN - 1))
+        out.append(s + b"\0")
+    return out
+
+
+_SSORT_DATA = "strs:\n" + "\n".join(
+    '    .ascii "' + s[:-1].decode() + '\\0"' for s in _ssort_strings()
+) + f"\nptrs: .zero {_SSORT_N * 8}\n"
+
+_SSORT_BODY = f"""
+    # build the pointer array
+    la s0, strs
+    la s1, ptrs
+    li t0, 0
+    li t1, {_SSORT_N}
+ss_build:
+    li t2, {_SSORT_LEN}
+    mul t3, t0, t2
+    add t3, s0, t3
+    slli t4, t0, 3
+    add t4, s1, t4
+    sd t3, 0(t4)
+    addi t0, t0, 1
+    blt t0, t1, ss_build
+
+    # insertion sort on pointers by strcmp
+    li s2, 1                  # i
+ss_outer:
+    slli t0, s2, 3
+    add t0, s1, t0
+    ld s3, 0(t0)              # key ptr
+    addi s4, s2, -1           # j
+ss_inner:
+    bltz s4, ss_place
+    slli t1, s4, 3
+    add t1, s1, t1
+    ld s5, 0(t1)              # cand ptr
+    # strcmp(cand, key)
+    mv t2, s5
+    mv t3, s3
+ss_cmp:
+    lbu t4, 0(t2)
+    lbu t5, 0(t3)
+    bne t4, t5, ss_cmp_done
+    beqz t4, ss_cmp_done
+    addi t2, t2, 1
+    addi t3, t3, 1
+    j ss_cmp
+ss_cmp_done:
+    bleu t4, t5, ss_place     # cand <= key: stop
+    addi t6, s4, 1
+    slli t6, t6, 3
+    add t6, s1, t6
+    sd s5, 0(t6)              # shift right
+    addi s4, s4, -1
+    j ss_inner
+ss_place:
+    addi t6, s4, 1
+    slli t6, t6, 3
+    add t6, s1, t6
+    sd s3, 0(t6)
+    addi s2, s2, 1
+    li t0, {_SSORT_N}
+    blt s2, t0, ss_outer
+
+    # checksum: rolling hash of first 2 chars of each sorted string
+    li t0, 0
+ss_chk:
+    slli t1, t0, 3
+    add t1, s1, t1
+    ld t2, 0(t1)
+    lbu t3, 0(t2)
+    lbu t4, 1(t2)
+    slli t5, s11, 5
+    add s11, t5, s11          # s11 *= 33
+    add s11, s11, t3
+    add s11, s11, t4
+    addi t0, t0, 1
+    li t1, {_SSORT_N}
+    blt t0, t1, ss_chk
+    slli s11, s11, 16
+    srli s11, s11, 16
+"""
+
+
+def _ssort_ref() -> int:
+    strings = sorted(s.rstrip(b"\0") for s in _ssort_strings())
+    h = 0
+    for s in strings:
+        h = (h * 33 + s[0] + s[1]) & ((1 << 64) - 1)
+    return h & 0xFFFF_FFFF_FFFF
+
+
+# --- bitfield operations ------------------------------------------------------------
+
+_BITF_WORDS = 32
+_BITF_OPS = 400
+
+_BITF_DATA = f"bitmap: .zero {_BITF_WORDS * 8}\n"
+
+_BITF_BODY = f"""
+    la s0, bitmap
+    li s1, 0                  # op counter
+    li s2, {_BITF_OPS}
+bf_loop:
+    li t0, 1103515245
+    mul t1, s1, t0
+    li t0, 12345
+    add t1, t1, t0
+    srli t2, t1, 8
+    li t3, {_BITF_WORDS * 64}
+    remu t2, t2, t3           # bit index
+    srli t3, t2, 6            # word
+    andi t4, t2, 63           # bit
+    slli t5, t3, 3
+    add t5, s0, t5
+    ld t6, 0(t5)
+    li a1, 1
+    sll a1, a1, t4
+    # op: set / clear / toggle by counter % 3
+    li a2, 3
+    rem a3, s1, a2
+    beqz a3, bf_set
+    li a2, 1
+    beq a3, a2, bf_clear
+    xor t6, t6, a1
+    j bf_store
+bf_set:
+    or t6, t6, a1
+    j bf_store
+bf_clear:
+    not a1, a1
+    and t6, t6, a1
+bf_store:
+    sd t6, 0(t5)
+    addi s1, s1, 1
+    blt s1, s2, bf_loop
+
+    # checksum: popcount of the whole bitmap
+    li t0, 0
+bf_chk_word:
+    slli t1, t0, 3
+    add t1, s0, t1
+    ld t2, 0(t1)
+bf_pop:
+    beqz t2, bf_next
+    andi t3, t2, 1
+    add s11, s11, t3
+    srli t2, t2, 1
+    j bf_pop
+bf_next:
+    addi t0, t0, 1
+    li t1, {_BITF_WORDS}
+    blt t0, t1, bf_chk_word
+"""
+
+
+def _bitf_ref() -> int:
+    bitmap = [0] * _BITF_WORDS
+    for i in range(_BITF_OPS):
+        value = (i * 1103515245 + 12345) & ((1 << 64) - 1)
+        bit = (value >> 8) % (_BITF_WORDS * 64)
+        word, offset = bit >> 6, bit & 63
+        mask = 1 << offset
+        op = i % 3
+        if op == 0:
+            bitmap[word] |= mask
+        elif op == 1:
+            bitmap[word] &= ~mask
+        else:
+            bitmap[word] ^= mask
+    return sum(bin(w).count("1") for w in bitmap)
+
+
+# --- IDEA-like cipher rounds -----------------------------------------------------------
+
+_IDEA_BLOCKS = 150
+
+_IDEA_BODY = f"""
+    # 4 rounds of mul-mod-65537 / add-mod-65536 mixing per block.
+    li s0, 0
+    li s1, {_IDEA_BLOCKS}
+id_loop:
+    li t0, 40503
+    mul t1, s0, t0
+    addi t1, t1, 1
+    slli t1, t1, 48
+    srli t1, t1, 48           # x1
+    addi t2, t1, 77
+    slli t2, t2, 48
+    srli t2, t2, 48           # x2
+    li s2, 0                  # round
+id_round:
+    # x1 = (x1 * 2003) % 65537 (the IDEA multiply; 0 means 65536)
+    bnez t1, id_nz
+    li t1, 65536
+id_nz:
+    li t3, 2003
+    mul t1, t1, t3
+    li t3, 65537
+    remu t1, t1, t3
+    li t3, 65536
+    bne t1, t3, id_keep
+    li t1, 0
+id_keep:
+    # x2 = (x2 + x1) % 65536 ; swap halves
+    add t2, t2, t1
+    slli t2, t2, 48
+    srli t2, t2, 48
+    xor t4, t1, t2
+    mv t1, t2
+    mv t2, t4
+    slli t2, t2, 48
+    srli t2, t2, 48
+    addi s2, s2, 1
+    li t5, 4
+    blt s2, t5, id_round
+    slli t6, t1, 16
+    or t6, t6, t2
+    add s11, s11, t6
+    addi s0, s0, 1
+    blt s0, s1, id_loop
+"""
+
+
+def _idea_ref() -> int:
+    acc = 0
+    for i in range(_IDEA_BLOCKS):
+        x1 = (i * 40503 + 1) & 0xFFFF
+        x2 = (x1 + 77) & 0xFFFF
+        for _ in range(4):
+            v = x1 if x1 else 65536
+            v = (v * 2003) % 65537
+            x1 = 0 if v == 65536 else v
+            x2 = (x2 + x1) & 0xFFFF
+            x1, x2 = x2, (x1 ^ x2) & 0xFFFF
+        acc += (x1 << 16) | x2
+    return acc & ((1 << 64) - 1)
+
+
+# --- fourier: FP series evaluation -------------------------------------------------------
+
+_FOURIER_TERMS = 24
+
+_FOURIER_BODY = f"""
+    # acc = sum over n of sin_taylor(n * 0.1) / (n+1), doubles.
+    fcvt.d.l fa0, x0          # acc = 0.0
+    li t0, 1
+    li t1, 10
+    fcvt.d.l fa1, t0
+    fcvt.d.l fa2, t1
+    fdiv.d fa1, fa1, fa2      # 0.1
+    li s0, 0
+    li s1, {_FOURIER_TERMS}
+fr_loop:
+    fcvt.d.l fa3, s0
+    fmul.d fa3, fa3, fa1      # x = n * 0.1
+    # sin(x) ~ x - x^3/6 + x^5/120 - x^7/5040
+    fmul.d fa4, fa3, fa3      # x^2
+    fmul.d fa5, fa4, fa3      # x^3
+    li t2, 6
+    fcvt.d.l ft0, t2
+    fdiv.d ft1, fa5, ft0
+    fsub.d ft2, fa3, ft1
+    fmul.d fa5, fa5, fa4      # x^5
+    li t2, 120
+    fcvt.d.l ft0, t2
+    fdiv.d ft1, fa5, ft0
+    fadd.d ft2, ft2, ft1
+    fmul.d fa5, fa5, fa4      # x^7
+    li t2, 5040
+    fcvt.d.l ft0, t2
+    fdiv.d ft1, fa5, ft0
+    fsub.d ft2, ft2, ft1      # sin
+    addi t3, s0, 1
+    fcvt.d.l ft3, t3
+    fdiv.d ft2, ft2, ft3
+    fadd.d fa0, fa0, ft2
+    addi s0, s0, 1
+    blt s0, s1, fr_loop
+    # scale by 2^20 and convert to int
+    li t4, 1048576
+    fcvt.d.l ft4, t4
+    fmul.d fa0, fa0, ft4
+    fcvt.l.d s11, fa0
+"""
+
+
+def _fourier_ref() -> int:
+    acc = 0.0
+    for n in range(_FOURIER_TERMS):
+        x = float(n) * (1.0 / 10.0)
+        x2 = x * x
+        x3 = x2 * x
+        s = x - x3 / 6.0
+        x5 = x3 * x2
+        s += x5 / 120.0
+        x7 = x5 * x2
+        s -= x7 / 5040.0
+        acc += s / float(n + 1)
+    return int(acc * 1048576.0) & ((1 << 64) - 1)
+
+
+# --- neural net: forward pass ---------------------------------------------------------------
+
+_NN_IN = 16
+_NN_OUT = 8
+
+_NN_BODY = f"""
+    # out[j] = clamp(sum_i w[j][i]*x[i]), weights/inputs synthesized.
+    li s0, 0                  # j
+fnn_j:
+    fcvt.d.l fa0, x0          # acc
+    li s1, 0                  # i
+fnn_i:
+    # w = ((j*16+i) % 7 - 3) / 4.0 ; x = (i % 5 - 2) / 2.0
+    slli t0, s0, 4
+    add t0, t0, s1
+    li t1, 7
+    rem t0, t0, t1
+    addi t0, t0, -3
+    fcvt.d.l ft0, t0
+    li t1, 4
+    fcvt.d.l ft1, t1
+    fdiv.d ft0, ft0, ft1
+    li t1, 5
+    rem t2, s1, t1
+    addi t2, t2, -2
+    fcvt.d.l ft2, t2
+    li t1, 2
+    fcvt.d.l ft3, t1
+    fdiv.d ft2, ft2, ft3
+    fmadd.d fa0, ft0, ft2, fa0
+    addi s1, s1, 1
+    li t3, {_NN_IN}
+    blt s1, t3, fnn_i
+    # piecewise sigmoid: y = 0 if acc < -1, 1 if acc > 1, else (acc+1)/2
+    li t0, 1
+    fcvt.d.l ft4, t0
+    fneg.d ft5, ft4
+    flt.d t1, fa0, ft5
+    bnez t1, fnn_zero
+    flt.d t1, ft4, fa0
+    bnez t1, fnn_one
+    fadd.d fa0, fa0, ft4
+    li t0, 2
+    fcvt.d.l ft6, t0
+    fdiv.d fa0, fa0, ft6
+    j fnn_out
+fnn_zero:
+    fcvt.d.l fa0, x0
+    j fnn_out
+fnn_one:
+    fmv.d fa0, ft4
+fnn_out:
+    li t0, 4096
+    fcvt.d.l ft6, t0
+    fmul.d fa0, fa0, ft6
+    fcvt.l.d t1, fa0
+    add s11, s11, t1
+    addi s0, s0, 1
+    li t2, {_NN_OUT}
+    blt s0, t2, fnn_j
+"""
+
+
+def _nn_ref() -> int:
+    acc_total = 0
+    for j in range(_NN_OUT):
+        acc = 0.0
+        for i in range(_NN_IN):
+            w = float((j * 16 + i) % 7 - 3) / 4.0
+            x = float(i % 5 - 2) / 2.0
+            acc = w * x + acc
+        if acc < -1.0:
+            y = 0.0
+        elif acc > 1.0:
+            y = 1.0
+        else:
+            y = (acc + 1.0) / 2.0
+        acc_total += int(y * 4096.0)
+    return acc_total & ((1 << 64) - 1)
+
+
+# --- LU decomposition (Gaussian elimination) ---------------------------------------------------
+
+_LU_N = 8
+
+_LU_DATA = f"lumat: .zero {_LU_N * _LU_N * 8}\n"
+
+_LU_BODY = f"""
+    .equ N, {_LU_N}
+    la s0, lumat
+    li t0, 0
+    li t1, {_LU_N * _LU_N}
+lu_init:                     # m[k] = ((k*31+7) % 19) + 1 + (k/N==k%N ? 40 : 0)
+    li t2, 31
+    mul t3, t0, t2
+    addi t3, t3, 7
+    li t2, 19
+    rem t3, t3, t2
+    addi t3, t3, 1
+    li t2, N
+    div t4, t0, t2
+    rem t5, t0, t2
+    bne t4, t5, lu_off_diag
+    addi t3, t3, 40           # diagonal dominance
+lu_off_diag:
+    fcvt.d.l ft0, t3
+    slli t6, t0, 3
+    add t6, s0, t6
+    fsd ft0, 0(t6)
+    addi t0, t0, 1
+    blt t0, t1, lu_init
+
+    # elimination
+    li s1, 0                  # k
+lu_k:
+    li s2, N
+    addi s3, s1, 1            # i = k+1
+lu_i:
+    bge s3, s2, lu_k_next
+    # factor = m[i][k] / m[k][k]
+    li t0, N
+    mul t1, s3, t0
+    add t1, t1, s1
+    slli t1, t1, 3
+    add t1, s0, t1
+    fld ft0, 0(t1)            # m[i][k]
+    mul t2, s1, t0
+    add t2, t2, s1
+    slli t2, t2, 3
+    add t2, s0, t2
+    fld ft1, 0(t2)            # m[k][k]
+    fdiv.d ft2, ft0, ft1      # factor
+    fsd ft2, 0(t1)            # store L entry in place
+    addi s4, s1, 1            # j
+lu_j:
+    bge s4, s2, lu_i_next
+    li t0, N
+    mul t3, s3, t0
+    add t3, t3, s4
+    slli t3, t3, 3
+    add t3, s0, t3            # &m[i][j]
+    mul t4, s1, t0
+    add t4, t4, s4
+    slli t4, t4, 3
+    add t4, s0, t4            # &m[k][j]
+    fld ft3, 0(t3)
+    fld ft4, 0(t4)
+    fnmsub.d ft3, ft2, ft4, ft3   # m[i][j] - factor*m[k][j]
+    fsd ft3, 0(t3)
+    addi s4, s4, 1
+    j lu_j
+lu_i_next:
+    addi s3, s3, 1
+    j lu_i
+lu_k_next:
+    addi s1, s1, 1
+    li t0, N - 1
+    blt s1, t0, lu_k
+
+    # checksum: sum of diagonal (the U pivots) scaled by 2^8
+    li t0, 0
+    fcvt.d.l fa0, x0
+lu_chk:
+    li t1, N
+    mul t2, t0, t1
+    add t2, t2, t0
+    slli t2, t2, 3
+    add t2, s0, t2
+    fld ft0, 0(t2)
+    fadd.d fa0, fa0, ft0
+    addi t0, t0, 1
+    blt t0, t1, lu_chk
+    li t3, 256
+    fcvt.d.l ft1, t3
+    fmul.d fa0, fa0, ft1
+    fcvt.l.d s11, fa0
+"""
+
+
+def _lu_ref() -> int:
+    n = _LU_N
+    m = [[0.0] * n for _ in range(n)]
+    for k in range(n * n):
+        value = float((k * 31 + 7) % 19 + 1)
+        i, j = divmod(k, n)
+        if i == j:
+            value += 40.0
+        m[i][j] = value
+    for k in range(n - 1):
+        for i in range(k + 1, n):
+            factor = m[i][k] / m[k][k]
+            m[i][k] = factor
+            for j in range(k + 1, n):
+                m[i][j] = m[i][j] - factor * m[k][j]
+    diag = 0.0
+    for i in range(n):
+        diag += m[i][i]
+    return int(diag * 256.0) & ((1 << 64) - 1)
+
+
+# ---------------------------------------------------------------------------
+
+def nbench_suite() -> list[Workload]:
+    """Seven NBench-like kernels."""
+    specs = [
+        ("nbench-numsort", _NSORT_BODY, _NSORT_DATA, _nsort_ref),
+        ("nbench-strsort", _SSORT_BODY, _SSORT_DATA, _ssort_ref),
+        ("nbench-bitfield", _BITF_BODY, _BITF_DATA, _bitf_ref),
+        ("nbench-idea", _IDEA_BODY, "", _idea_ref),
+        ("nbench-fourier", _FOURIER_BODY, "", _fourier_ref),
+        ("nbench-neural", _NN_BODY, "", _nn_ref),
+        ("nbench-lu", _LU_BODY, _LU_DATA, _lu_ref),
+    ]
+    return [Workload(name=name, source=_wrap(body, data), reference=ref,
+                     category="nbench")
+            for name, body, data, ref in specs]

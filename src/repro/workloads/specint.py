@@ -1,0 +1,187 @@
+"""SPECint2006-like large-footprint workload (paper section X).
+
+"SPECInt2006 uses very large programs that frequently incur L2 cache
+misses.  It factors in core performance, cache size, cache miss, DDR
+latency, etc."  This synthetic equivalent mixes the three behaviours
+that dominate SPECint on an embedded memory system:
+
+* pointer chasing over a multi-megabyte permutation (mcf/omnetpp-like
+  latency-bound phases that no prefetcher can cover),
+* strided scans with arithmetic over a large array (bzip2/hmmer-like
+  bandwidth phases),
+* a branchy hash/histogram phase (gcc/perlbench-like control flow).
+
+Footprint is parameterized; the default (4 MiB region) overflows every
+L2 configuration of Table I except the 8 MB maximum.
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+
+CHASE_NODES = 65536          # 64K nodes x 64B = 4 MiB pointer region
+SCAN_ELEMS = 131072          # 1 MiB of 8-byte elements
+CHASE_STEPS = 30000
+SCAN_PASSES = 1
+HASH_OPS = 8000
+
+
+def _specint_source(chase_nodes: int, scan_elems: int, chase_steps: int,
+                    scan_passes: int, hash_ops: int) -> str:
+    return f"""
+    .equ CHASE_NODES, {chase_nodes}
+    .equ SCAN_ELEMS, {scan_elems}
+    .equ CHASE_STEPS, {chase_steps}
+    .equ SCAN_PASSES, {scan_passes}
+    .equ HASH_OPS, {hash_ops}
+    .data
+    .align 3
+result: .dword 0
+    .text
+_start:
+    li s0, 0x2000000           # chase region (up to 4 MiB)
+    li s1, 0x2800000           # scan region
+    li s2, 0x2C00000           # histogram region (64K buckets)
+
+    # --- build the pointer-chase permutation:
+    # next[i] = (i * 97 + 31) % CHASE_NODES  (97 coprime to 2^k)
+    li t0, 0
+    li t1, CHASE_NODES
+build_chase:
+    li t2, 97
+    mul t3, t0, t2
+    addi t3, t3, 31
+    li t4, CHASE_NODES
+    rem t3, t3, t4             # successor index
+    slli t4, t3, 6             # 64B nodes: one cache line each
+    add t4, s0, t4             # &node[succ]
+    slli t5, t0, 6
+    add t5, s0, t5             # &node[i]
+    sd t4, 0(t5)               # node.next
+    sd t0, 8(t5)               # node.payload = i
+    addi t0, t0, 1
+    blt t0, t1, build_chase
+
+    # --- init the scan array: v[i] = i*3+1
+    li t0, 0
+    li t1, SCAN_ELEMS
+build_scan:
+    li t2, 3
+    mul t3, t0, t2
+    addi t3, t3, 1
+    slli t4, t0, 3
+    add t4, s1, t4
+    sd t3, 0(t4)
+    addi t0, t0, 1
+    blt t0, t1, build_scan
+
+    li s3, 0                   # checksum
+
+    # === phase 1: pointer chase (latency bound) ===
+    mv t0, s0                  # cursor
+    li t1, 0
+chase_loop:
+    ld t2, 8(t0)               # payload
+    add s3, s3, t2
+    ld t0, 0(t0)               # next
+    addi t1, t1, 1
+    li t3, CHASE_STEPS
+    blt t1, t3, chase_loop
+
+    # === phase 2: strided scan with compute (bandwidth bound) ===
+    li t5, 0                   # pass
+scan_pass:
+    mv t0, s1
+    li t1, 0
+scan_loop:
+    ld t2, 0(t0)
+    slli t3, t2, 1
+    xor t3, t3, t2
+    add s3, s3, t3
+    sd t3, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, 1
+    li t4, SCAN_ELEMS
+    blt t1, t4, scan_loop
+    addi t5, t5, 1
+    li t4, SCAN_PASSES
+    blt t5, t4, scan_pass
+
+    # === phase 3: branchy hash/histogram (control bound) ===
+    li t0, 0
+    li t1, 0x9E3779B9          # golden-ratio hash multiplier
+hash_loop:
+    mul t2, t0, t1
+    srli t3, t2, 12
+    slli t3, t3, 48            # keep the low 16 bits: 64K buckets
+    srli t3, t3, 48
+    slli t4, t3, 3
+    add t4, s2, t4
+    ld t5, 0(t4)
+    # data-dependent branch: bucket parity decides the update
+    andi t6, t5, 1
+    beqz t6, hash_even
+    slli t5, t5, 1
+    xor t5, t5, t3
+    j hash_store
+hash_even:
+    addi t5, t5, 3
+hash_store:
+    sd t5, 0(t4)
+    add s3, s3, t5
+    addi t0, t0, 1
+    li t6, HASH_OPS
+    blt t0, t6, hash_loop
+
+    la t0, result
+    sd s3, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def _specint_reference(chase_nodes: int, scan_elems: int, chase_steps: int,
+                       scan_passes: int, hash_ops: int) -> int:
+    mask = (1 << 64) - 1
+    chk = 0
+    # Phase 1
+    cursor = 0
+    for _ in range(chase_steps):
+        chk = (chk + cursor) & mask
+        cursor = (cursor * 97 + 31) % chase_nodes
+    # Phase 2
+    values = [(i * 3 + 1) & mask for i in range(scan_elems)]
+    for _ in range(scan_passes):
+        for i in range(scan_elems):
+            v = values[i]
+            new = ((v << 1) ^ v) & mask
+            chk = (chk + new) & mask
+            values[i] = new
+    # Phase 3
+    buckets: dict[int, int] = {}
+    mult = 0x9E3779B9
+    for i in range(hash_ops):
+        bucket = ((i * mult) >> 12) & 0xFFFF
+        value = buckets.get(bucket, 0)
+        if value & 1:
+            value = ((value << 1) ^ bucket) & mask
+        else:
+            value = (value + 3) & mask
+        buckets[bucket] = value
+        chk = (chk + value) & mask
+    return chk
+
+
+def specint_workload(chase_nodes: int = CHASE_NODES,
+                     scan_elems: int = SCAN_ELEMS,
+                     chase_steps: int = CHASE_STEPS,
+                     scan_passes: int = SCAN_PASSES,
+                     hash_ops: int = HASH_OPS) -> Workload:
+    return Workload(
+        name="specint-like",
+        source=_specint_source(chase_nodes, scan_elems, chase_steps,
+                               scan_passes, hash_ops),
+        reference=lambda: _specint_reference(
+            chase_nodes, scan_elems, chase_steps, scan_passes, hash_ops),
+        category="spec")

@@ -1,0 +1,162 @@
+"""STREAM-like memory bandwidth kernels (paper Fig. 21).
+
+"stream is a set of benchmark that tests memory access performance and
+prefetch performance."  The four classic kernels — copy, scale, add,
+triad — stream over arrays sized to overflow the L2, with the DRAM
+model pinned at the paper's 200-cycle latency by the Fig. 21 harness.
+
+The kernels use 64-bit integer elements rather than doubles: the
+experiment measures the *memory system* (stride detection, prefetch
+depth/distance, TLB prefetch at page crossings), and integer elements
+keep the emulator fast while producing the identical access pattern.
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+
+STREAM_ELEMS = 24576            # 3 arrays x 192 KiB: overflows a 256K L2
+
+
+def _stream_source(kernel: str, elems: int, passes: int) -> str:
+    bodies = {
+        "copy": """
+stream_loop:
+    ld t0, 0(s1)
+    sd t0, 0(s3)
+""",
+        "scale": """
+stream_loop:
+    ld t0, 0(s3)
+    mul t0, t0, s6
+    sd t0, 0(s1)
+""",
+        "add": """
+stream_loop:
+    ld t0, 0(s1)
+    ld t1, 0(s2)
+    add t0, t0, t1
+    sd t0, 0(s3)
+""",
+        "triad": """
+stream_loop:
+    ld t0, 0(s2)
+    ld t1, 0(s3)
+    mul t1, t1, s6
+    add t0, t0, t1
+    sd t0, 0(s1)
+""",
+    }
+    body = bodies[kernel]
+    bytes_per = elems * 8
+    return f"""
+    .equ ELEMS, {elems}
+    .equ PASSES, {passes}
+    .data
+    .align 3
+result: .dword 0
+    .text
+_start:
+    li s7, 0x200000           # array region base (off the static data)
+    mv s1, s7                  # a
+    li t0, {bytes_per}
+    add s2, s1, t0             # b
+    add s3, s2, t0             # c
+    li s6, 3                   # scalar
+
+    # init: a[i] = i, b[i] = 2i  (c written by the kernels)
+    mv t1, s1
+    mv t2, s2
+    li t3, 0
+    li t4, ELEMS
+init:
+    sd t3, 0(t1)
+    slli t5, t3, 1
+    sd t5, 0(t2)
+    addi t1, t1, 8
+    addi t2, t2, 8
+    addi t3, t3, 1
+    blt t3, t4, init
+
+    li s8, 0                   # pass
+pass_loop:
+    mv s4, s1
+    mv s5, s2
+    li s9, 0                   # index
+    mv a1, s1
+    mv a2, s2
+    mv a3, s3
+stream_outer:
+{body}
+    addi s1, s1, 8
+    addi s2, s2, 8
+    addi s3, s3, 8
+    addi s9, s9, 1
+    li t6, ELEMS
+    blt s9, t6, stream_outer
+    mv s1, a1
+    mv s2, a2
+    mv s3, a3
+    addi s8, s8, 1
+    li t6, PASSES
+    blt s8, t6, pass_loop
+
+    # checksum: xor of 8 sampled destination elements
+    li t0, 0
+    li t1, 0
+    li t2, ELEMS
+    srli t2, t2, 3             # step = ELEMS/8
+    slli t2, t2, 3             # bytes
+    {"mv t3, s3" if kernel in ("copy", "add") else "mv t3, s1"}
+    li t4, 8
+chk_loop:
+    ld t5, 0(t3)
+    xor t1, t1, t5
+    add t3, t3, t2
+    addi t0, t0, 1
+    blt t0, t4, chk_loop
+    la t6, result
+    sd t1, 0(t6)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def _reference(kernel: str, elems: int, passes: int) -> int:
+    a = list(range(elems))
+    b = [2 * i for i in range(elems)]
+    c = [0] * elems
+    mask = (1 << 64) - 1
+    for _ in range(passes):
+        if kernel == "copy":
+            c = a[:]
+        elif kernel == "scale":
+            a = [(3 * x) & mask for x in c]
+        elif kernel == "add":
+            c = [(x + y) & mask for x, y in zip(a, b)]
+        else:  # triad
+            a = [(y + 3 * z) & mask for y, z in zip(b, c)]
+    dest = c if kernel in ("copy", "add") else a
+    step = elems // 8
+    chk = 0
+    for i in range(8):
+        chk ^= dest[i * step]
+    return chk & mask
+
+
+def stream_kernel(kernel: str = "triad", elems: int = STREAM_ELEMS,
+                  passes: int = 1) -> Workload:
+    """One STREAM kernel ('copy' | 'scale' | 'add' | 'triad')."""
+    if kernel not in ("copy", "scale", "add", "triad"):
+        raise ValueError(f"unknown STREAM kernel {kernel!r}")
+    return Workload(
+        name=f"stream-{kernel}",
+        source=_stream_source(kernel, elems, passes),
+        reference=lambda: _reference(kernel, elems, passes),
+        category="stream")
+
+
+def stream_suite(elems: int = STREAM_ELEMS, passes: int = 1) -> list[Workload]:
+    return [stream_kernel(k, elems, passes)
+            for k in ("copy", "scale", "add", "triad")]

@@ -1,0 +1,148 @@
+"""String-processing kernels (paper section VIII.B).
+
+"Security encryption algorithms need to perform frequent shift, and,
+or and other operations on certain bytes" and the ``tstnbz``
+instruction exists precisely for string scanning: it flags zero bytes
+in a 64-bit word, so strlen can scan 8 bytes per iteration instead
+of 1.  The two variants quantify that:
+
+* ``strlen_base`` — byte-at-a-time loop (plain RV64GC),
+* ``strlen_xt``   — word-at-a-time with ``tstnbz`` + ``ff1`` locating
+  the terminator inside the final word.
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+
+
+def _make_strings(count: int, max_len: int) -> list[bytes]:
+    out = []
+    for i in range(count):
+        length = (i * 37 + 11) % max_len + 1
+        out.append(bytes(97 + (i + j) % 26 for j in range(length)))
+    return out
+
+
+def _data_section(strings: list[bytes], align_pad: int = 8) -> str:
+    lines = []
+    for index, s in enumerate(strings):
+        lines.append(f"str{index}: .asciz \"{s.decode()}\"")
+    lines.append("    .align 3")
+    count = len(strings)
+    lines.append("ptrs:")
+    for index in range(count):
+        lines.append(f"    .dword str{index}")
+    return "\n".join(lines)
+
+
+def strlen_base(count: int = 48, max_len: int = 60,
+                passes: int = 4) -> Workload:
+    strings = _make_strings(count, max_len)
+    source = f"""
+    .data
+{_data_section(strings)}
+    .align 3
+result: .dword 0
+    .text
+_start:
+    li s5, 0                  # total length
+    li s6, 0                  # pass
+pass_loop:
+    la s0, ptrs
+    li s1, 0
+str_loop:
+    slli t0, s1, 3
+    add t0, s0, t0
+    ld t1, 0(t0)              # string pointer
+    li t2, 0                  # length
+byte_loop:
+    lbu t3, 0(t1)
+    beqz t3, str_done
+    addi t1, t1, 1
+    addi t2, t2, 1
+    j byte_loop
+str_done:
+    add s5, s5, t2
+    addi s1, s1, 1
+    li t4, {count}
+    blt s1, t4, str_loop
+    addi s6, s6, 1
+    li t4, {passes}
+    blt s6, t4, pass_loop
+    la t5, result
+    sd s5, 0(t5)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        return sum(len(s) for s in strings) * passes
+
+    return Workload(name="strlen-base", source=source, reference=reference,
+                    category="stringops")
+
+
+def strlen_xt(count: int = 48, max_len: int = 60,
+              passes: int = 4) -> Workload:
+    """Word-at-a-time strlen with tstnbz + ff1.
+
+    The strings are .asciz in padded memory, so reading up to 7 bytes
+    past the terminator is safe (real implementations align first).
+    """
+    strings = _make_strings(count, max_len)
+    source = f"""
+    .data
+{_data_section(strings)}
+    .zero 16                  # over-read guard
+    .align 3
+result: .dword 0
+    .text
+_start:
+    li s5, 0
+    li s6, 0
+pass_loop:
+    la s0, ptrs
+    li s1, 0
+str_loop:
+    slli t0, s1, 3
+    add t0, s0, t0
+    ld t1, 0(t0)
+    mv t6, t1                 # start pointer
+word_loop:
+    ld t3, 0(t1)              # 8 bytes at once
+    tstnbz t4, t3             # 0xFF in each zero byte's lane
+    bnez t4, found_zero
+    addi t1, t1, 8
+    j word_loop
+found_zero:
+    # Isolate the lowest flag bit, then ff1 (count leading zeros)
+    # turns it into the terminator's byte offset within the word.
+    neg a2, t4
+    and t4, t4, a2            # lowest set bit only
+    ff1 t5, t4                # leading-zero count of that bit
+    li a1, 63
+    sub t5, a1, t5            # its bit index
+    srli t5, t5, 3            # -> byte offset within the word
+    sub t1, t1, t6            # full words scanned (bytes)
+    add t1, t1, t5
+    add s5, s5, t1
+    addi s1, s1, 1
+    li t4, {count}
+    blt s1, t4, str_loop
+    addi s6, s6, 1
+    li t4, {passes}
+    blt s6, t4, pass_loop
+    la t0, result
+    sd s5, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        return sum(len(s) for s in strings) * passes
+
+    return Workload(name="strlen-xt", source=source, reference=reference,
+                    category="stringops")

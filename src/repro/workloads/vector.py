@@ -1,0 +1,219 @@
+"""Vector workloads (paper section VII).
+
+The paper's AI/ML argument: with two 64-bit slices XT-910 executes
+16 16-bit MACs per cycle — twice the Cortex-A73's 8x16-bit NEON MAC —
+and additionally supports half-precision float, which NEON (ARMv8.0)
+does not.  These kernels exercise exactly those paths:
+
+* ``vec_mac16``   — int16 dot product via vwmacc (widening MAC),
+* ``scalar_mac16`` — the same computation with scalar mulah ops,
+* ``vec_fp16``    — half-precision AXPY,
+* ``vec_fp32``    — single-precision AXPY for comparison.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .base import Workload
+
+
+def _mac16_data(n: int) -> tuple[list[int], list[int]]:
+    a = [((i * 7 + 1) % 251) - 125 for i in range(n)]
+    b = [((i * 13 + 5) % 239) - 119 for i in range(n)]
+    return a, b
+
+
+def vec_mac16(n: int = 512, unroll_passes: int = 4) -> Workload:
+    """int16 dot product with the widening vector MAC.
+
+    Unrolled onto four accumulator groups (v8/v12/v16/v20) so the MACs
+    pipeline instead of chaining on one accumulator — the schedule any
+    vectorizing compiler emits for a reduction with a 4-cycle MAC.
+    """
+    if n % 32:
+        raise ValueError("n must be a multiple of 32 (4 x 8-element chunks)")
+    a, b = _mac16_data(n)
+    a_words = ", ".join(str(v) for v in a)
+    b_words = ", ".join(str(v) for v in b)
+    chunk_pair = """
+    vle16.v v{va}, (s0)
+    vle16.v v{vb}, (s1)
+    addi s0, s0, 16
+    addi s1, s1, 16
+    vwmacc.vv v{acc}, v{va}, v{vb}
+"""
+    body = "".join(
+        chunk_pair.format(va=24 + 2 * k, vb=25 + 2 * k, acc=8 + 4 * k)
+        for k in range(4))
+    source = f"""
+    .data
+    .align 3
+va_data: .half {a_words}
+vb_data: .half {b_words}
+result:  .dword 0
+    .text
+_start:
+    li s5, 0                   # total
+    li s6, 0                   # pass
+vm_pass:
+    la s0, va_data
+    la s1, vb_data
+    li t0, 8
+    vsetvli t0, t0, e32, m2
+    vmv.v.i v8, 0              # four wide accumulator groups
+    vmv.v.i v12, 0
+    vmv.v.i v16, 0
+    vmv.v.i v20, 0
+    li s2, {n // 32}           # iterations of 4 chunks
+    li t0, 8
+    vsetvli t0, t0, e16, m1
+vm_loop:
+{body}
+    addi s2, s2, -1
+    bnez s2, vm_loop
+    # combine the accumulators and reduce
+    li t0, 8
+    vsetvli t0, t0, e32, m2
+    vadd.vv v8, v8, v12
+    vadd.vv v16, v16, v20
+    vadd.vv v8, v8, v16
+    vmv.v.i v4, 0
+    vredsum.vs v6, v8, v4
+    vmv.x.s t3, v6
+    add s5, s5, t3
+    addi s6, s6, 1
+    li t4, {unroll_passes}
+    blt s6, t4, vm_pass
+    la t5, result
+    sd s5, 0(t5)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        dot = sum(x * y for x, y in zip(a, b))
+        return (dot * unroll_passes) & ((1 << 64) - 1)
+
+    return Workload(name="vec-mac16", source=source, reference=reference,
+                    category="vector")
+
+
+def scalar_mac16(n: int = 512, unroll_passes: int = 4) -> Workload:
+    """The same int16 dot product with scalar XT mulah MACs."""
+    a, b = _mac16_data(n)
+    a_words = ", ".join(str(v) for v in a)
+    b_words = ", ".join(str(v) for v in b)
+    source = f"""
+    .data
+    .align 3
+sa_data: .half {a_words}
+sb_data: .half {b_words}
+result:  .dword 0
+    .text
+_start:
+    li s5, 0
+    li s6, 0
+sm_pass:
+    la s0, sa_data
+    la s1, sb_data
+    li s2, 0
+    li s3, {n}
+    li s4, 0                   # acc (32-bit semantics via mulah)
+sm_loop:
+    slli t0, s2, 1
+    add t1, s0, t0
+    lh t2, 0(t1)
+    add t1, s1, t0
+    lh t3, 0(t1)
+    mulah s4, t2, t3           # acc += (int16)a * (int16)b
+    addi s2, s2, 1
+    blt s2, s3, sm_loop
+    add s5, s5, s4
+    addi s6, s6, 1
+    li t4, {unroll_passes}
+    blt s6, t4, sm_pass
+    la t5, result
+    sd s5, 0(t5)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        dot = sum(x * y for x, y in zip(a, b))  # fits in 32 bits
+        return (dot * unroll_passes) & ((1 << 64) - 1)
+
+    return Workload(name="scalar-mac16", source=source, reference=reference,
+                    category="vector")
+
+
+def vec_fp16_axpy(n: int = 64) -> Workload:
+    """Half-precision y = a*x + y (unsupported by A73's NEON)."""
+    x = [struct.unpack("<e", struct.pack("<e", 0.25 * (i % 8)))[0]
+         for i in range(n)]
+    y = [struct.unpack("<e", struct.pack("<e", 0.5 * (i % 4)))[0]
+         for i in range(n)]
+    x_bits = ", ".join(hex(struct.unpack("<H", struct.pack("<e", v))[0])
+                       for v in x)
+    y_bits = ", ".join(hex(struct.unpack("<H", struct.pack("<e", v))[0])
+                       for v in y)
+    source = f"""
+    .data
+    .align 3
+fx: .half {x_bits}
+fy: .half {y_bits}
+result: .dword 0
+    .text
+_start:
+    la s0, fx
+    la s1, fy
+    li s2, {n}
+    li t0, 0x4000              # fp16 bit pattern of 2.0
+    fmv.w.x fa0, t0            # scalar operand: low 16 bits are the fp16
+axpy_loop:
+    vsetvli t0, s2, e16, m1
+    vle16.v v1, (s0)
+    vle16.v v2, (s1)
+    vfmacc.vf v2, fa0, v1      # y += a*x  (fp16 lanes, fp32 scalar bits)
+    vse16.v v2, (s1)
+    slli t1, t0, 1
+    add s0, s0, t1
+    add s1, s1, t1
+    sub s2, s2, t0
+    bnez s2, axpy_loop
+    # checksum: sum of result bit patterns
+    la s1, fy
+    li s2, {n}
+    li t2, 0
+chk:
+    lhu t3, 0(s1)
+    add t2, t2, t3
+    addi s1, s1, 2
+    addi s2, s2, -1
+    bnez s2, chk
+    la t4, result
+    sd t2, 0(t4)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        total = 0
+        import struct as st
+
+        a_val = 2.0  # fp16 0x4000 broadcast as the scalar operand
+        for xv, yv in zip(x, y):
+            r = st.unpack("<e", st.pack(
+                "<e", a_val * xv + yv))[0]
+            total += st.unpack("<H", st.pack("<e", r))[0]
+        return total & ((1 << 64) - 1)
+
+    return Workload(name="vec-fp16-axpy", source=source, reference=reference,
+                    category="vector")
+
+
+def vector_suite() -> list[Workload]:
+    return [vec_mac16(), scalar_mac16(), vec_fp16_axpy()]

@@ -1,0 +1,295 @@
+"""Assembler tests: syntax, pseudo-ops, data directives, relaxation."""
+
+import struct
+
+import pytest
+
+from repro.asm import AssemblerError, assemble
+from repro.asm.assembler import _li_sequence, decode_vtype, encode_vtype
+from repro.isa.encoding import decode_word
+
+
+def first_word(program):
+    return struct.unpack_from("<I", program.text, 0)[0]
+
+
+def decode_all(program):
+    """Decode the text section back into instructions."""
+    from repro.isa import compressed
+
+    out = []
+    pos = 0
+    while pos < len(program.text):
+        half = struct.unpack_from("<H", program.text, pos)[0]
+        if compressed.is_compressed(half):
+            out.append(compressed.expand(half))
+            pos += 2
+        else:
+            word = struct.unpack_from("<I", program.text, pos)[0]
+            out.append(decode_word(word))
+            pos += 4
+    return out
+
+
+class TestBasics:
+    def test_simple_add(self):
+        prog = assemble(".text\nadd a0, a1, a2\n")
+        inst = decode_word(first_word(prog))
+        assert (inst.mnemonic, inst.rd, inst.rs1, inst.rs2) == \
+            ("add", 10, 11, 12)
+
+    def test_default_section_is_text(self):
+        prog = assemble("addi a0, a0, 1\n")
+        assert decode_word(first_word(prog)).mnemonic == "addi"
+
+    def test_memory_operands(self):
+        prog = assemble("lw t0, -12(sp)\nsd s1, 16(a0)\n")
+        insts = decode_all(prog)
+        assert (insts[0].mnemonic, insts[0].rs1, insts[0].imm) == \
+            ("lw", 2, -12)
+        assert (insts[1].mnemonic, insts[1].rs2, insts[1].imm) == \
+            ("sd", 9, 16)
+
+    def test_labels_and_branches(self):
+        prog = assemble("""
+        top:
+            addi a0, a0, -1
+            bnez a0, top
+            beq a0, a1, next
+        next:
+            nop
+        """)
+        insts = decode_all(prog)
+        assert insts[1].imm == -4      # back to top
+        assert insts[2].imm == 4       # forward to next
+
+    def test_label_on_same_line(self):
+        prog = assemble("loop: addi a0, a0, 1\nj loop\n")
+        insts = decode_all(prog)
+        assert insts[1].imm == -4
+
+    def test_comments(self):
+        prog = assemble("add a0, a1, a2  # comment\n// full line\nnop\n")
+        assert len(decode_all(prog)) == 2
+
+    def test_unknown_mnemonic_reports_line(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nbogus a0, a1\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, q7, a2\n")
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        insts = decode_all(assemble("li a0, 42\n"))
+        assert (insts[0].mnemonic, insts[0].imm) == ("addi", 42)
+
+    def test_li_32bit(self):
+        insts = decode_all(assemble("li a0, 0x12345678\n"))
+        assert [i.mnemonic for i in insts] == ["lui", "addiw"]
+
+    def test_li_negative(self):
+        insts = decode_all(assemble("li a0, -1\n"))
+        assert (insts[0].mnemonic, insts[0].imm) == ("addi", -1)
+
+    def test_li_64bit_sequences(self):
+        for value in (0x1234_5678_9ABC_DEF0, -0x7FFF_FFFF_FFFF_0001,
+                      1 << 62, (1 << 63) - 1):
+            seq = _li_sequence(5, value)
+            # emulate the sequence
+            reg = 0
+            for mn, src, imm in seq:
+                if mn == "lui":
+                    imm20 = imm if imm < (1 << 19) else imm - (1 << 20)
+                    reg = (imm20 << 12) & ((1 << 64) - 1)
+                elif mn == "addi":
+                    base = 0 if src == 0 else reg
+                    reg = (base + imm) & ((1 << 64) - 1)
+                elif mn == "addiw":
+                    base = 0 if src == 0 else reg
+                    reg = (base + imm) & 0xFFFFFFFF
+                    if reg >= 1 << 31:
+                        reg |= ~0xFFFFFFFF & ((1 << 64) - 1)
+                elif mn == "slli":
+                    reg = (reg << imm) & ((1 << 64) - 1)
+            assert reg == value & ((1 << 64) - 1), hex(value)
+
+    def test_la(self):
+        prog = assemble(".data\nx: .word 7\n.text\nla a0, x\n")
+        insts = decode_all(prog)
+        assert [i.mnemonic for i in insts] == ["lui", "addi"]
+
+    def test_branch_aliases(self):
+        prog = assemble("""
+        top:
+            beqz a0, top
+            bnez a1, top
+            bgt a2, a3, top
+            ble a4, a5, top
+        """)
+        insts = decode_all(prog)
+        assert [i.mnemonic for i in insts] == ["beq", "bne", "blt", "bge"]
+        # bgt swaps operands
+        assert (insts[2].rs1, insts[2].rs2) == (13, 12)
+
+    def test_call_ret(self):
+        prog = assemble("""
+        _start:
+            call fn
+            j end
+        fn:
+            ret
+        end:
+            nop
+        """)
+        insts = decode_all(prog)
+        assert insts[0].mnemonic == "jal" and insts[0].rd == 1
+        assert insts[2].mnemonic == "jalr" and insts[2].rs1 == 1
+
+    def test_csr_pseudo(self):
+        prog = assemble("csrr a0, mhartid\ncsrw mtvec, a1\n")
+        insts = decode_all(prog)
+        assert insts[0].mnemonic == "csrrs"
+        assert insts[0].imm == 0xF14
+        assert insts[1].mnemonic == "csrrw"
+        assert insts[1].imm == 0x305
+
+    def test_not_neg(self):
+        insts = decode_all(assemble("not a0, a1\nneg a2, a3\n"))
+        assert insts[0].mnemonic == "xori" and insts[0].imm == -1
+        assert insts[1].mnemonic == "sub" and insts[1].rs1 == 0
+
+
+class TestDataDirectives:
+    def test_word_data(self):
+        prog = assemble(".data\nvals: .word 1, -2, 3\n")
+        assert struct.unpack_from("<3i", prog.data, 0) == (1, -2, 3)
+
+    def test_all_widths(self):
+        prog = assemble(
+            ".data\n.byte 1\n.half 2\n.align 2\n.word 3\n.dword 4\n")
+        assert prog.data[0] == 1
+
+    def test_zero_fill(self):
+        prog = assemble(".data\nbuf: .zero 16\ntail: .word 9\n")
+        assert prog.symbol("tail") - prog.symbol("buf") == 16
+
+    def test_strings(self):
+        prog = assemble('.data\ns: .asciz "ab\\n"\n')
+        assert prog.data[:4] == b"ab\n\x00"
+
+    def test_align(self):
+        prog = assemble(".data\n.byte 1\n.align 3\nv: .dword 2\n")
+        assert prog.symbol("v") % 8 == 0
+
+    def test_float_double(self):
+        prog = assemble(".data\nf: .float 1.5\nd: .double -2.25\n")
+        assert struct.unpack_from("<f", prog.data, 0)[0] == 1.5
+        assert struct.unpack_from("<d", prog.data, 4)[0] == -2.25
+
+    def test_equ(self):
+        prog = assemble(".equ N, 10\nli a0, N*2\n")
+        insts = decode_all(prog)
+        assert insts[0].imm == 20
+
+    def test_symbol_arithmetic(self):
+        prog = assemble(".data\narr: .zero 32\n.text\nli a0, arr+8\n")
+        insts = decode_all(prog)
+        # la-style materialization of arr+8
+        value = prog.symbol("arr") + 8
+        assert value & 0xFFF == sum(
+            i.imm for i in insts if i.mnemonic in ("addi", "addiw")) & 0xFFF
+
+
+class TestVectorSyntax:
+    def test_vsetvli(self):
+        prog = assemble("vsetvli t0, a0, e32, m2\n")
+        inst = decode_all(prog)[0]
+        assert inst.mnemonic == "vsetvli"
+        assert decode_vtype(inst.imm) == (32, 2)
+
+    def test_vector_ops(self):
+        prog = assemble("""
+            vadd.vv v1, v2, v3
+            vadd.vx v1, v2, a0
+            vadd.vi v1, v2, 5
+            vmacc.vv v4, v5, v6
+            vle32.v v1, (a0)
+            vse32.v v1, (a1)
+            vlse64.v v2, (a0), t1
+        """)
+        insts = decode_all(prog)
+        assert [i.mnemonic for i in insts] == [
+            "vadd.vv", "vadd.vx", "vadd.vi", "vmacc.vv", "vle32.v",
+            "vse32.v", "vlse64.v"]
+        assert insts[2].imm == 5
+
+    def test_masked_op(self):
+        prog = assemble("vadd.vv v1, v2, v3, v0.t\n")
+        assert decode_all(prog)[0].aux == 0
+
+    def test_unmasked_default(self):
+        prog = assemble("vadd.vv v1, v2, v3\n")
+        assert decode_all(prog)[0].aux == 1
+
+
+class TestXtSyntax:
+    def test_indexed_load(self):
+        prog = assemble("lrw a0, a1, a2, 2\n")
+        inst = decode_all(prog)[0]
+        assert (inst.mnemonic, inst.rd, inst.rs1, inst.rs2, inst.aux) == \
+            ("lrw", 10, 11, 12, 2)
+
+    def test_indexed_store(self):
+        prog = assemble("srd a0, a1, a2, 3\n")
+        inst = decode_all(prog)[0]
+        assert (inst.mnemonic, inst.rs3, inst.rs1, inst.rs2, inst.aux) == \
+            ("srd", 10, 11, 12, 3)
+
+    def test_bitfield(self):
+        prog = assemble("extu a0, a1, 15, 8\n")
+        inst = decode_all(prog)[0]
+        assert (inst.imm >> 6, inst.imm & 63) == (15, 8)
+
+    def test_mac(self):
+        prog = assemble("mula a0, a1, a2\n")
+        inst = decode_all(prog)[0]
+        assert inst.mnemonic == "mula"
+        assert ("x", 10) in [tuple(r) for r in inst.srcs]
+
+
+class TestCompression:
+    def test_compression_shrinks_code(self):
+        src = """
+        _start:
+            li t0, 10
+            li t1, 0
+        loop:
+            add t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            mv a0, t1
+        """
+        plain = assemble(src, compress=False)
+        small = assemble(src, compress=True)
+        assert len(small.text) < len(plain.text)
+        # Both decode to the same instruction sequence.
+        a = [(i.mnemonic, i.rd, i.rs1, i.rs2) for i in decode_all(plain)]
+        b = [(i.mnemonic, i.rd, i.rs1, i.rs2) for i in decode_all(small)]
+        assert a == b
+
+    def test_compressed_branch_targets_correct(self):
+        src = "\n".join(["top:"] + ["addi a0, a0, 1"] * 20
+                        + ["bnez a0, top"])
+        prog = assemble(src, compress=True)
+        insts = decode_all(prog)
+        branch = insts[-1]
+        total = sum(i.size for i in insts[:-1])
+        assert branch.imm == -total
+
+    def test_vtype_roundtrip(self):
+        for sew in (8, 16, 32, 64):
+            for lmul in (1, 2, 4, 8):
+                assert decode_vtype(encode_vtype(sew, lmul)) == (sew, lmul)

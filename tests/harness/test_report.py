@@ -1,0 +1,46 @@
+"""Report container and rendering tests."""
+
+import pytest
+
+from repro.harness.report import ExperimentResult, geomean
+
+
+class TestExperimentResult:
+    def test_add_and_render(self):
+        r = ExperimentResult(experiment="figX", title="demo")
+        r.add("metric-a", 1.0, 1.1, "x", note="close")
+        r.add("metric-b", None, 42, "cycles")
+        text = r.render()
+        assert "figX" in text and "demo" in text
+        assert "metric-a" in text and "1.100" in text
+        assert "close" in text
+        assert "-" in text  # the None paper value
+
+    def test_notes_rendered(self):
+        r = ExperimentResult(experiment="e", title="t")
+        r.add("m", 1, 1)
+        r.notes.append("caveat emptor")
+        assert "caveat emptor" in r.render()
+
+    def test_string_values(self):
+        r = ExperimentResult(experiment="e", title="t")
+        r.add("range", "6-25", 16, "cycles")
+        assert "6-25" in r.render()
+
+    def test_empty_renders(self):
+        r = ExperimentResult(experiment="e", title="t")
+        assert "e" in r.render()
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == 3.0
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_identity(self):
+        assert geomean([1.0] * 10) == pytest.approx(1.0)

@@ -1,0 +1,160 @@
+"""RVC expand/compress tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.compressed import compress, expand, is_compressed
+from repro.isa.instructions import Instruction, SPECS, compute_operands
+
+
+def make(mnemonic, **kw):
+    inst = Instruction(spec=SPECS[mnemonic], **kw)
+    compute_operands(inst)
+    return inst
+
+
+def roundtrip(inst):
+    half = compress(inst)
+    assert half is not None, f"{inst.mnemonic} should compress"
+    assert is_compressed(half)
+    out = expand(half)
+    assert out.size == 2
+    return out
+
+
+class TestCompressRoundtrip:
+    def test_c_addi(self):
+        out = roundtrip(make("addi", rd=5, rs1=5, imm=-7))
+        assert (out.mnemonic, out.rd, out.rs1, out.imm) == ("addi", 5, 5, -7)
+
+    def test_c_li(self):
+        out = roundtrip(make("addi", rd=9, rs1=0, imm=31))
+        assert (out.rd, out.rs1, out.imm) == (9, 0, 31)
+
+    def test_c_lui(self):
+        out = roundtrip(make("lui", rd=5, imm=7 << 12))
+        assert out.imm == 7 << 12
+        out = roundtrip(make("lui", rd=5, imm=-(4 << 12)))
+        assert out.imm == -(4 << 12)
+
+    def test_c_addi16sp(self):
+        out = roundtrip(make("addi", rd=2, rs1=2, imm=-256))
+        assert (out.rd, out.imm) == (2, -256)
+
+    def test_c_addi4spn(self):
+        out = roundtrip(make("addi", rd=10, rs1=2, imm=40))
+        assert (out.rd, out.rs1, out.imm) == (10, 2, 40)
+
+    def test_c_mv_add(self):
+        mv = roundtrip(make("add", rd=5, rs1=0, rs2=6))
+        assert (mv.rd, mv.rs1, mv.rs2) == (5, 0, 6)
+        add = roundtrip(make("add", rd=5, rs1=5, rs2=6))
+        assert (add.rd, add.rs1, add.rs2) == (5, 5, 6)
+
+    @pytest.mark.parametrize("mn", ["sub", "xor", "or", "and", "subw", "addw"])
+    def test_c_alu(self, mn):
+        out = roundtrip(make(mn, rd=9, rs1=9, rs2=10))
+        assert (out.mnemonic, out.rd, out.rs2) == (mn, 9, 10)
+
+    @pytest.mark.parametrize("mn,shamt", [("slli", 13), ("srli", 40),
+                                          ("srai", 63)])
+    def test_c_shifts(self, mn, shamt):
+        reg = 5 if mn == "slli" else 9
+        out = roundtrip(make(mn, rd=reg, rs1=reg, imm=shamt))
+        assert (out.mnemonic, out.imm) == (mn, shamt)
+
+    def test_c_loads_stores(self):
+        lw = roundtrip(make("lw", rd=9, rs1=10, imm=64))
+        assert (lw.mnemonic, lw.imm) == ("lw", 64)
+        ld = roundtrip(make("ld", rd=9, rs1=10, imm=248))
+        assert (ld.mnemonic, ld.imm) == ("ld", 248)
+        sw = roundtrip(make("sw", rs1=10, rs2=9, imm=124))
+        assert (sw.mnemonic, sw.imm) == ("sw", 124)
+        sd = roundtrip(make("sd", rs1=10, rs2=9, imm=8))
+        assert (sd.mnemonic, sd.imm) == ("sd", 8)
+
+    def test_c_sp_relative(self):
+        lwsp = roundtrip(make("lw", rd=7, rs1=2, imm=252))
+        assert (lwsp.rs1, lwsp.imm) == (2, 252)
+        ldsp = roundtrip(make("ld", rd=7, rs1=2, imm=504))
+        assert (ldsp.rs1, ldsp.imm) == (2, 504)
+        swsp = roundtrip(make("sw", rs1=2, rs2=7, imm=252))
+        assert (swsp.rs1, swsp.imm) == (2, 252)
+        sdsp = roundtrip(make("sd", rs1=2, rs2=7, imm=504))
+        assert (sdsp.rs1, sdsp.imm) == (2, 504)
+
+    def test_c_j(self):
+        out = roundtrip(make("jal", rd=0, imm=-2048))
+        assert (out.rd, out.imm) == (0, -2048)
+        out = roundtrip(make("jal", rd=0, imm=2046))
+        assert out.imm == 2046
+
+    def test_c_jr_jalr(self):
+        jr = roundtrip(make("jalr", rd=0, rs1=1, imm=0))
+        assert (jr.rd, jr.rs1) == (0, 1)
+        jalr = roundtrip(make("jalr", rd=1, rs1=5, imm=0))
+        assert (jalr.rd, jalr.rs1) == (1, 5)
+
+    def test_c_branches(self):
+        beqz = roundtrip(make("beq", rs1=9, rs2=0, imm=-64))
+        assert (beqz.mnemonic, beqz.rs1, beqz.imm) == ("beq", 9, -64)
+        bnez = roundtrip(make("bne", rs1=14, rs2=0, imm=254))
+        assert (bnez.mnemonic, bnez.imm) == ("bne", 254)
+
+
+class TestNotCompressible:
+    @pytest.mark.parametrize("inst_kw", [
+        ("addi", {"rd": 5, "rs1": 6, "imm": 1}),     # rd != rs1
+        ("addi", {"rd": 5, "rs1": 5, "imm": 4000}),  # imm too big
+        ("add", {"rd": 5, "rs1": 6, "rs2": 7}),      # three distinct regs
+        ("sub", {"rd": 1, "rs1": 1, "rs2": 2}),      # non-prime regs
+        ("lw", {"rd": 9, "rs1": 10, "imm": 3}),      # unaligned offset
+        ("beq", {"rs1": 9, "rs2": 1, "imm": 8}),     # rs2 != x0
+        ("jal", {"rd": 1, "imm": 100}),              # c.jal is RV32-only
+        ("sd", {"rs1": 9, "rs2": 10, "imm": 260}),   # offset too big
+    ])
+    def test_returns_none(self, inst_kw):
+        mn, kw = inst_kw
+        assert compress(make(mn, **kw)) is None
+
+    def test_mul_never_compresses(self):
+        assert compress(make("mul", rd=9, rs1=9, rs2=10)) is None
+
+
+@given(st.integers(0, 0xFFFF))
+def test_expand_never_crashes_weirdly(halfword):
+    """expand() either returns a well-formed base instruction or raises
+    EncodingError — no other exception type escapes."""
+    from repro.isa.encoding import EncodingError
+
+    if not is_compressed(halfword):
+        return
+    try:
+        inst = expand(halfword)
+    except EncodingError:
+        return
+    assert inst.size == 2
+    assert inst.mnemonic in SPECS
+
+
+@given(st.sampled_from(["addi", "lw", "ld", "sw", "sd", "add", "sub", "and",
+                        "or", "xor", "slli", "srli", "srai", "andi"]),
+       st.integers(8, 15), st.integers(8, 15), st.integers(-32, 31))
+def test_compress_expand_agree(mn, r1, r2, imm):
+    """Whenever compress succeeds, expand returns the same instruction."""
+    kw = {"rd": r1, "rs1": r1, "imm": imm & 63 if "sl" in mn or "sr" in mn
+          else imm}
+    if mn in ("add", "sub", "and", "or", "xor"):
+        kw = {"rd": r1, "rs1": r1, "rs2": r2}
+    elif mn in ("lw", "ld"):
+        kw = {"rd": r1, "rs1": r2, "imm": (imm & 31) * 8}
+    elif mn in ("sw", "sd"):
+        kw = {"rs1": r1, "rs2": r2, "imm": (imm & 31) * 8}
+    inst = make(mn, **kw)
+    half = compress(inst)
+    if half is None:
+        return
+    out = expand(half)
+    assert out.mnemonic == inst.mnemonic
+    assert (out.rd, out.rs1, out.rs2, out.imm) == \
+        (inst.rd, inst.rs1, inst.rs2, inst.imm)

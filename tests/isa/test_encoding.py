@@ -1,0 +1,186 @@
+"""Encode/decode round-trip tests for the 32-bit formats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import EncodingError, decode_word, encode
+from repro.isa.instructions import Instruction, SPECS, compute_operands
+
+
+def make(mnemonic, **kw):
+    inst = Instruction(spec=SPECS[mnemonic], **kw)
+    compute_operands(inst)
+    return inst
+
+
+def roundtrip(inst):
+    return decode_word(encode(inst))
+
+
+class TestBasicFormats:
+    def test_r_type(self):
+        out = roundtrip(make("add", rd=1, rs1=2, rs2=3))
+        assert (out.mnemonic, out.rd, out.rs1, out.rs2) == ("add", 1, 2, 3)
+
+    def test_i_type_negative_imm(self):
+        out = roundtrip(make("addi", rd=10, rs1=11, imm=-42))
+        assert out.imm == -42
+
+    def test_i_type_imm_bounds(self):
+        assert roundtrip(make("addi", rd=1, rs1=1, imm=2047)).imm == 2047
+        assert roundtrip(make("addi", rd=1, rs1=1, imm=-2048)).imm == -2048
+        with pytest.raises(EncodingError):
+            encode(make("addi", rd=1, rs1=1, imm=2048))
+
+    def test_load_store(self):
+        load = roundtrip(make("lw", rd=5, rs1=6, imm=-8))
+        assert (load.mnemonic, load.imm) == ("lw", -8)
+        store = roundtrip(make("sd", rs1=7, rs2=8, imm=24))
+        assert (store.mnemonic, store.rs1, store.rs2, store.imm) == \
+            ("sd", 7, 8, 24)
+
+    def test_branch_offsets(self):
+        for imm in (-4096, -2, 0, 2, 4094):
+            out = roundtrip(make("beq", rs1=1, rs2=2, imm=imm))
+            assert out.imm == imm
+        with pytest.raises(EncodingError):
+            encode(make("beq", rs1=1, rs2=2, imm=3))
+
+    def test_jal_offsets(self):
+        for imm in (-(1 << 20), -2, 0, 2, (1 << 20) - 2):
+            assert roundtrip(make("jal", rd=1, imm=imm)).imm == imm
+
+    def test_lui_auipc(self):
+        out = roundtrip(make("lui", rd=3, imm=0x12345 << 12))
+        assert out.imm == 0x12345 << 12
+        neg = roundtrip(make("lui", rd=3, imm=-4096))
+        assert neg.imm == -4096
+
+    def test_shifts_rv64(self):
+        for mn in ("slli", "srli", "srai"):
+            out = roundtrip(make(mn, rd=1, rs1=2, imm=63))
+            assert (out.mnemonic, out.imm) == (mn, 63)
+
+    def test_word_shifts(self):
+        for mn in ("slliw", "srliw", "sraiw"):
+            out = roundtrip(make(mn, rd=1, rs1=2, imm=31))
+            assert (out.mnemonic, out.imm) == (mn, 31)
+
+    def test_mul_div(self):
+        for mn in ("mul", "mulh", "div", "rem", "mulw", "divw", "remuw"):
+            assert roundtrip(make(mn, rd=3, rs1=4, rs2=5)).mnemonic == mn
+
+    def test_system(self):
+        assert roundtrip(make("ecall")).mnemonic == "ecall"
+        assert roundtrip(make("ebreak")).mnemonic == "ebreak"
+        assert roundtrip(make("mret")).mnemonic == "mret"
+
+    def test_csr(self):
+        out = roundtrip(make("csrrw", rd=1, rs1=2, imm=0x305))
+        assert (out.mnemonic, out.imm) == ("csrrw", 0x305)
+        outi = roundtrip(make("csrrwi", rd=1, imm=0x300, aux=13))
+        assert (outi.imm, outi.aux) == (0x300, 13)
+
+
+class TestAtomics:
+    def test_amo_roundtrip(self):
+        for mn in ("amoadd.w", "amoswap.d", "amomaxu.w", "lr.d", "sc.w"):
+            out = roundtrip(make(mn, rd=1, rs1=2,
+                                 rs2=0 if mn.startswith("lr") else 3))
+            assert out.mnemonic == mn
+
+    def test_aq_rl_bits(self):
+        out = roundtrip(make("amoadd.w", rd=1, rs1=2, rs2=3, aux=3))
+        assert out.aux == 3
+
+
+class TestFloat:
+    @pytest.mark.parametrize("mn", [
+        "fadd.s", "fsub.d", "fmul.s", "fdiv.d", "fsqrt.s", "fsgnj.d",
+        "fmin.s", "fmax.d", "feq.s", "flt.d", "fle.s", "fclass.d",
+        "fmadd.s", "fnmadd.d", "fcvt.w.s", "fcvt.d.lu", "fcvt.s.d",
+        "fmv.x.d", "fmv.w.x",
+    ])
+    def test_roundtrip(self, mn):
+        out = roundtrip(make(mn, rd=1, rs1=2, rs2=3, rs3=4))
+        assert out.mnemonic == mn
+
+    def test_float_register_files(self):
+        inst = make("fadd.d", rd=1, rs1=2, rs2=3)
+        assert {r.file for r in inst.srcs} == {"f"}
+        assert inst.dests[0].file == "f"
+
+    def test_fcvt_crosses_files(self):
+        to_int = make("fcvt.w.d", rd=1, rs1=2)
+        assert to_int.dests[0].file == "x"
+        assert to_int.srcs[0].file == "f"
+
+
+class TestVector:
+    @pytest.mark.parametrize("mn", [
+        "vadd.vv", "vadd.vx", "vadd.vi", "vmul.vv", "vmacc.vx",
+        "vwmul.vv", "vredsum.vs", "vfadd.vv", "vfmacc.vf", "vmseq.vv",
+        "vslideup.vi", "vrgather.vv", "vmv.v.x", "vmv.x.s",
+        "vle32.v", "vse64.v", "vlse16.v", "vsse8.v", "vsetvli", "vsetvl",
+    ])
+    def test_roundtrip(self, mn):
+        out = roundtrip(make(mn, rd=1, rs1=2, rs2=3, rs3=1, imm=5, aux=1))
+        assert out.mnemonic == mn
+
+    def test_mask_bit(self):
+        masked = roundtrip(make("vadd.vv", rd=1, rs1=2, rs2=3, aux=0))
+        assert masked.aux == 0
+        assert any(r == ("v", 0) for r in masked.srcs)
+        unmasked = roundtrip(make("vadd.vv", rd=1, rs1=2, rs2=3, aux=1))
+        assert unmasked.aux == 1
+        assert not any(r == ("v", 0) for r in unmasked.srcs)
+
+    def test_vmacc_reads_dest(self):
+        inst = make("vmacc.vv", rd=4, rs1=2, rs2=3, aux=1)
+        assert ("v", 4) in [tuple(r) for r in inst.srcs]
+
+
+class TestXtExtensions:
+    @pytest.mark.parametrize("mn", [
+        "lrw", "lrd", "lrbu", "lrw.u", "srw", "srd.u", "addsl",
+        "ext", "extu", "ff0", "ff1", "rev", "revw", "tstnbz",
+        "srri", "srriw", "mula", "muls", "mulaw", "mulah",
+    ])
+    def test_roundtrip(self, mn):
+        out = roundtrip(make(mn, rd=1, rs1=2, rs2=3, rs3=1, imm=5, aux=2))
+        assert out.mnemonic == mn
+
+    def test_indexed_load_scale(self):
+        out = roundtrip(make("lrw", rd=1, rs1=2, rs2=3, aux=2))
+        assert out.aux == 2
+
+    def test_bitfield_extract_imm(self):
+        out = roundtrip(make("ext", rd=1, rs1=2, imm=(15 << 6) | 8))
+        assert out.imm >> 6 == 15
+        assert out.imm & 0x3F == 8
+
+    def test_mac_reads_dest(self):
+        inst = make("mula", rd=4, rs1=2, rs2=3)
+        assert ("x", 4) in [tuple(r) for r in inst.srcs]
+
+
+class TestDecodeErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode_word(0x0000007F)
+
+    def test_bad_funct(self):
+        with pytest.raises(EncodingError):
+            decode_word((0x7F << 25) | 0x33)  # OP with bogus funct7
+
+
+@given(st.sampled_from(sorted(SPECS)), st.integers(1, 31),
+       st.integers(1, 31), st.integers(1, 31), st.integers(0, 15))
+def test_roundtrip_property(mnemonic, rd, rs1, rs2, imm4):
+    """Every spec round-trips through encode/decode for small operands."""
+    imm5 = imm4 * 2  # keep branch/jump offsets even
+    inst = make(mnemonic, rd=rd, rs1=rs1, rs2=rs2, rs3=rs1, imm=imm5, aux=1)
+    word = encode(inst)
+    out = decode_word(word)
+    assert out.mnemonic == mnemonic
+    assert encode(out) == word

@@ -1,0 +1,137 @@
+"""Cache model tests: indexing, LRU, states, stats."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import Cache, LineState
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return Cache("test", size=size, assoc=assoc, line_size=line)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert not c.access(0x1000)
+        c.fill(0x1000)
+        assert c.access(0x1000)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_same_line_offsets_hit(self):
+        c = make_cache()
+        c.fill(0x1000)
+        for off in (0, 8, 32, 63):
+            assert c.access(0x1000 + off)
+
+    def test_different_lines_miss(self):
+        c = make_cache()
+        c.fill(0x1000)
+        assert not c.access(0x1040)
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size=1000, assoc=3, line_size=64)
+
+    def test_occupancy(self):
+        c = make_cache()
+        for i in range(5):
+            c.fill(i * 64)
+        assert c.occupancy == 5
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        # 2-way, 8 sets; three lines mapping to set 0.
+        c = make_cache(size=1024, assoc=2, line=64)
+        lines = [0, 8 * 64, 16 * 64]  # all index to set 0
+        c.fill(lines[0])
+        c.fill(lines[1])
+        c.access(lines[0])            # make line 0 MRU
+        c.fill(lines[2])              # evicts line 1
+        assert c.contains(lines[0])
+        assert not c.contains(lines[1])
+        assert c.contains(lines[2])
+        assert c.stats.evictions == 1
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = make_cache(size=1024, assoc=1, line=64)  # 16 sets
+        c.fill(0)
+        c.access(0, is_write=True)
+        c.fill(16 * 64)  # same set, evicts dirty line
+        assert c.stats.writebacks == 1
+
+    def test_fill_existing_line_no_eviction(self):
+        c = make_cache()
+        c.fill(0x1000)
+        c.fill(0x1000)
+        assert c.stats.evictions == 0
+
+
+class TestStates:
+    def test_write_upgrades_to_modified(self):
+        c = make_cache()
+        c.fill(0x1000, LineState.SHARED)
+        c.access(0x1000, is_write=True)
+        assert c.lookup(0x1000).state is LineState.MODIFIED
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.fill(0x1000)
+        line = c.invalidate(0x1000)
+        assert line is not None
+        assert not c.contains(0x1000)
+
+    def test_flush_all_reports_dirty(self):
+        c = make_cache()
+        c.fill(0)
+        c.fill(64)
+        c.access(0, is_write=True)
+        assert c.flush_all() == 1
+        assert c.occupancy == 0
+
+    def test_prefetch_accounting(self):
+        c = make_cache()
+        c.fill(0x1000, prefetched=True)
+        assert c.stats.prefetch_fills == 1
+        c.access(0x1000)
+        assert c.stats.prefetch_hits == 1
+        # A second access is a plain hit.
+        c.access(0x1000)
+        assert c.stats.prefetch_hits == 1
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("size,assoc", [(32 << 10, 4), (64 << 10, 4),
+                                            (256 << 10, 8), (8 << 20, 16)])
+    def test_paper_configurations(self, size, assoc):
+        # Table I: L1 32/64KB, L2 256KB-8MB 8/16-way.
+        c = Cache("cfg", size=size, assoc=assoc, line_size=64)
+        assert c.num_sets * assoc * 64 == size
+
+    def test_direct_mapped_conflicts(self):
+        c = make_cache(size=512, assoc=1, line=64)  # 8 sets
+        c.fill(0)
+        c.fill(512)  # same set
+        assert not c.contains(0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+def test_occupancy_never_exceeds_capacity(addresses):
+    c = Cache("prop", size=2048, assoc=2, line_size=64)
+    for addr in addresses:
+        if not c.access(addr):
+            c.fill(addr)
+    assert c.occupancy <= 2048 // 64
+    for cache_set in c._sets:
+        assert len(cache_set) <= 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=100))
+def test_fill_then_immediate_access_hits(addresses):
+    c = Cache("prop2", size=4096, assoc=4, line_size=64)
+    for addr in addresses:
+        c.fill(addr)
+        assert c.access(addr)

@@ -1,0 +1,120 @@
+"""PMP tests (section II: standard 8-16 region PMP)."""
+
+import pytest
+
+from repro.isa.csr import PrivMode
+from repro.mem.pmp import AccessType, Pmp, PmpError, PmpMatch
+
+R, W, X = AccessType.READ, AccessType.WRITE, AccessType.EXECUTE
+U, S, M = PrivMode.USER, PrivMode.SUPERVISOR, PrivMode.MACHINE
+
+
+def make_pmp(**kw):
+    return Pmp(**kw)
+
+
+class TestMatching:
+    def test_napot_region(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.NAPOT, Pmp.napot_addr(0x8000_0000, 0x1000),
+                      readable=True)
+        assert pmp.check(0x8000_0000, 8, R, U)
+        assert pmp.check(0x8000_0FF8, 8, R, U)
+        assert not pmp.check(0x8000_1000, 8, R, U)  # outside: default deny
+
+    def test_na4_region(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.NA4, 0x1000 >> 2, readable=True)
+        assert pmp.check(0x1000, 4, R, U)
+        assert not pmp.check(0x1004, 4, R, U)
+
+    def test_tor_region(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.OFF, 0x2000 >> 2)       # base marker
+        pmp.configure(1, PmpMatch.TOR, 0x3000 >> 2, readable=True,
+                      writable=True)
+        assert pmp.check(0x2000, 8, R, U)
+        assert pmp.check(0x2FF8, 8, W, U)
+        assert not pmp.check(0x3000, 8, R, U)
+        assert not pmp.check(0x1FF8, 8, R, U)
+
+    def test_partial_overlap_fails(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.NAPOT, Pmp.napot_addr(0x1000, 0x1000),
+                      readable=True)
+        # Straddles the region's end.
+        assert not pmp.check(0x1FFC, 8, R, M)
+
+    def test_napot_encoding_validation(self):
+        with pytest.raises(ValueError):
+            Pmp.napot_addr(0x1000, 12)       # not a power of two
+        with pytest.raises(ValueError):
+            Pmp.napot_addr(0x1004, 0x1000)   # misaligned base
+
+
+class TestPermissions:
+    def test_rwx_bits_independent(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.NAPOT, Pmp.napot_addr(0x1000, 0x1000),
+                      readable=True, executable=True)
+        assert pmp.check(0x1000, 4, R, U)
+        assert pmp.check(0x1000, 4, X, U)
+        assert not pmp.check(0x1000, 4, W, U)
+
+    def test_priority_lowest_entry_wins(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.NAPOT, Pmp.napot_addr(0x1000, 0x100),
+                      readable=True)                      # small, RO
+        pmp.configure(1, PmpMatch.NAPOT, Pmp.napot_addr(0x1000, 0x1000),
+                      readable=True, writable=True)       # big, RW
+        assert not pmp.check(0x1000, 4, W, U)   # entry 0 wins: read-only
+        assert pmp.check(0x1800, 4, W, U)       # only entry 1 matches
+
+
+class TestPrivilegeRules:
+    def test_machine_default_allow(self):
+        pmp = make_pmp()
+        assert pmp.check(0xDEAD_0000, 8, W, M)
+
+    def test_user_default_deny_with_active_entries(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.NA4, 0x1000 >> 2, readable=True)
+        assert not pmp.check(0x9000, 8, R, U)
+
+    def test_user_default_allow_when_pmp_unprogrammed(self):
+        pmp = make_pmp()
+        assert pmp.check(0x9000, 8, R, U)
+
+    def test_unlocked_entry_does_not_bind_machine(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.NAPOT, Pmp.napot_addr(0x1000, 0x1000),
+                      readable=True)   # no W
+        assert pmp.check(0x1000, 8, W, M)       # M ignores unlocked entries
+
+    def test_locked_entry_binds_machine(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.NAPOT, Pmp.napot_addr(0x1000, 0x1000),
+                      readable=True, locked=True)
+        assert not pmp.check(0x1000, 8, W, M)
+        assert pmp.check(0x1000, 8, R, M)
+
+
+class TestLocking:
+    def test_locked_entry_rejects_reconfig(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.NA4, 0x1000 >> 2, readable=True,
+                      locked=True)
+        with pytest.raises(PmpError):
+            pmp.configure(0, PmpMatch.OFF, 0)
+
+    def test_region_count_validation(self):
+        with pytest.raises(ValueError):
+            Pmp(regions=4)
+        assert Pmp(regions=8).regions == 8
+        assert Pmp(regions=16).regions == 16
+
+    def test_denial_stats(self):
+        pmp = make_pmp()
+        pmp.configure(0, PmpMatch.NA4, 0x1000 >> 2, readable=True)
+        pmp.check(0x9000, 4, R, U)
+        assert pmp.denials == 1

@@ -1,0 +1,159 @@
+"""Prefetcher tests: stride detection, streams, page-boundary policy."""
+
+from repro.mem import PrefetchConfig, StreamPrefetcher
+
+
+class Collector:
+    def __init__(self):
+        self.lines: list[int] = []
+        self.tlb_pages: list[int] = []
+
+    def issue(self, addr, cycle):
+        self.lines.append(addr >> 6)
+
+    def tlb(self, vpage):
+        self.tlb_pages.append(vpage)
+
+
+def make_pf(config=None, with_tlb=True):
+    collector = Collector()
+    config = config or PrefetchConfig()
+    pf = StreamPrefetcher(config, 64, collector.issue,
+                          collector.tlb if with_tlb else None)
+    return pf, collector
+
+
+def feed_sequential(pf, start, count, step=8):
+    for i in range(count):
+        pf.observe(start + i * step, cycle=i)
+
+
+class TestStrideDetection:
+    def test_sequential_stream_triggers(self):
+        pf, col = make_pf()
+        feed_sequential(pf, 0x10000, 32)
+        assert len(col.lines) > 0
+        # Prefetched lines are ahead of the demand stream.
+        assert min(col.lines) > 0x10000 >> 6
+
+    def test_no_prefetch_before_confidence(self):
+        pf, col = make_pf()
+        pf.observe(0x10000, 0)
+        pf.observe(0x10008, 1)
+        assert col.lines == []  # confidence not yet established
+
+    def test_random_stream_stays_quiet(self):
+        pf, col = make_pf()
+        import random
+
+        rng = random.Random(42)
+        for i in range(100):
+            pf.observe(rng.randrange(0, 1 << 20) & ~7, i)
+        # A few accidental strides may fire but nothing systematic.
+        assert len(col.lines) < 10
+
+    def test_large_stride_detected(self):
+        pf, col = make_pf()
+        for i in range(16):
+            pf.observe(0x20000 + i * 256, i)  # stride of 4 lines
+        assert len(col.lines) > 0
+
+    def test_negative_stride(self):
+        pf, col = make_pf()
+        for i in range(16):
+            pf.observe(0x20000 - i * 64, i)
+        assert len(col.lines) > 0
+        assert col.lines[-1] < 0x20000 >> 6
+
+    def test_disabled_never_issues(self):
+        pf, col = make_pf(PrefetchConfig.disabled())
+        feed_sequential(pf, 0x10000, 64)
+        assert col.lines == []
+
+
+class TestDistance:
+    def test_larger_distance_runs_further_ahead(self):
+        near_pf, near = make_pf(PrefetchConfig(distance=2))
+        far_pf, far = make_pf(PrefetchConfig(distance=16, max_depth=32))
+        feed_sequential(near_pf, 0x10000, 16)
+        feed_sequential(far_pf, 0x10000, 16)
+        demand_line = (0x10000 + 15 * 8) >> 6
+        assert max(far.lines) - demand_line > max(near.lines) - demand_line
+
+    def test_depth_limit_respected(self):
+        pf, col = make_pf(PrefetchConfig(distance=100, max_depth=8))
+        feed_sequential(pf, 0x10000, 32)
+        demand_max = (0x10000 + 31 * 8) >> 6
+        assert max(col.lines) <= demand_max + 8
+
+    def test_no_duplicate_lines_in_steady_state(self):
+        pf, col = make_pf(PrefetchConfig(distance=4))
+        feed_sequential(pf, 0x10000, 200)
+        assert len(col.lines) == len(set(col.lines))
+
+
+class TestMultiStream:
+    def test_interleaved_streams_both_tracked(self):
+        # a[i] and b[i] live in different 16K regions (STREAM-style).
+        pf, col = make_pf(PrefetchConfig(mode="multi", streams=8))
+        for i in range(32):
+            pf.observe(0x10000 + i * 8, 2 * i)
+            pf.observe(0x80000 + i * 8, 2 * i + 1)
+        low = [l for l in col.lines if l < 0x40000 >> 6]
+        high = [l for l in col.lines if l >= 0x40000 >> 6]
+        assert low and high
+
+    def test_global_mode_single_stream(self):
+        # Global mode collapses interleaved streams into one detector,
+        # so alternating streams destroy the stride.
+        pf, col = make_pf(PrefetchConfig.global_mode())
+        for i in range(32):
+            pf.observe(0x10000 + i * 8, 2 * i)
+            pf.observe(0x80000 + i * 8, 2 * i + 1)
+        multi_pf, multi_col = make_pf(PrefetchConfig(mode="multi"))
+        for i in range(32):
+            multi_pf.observe(0x10000 + i * 8, 2 * i)
+            multi_pf.observe(0x80000 + i * 8, 2 * i + 1)
+        assert len(col.lines) < len(multi_col.lines)
+
+    def test_global_mode_works_for_simple_stream(self):
+        pf, col = make_pf(PrefetchConfig.global_mode())
+        feed_sequential(pf, 0x10000, 64)
+        assert len(col.lines) > 10
+
+    def test_stream_capacity_thrash(self):
+        # With only 2 stream slots, three interleaved regions keep
+        # evicting each other's detectors; with 8 slots they coexist.
+        small_pf, small_col = make_pf(PrefetchConfig(mode="multi", streams=2))
+        big_pf, big_col = make_pf(PrefetchConfig(mode="multi", streams=8))
+        for i in range(16):
+            for base in (0x10000, 0x80000, 0x100000):
+                small_pf.observe(base + i * 8, i)
+                big_pf.observe(base + i * 8, i)
+        assert small_pf.stats.streams_allocated \
+            > big_pf.stats.streams_allocated
+        assert len(big_col.lines) > len(small_col.lines)
+
+
+class TestPageBoundary:
+    def test_crosspage_with_tlb_prefetch(self):
+        pf, col = make_pf(PrefetchConfig(distance=8, cross_page=True))
+        # Walk right up to a page boundary.
+        feed_sequential(pf, 0x10000 + 0x1000 - 512, 128)
+        beyond = [l for l in col.lines if (l << 6) >= 0x11000]
+        assert beyond, "prefetches should cross the page"
+        assert col.tlb_pages, "next-page translation should be requested"
+
+    def test_crosspage_disabled_stops_at_boundary(self):
+        pf, col = make_pf(PrefetchConfig(distance=8, cross_page=False))
+        feed_sequential(pf, 0x10000 + 0x1000 - 512, 128)
+        # The stream restarts after the demand crosses, but no prefetch
+        # is issued across a boundary ahead of the demand stream.
+        assert pf.stats.dropped_page_boundary > 0
+
+    def test_no_tlb_fn_stops_at_boundary(self):
+        pf, col = make_pf(PrefetchConfig(distance=8, cross_page=True),
+                          with_tlb=False)
+        feed_sequential(pf, 0x10000 + 0x1000 - 512, 128)
+        assert pf.stats.dropped_page_boundary > 0
+        assert col.tlb_pages == []

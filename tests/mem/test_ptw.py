@@ -1,0 +1,101 @@
+"""SV39 page-table builder and walker tests (section V.E)."""
+
+import pytest
+
+from repro.mem import PageFault, PageTableBuilder, PageTableWalker
+from repro.sim import Memory
+
+
+def make_walker():
+    memory = Memory()
+    builder = PageTableBuilder(memory)
+    return memory, builder, lambda: PageTableWalker(memory, builder.root)
+
+
+class TestBasicWalk:
+    def test_4k_mapping(self):
+        _, builder, walker_of = make_walker()
+        builder.map_page(0x1000, 0x8_0000, page_size=4096)
+        t = walker_of().walk(0x1234)
+        assert t.paddr == 0x8_0234
+        assert t.page_size == 4096
+        assert t.levels_walked == 3
+
+    def test_2m_huge_page(self):
+        _, builder, walker_of = make_walker()
+        builder.map_page(0x20_0000, 0x4000_0000, page_size=2 << 20)
+        t = walker_of().walk(0x20_0000 + 0x12345)
+        assert t.paddr == 0x4000_0000 + 0x12345
+        assert t.page_size == 2 << 20
+        assert t.levels_walked == 2  # leaf at level 1
+
+    def test_1g_huge_page(self):
+        _, builder, walker_of = make_walker()
+        builder.map_page(0x4000_0000, 0x8000_0000 + (1 << 30),
+                         page_size=1 << 30)
+        t = walker_of().walk(0x4000_0000 + 0xABCDE)
+        assert t.page_size == 1 << 30
+        assert t.levels_walked == 1  # leaf at level 0
+
+    def test_all_three_sizes_coexist(self):
+        """The MMU's 3-level tables can mix 4K/2M/1G leaves (section V.E)."""
+        _, builder, walker_of = make_walker()
+        builder.map_page(0x0000_1000, 0x1000, 4096)
+        builder.map_page(0x0020_0000, 0x0020_0000, 2 << 20)
+        builder.map_page(0x4000_0000, 0x4000_0000, 1 << 30)
+        walker = walker_of()
+        assert walker.walk(0x1000).page_size == 4096
+        assert walker.walk(0x0020_0000).page_size == 2 << 20
+        assert walker.walk(0x4000_0000).page_size == 1 << 30
+
+    def test_identity_map(self):
+        _, builder, walker_of = make_walker()
+        builder.identity_map(0x1_0000, 0x4000)
+        walker = walker_of()
+        for off in (0, 0x1000, 0x3FFF):
+            assert walker.walk(0x1_0000 + off).paddr == 0x1_0000 + off
+
+
+class TestFaults:
+    def test_unmapped_address_faults(self):
+        _, _, walker_of = make_walker()
+        with pytest.raises(PageFault):
+            walker_of().walk(0xDEAD_0000)
+
+    def test_partial_walk_faults(self):
+        _, builder, walker_of = make_walker()
+        builder.map_page(0x1000, 0x1000, 4096)
+        # Sibling page in the same table is still unmapped.
+        with pytest.raises(PageFault):
+            walker_of().walk(0x5000)
+
+    def test_misaligned_mapping_rejected(self):
+        _, builder, _ = make_walker()
+        with pytest.raises(ValueError):
+            builder.map_page(0x1234, 0x1000, 4096)
+        with pytest.raises(ValueError):
+            builder.map_page(0x10_0000, 0x10_0000, 2 << 20)
+
+
+class TestWalkCost:
+    def test_pte_load_counts(self):
+        _, builder, walker_of = make_walker()
+        builder.map_page(0x1000, 0x1000, 4096)
+        builder.map_page(0x4000_0000, 0x4000_0000, 1 << 30)
+        walker = walker_of()
+        walker.walk(0x1000)
+        assert walker.pte_loads == 3   # 4K: full 3-level walk
+        walker.walk(0x4000_0000)
+        assert walker.pte_loads == 4   # 1G: single level
+        assert walker.walks == 2
+
+    def test_huge_pages_reduce_walk_depth(self):
+        """The Linux huge-page motivation: fewer PTE loads per walk."""
+        _, builder, walker_of = make_walker()
+        builder.map_page(0, 0, 1 << 30)
+        builder.map_page(1 << 30, 1 << 30, 1 << 30)
+        walker = walker_of()
+        span = 64 << 20
+        for vaddr in range(0, span, 2 << 20):
+            walker.walk(vaddr)
+        assert walker.pte_loads == walker.walks  # every walk is 1 load

@@ -1,0 +1,84 @@
+"""Physical model tests: Table II calibration and scaling trends."""
+
+import pytest
+
+from repro.physical import (
+    OperatingPoint,
+    PhysicalModel,
+    ProcessNode,
+    table2_rows,
+)
+from repro.uarch.presets import u54, xt910
+
+
+class TestTable2Calibration:
+    """Model values must land on the paper's published numbers."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2_rows()
+
+    @pytest.mark.parametrize("key,tolerance", [
+        ("frequency_nominal_ghz", 0.03),
+        ("frequency_boost_ghz", 0.03),
+        ("frequency_7nm_ghz", 0.03),
+        ("area_with_vec_mm2", 0.05),
+        ("area_without_vec_mm2", 0.05),
+        ("dynamic_uw_per_mhz", 0.10),
+    ])
+    def test_within_tolerance(self, rows, key, tolerance):
+        row = rows[key]
+        assert abs(row["model"] - row["paper"]) / row["paper"] <= tolerance
+
+    def test_vector_unit_costs_point2_mm2(self, rows):
+        delta = rows["area_with_vec_mm2"]["model"] \
+            - rows["area_without_vec_mm2"]["model"]
+        assert abs(delta - 0.2) < 0.02
+
+
+class TestScalingTrends:
+    def test_bigger_l1_costs_area(self):
+        model = PhysicalModel()
+        small = xt910(l1_kb=32)
+        big = xt910(l1_kb=64)
+        assert model.area_mm2(big) > model.area_mm2(small)
+
+    def test_l2_excluded_by_default(self):
+        model = PhysicalModel()
+        cfg = xt910()
+        assert model.area_mm2(cfg, include_l2=True) \
+            > model.area_mm2(cfg) + 1.0  # MBs of SRAM dominate
+
+    def test_smaller_core_is_smaller(self):
+        model = PhysicalModel()
+        assert model.area_mm2(u54()) < model.area_mm2(xt910())
+
+    def test_voltage_boost_raises_frequency(self):
+        model = PhysicalModel()
+        cfg = xt910()
+        assert model.frequency_ghz(cfg, OperatingPoint.boost()) \
+            > model.frequency_ghz(cfg, OperatingPoint.nominal())
+
+    def test_voltage_boost_costs_quadratic_power(self):
+        model = PhysicalModel()
+        cfg = xt910()
+        nominal = model.dynamic_uw_per_mhz(cfg, OperatingPoint.nominal())
+        boost = model.dynamic_uw_per_mhz(cfg, OperatingPoint.boost())
+        assert boost / nominal == pytest.approx((1.0 / 0.8) ** 2)
+
+    def test_7nm_is_denser_and_faster(self):
+        cfg = xt910()
+        m12 = PhysicalModel(ProcessNode.tsmc12())
+        m7 = PhysicalModel(ProcessNode.tsmc7())
+        assert m7.area_mm2(cfg) < m12.area_mm2(cfg)
+        assert m7.frequency_ghz(cfg) > m12.frequency_ghz(cfg)
+
+    def test_shallow_pipeline_clocks_lower(self):
+        model = PhysicalModel()
+        assert model.frequency_ghz(u54()) < model.frequency_ghz(xt910())
+
+    def test_estimate_bundle(self):
+        est = PhysicalModel().estimate(xt910())
+        assert est.area_mm2 > 0
+        assert est.frequency_ghz > 0
+        assert est.dynamic_uw_per_mhz > 0

@@ -1,0 +1,25 @@
+"""Shared helpers for emulator tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim import Emulator
+
+
+EXIT = """
+    li a7, 93
+    ecall
+"""
+
+
+def run_asm(body: str, compress: bool = False, max_steps: int = 1_000_000):
+    """Assemble `body` (which must leave the result in a0), run, return emu."""
+    program = assemble(body + EXIT, compress=compress)
+    emulator = Emulator(program)
+    emulator.run(max_steps)
+    return emulator
+
+
+@pytest.fixture
+def run():
+    return run_asm

@@ -1,0 +1,537 @@
+"""Functional semantics tests for the scalar ISA."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.sim import Emulator
+
+from .conftest import run_asm
+
+
+def result_of(body: str) -> int:
+    """Run a snippet and return a0 as an unsigned exit-style value."""
+    return run_asm(body).exit_code
+
+
+class TestIntegerAlu:
+    def test_add_sub(self, run):
+        assert run("li a0, 40\naddi a0, a0, 2\n").exit_code == 42
+        assert run("li t0, 50\nli t1, 8\nsub a0, t0, t1\n").exit_code == 42
+
+    def test_logic(self, run):
+        assert run("li t0, 0xF0\nli t1, 0x0F\nor a0, t0, t1\n").exit_code == 0xFF
+        assert run("li t0, 0xFF\nandi a0, t0, 0x0F\n").exit_code == 0x0F
+        assert run("li t0, 0xFF\nxori a0, t0, 0xF0\n").exit_code == 0x0F
+
+    def test_shifts(self, run):
+        assert run("li a0, 1\nslli a0, a0, 6\n").exit_code == 64
+        assert run("li a0, 64\nsrli a0, a0, 3\n").exit_code == 8
+        assert run("li a0, -64\nsrai a0, a0, 3\nneg a0, a0\n").exit_code == 8
+
+    def test_slt(self, run):
+        assert run("li t0, -1\nli t1, 1\nslt a0, t0, t1\n").exit_code == 1
+        assert run("li t0, -1\nli t1, 1\nsltu a0, t0, t1\n").exit_code == 0
+
+    def test_32bit_word_ops(self, run):
+        # addw wraps at 32 bits and sign extends
+        code = """
+        li t0, 0x7FFFFFFF
+        li t1, 1
+        addw t2, t0, t1      # 0x80000000 -> sign-extended negative
+        srai a0, t2, 31      # all ones
+        andi a0, a0, 1
+        """
+        assert run(code).exit_code == 1
+
+    def test_sraiw_sign(self, run):
+        code = """
+        li t0, 0x80000000
+        sraiw t1, t0, 4
+        li t2, 0xF8000000
+        sext.w t2, t2
+        xor a0, t1, t2
+        seqz a0, a0
+        """
+        assert run(code).exit_code == 1
+
+    def test_lui_auipc(self, run):
+        assert run("lui a0, 1\nsrli a0, a0, 12\n").exit_code == 1
+
+
+class TestMulDiv:
+    def test_mul(self, run):
+        assert run("li t0, 6\nli t1, 7\nmul a0, t0, t1\n").exit_code == 42
+
+    def test_mulh(self, run):
+        code = """
+        li t0, 0x100000000
+        li t1, 0x100000000
+        mulhu a0, t0, t1     # (2^32)^2 >> 64 = 1
+        """
+        assert run(code).exit_code == 1
+
+    def test_div_rem(self, run):
+        assert run("li t0, 43\nli t1, 5\ndiv a0, t0, t1\n").exit_code == 8
+        assert run("li t0, 43\nli t1, 5\nrem a0, t0, t1\n").exit_code == 3
+
+    def test_div_negative_truncates(self, run):
+        assert run("li t0, -7\nli t1, 2\ndiv a0, t0, t1\nneg a0, a0\n"
+                   ).exit_code == 3
+
+    def test_div_by_zero(self, run):
+        # div by zero => -1; remu by zero => dividend
+        assert run("li t0, 5\nli t1, 0\ndiv a0, t0, t1\nseqz a0, a0\n"
+                   ).exit_code == 0
+        assert run("li t0, 5\nli t1, 0\nremu a0, t0, t1\n").exit_code == 5
+
+    def test_div_overflow(self, run):
+        code = """
+        li t0, 1
+        slli t0, t0, 63      # INT64_MIN
+        li t1, -1
+        div t2, t0, t1       # stays INT64_MIN
+        xor a0, t2, t0
+        seqz a0, a0
+        """
+        assert run(code).exit_code == 1
+
+    def test_word_division(self, run):
+        assert run("li t0, 100\nli t1, 7\ndivw a0, t0, t1\n").exit_code == 14
+        assert run("li t0, 100\nli t1, 7\nremw a0, t0, t1\n").exit_code == 2
+
+
+class TestLoadsStores:
+    def test_widths_roundtrip(self, run):
+        code = """
+        .data
+        buf: .zero 32
+        .text
+        la t0, buf
+        li t1, -2
+        sb t1, 0(t0)
+        lb t2, 0(t0)         # -2
+        lbu t3, 0(t0)        # 254
+        add a0, t2, t3       # 252
+        """
+        assert run(code).exit_code == 252
+
+    def test_unaligned_access(self, run):
+        code = """
+        .data
+        buf: .dword 0x1122334455667788
+        .text
+        la t0, buf
+        lw a0, 1(t0)         # unaligned: bytes 1..4
+        li t1, 0x44556677
+        xor a0, a0, t1
+        seqz a0, a0
+        """
+        assert run(code).exit_code == 1
+
+    def test_store_load_word_sign(self, run):
+        code = """
+        .data
+        w: .zero 8
+        .text
+        la t0, w
+        li t1, 0x80000001
+        sw t1, 0(t0)
+        lw t2, 0(t0)         # sign-extended negative
+        bltz t2, ok
+        li a0, 0
+        j done
+        ok:
+        li a0, 1
+        done:
+        """
+        assert run(code).exit_code == 1
+
+
+class TestControlFlow:
+    def test_loop_sum(self, run):
+        code = """
+        li t0, 100
+        li t1, 0
+        loop:
+        add t1, t1, t0
+        addi t0, t0, -1
+        bnez t0, loop
+        li t2, 5050
+        xor a0, t1, t2
+        seqz a0, a0
+        """
+        assert run(code).exit_code == 1
+
+    def test_function_call(self, run):
+        code = """
+        _start:
+            li a0, 5
+            call double_it
+            call double_it
+            j finish
+        double_it:
+            slli a0, a0, 1
+            ret
+        finish:
+        """
+        assert run(code).exit_code == 20
+
+    def test_indirect_jump(self, run):
+        code = """
+        _start:
+            la t0, target
+            jr t0
+            li a0, 0
+            j done
+        target:
+            li a0, 9
+        done:
+        """
+        assert run(code).exit_code == 9
+
+    def test_branch_comparisons(self, run):
+        for op, a, b, expect in [
+            ("blt", -1, 1, 1), ("blt", 1, -1, 0),
+            ("bltu", 1, -1, 1),  # -1 unsigned is huge
+            ("bge", 5, 5, 1), ("bgeu", 0, 1, 0),
+        ]:
+            code = f"""
+            li t0, {a}
+            li t1, {b}
+            {op} t0, t1, yes
+            li a0, 0
+            j done
+            yes: li a0, 1
+            done:
+            """
+            assert run_asm(code).exit_code == expect, (op, a, b)
+
+
+class TestAtomics:
+    def test_amoadd(self, run):
+        code = """
+        .data
+        .align 3
+        counter: .dword 10
+        .text
+        la t0, counter
+        li t1, 5
+        amoadd.d t2, t1, (t0)   # t2 = 10, mem = 15
+        ld t3, 0(t0)
+        add a0, t2, t3          # 25
+        """
+        assert run(code).exit_code == 25
+
+    def test_lr_sc_success(self, run):
+        code = """
+        .data
+        .align 3
+        cell: .dword 7
+        .text
+        la t0, cell
+        lr.d t1, (t0)
+        addi t1, t1, 1
+        sc.d t2, t1, (t0)       # succeeds -> 0
+        ld t3, 0(t0)
+        seqz t2, t2
+        add a0, t3, t2          # 8 + 1
+        """
+        assert run(code).exit_code == 9
+
+    def test_sc_without_reservation_fails(self, run):
+        code = """
+        .data
+        .align 3
+        cell: .dword 7
+        .text
+        la t0, cell
+        li t1, 99
+        sc.d a0, t1, (t0)       # no reservation -> 1
+        """
+        assert run(code).exit_code == 1
+
+    def test_amomax_signed(self, run):
+        code = """
+        .data
+        .align 3
+        cell: .dword -5
+        .text
+        la t0, cell
+        li t1, 3
+        amomax.d t2, t1, (t0)
+        ld a0, 0(t0)            # max(-5, 3) = 3
+        """
+        assert run(code).exit_code == 3
+
+
+class TestFloat:
+    def test_double_arith(self, run):
+        code = """
+        .data
+        a: .double 1.5
+        b: .double 2.25
+        .text
+        la t0, a
+        fld fa0, 0(t0)
+        fld fa1, 8(t0)
+        fadd.d fa2, fa0, fa1     # 3.75
+        fmul.d fa3, fa2, fa1     # 8.4375
+        li t1, 16
+        fcvt.d.l fa4, t1
+        fmul.d fa3, fa3, fa4     # 135
+        fcvt.l.d a0, fa3
+        """
+        assert run(code).exit_code == 135
+
+    def test_single_precision(self, run):
+        code = """
+        .data
+        x: .float 0.5
+        .text
+        la t0, x
+        flw fa0, 0(t0)
+        fadd.s fa1, fa0, fa0      # 1.0
+        fcvt.w.s a0, fa1
+        """
+        assert run(code).exit_code == 1
+
+    def test_fsqrt(self, run):
+        code = """
+        li t0, 144
+        fcvt.d.l fa0, t0
+        fsqrt.d fa1, fa0
+        fcvt.l.d a0, fa1
+        """
+        assert run(code).exit_code == 12
+
+    def test_fmadd(self, run):
+        code = """
+        li t0, 3
+        li t1, 4
+        li t2, 5
+        fcvt.d.l fa0, t0
+        fcvt.d.l fa1, t1
+        fcvt.d.l fa2, t2
+        fmadd.d fa3, fa0, fa1, fa2   # 3*4+5 = 17
+        fcvt.l.d a0, fa3
+        """
+        assert run(code).exit_code == 17
+
+    def test_fcmp(self, run):
+        code = """
+        li t0, 1
+        li t1, 2
+        fcvt.d.l fa0, t0
+        fcvt.d.l fa1, t1
+        flt.d a0, fa0, fa1
+        """
+        assert run(code).exit_code == 1
+
+    def test_fmin_fmax(self, run):
+        code = """
+        li t0, -3
+        li t1, 7
+        fcvt.d.l fa0, t0
+        fcvt.d.l fa1, t1
+        fmax.d fa2, fa0, fa1
+        fmin.d fa3, fa0, fa1
+        fsub.d fa4, fa2, fa3      # 7 - (-3) = 10
+        fcvt.l.d a0, fa4
+        """
+        assert run(code).exit_code == 10
+
+    def test_fsgnj(self, run):
+        code = """
+        li t0, 5
+        fcvt.d.l fa0, t0
+        fneg.d fa1, fa0
+        fcvt.l.d t1, fa1          # -5
+        neg a0, t1
+        """
+        assert run(code).exit_code == 5
+
+    def test_fclass(self, run):
+        code = """
+        li t0, 1
+        fcvt.d.l fa0, t0
+        fclass.d a0, fa0          # positive normal => bit 6
+        """
+        assert run(code).exit_code == 1 << 6
+
+
+class TestSystem:
+    def test_csr_read_write(self, run):
+        code = """
+        li t0, 0x123
+        csrw mscratch, t0
+        csrr a0, mscratch
+        """
+        assert run(code).exit_code == 0x123
+
+    def test_csr_set_clear(self, run):
+        code = """
+        li t0, 0xF0
+        csrw mscratch, t0
+        li t1, 0x0F
+        csrs mscratch, t1
+        li t2, 0xC0
+        csrc mscratch, t2
+        csrr a0, mscratch        # 0xF0 | 0x0F & ~0xC0 = 0x3F
+        """
+        assert run(code).exit_code == 0x3F
+
+    def test_mhartid_readonly(self, run):
+        code = """
+        li t0, 55
+        csrw mhartid, t0
+        csrr a0, mhartid         # still 0
+        """
+        assert run(code).exit_code == 0
+
+    def test_instret_counts(self, run):
+        emu = run_asm("nop\nnop\nnop\nli a0, 0\n")
+        assert emu.state.instret >= 4
+
+    def test_write_syscall(self):
+        program = assemble("""
+        .data
+        msg: .asciz "hello"
+        .text
+        la a1, msg
+        li a2, 5
+        li a0, 1
+        li a7, 64
+        ecall
+        li a0, 0
+        li a7, 93
+        ecall
+        """)
+        emu = Emulator(program)
+        emu.run()
+        assert emu.stdout == "hello"
+
+
+class TestXtExtensions:
+    def test_indexed_load(self, run):
+        code = """
+        .data
+        arr: .word 10, 20, 30, 40
+        .text
+        la t0, arr
+        li t1, 3
+        lrw a0, t0, t1, 2        # arr[3] = 40
+        """
+        assert run(code).exit_code == 40
+
+    def test_indexed_store(self, run):
+        code = """
+        .data
+        arr: .zero 32
+        .text
+        la t0, arr
+        li t1, 2
+        li t2, 77
+        srw t2, t0, t1, 2        # arr[2] = 77
+        lw a0, 8(t0)
+        """
+        assert run(code).exit_code == 77
+
+    def test_address_zero_extension(self, run):
+        # Index register holds a value with garbage in the upper 32 bits;
+        # the .u form masks it (paper section VIII.A).
+        code = """
+        .data
+        arr: .word 5, 6, 7, 8
+        .text
+        la t0, arr
+        li t1, 1
+        li t2, 0xFF00000000
+        or t1, t1, t2            # index = 1 with garbage above bit 32
+        lrw.u a0, t0, t1, 2      # arr[1] = 6
+        """
+        assert run(code).exit_code == 6
+
+    def test_addsl(self, run):
+        assert run("li t0, 100\nli t1, 5\naddsl a0, t0, t1, 3\n"
+                   ).exit_code == 140
+
+    def test_ext_extu(self, run):
+        assert run("li t0, 0xABCD\nextu a0, t0, 15, 8\n").exit_code == 0xAB
+        # signed extract of 0xCD (bit 7 set) -> negative
+        assert run("li t0, 0xCD\next t1, t0, 7, 0\nneg a0, t1\n"
+                   ).exit_code == 0x33
+
+    def test_ff0_ff1(self, run):
+        # ff1: count of leading zeros before the first one
+        assert run("li t0, 1\nff1 a0, t0\n").exit_code == 63
+        assert run("li t0, 0\nff1 a0, t0\n").exit_code == 64
+        assert run("li t0, -1\nff0 a0, t0\n").exit_code == 64
+        assert run("li t0, 0\nff0 a0, t0\n").exit_code == 0
+
+    def test_rev(self, run):
+        code = """
+        li t0, 0x0102030405060708
+        rev t1, t0
+        li t2, 0x0807060504030201
+        xor a0, t1, t2
+        seqz a0, a0
+        """
+        assert run(code).exit_code == 1
+
+    def test_srri_rotate(self, run):
+        code = """
+        li t0, 0x8000000000000001
+        srri t1, t0, 1
+        li t2, 0xC000000000000000
+        xor a0, t1, t2
+        seqz a0, a0
+        """
+        assert run(code).exit_code == 1
+
+    def test_tstnbz(self, run):
+        code = """
+        li t0, 0x00FF00FF00FF00FF
+        tstnbz t1, t0            # 0xFF00FF00FF00FF00
+        li t2, 0xFF00FF00FF00FF00
+        xor a0, t1, t2
+        seqz a0, a0
+        """
+        assert run(code).exit_code == 1
+
+    def test_mula(self, run):
+        assert run("li a0, 10\nli t0, 6\nli t1, 7\nmula a0, t0, t1\n"
+                   ).exit_code == 52
+
+    def test_muls(self, run):
+        assert run("li a0, 50\nli t0, 6\nli t1, 7\nmuls a0, t0, t1\n"
+                   ).exit_code == 8
+
+    def test_mulah_halfword(self, run):
+        code = """
+        li a0, 100
+        li t0, 0xFFFF         # -1 as int16
+        li t1, 3
+        mulah a0, t0, t1      # 100 + (-1 * 3) = 97
+        """
+        assert run(code).exit_code == 97
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_add_matches_python(a, b):
+    emu = run_asm(f"li t0, {a}\nli t1, {b}\nadd t2, t0, t1\n"
+                  "li a0, 0\nsd t2, -8(sp)\n")
+    from repro.sim.state import to_signed
+
+    value = emu.state.memory.load_int(emu.state.regs[2] - 8, 8, signed=True)
+    assert value == a + b
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(1, 2**32 - 1))
+def test_divu_matches_python(a, b):
+    emu = run_asm(f"li t0, {a}\nli t1, {b}\ndivu t2, t0, t1\n"
+                  "li a0, 0\nsd t2, -8(sp)\n")
+    value = emu.state.memory.load_int(emu.state.regs[2] - 8, 8)
+    assert value == a // b

@@ -1,0 +1,145 @@
+"""MOSEI coherence protocol tests (paper section VI)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import LineState
+from repro.smp import CoherenceConfig, CoherentCluster
+
+
+def make_cluster(**kw):
+    defaults = dict(cores=4, l1_size=4096, l1_assoc=2, l2_size=65536,
+                    l2_assoc=4)
+    defaults.update(kw)
+    return CoherentCluster(CoherenceConfig(**defaults))
+
+
+class TestStateTransitions:
+    def test_read_miss_installs_exclusive(self):
+        c = make_cluster()
+        c.access(0, 0x1000, is_write=False)
+        assert c.state_of(0, 0x1000) is LineState.EXCLUSIVE
+
+    def test_second_reader_shares(self):
+        c = make_cluster()
+        c.access(0, 0x1000, False)
+        c.access(1, 0x1000, False)
+        assert c.state_of(0, 0x1000) is LineState.SHARED
+        assert c.state_of(1, 0x1000) is LineState.SHARED
+
+    def test_write_installs_modified(self):
+        c = make_cluster()
+        c.access(0, 0x1000, True)
+        assert c.state_of(0, 0x1000) is LineState.MODIFIED
+
+    def test_write_invalidates_other_copies(self):
+        c = make_cluster()
+        c.access(0, 0x1000, False)
+        c.access(1, 0x1000, False)
+        c.access(2, 0x1000, True)
+        assert c.state_of(2, 0x1000) is LineState.MODIFIED
+        assert c.state_of(0, 0x1000) is LineState.INVALID
+        assert c.state_of(1, 0x1000) is LineState.INVALID
+        assert c.stats.invalidations == 2
+
+    def test_reader_downgrades_modified_owner_to_owned(self):
+        c = make_cluster()
+        c.access(0, 0x1000, True)
+        c.access(1, 0x1000, False)
+        assert c.state_of(0, 0x1000) is LineState.OWNED
+        assert c.state_of(1, 0x1000) is LineState.SHARED
+        assert c.stats.cache_to_cache == 1
+
+    def test_upgrade_on_write_hit_to_shared(self):
+        c = make_cluster()
+        c.access(0, 0x1000, False)
+        c.access(1, 0x1000, False)
+        c.access(0, 0x1000, True)   # write hit on S: upgrade
+        assert c.state_of(0, 0x1000) is LineState.MODIFIED
+        assert c.state_of(1, 0x1000) is LineState.INVALID
+        assert c.stats.upgrades == 1
+
+    def test_exclusive_downgrades_to_shared(self):
+        c = make_cluster()
+        c.access(0, 0x1000, False)   # E
+        c.access(1, 0x1000, False)
+        assert c.state_of(0, 0x1000) is LineState.SHARED
+
+
+class TestLatencies:
+    def test_local_hit_is_cheapest(self):
+        c = make_cluster()
+        c.access(0, 0x1000, False)
+        assert c.access(0, 0x1008, False) == c.config.l1_latency
+
+    def test_remote_dirty_costs_snoop(self):
+        c = make_cluster()
+        c.access(0, 0x1000, True)
+        miss_latency = c.access(1, 0x1000, False)
+        c2 = make_cluster()
+        c2.access(0, 0x1000, False)
+        c2.access(1, 0x2000, False)   # unshared: plain L2/DRAM path
+        assert miss_latency >= c.config.snoop_latency
+
+    def test_dram_fill_expensive(self):
+        c = make_cluster()
+        latency = c.access(0, 0x1000, False)
+        assert latency > 200
+
+
+class TestSnoopFilter:
+    def test_filter_limits_snoops_to_sharers(self):
+        with_filter = make_cluster(snoop_filter=True)
+        without = make_cluster(snoop_filter=False)
+        for c in (with_filter, without):
+            # Disjoint per-core working sets: no actual sharing.
+            for core in range(4):
+                for i in range(16):
+                    c.access(core, 0x10000 * (core + 1) + i * 64, False)
+        assert with_filter.stats.snoops_sent == 0
+        assert without.stats.snoops_sent > 0
+
+    def test_filter_still_finds_real_sharers(self):
+        c = make_cluster(snoop_filter=True)
+        c.access(0, 0x1000, True)
+        c.access(1, 0x1000, False)
+        assert c.stats.snoops_sent >= 1
+        assert c.state_of(1, 0x1000) is LineState.SHARED
+
+
+class TestInclusion:
+    def test_l2_eviction_back_invalidates(self):
+        # L2 with 4 ways and few sets: force an eviction of a line a
+        # core still holds.
+        c = make_cluster(l2_size=4096, l2_assoc=1)  # 64 sets
+        c.access(0, 0x0, False)
+        # Same L2 set: line 0 and line 64*64.
+        c.access(1, 64 * 64, False)
+        assert c.state_of(0, 0x0) is LineState.INVALID
+        assert c.stats.back_invalidations == 1
+
+    def test_invariants_hold(self):
+        c = make_cluster()
+        for i in range(64):
+            c.access(i % 4, 0x1000 + (i % 8) * 64, i % 3 == 0)
+        c.check_invariants()
+
+
+class TestConfig:
+    def test_cluster_size_limits(self):
+        with pytest.raises(ValueError):
+            make_cluster(cores=5)
+        with pytest.raises(ValueError):
+            make_cluster(cores=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 63),
+                          st.booleans()), min_size=1, max_size=300))
+def test_invariants_under_random_traffic(ops):
+    """Single-writer + inclusion hold under arbitrary access interleaving."""
+    c = CoherentCluster(CoherenceConfig(
+        cores=4, l1_size=2048, l1_assoc=2, l2_size=16384, l2_assoc=4))
+    for core, line, is_write in ops:
+        c.access(core, line * 64, is_write)
+    c.check_invariants()

@@ -1,0 +1,104 @@
+"""Multi-core timing tests: scaling, sharing costs."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.smp.timing import run_smp_timing
+
+
+def parallel_work(n_per_hart: int = 2000) -> str:
+    """Embarrassingly parallel per-hart compute on private regions."""
+    return f"""
+    .text
+_start:
+    csrr s0, mhartid
+    li t0, 0x100000
+    slli t1, s0, 16          # 64 KiB private region per hart
+    add s1, t0, t1
+    li s2, {n_per_hart}
+loop:
+    andi t2, s2, 0x3FF
+    slli t3, t2, 3
+    add t3, s1, t3
+    ld t4, 0(t3)
+    addi t4, t4, 1
+    sd t4, 0(t3)
+    addi s2, s2, -1
+    bnez s2, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+SHARED_COUNTER = """
+    .data
+    .align 3
+counter: .dword 0
+    .text
+_start:
+    la s1, counter
+    li s2, 300
+loop:
+    li t0, 1
+    amoadd.d x0, t0, (s1)
+    addi s2, s2, -1
+    bnez s2, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+class TestScaling:
+    def test_parallel_speedup(self):
+        program = assemble(parallel_work(), compress=True)
+        single = run_smp_timing(program, cores=1)
+        quad = run_smp_timing(program, cores=4)
+        assert all(code == 0 for code in quad.exit_codes)
+        # Same per-hart work: the quad makespan stays close to the
+        # single-core time (mild contention), i.e. ~4x the throughput.
+        assert quad.makespan < single.makespan * 1.5
+        assert quad.total_instructions \
+            == 4 * single.total_instructions
+
+    def test_two_core_intermediate(self):
+        program = assemble(parallel_work(1000), compress=True)
+        one = run_smp_timing(program, cores=1)
+        two = run_smp_timing(program, cores=2)
+        assert two.makespan < one.makespan * 1.5
+
+
+class TestSharing:
+    def test_shared_counter_invalidations(self):
+        program = assemble(SHARED_COUNTER, compress=True)
+        result = run_smp_timing(program, cores=4)
+        assert all(code == 0 for code in result.exit_codes)
+        # Every hart's AMO bounces the counter line around (the chunked
+        # clock interleaving coalesces some of the ping-pong).
+        assert result.coherence.sharing_invalidations > 50
+
+    def test_private_work_no_sharing(self):
+        program = assemble(parallel_work(500), compress=True)
+        result = run_smp_timing(program, cores=4)
+        assert result.coherence.sharing_invalidations == 0
+
+    def test_sharing_costs_cycles(self):
+        shared = run_smp_timing(assemble(SHARED_COUNTER, compress=True),
+                                cores=4)
+        assert shared.coherence.snoop_stall_cycles > 0
+
+
+class TestResultShape:
+    def test_speedup_helper(self):
+        program = assemble(parallel_work(500), compress=True)
+        result = run_smp_timing(program, cores=2)
+        assert result.speedup_vs(result.makespan * 2) == pytest.approx(2.0)
+
+    def test_per_core_stats_populated(self):
+        program = assemble(parallel_work(500), compress=True)
+        result = run_smp_timing(program, cores=2)
+        assert len(result.per_core) == 2
+        for stats in result.per_core:
+            assert stats.instructions > 0
+            assert stats.cycles > 0

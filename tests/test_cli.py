@@ -1,0 +1,61 @@
+"""CLI tests: python -m repro <subcommand>."""
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+_start:
+    li t0, 10
+    li t1, 0
+loop:
+    add t1, t1, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCli:
+    def test_run_emulate(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "exit 0" in out
+
+    def test_run_timed(self, program_file, capsys):
+        assert main(["run", program_file, "--core", "xt910",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "cycles" in out
+
+    def test_disasm(self, program_file, capsys):
+        assert main(["disasm", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "addi" in out and "ecall" in out
+
+    def test_profile(self, program_file, capsys):
+        assert main(["profile", program_file, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest" in out
+
+    def test_compare(self, program_file, capsys):
+        assert main(["compare", program_file, "--cores", "xt910",
+                     "u54"]) == 0
+        out = capsys.readouterr().out
+        assert "xt910" in out and "u54" in out
+
+    def test_no_compress_flag(self, program_file, capsys):
+        assert main(["run", program_file, "--no-compress"]) == 0
+
+    def test_bad_core_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["run", program_file, "--core", "pentium"])

@@ -1,0 +1,25 @@
+"""Every example must run to completion (examples are documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+# prefetch_tuning sweeps many configurations; keep it out of the quick
+# test run (it is exercised via the fig21 benchmarks anyway).
+_SLOW = {"prefetch_tuning.py"}
+
+
+@pytest.mark.parametrize(
+    "example", [e for e in EXAMPLES if e.name not in _SLOW],
+    ids=lambda e: e.name)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)], capture_output=True, text=True,
+        timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

@@ -1,0 +1,173 @@
+"""Unit tests for the branch prediction stack (sections III.A, III.B)."""
+
+from repro.uarch import (
+    BtbConfig,
+    BtbLevel,
+    CascadedBtb,
+    DirectionConfig,
+    HybridDirectionPredictor,
+    IndirectPredictor,
+    ReturnAddressStack,
+)
+
+
+class TestDirectionPredictor:
+    def test_learns_always_taken(self):
+        p = HybridDirectionPredictor()
+        for _ in range(20):
+            p.update(0x1000, True)
+        assert p.predict(0x1000) is True
+        assert p.stats.accuracy > 0.8
+
+    def test_learns_always_not_taken(self):
+        p = HybridDirectionPredictor()
+        for _ in range(20):
+            p.update(0x1000, False)
+        assert p.predict(0x1000) is False
+
+    def test_gshare_learns_alternating_pattern(self):
+        # Bimodal alone cannot predict T,N,T,N...; gshare with history can.
+        p = HybridDirectionPredictor()
+        mispredicts_late = 0
+        for i in range(400):
+            taken = bool(i % 2)
+            wrong = p.update(0x2000, taken)
+            if i >= 200:
+                mispredicts_late += wrong
+        assert mispredicts_late <= 10
+
+    def test_loop_exit_pattern(self):
+        # Taken 15x then not-taken once: accuracy should approach 15/16.
+        p = HybridDirectionPredictor()
+        wrong = 0
+        total = 0
+        for i in range(1600):
+            taken = (i % 16) != 15
+            w = p.update(0x3000, taken)
+            if i >= 800:
+                wrong += w
+                total += 1
+        assert wrong / total < 0.10
+
+    def test_independent_branches_do_not_destroy_each_other(self):
+        p = HybridDirectionPredictor()
+        wrong = 0
+        for i in range(200):
+            a = p.update(0x1000, True)
+            b = p.update(0x2000, False)
+            if i >= 50:
+                wrong += a + b
+        assert wrong <= 6  # both biased branches learned despite aliasing
+
+    def test_two_level_buffer_flag(self):
+        with_buf = HybridDirectionPredictor(DirectionConfig(
+            two_level_buffers=True))
+        without = HybridDirectionPredictor(DirectionConfig(
+            two_level_buffers=False))
+        assert with_buf.consecutive_ok
+        assert not without.consecutive_ok
+
+    def test_stats_counting(self):
+        p = HybridDirectionPredictor()
+        for _ in range(10):
+            p.update(0x1000, True)
+        assert p.stats.predictions == 10
+
+
+class TestCascadedBtb:
+    def test_miss_then_hits(self):
+        btb = CascadedBtb()
+        level, target = btb.predict(0x1000)
+        assert level is BtbLevel.MISS and target is None
+        btb.update(0x1000, 0x2000, target)
+        level, target = btb.predict(0x1000)
+        assert target == 0x2000
+        assert level in (BtbLevel.L0, BtbLevel.L1)
+
+    def test_l0_capacity_16(self):
+        btb = CascadedBtb(BtbConfig(l0_entries=16))
+        for i in range(32):
+            pc = 0x1000 + i * 8
+            btb.update(pc, pc + 0x100, None)
+        # Oldest entries fell out of L0 but stay in L1.
+        level, target = btb.predict(0x1000)
+        assert level is BtbLevel.L1
+        assert target == 0x1100
+        # Newest are still L0.
+        level, _ = btb.predict(0x1000 + 31 * 8)
+        assert level is BtbLevel.L0
+
+    def test_target_mispredict_detected(self):
+        btb = CascadedBtb()
+        btb.update(0x1000, 0x2000, None)
+        _, predicted = btb.predict(0x1000)
+        assert btb.update(0x1000, 0x3000, predicted)  # target changed
+        assert btb.stats.target_mispredicts == 1
+        _, new_target = btb.predict(0x1000)
+        assert new_target == 0x3000
+
+    def test_l1_set_conflict_eviction(self):
+        btb = CascadedBtb(BtbConfig(l0_entries=2, l1_entries=8, l1_ways=2))
+        # All four pcs map to L1 set 0 (2 ways): the two oldest are
+        # evicted from both L1 and the 2-entry L0.
+        pcs = [0x1000 + i * 8 for i in range(4)]
+        for pc in pcs:
+            btb.update(pc, pc + 0x40, None)
+        for pc in pcs:
+            btb.predict(pc)
+        assert btb.stats.misses == 2
+        assert btb.stats.l0_hits == 2
+
+
+class TestRas:
+    def test_push_pop_nests(self):
+        ras = ReturnAddressStack(16)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.predict_pop() == 0x200
+        assert ras.predict_pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(4)
+        assert ras.predict_pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.stats.overflows == 1
+        assert ras.predict_pop() == 3
+        assert ras.predict_pop() == 2
+        assert ras.predict_pop() is None
+
+    def test_check_counts_mispredicts(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        predicted = ras.predict_pop()
+        assert not ras.check(predicted, 0x100)
+        assert ras.check(0x300, 0x100)
+        assert ras.stats.mispredicts == 1
+
+
+class TestIndirectPredictor:
+    def test_learns_stable_target(self):
+        p = IndirectPredictor()
+        wrong = 0
+        for i in range(100):
+            w = p.update(0x1000, 0x5000)
+            if i >= 80:
+                wrong += w
+        assert wrong == 0
+
+    def test_history_distinguishes_contexts(self):
+        # A switch dispatch alternating between two targets in a fixed
+        # global pattern becomes predictable through path history.
+        p = IndirectPredictor(entries=1024, history_bits=4)
+        wrong = 0
+        for i in range(400):
+            target = 0x5000 if (i % 2) else 0x6000
+            w = p.update(0x1000, target)
+            if i > 100:
+                wrong += w
+        assert wrong < 40

@@ -1,0 +1,102 @@
+"""Loop buffer unit tests (section III.C)."""
+
+from repro.uarch import LoopBuffer, LoopBufferConfig
+
+
+def spin(lbuf, pc=0x1040, target=0x1000, body=8, times=5):
+    for _ in range(times):
+        lbuf.observe_branch(pc, target, True, body)
+
+
+class TestCapture:
+    def test_small_loop_captured(self):
+        lbuf = LoopBuffer()
+        spin(lbuf, times=3)
+        assert lbuf.active
+        assert lbuf.stats.captures == 1
+
+    def test_single_iteration_not_captured(self):
+        lbuf = LoopBuffer()
+        spin(lbuf, times=1)
+        assert not lbuf.active
+
+    def test_big_body_rejected(self):
+        lbuf = LoopBuffer(LoopBufferConfig(entries=16))
+        spin(lbuf, body=40, times=5)
+        assert not lbuf.active
+
+    def test_exact_capacity_accepted(self):
+        lbuf = LoopBuffer(LoopBufferConfig(entries=16))
+        spin(lbuf, body=16, times=5)
+        assert lbuf.active
+
+    def test_forward_branch_does_not_capture(self):
+        lbuf = LoopBuffer()
+        for _ in range(5):
+            lbuf.observe_branch(0x1000, 0x1040, True, 8)  # forward
+        assert not lbuf.active
+
+    def test_disabled_never_captures(self):
+        lbuf = LoopBuffer(LoopBufferConfig(enabled=False))
+        spin(lbuf, times=10)
+        assert not lbuf.active
+
+
+class TestCoverage:
+    def test_covers_body_range(self):
+        lbuf = LoopBuffer()
+        spin(lbuf)
+        assert lbuf.covers(0x1000)
+        assert lbuf.covers(0x1020)
+        assert lbuf.covers(0x1040)
+        assert not lbuf.covers(0x1044)
+        assert not lbuf.covers(0x0FFC)
+
+    def test_inactive_covers_nothing(self):
+        lbuf = LoopBuffer()
+        assert not lbuf.covers(0x1000)
+
+
+class TestExit:
+    def test_fallthrough_exits(self):
+        lbuf = LoopBuffer()
+        spin(lbuf)
+        lbuf.observe_branch(0x1040, 0x1000, False, 8)  # loop exit
+        assert not lbuf.active
+        assert lbuf.stats.exits == 1
+
+    def test_other_backward_branch_exits(self):
+        lbuf = LoopBuffer()
+        spin(lbuf)
+        lbuf.observe_branch(0x1030, 0x1008, True, 4)  # inner backward jump
+        assert not lbuf.active
+
+    def test_forward_branch_inside_body_ok(self):
+        # if/else inside the loop body must not break LBUF streaming.
+        lbuf = LoopBuffer()
+        spin(lbuf)
+        lbuf.observe_branch(0x1010, 0x1020, True, 8)  # forward skip
+        assert lbuf.active
+
+    def test_recapture_after_exit(self):
+        lbuf = LoopBuffer()
+        spin(lbuf)
+        lbuf.observe_branch(0x1040, 0x1000, False, 8)
+        spin(lbuf)
+        assert lbuf.active
+        assert lbuf.stats.captures == 2
+
+
+class TestFlush:
+    def test_context_switch_flushes(self):
+        lbuf = LoopBuffer()
+        spin(lbuf)
+        lbuf.flush()
+        assert not lbuf.active
+        assert lbuf.stats.flushes == 1
+
+    def test_supply_counting(self):
+        lbuf = LoopBuffer()
+        spin(lbuf)
+        lbuf.supply(3)
+        assert lbuf.stats.supplied_insts == 3

@@ -1,0 +1,345 @@
+"""Pipeline-model behaviour tests: run tiny kernels, check the timing
+model responds to microarchitecture features the way the paper says."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.harness.runner import run_on_core
+from repro.uarch.presets import get_preset
+from dataclasses import replace
+
+
+EXIT = "\nli a0, 0\nli a7, 93\necall\n"
+
+
+def run(src: str, core="xt910", **preset_kw):
+    config = get_preset(core, **preset_kw) if isinstance(core, str) else core
+    return run_on_core(assemble(src + EXIT, compress=True), config)
+
+
+LOOP_SUM = """
+_start:
+    li t0, 2000
+    li t1, 0
+loop:
+    add t1, t1, t0
+    addi t0, t0, -1
+    bnez t0, loop
+"""
+
+INDEPENDENT_ALU = """
+_start:
+    li s0, 500
+outer:
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi t2, t2, 1
+    addi t3, t3, 1
+    addi t4, t4, 1
+    addi t5, t5, 1
+    addi s0, s0, -1
+    bnez s0, outer
+"""
+
+
+class TestBasicTiming:
+    def test_ipc_bounded_by_decode_width(self):
+        r = run(INDEPENDENT_ALU)
+        assert r.ipc <= 3.05
+
+    def test_superscalar_beats_scalar(self):
+        wide = run(INDEPENDENT_ALU, "xt910")
+        narrow = run(INDEPENDENT_ALU, "u54")
+        assert wide.cycles < narrow.cycles
+
+    def test_ooo_beats_inorder_on_dependent_loads(self):
+        src = """
+        .data
+        arr: .zero 512
+        .text
+        _start:
+            li s0, 300
+            la s1, arr
+        outer:
+            lw t0, 0(s1)     # load feeds a long chain
+            mul t1, t0, t0
+            add t2, t2, t1
+            lw t3, 64(s1)    # independent work an OoO core overlaps
+            lw t4, 128(s1)
+            lw t5, 192(s1)
+            add t6, t3, t4
+            add t6, t6, t5
+            addi s0, s0, -1
+            bnez s0, outer
+        """
+        ooo = run(src, "xt910")
+        ino = run(src, "u74")
+        assert ooo.ipc > ino.ipc * 1.3
+
+    def test_deterministic(self):
+        a = run(LOOP_SUM)
+        b = run(LOOP_SUM)
+        assert a.cycles == b.cycles
+
+
+class TestBranchHandling:
+    def test_predictable_loop_low_mispredicts(self):
+        r = run(LOOP_SUM)
+        assert r.stats.branch_mispredict_rate < 0.01
+
+    def test_random_branches_mispredict(self):
+        # Data-dependent unpredictable branch: LCG parity decides.
+        src = """
+        _start:
+            li s0, 1000
+            li s1, 12345
+            li s2, 1103515245
+            li s3, 12345
+        loop:
+            mul s1, s1, s2
+            add s1, s1, s3
+            srli t0, s1, 16
+            andi t0, t0, 1
+            beqz t0, skip
+            addi t1, t1, 1
+        skip:
+            addi s0, s0, -1
+            bnez s0, loop
+        """
+        r = run(src)
+        assert r.stats.direction_mispredicts > 100
+
+    def test_mispredicts_cost_cycles(self):
+        # Same loop body with a predictable vs LCG-random condition.
+        template = """
+        _start:
+            li s0, 2000
+            li s1, 12345
+            li s2, 1103515245
+        loop:
+            mul s1, s1, s2
+            addi s1, s1, 1013
+            srli t0, s1, {shift}
+            andi t0, t0, 1
+            beqz t0, skip
+            addi t1, t1, 1
+        skip:
+            addi s0, s0, -1
+            bnez s0, loop
+        """
+        random_r = run(template.format(shift=16))
+        # bit 0 of the LCG state follows a short deterministic pattern
+        # the gshare history captures, so shift=0 is predictable.
+        predictable_r = run(template.format(shift=0))
+        assert random_r.stats.direction_mispredicts \
+            > predictable_r.stats.direction_mispredicts + 100
+        assert random_r.cycles > predictable_r.cycles
+
+    def test_function_calls_use_ras(self):
+        src = """
+        _start:
+            li s0, 200
+        loop:
+            call leaf
+            addi s0, s0, -1
+            bnez s0, loop
+            j done
+        leaf:
+            addi t0, t0, 1
+            ret
+        done:
+        """
+        r = run(src)
+        assert r.stats.ras_mispredicts <= 2
+
+    def test_mispredict_penalty_scales_with_depth(self):
+        src = """
+        _start:
+            li s0, 1000
+            li s1, 12345
+        loop:
+            mul s1, s1, s1
+            addi s1, s1, 7
+            andi t0, s1, 1
+            beqz t0, skip
+            addi t1, t1, 1
+        skip:
+            addi s0, s0, -1
+            bnez s0, loop
+        """
+        deep = get_preset("xt910")
+        shallow = replace(deep, frontend=replace(deep.frontend, depth=3,
+                                                 mispredict_extra=0))
+        r_deep = run(src, deep)
+        r_shallow = run(src, shallow)
+        assert r_deep.cycles >= r_shallow.cycles
+
+
+class TestLoopBufferEffect:
+    def test_lbuf_supplies_small_loops(self):
+        r = run(LOOP_SUM)
+        assert r.stats.lbuf_supplied > 3000  # most of the loop body
+
+    def test_lbuf_off_is_slower_or_equal(self):
+        base = get_preset("xt910")
+        no_lbuf = replace(base, frontend=replace(
+            base.frontend,
+            loop_buffer=replace(base.frontend.loop_buffer, enabled=False)))
+        with_l = run(LOOP_SUM, base)
+        without = run(LOOP_SUM, no_lbuf)
+        assert without.stats.lbuf_supplied == 0
+        # The LBUF never hurts (+-1 cycle of edge effects); its I$-access
+        # elimination shows up in the fetch counters.
+        assert with_l.cycles <= without.cycles + 2
+        assert with_l.pipeline.hier.stats.inst_fetches \
+            < without.pipeline.hier.stats.inst_fetches
+
+
+class TestLsuBehaviour:
+    def test_store_to_load_forwarding(self):
+        src = """
+        .data
+        buf: .zero 64
+        .text
+        _start:
+            la s1, buf
+            li s0, 500
+        loop:
+            sd t0, 0(s1)
+            ld t1, 0(s1)     # same address: must forward
+            addi t0, t0, 1
+            addi s0, s0, -1
+            bnez s0, loop
+        """
+        r = run(src)
+        assert r.stats.lsu_forwards > 400
+
+    def test_dual_issue_lsu_helps_mixed_streams(self):
+        src = """
+        .data
+        a: .zero 4096
+        b: .zero 4096
+        .text
+        _start:
+            la s1, a
+            la s2, b
+            li s0, 400
+        loop:
+            ld t0, 0(s1)
+            sd t1, 0(s2)
+            ld t2, 8(s1)
+            sd t3, 8(s2)
+            addi s1, s1, 16
+            addi s2, s2, 16
+            addi s0, s0, -1
+            bnez s0, loop
+        """
+        base = get_preset("xt910")
+        single = replace(base, lsu=replace(base.lsu, dual_issue=False))
+        dual_r = run(src, base)
+        single_r = run(src, single)
+        assert dual_r.cycles < single_r.cycles
+
+    def test_pseudo_double_store_decouples_data(self):
+        # Store data arrives late (long mul chain); with the st.addr /
+        # st.data split the address side proceeds early so the
+        # following load can disambiguate without waiting.
+        src = """
+        .data
+        buf: .zero 4096
+        .text
+        _start:
+            la s1, buf
+            li s0, 300
+            li s3, 3
+        loop:
+            mul t0, s0, s3
+            mul t0, t0, s3
+            sd t0, 0(s1)      # data is late, address is early
+            ld t1, 8(s1)      # different address: independent
+            add t2, t2, t1
+            addi s1, s1, 16
+            addi s0, s0, -1
+            bnez s0, loop
+        """
+        base = get_preset("xt910")
+        fused = replace(base, lsu=replace(base.lsu,
+                                          pseudo_dual_store=False))
+        split_r = run(src, base)
+        fused_r = run(src, fused)
+        assert split_r.cycles <= fused_r.cycles
+
+    def test_vector_load_touches_memory_like_scalar(self):
+        src = """
+        .data
+        arr: .zero 8192
+        .text
+        _start:
+            la s1, arr
+            li s0, 64
+            li t0, 4
+        loop:
+            vsetvli t1, t0, e32, m1
+            vle32.v v1, (s1)
+            vadd.vi v1, v1, 1
+            vse32.v v1, (s1)
+            addi s1, s1, 16
+            addi s0, s0, -1
+            bnez s0, loop
+        """
+        r = run(src)
+        assert r.stats.vector_instructions > 150
+        assert r.exit_code == 0
+
+
+class TestStructural:
+    def test_div_serializes_on_one_pipe(self):
+        div_src = """
+        _start:
+            li s0, 200
+            li t1, 97
+            li t2, 7
+        loop:
+            div t3, t1, t2
+            div t4, t1, t2
+            addi s0, s0, -1
+            bnez s0, loop
+        """
+        add_src = div_src.replace("div ", "add ")
+        div_r = run(div_src)
+        add_r = run(add_src)
+        assert div_r.cycles > add_r.cycles * 2
+
+    def test_rob_limits_runahead(self):
+        # A DRAM-missing load at the head with a tiny ROB throttles
+        # everything behind it.
+        src = """
+        .data
+        arr: .zero 65536
+        .text
+        _start:
+            li s0, 100
+            la s1, arr
+        loop:
+            ld t0, 0(s1)
+            addi t1, t1, 1
+            addi t2, t2, 1
+            addi t3, t3, 1
+            addi t4, t4, 1
+            addi s1, s1, 1024   # new line+page: misses
+            addi s0, s0, -1
+            bnez s0, loop
+        """
+        base = get_preset("xt910")
+        tiny = replace(base, rob_entries=8)
+        big_r = run(src, base)
+        tiny_r = run(src, tiny)
+        assert tiny_r.cycles >= big_r.cycles
+
+    def test_stats_consistency(self):
+        r = run(LOOP_SUM)
+        s = r.stats
+        assert s.instructions > 0
+        assert s.cycles > 0
+        assert s.uops >= s.instructions
+        assert 0 < s.ipc <= 8

@@ -1,0 +1,133 @@
+"""Vector-slice timing tests (section VII)."""
+
+from dataclasses import replace
+
+from repro.asm import assemble
+from repro.harness.runner import run_on_core
+from repro.uarch.presets import get_preset
+
+EXIT = "\nli a0, 0\nli a7, 93\necall\n"
+
+
+def run(src, config="xt910"):
+    cfg = get_preset(config) if isinstance(config, str) else config
+    return run_on_core(assemble(src + EXIT, compress=True), cfg)
+
+
+VEC_LOOP = """
+    .data
+a: .zero 2048
+    .text
+_start:
+    la s0, a
+    li s1, 32
+loop:
+    li t0, 8
+    vsetvli t0, t0, e16, m1
+    vle16.v v1, (s0)
+    vadd.vv v2, v1, v1
+    vse16.v v2, (s0)
+    addi s0, s0, 16
+    addi s1, s1, -1
+    bnez s1, loop
+"""
+
+
+class TestVectorTiming:
+    def test_vector_instructions_counted(self):
+        result = run(VEC_LOOP)
+        assert result.stats.vector_instructions >= 32 * 4
+
+    def test_beats_scale_with_vl(self):
+        # The slice datapath produces 256 result bits per cycle: an
+        # e16/m4 op over 32 elements (512 bits) needs 2 beats, while
+        # the m1 version fits in one.
+        narrow = run(VEC_LOOP)
+        wide = run(VEC_LOOP.replace("li t0, 8", "li t0, 32")
+                   .replace("e16, m1", "e16, m4")
+                   .replace("addi s0, s0, 16", "addi s0, s0, 64")
+                   .replace("li s1, 32", "li s1, 8"))
+        wide_alu_beats = wide.stats.vector_beats
+        assert wide_alu_beats == 2 * 8  # 2 beats x 8 vadd ops
+        assert narrow.stats.vector_beats == 32  # 1 beat x 32 vadd ops
+
+    def test_two_slices_beat_one(self):
+        base = get_preset("xt910")
+        one_slice = replace(base, fu=replace(base.fu, vec_slices=1))
+        # Independent vector ops saturate the slice pipes.
+        src = """
+    .data
+a: .zero 4096
+    .text
+_start:
+    la s0, a
+    li s1, 64
+loop:
+    li t0, 8
+    vsetvli t0, t0, e16, m1
+    vle16.v v1, (s0)
+    vadd.vv v2, v1, v1
+    vadd.vv v3, v1, v1
+    vadd.vv v4, v2, v2
+    vadd.vv v5, v3, v3
+    vse16.v v4, (s0)
+    addi s0, s0, 16
+    addi s1, s1, -1
+    bnez s1, loop
+"""
+        two = run(src, base)
+        one = run(src, one_slice)
+        assert two.cycles < one.cycles
+
+    def test_vector_divide_is_slow(self):
+        div_src = VEC_LOOP.replace("vadd.vv v2, v1, v1",
+                                   "vdiv.vv v2, v1, v1")
+        add = run(VEC_LOOP)
+        div = run(div_src)
+        assert div.cycles > add.cycles
+
+    def test_novec_core_still_runs_scalar(self):
+        scalar = """
+_start:
+    li t0, 100
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+"""
+        result = run(scalar, "xt910-novec")
+        assert result.exit_code == 0
+
+
+class TestPresetSanity:
+    def test_all_presets_instantiate(self):
+        from repro.uarch.presets import PRESETS
+
+        for name, factory in PRESETS.items():
+            config = factory()
+            assert config.name == name
+            assert config.decode_width >= 1
+            assert config.mem.l1d_size > 0
+
+    def test_xt910_matches_paper_parameters(self):
+        cfg = get_preset("xt910")
+        assert cfg.decode_width == 3           # "decode 3 instructions"
+        assert cfg.rename_width == 4           # "rename up to 4"
+        assert cfg.issue_width == 8            # "issue up to 8"
+        assert cfg.rob_entries == 192          # "ROB can hold 192"
+        assert cfg.fu.alu_count == 2           # "two single-cycle ALUs"
+        assert cfg.fu.bju_count == 1           # "one branch jump unit"
+        assert cfg.fu.fpu_count == 2           # "two scalar FPUs"
+        assert cfg.fu.vec_slices == 2          # "two vector slices"
+        assert cfg.lsu.dual_issue              # "dual-issue OoO LSU"
+        assert cfg.lsu.pseudo_dual_store       # "pseudo double store"
+        assert cfg.frontend.loop_buffer.entries == 16
+        assert cfg.frontend.btb.l0_entries == 16
+        assert cfg.frontend.btb.l1_entries >= 1024
+        assert cfg.vlen == 128                 # recommended VLEN/SLEN
+
+    def test_inorder_cores_flagged(self):
+        for name in ("u74", "u54", "cortex-a55", "cortex-a53", "swerv",
+                     "rocket"):
+            assert not get_preset(name).out_of_order, name
+        for name in ("xt910", "cortex-a73"):
+            assert get_preset(name).out_of_order, name

@@ -1,0 +1,68 @@
+"""Every workload's checksum must match its Python reference model."""
+
+import pytest
+
+from repro.workloads import all_workloads
+from repro.workloads.blockchain import blockchain_kernel
+from repro.workloads.stream import stream_kernel
+from repro.workloads.vector import scalar_mac16, vec_mac16
+
+ALL = all_workloads()
+
+
+@pytest.mark.parametrize("workload", ALL, ids=[w.name for w in ALL])
+def test_checksum_matches_reference(workload):
+    workload.verify()
+
+
+def test_suites_are_complete():
+    names = {w.name for w in ALL}
+    assert sum(n.startswith("coremark-") for n in names) == 4
+    assert sum(n.startswith("eembc-") for n in names) == 9
+    assert sum(n.startswith("nbench-") for n in names) == 7
+    assert sum(n.startswith("stream-") for n in names) == 4
+
+
+def test_blockchain_variants_agree():
+    """Base-ISA and XT-extension builds compute the same hash."""
+    base = blockchain_kernel(xt=False, blocks=3)
+    xt = blockchain_kernel(xt=True, blocks=3)
+    assert base.run_functional()[1] == xt.run_functional()[1]
+
+
+def test_xt_variant_uses_fewer_instructions():
+    """The srriw rotates shrink the dynamic instruction count."""
+    from repro.sim import Emulator
+
+    counts = {}
+    for xt in (False, True):
+        emu = Emulator(blockchain_kernel(xt=xt, blocks=3).program())
+        emu.run()
+        counts[xt] = emu.state.instret
+    assert counts[True] < counts[False] * 0.8
+
+
+def test_vector_mac_beats_scalar_instruction_count():
+    """16 16-bit MACs per vector instruction vs 1 per scalar mulah."""
+    from repro.sim import Emulator
+
+    vec = Emulator(vec_mac16(n=256, unroll_passes=2).program())
+    vec.run()
+    scalar = Emulator(scalar_mac16(n=256, unroll_passes=2).program())
+    scalar.run()
+    assert vec.state.instret < scalar.state.instret / 4
+
+
+def test_stream_kernel_validation():
+    with pytest.raises(ValueError):
+        stream_kernel("bogus")
+
+
+def test_strlen_xt_beats_base():
+    """Section VIII.B: tstnbz/ff1 accelerate string scanning."""
+    from repro.harness.runner import run_on_core
+    from repro.workloads.stringops import strlen_base, strlen_xt
+
+    base = run_on_core(strlen_base().program(), "xt910")
+    xt = run_on_core(strlen_xt().program(), "xt910")
+    assert xt.cycles < base.cycles / 2
