@@ -1,0 +1,12 @@
+"""RAS: seeded fault-injection coverage on the CoreMark-like kernel."""
+
+from repro.harness.ras_campaign import run_ras
+
+
+def test_ras(experiment):
+    result = experiment(run_ras, quick=False)
+    # Acceptance bar: >= 95% of single-bit strikes corrected or
+    # detected, zero silent corruptions, zero unhandled exceptions.
+    assert result.raw["coverage"] >= 0.95
+    assert result.raw["silent"] == 0
+    assert result.raw["unhandled"] == 0

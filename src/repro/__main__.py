@@ -15,7 +15,7 @@ import sys
 from .asm import assemble
 from .harness.runner import run_on_core
 from .isa.disasm import disassemble_program
-from .sim import Emulator
+from .sim import Emulator, WatchdogExpired
 from .tools import profile_program
 from .uarch.presets import PRESETS
 
@@ -36,8 +36,33 @@ def cmd_run(args) -> int:
         if args.stats:
             print(result.stats.summary())
         return result.exit_code
-    emulator = Emulator(program, enable_mmu=args.mmu)
-    code = emulator.run(args.max_steps)
+    emulator = Emulator(program, enable_mmu=args.mmu,
+                        instruction_limit=args.max_insts)
+    if args.lockstep:
+        from .ras.lockstep import LockstepChecker
+
+        checker = LockstepChecker(
+            program, primary=emulator,
+            shadow_kwargs={"enable_mmu": args.mmu,
+                           "instruction_limit": args.max_insts})
+        result = checker.run(args.max_steps)
+        if emulator.stdout:
+            print(emulator.stdout, end="")
+        if not result.ok:
+            print(result.divergence.render())
+            return 1
+        if not emulator.halted:
+            print(f"watchdog: lockstep stopped after {result.steps} "
+                  f"instructions without exit (pc={emulator.state.pc:#x})")
+            return 2
+        print(f"lockstep: {result.steps} instructions, no divergence; "
+              f"exit {emulator.exit_code}")
+        return emulator.exit_code or 0
+    try:
+        code = emulator.run(args.max_steps)
+    except WatchdogExpired as exc:
+        print(exc)
+        return 2
     if emulator.stdout:
         print(emulator.stdout, end="")
     print(f"exit {code} after {emulator.state.instret} instructions")
@@ -90,6 +115,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="enable SV39 translation in the emulator")
     p_run.add_argument("--stats", action="store_true")
     p_run.add_argument("--max-steps", type=int, default=None)
+    p_run.add_argument("--max-insts", type=int, default=None,
+                       help="watchdog instruction limit (default 50M); "
+                            "expiry raises a post-mortem dump")
+    p_run.add_argument("--lockstep", action="store_true",
+                       help="run a golden shadow emulator and diff "
+                            "architectural state every instruction")
     p_run.set_defaults(fn=cmd_run)
 
     p_dis = sub.add_parser("disasm", help="disassemble the text section")

@@ -52,6 +52,24 @@ CSR_TIME = 0xC01
 CSR_INSTRET = 0xC02
 CSR_MHARTID = 0xF14
 
+# RAS error-banking CSRs (custom M-mode range, 0x7C0-0x7FF).  A machine
+# check banks the failing address and a status word here before the trap
+# is delivered, so guest handlers can log and recover (the XT-910 carries
+# comparable T-Head extended error CSRs).
+CSR_MCERR = 0x7C0       # status: valid | uncorrectable | source | info
+CSR_MCERR_ADDR = 0x7C1  # failing physical/virtual address (or reg index)
+CSR_MCECNT = 0x7C2      # running count of hardware-corrected errors
+
+MCERR_VALID = 1 << 63
+MCERR_UNCORRECTABLE = 1 << 62
+MCERR_SOURCE_SHIFT = 8
+MCERR_SOURCE_MASK = 0xFF
+
+# Error-source identifiers reported in mcerr[15:8].
+MCERR_SOURCES: dict[str, int] = {
+    "L1I": 1, "L1D": 2, "L2": 3, "TLB": 4, "REGFILE": 5, "OTHER": 0,
+}
+
 CSR_NAMES: dict[str, int] = {
     "fflags": CSR_FFLAGS, "frm": CSR_FRM, "fcsr": CSR_FCSR,
     "vstart": CSR_VSTART, "vl": CSR_VL, "vtype": CSR_VTYPE,
@@ -65,6 +83,7 @@ CSR_NAMES: dict[str, int] = {
     "mtval": CSR_MTVAL, "mip": CSR_MIP,
     "cycle": CSR_CYCLE, "time": CSR_TIME, "instret": CSR_INSTRET,
     "mhartid": CSR_MHARTID,
+    "mcerr": CSR_MCERR, "mcerraddr": CSR_MCERR_ADDR, "mcecnt": CSR_MCECNT,
 }
 
 MASK64 = (1 << 64) - 1
@@ -100,6 +119,9 @@ class TrapCause(enum.IntEnum):
     INSTRUCTION_PAGE_FAULT = 12
     LOAD_PAGE_FAULT = 13
     STORE_PAGE_FAULT = 15
+    # Cause 19 is the privileged spec's "hardware error" exception; we
+    # deliver uncorrectable ECC/parity errors (machine checks) on it.
+    MACHINE_CHECK = 19
 
 
 class CsrFile:

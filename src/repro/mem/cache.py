@@ -30,7 +30,7 @@ VALID_STATES = frozenset(
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting, including prefetch usefulness."""
+    """Hit/miss accounting, including prefetch usefulness and RAS events."""
 
     hits: int = 0
     misses: int = 0
@@ -38,6 +38,11 @@ class CacheStats:
     writebacks: int = 0
     prefetch_fills: int = 0
     prefetch_hits: int = 0      # demand hits on prefetched lines
+    # RAS: ECC on the data array, parity on the tag array.
+    ecc_corrected: int = 0      # single-bit data errors repaired in place
+    ecc_uncorrectable: int = 0  # multi-bit data errors -> machine check
+    parity_errors: int = 0      # tag parity hits -> line dropped, refetched
+    ways_disabled: int = 0      # ways quarantined after repeated correctables
 
     @property
     def accesses(self) -> int:
@@ -59,6 +64,9 @@ class CacheLine:
     dirty: bool = False
     prefetched: bool = False
     sharers: set[int] = field(default_factory=set)  # L2 snoop filter bits
+    way: int = 0                # physical way this line occupies
+    data_faults: int = 0        # flipped bits pending in the data array
+    tag_fault: bool = False     # flipped bit pending in the tag array
 
 
 class Cache:
@@ -69,8 +77,12 @@ class Cache:
     which is exactly what the timing model needs.
     """
 
+    #: correctable errors on one (set, way) before it is quarantined
+    QUARANTINE_THRESHOLD = 3
+
     def __init__(self, name: str, size: int, assoc: int,
-                 line_size: int = 64):
+                 line_size: int = 64,
+                 quarantine_threshold: int | None = None):
         if size % (assoc * line_size):
             raise ValueError(
                 f"{name}: size {size} not divisible by assoc*line_size")
@@ -83,6 +95,15 @@ class Cache:
         self._sets: list[OrderedDict[int, CacheLine]] = [
             OrderedDict() for _ in range(self.num_sets)]
         self.stats = CacheStats()
+        # RAS: per-(set, way) correctable-error history, quarantined ways,
+        # and callbacks into the machine-check path.
+        self.quarantine_threshold = (
+            quarantine_threshold if quarantine_threshold is not None
+            else self.QUARANTINE_THRESHOLD)
+        self._corr_counts: dict[tuple[int, int], int] = {}
+        self._disabled_ways: dict[int, set[int]] = {}
+        self.on_corrected = None        # callable(addr, cache_name)
+        self.on_uncorrectable = None    # callable(addr, cache_name)
 
     # -- address helpers ------------------------------------------------------
 
@@ -95,15 +116,137 @@ class Cache:
     # -- operations ------------------------------------------------------------
 
     def lookup(self, addr: int, update_lru: bool = True) -> CacheLine | None:
-        """Probe for the line containing *addr*; None on miss."""
+        """Probe for the line containing *addr*; None on miss.
+
+        The probe is where the arrays are actually read, so pending
+        ECC/parity faults resolve here: a tag parity error drops the
+        line (refetch recovers it), a single data-bit error is corrected
+        and counted, a multi-bit error escalates to a machine check.
+        """
         laddr = self.line_addr(addr)
-        cache_set = self._sets[self._index(laddr)]
+        index = self._index(laddr)
+        cache_set = self._sets[index]
         line = cache_set.get(laddr)
         if line is None or line.state is LineState.INVALID:
             return None
+        if line.tag_fault or line.data_faults:
+            line = self._resolve_faults(addr, laddr, index, line)
+            if line is None:
+                return None
         if update_lru:
             cache_set.move_to_end(laddr)
         return line
+
+    # -- RAS: ECC/parity resolution and fault injection hooks -----------------
+
+    def _resolve_faults(self, addr: int, laddr: int, index: int,
+                        line: CacheLine) -> CacheLine | None:
+        """Apply SEC-DED/parity semantics to a faulted line being read."""
+        cache_set = self._sets[index]
+        if line.tag_fault:
+            # Tag parity: the match cannot be trusted, so the line is
+            # dropped and the access replays as a miss (clean recovery —
+            # the data is refetched from the next level).
+            self.stats.parity_errors += 1
+            del cache_set[laddr]
+            return None
+        if line.data_faults == 1:
+            # SEC-DED corrects a single flipped data bit in place.
+            self.stats.ecc_corrected += 1
+            line.data_faults = 0
+            if self.on_corrected is not None:
+                self.on_corrected(addr, self.name)
+            self._note_corrected(index, line.way)
+            if line.way in self._disabled_ways.get(index, ()):
+                return None     # correction triggered quarantine
+            return line
+        # Two or more flipped bits: detected but uncorrectable.
+        self.stats.ecc_uncorrectable += 1
+        del cache_set[laddr]
+        if self.on_uncorrectable is not None:
+            self.on_uncorrectable(addr, self.name)
+        return None
+
+    def _note_corrected(self, index: int, way: int) -> None:
+        """Track per-way correctable history; quarantine a weak way."""
+        key = (index, way)
+        count = self._corr_counts.get(key, 0) + 1
+        self._corr_counts[key] = count
+        disabled = self._disabled_ways.setdefault(index, set())
+        if count >= self.quarantine_threshold \
+                and len(disabled) < self.assoc - 1:
+            disabled.add(way)
+            self.stats.ways_disabled += 1
+            cache_set = self._sets[index]
+            stale = [tag for tag, line in cache_set.items()
+                     if line.way == way]
+            for tag in stale:
+                del cache_set[tag]
+
+    def inject_data_fault(self, addr: int | None = None, bits: int = 1,
+                          rng=None) -> int | None:
+        """Flip *bits* bits in the data array of a resident line.
+
+        Targets the line holding *addr*, or (with *rng*) a random
+        resident line biased toward recently used entries.  Returns the
+        faulted line address, or None when nothing is resident.
+        """
+        line = self._pick_line(addr, rng)
+        if line is None:
+            return None
+        line.data_faults += bits
+        return line.tag << self._offset_bits
+
+    def inject_tag_fault(self, addr: int | None = None,
+                         rng=None) -> int | None:
+        """Flip a bit in the tag array of a resident line."""
+        line = self._pick_line(addr, rng)
+        if line is None:
+            return None
+        line.tag_fault = True
+        return line.tag << self._offset_bits
+
+    def _pick_line(self, addr: int | None, rng) -> CacheLine | None:
+        if addr is not None:
+            laddr = self.line_addr(addr)
+            line = self._sets[self._index(laddr)].get(laddr)
+            return None if line is None \
+                or line.state is LineState.INVALID else line
+        candidates = []
+        for cache_set in self._sets:
+            if cache_set:
+                # MRU end of the per-set LRU order: the lines a running
+                # workload is most likely to touch again.
+                line = next(reversed(cache_set.values()))
+                if line.state is not LineState.INVALID:
+                    candidates.append(line)
+        if not candidates:
+            return None
+        if rng is None:
+            return candidates[0]
+        return rng.choice(candidates)
+
+    def scrub(self) -> dict[str, int]:
+        """Background scrubber: sweep every line, resolving latent faults.
+
+        Returns the delta of RAS events this sweep produced.
+        """
+        before = (self.stats.ecc_corrected, self.stats.ecc_uncorrectable,
+                  self.stats.parity_errors)
+        for index, cache_set in enumerate(self._sets):
+            for laddr, line in list(cache_set.items()):
+                if line.tag_fault or line.data_faults:
+                    self._resolve_faults(laddr << self._offset_bits,
+                                         laddr, index, line)
+        return {
+            "corrected": self.stats.ecc_corrected - before[0],
+            "uncorrectable": self.stats.ecc_uncorrectable - before[1],
+            "parity": self.stats.parity_errors - before[2],
+        }
+
+    def disabled_way_count(self) -> int:
+        """Total quarantined ways across all sets."""
+        return sum(len(ways) for ways in self._disabled_ways.values())
 
     def access(self, addr: int, is_write: bool = False) -> bool:
         """Demand access; returns True on hit and updates stats/state."""
@@ -126,7 +269,8 @@ class Cache:
              prefetched: bool = False) -> CacheLine | None:
         """Insert the line for *addr*; returns the evicted line (if any)."""
         laddr = self.line_addr(addr)
-        cache_set = self._sets[self._index(laddr)]
+        index = self._index(laddr)
+        cache_set = self._sets[index]
         victim: CacheLine | None = None
         if laddr in cache_set:
             line = cache_set[laddr]
@@ -134,13 +278,20 @@ class Cache:
             line.prefetched = prefetched
             cache_set.move_to_end(laddr)
             return None
-        if len(cache_set) >= self.assoc:
+        disabled = self._disabled_ways.get(index, ())
+        if len(cache_set) >= self.assoc - len(disabled):
             _, victim = cache_set.popitem(last=False)
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.writebacks += 1
+        if victim is not None:
+            way = victim.way
+        else:
+            used = {line.way for line in cache_set.values()}
+            way = next((w for w in range(self.assoc)
+                        if w not in used and w not in disabled), 0)
         cache_set[laddr] = CacheLine(tag=laddr, state=state,
-                                     prefetched=prefetched)
+                                     prefetched=prefetched, way=way)
         if prefetched:
             self.stats.prefetch_fills += 1
         return victim

@@ -75,6 +75,14 @@ class MemoryHierarchy:
         self._pending_l2: dict[int, int] = {}
         self._mshr_heap: list[int] = []          # demand-miss completions
 
+        # RAS: forward per-cache ECC events to whoever owns the hart
+        # (the campaign/emulator wires these to the machine-check path).
+        self.on_corrected = None        # callable(addr, source_name)
+        self.on_uncorrectable = None    # callable(addr, source_name)
+        for cache in (self.l1i, self.l1d, self.l2):
+            cache.on_corrected = self._ras_corrected
+            cache.on_uncorrectable = self._ras_uncorrectable
+
         tlb_fn = self._tlb_prefetch if (config.tlb_prefetch
                                         and config.model_tlb) else None
         self.l1_prefetcher = StreamPrefetcher(
@@ -94,6 +102,35 @@ class MemoryHierarchy:
             self.tlb.refill(vaddr)
         self.stats.tlb_stall_cycles += latency
         return latency
+
+    # -- RAS ----------------------------------------------------------------------
+
+    def _ras_corrected(self, addr: int, source: str) -> None:
+        if self.on_corrected is not None:
+            self.on_corrected(addr, source)
+
+    def _ras_uncorrectable(self, addr: int, source: str) -> None:
+        if self.on_uncorrectable is not None:
+            self.on_uncorrectable(addr, source)
+
+    def scrub(self) -> dict[str, dict[str, int]]:
+        """Sweep every array for latent faults (end-of-run scrubber)."""
+        report = {cache.name: cache.scrub()
+                  for cache in (self.l1i, self.l1d, self.l2)}
+        report["TLB"] = {"parity": self.tlb.scrub()}
+        return report
+
+    def ras_summary(self) -> dict[str, int]:
+        """Aggregate RAS counters across all arrays."""
+        caches = (self.l1i, self.l1d, self.l2)
+        return {
+            "ecc_corrected": sum(c.stats.ecc_corrected for c in caches),
+            "ecc_uncorrectable": sum(
+                c.stats.ecc_uncorrectable for c in caches),
+            "parity_errors": sum(c.stats.parity_errors for c in caches)
+            + self.tlb.stats.parity_errors,
+            "ways_disabled": sum(c.disabled_way_count() for c in caches),
+        }
 
     def _tlb_prefetch(self, vpage: int) -> None:
         vaddr = vpage << 12

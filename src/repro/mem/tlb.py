@@ -39,6 +39,7 @@ class TlbStats:
     misses: int = 0             # full misses -> page-table walk
     flushes: int = 0
     prefetch_fills: int = 0
+    parity_errors: int = 0      # poisoned entries detected and purged
 
     @property
     def accesses(self) -> int:
@@ -52,6 +53,7 @@ class TlbEntry:
     asid: int
     ppn: int = 0
     global_page: bool = False
+    poisoned: bool = False      # injected parity fault pending detection
 
 
 class _SetAssocTlb:
@@ -88,6 +90,15 @@ class _SetAssocTlb:
         for tlb_set in self._data:
             tlb_set.clear()
 
+    def remove(self, entry: TlbEntry) -> None:
+        """Drop one entry (parity purge)."""
+        tlb_set = self._data[self._index(entry.vpn)]
+        tlb_set.pop((entry.vpn, entry.page_size), None)
+
+    def entries(self):
+        for tlb_set in self._data:
+            yield from tlb_set.values()
+
     def flush_asid(self, asid: int) -> None:
         for tlb_set in self._data:
             stale = [k for k, e in tlb_set.items()
@@ -117,8 +128,11 @@ class Tlb:
         (the caller runs the page-table walk and calls :meth:`refill`).
         """
         # uTLB: fully associative, every entry knows its page size.
-        for key, entry in self._utlb.items():
+        for key, entry in list(self._utlb.items()):
             if self._covers(entry, vaddr):
+                if entry.poisoned:
+                    self._purge_poisoned(entry, key)
+                    continue     # parity caught it; fall through to jTLB
                 self._utlb.move_to_end(key)
                 self.stats.utlb_hits += 1
                 return self.config.utlb_latency, entry
@@ -129,11 +143,28 @@ class Tlb:
             vpn = vaddr // page_size
             entry = self._jtlb.lookup(vpn, page_size, self.asid)
             if entry is not None:
+                if entry.poisoned:
+                    self._purge_poisoned(entry)
+                    continue     # treat as a miss at this page size
                 self.stats.jtlb_hits += 1
                 self._utlb_fill(entry)   # refill micro-TLB on page hit
                 return latency, entry
         self.stats.misses += 1
         return latency, None
+
+    def _purge_poisoned(self, entry: TlbEntry,
+                        utlb_key: tuple | None = None) -> None:
+        """Parity detected a corrupted entry: purge it everywhere.
+
+        The next translate misses and the page-table walk reinstalls a
+        clean entry — detection plus transparent recovery.
+        """
+        self.stats.parity_errors += 1
+        entry.poisoned = False   # counted once, even if aliased in both
+        if utlb_key is None:
+            utlb_key = (entry.vpn, entry.page_size, entry.asid)
+        self._utlb.pop(utlb_key, None)
+        self._jtlb.remove(entry)
 
     def _covers(self, entry: TlbEntry, vaddr: int) -> bool:
         if entry.asid != self.asid and not entry.global_page:
@@ -164,11 +195,51 @@ class Tlb:
         self._utlb[key] = entry
 
     def contains(self, vaddr: int) -> bool:
-        if any(self._covers(e, vaddr) for e in self._utlb.values()):
+        if any(self._covers(e, vaddr) and not e.poisoned
+               for e in self._utlb.values()):
             return True
-        return any(
-            self._jtlb.lookup(vaddr // ps, ps, self.asid) is not None
-            for ps in PAGE_SIZES)
+        for ps in PAGE_SIZES:
+            entry = self._jtlb.lookup(vaddr // ps, ps, self.asid)
+            if entry is not None and not entry.poisoned:
+                return True
+        return False
+
+    # -- RAS: fault injection and scrubbing -------------------------------------------
+
+    def inject_fault(self, rng=None, vaddr: int | None = None) -> bool:
+        """Poison one cached translation (a parity fault in the array).
+
+        Picks the entry covering *vaddr*, or (with *rng*) a random
+        resident entry.  Returns False when nothing is resident.
+        """
+        if vaddr is not None:
+            for entry in self._utlb.values():
+                if self._covers(entry, vaddr):
+                    entry.poisoned = True
+                    return True
+            for ps in PAGE_SIZES:
+                entry = self._jtlb.lookup(vaddr // ps, ps, self.asid)
+                if entry is not None:
+                    entry.poisoned = True
+                    return True
+            return False
+        candidates = list(self._utlb.values()) or list(self._jtlb.entries())
+        if not candidates:
+            return False
+        entry = rng.choice(candidates) if rng is not None else candidates[-1]
+        entry.poisoned = True
+        return True
+
+    def scrub(self) -> int:
+        """Purge every latent poisoned entry; returns how many were found."""
+        found = 0
+        for entry in [e for e in self._utlb.values() if e.poisoned]:
+            self._purge_poisoned(entry)
+            found += 1
+        for entry in [e for e in self._jtlb.entries() if e.poisoned]:
+            self._purge_poisoned(entry)
+            found += 1
+        return found
 
     # -- ASID / flush management (section V.E) ---------------------------------------
 

@@ -1,0 +1,121 @@
+"""SEC-DED (extended Hamming) codec and parity helpers.
+
+Commercial cores protect their SRAM arrays the way section II of the
+paper implies for a shippable part: data arrays carry SEC-DED ECC
+(single-error-correct, double-error-detect) and tag arrays carry
+parity.  This module implements the classic extended Hamming code for
+an arbitrary data width (72,64 for the 64-bit words the model uses):
+
+* check bits live at power-of-two codeword positions ``1, 2, 4, ...``,
+* data bits fill the remaining positions ``3, 5, 6, 7, ...``,
+* an overall parity bit at position 0 upgrades single-error-correct
+  Hamming to double-error-*detect*.
+
+Decoding classifies a codeword as clean, corrected (exactly one bit
+flipped, repaired in place) or detected-uncorrectable (two bits
+flipped).  Three or more flipped bits can alias onto a correction —
+the same silent-corruption window real SEC-DED hardware has.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import lru_cache
+
+
+class EccStatus(enum.Enum):
+    """Outcome of decoding one protected word."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"      # single-bit error repaired
+    DETECTED = "detected"        # double-bit error: uncorrectable
+
+
+def check_bits(data_bits: int = 64) -> int:
+    """Number of Hamming check bits for *data_bits* of payload."""
+    m = 0
+    while (1 << m) < data_bits + m + 1:
+        m += 1
+    return m
+
+
+def codeword_bits(data_bits: int = 64) -> int:
+    """Total SEC-DED codeword width (payload + check + overall parity)."""
+    return data_bits + check_bits(data_bits) + 1
+
+
+@lru_cache(maxsize=8)
+def _data_positions(data_bits: int) -> tuple[int, ...]:
+    """Codeword positions holding data bits (non-powers-of-two)."""
+    positions = []
+    pos = 1
+    while len(positions) < data_bits:
+        if pos & (pos - 1):      # skip check-bit positions 1, 2, 4, ...
+            positions.append(pos)
+        pos += 1
+    return tuple(positions)
+
+
+def parity(word: int) -> int:
+    """Even-parity bit of *word* (1 when the popcount is odd)."""
+    return word.bit_count() & 1
+
+
+def secded_encode(word: int, data_bits: int = 64) -> int:
+    """Encode *word* into a SEC-DED codeword (bit i = position i)."""
+    word &= (1 << data_bits) - 1
+    codeword = 0
+    syndrome = 0
+    for i, pos in enumerate(_data_positions(data_bits)):
+        if (word >> i) & 1:
+            codeword |= 1 << pos
+            syndrome ^= pos
+    # Check bit 2^i zeroes syndrome bit i over the full codeword.
+    m = check_bits(data_bits)
+    for i in range(m):
+        if (syndrome >> i) & 1:
+            codeword |= 1 << (1 << i)
+    # Overall parity (position 0) makes the whole codeword even-parity.
+    codeword |= parity(codeword)
+    return codeword
+
+
+def secded_decode(codeword: int,
+                  data_bits: int = 64) -> tuple[int, EccStatus]:
+    """Decode a codeword; returns ``(word, status)``.
+
+    A single flipped bit (anywhere, including the check/parity bits) is
+    repaired and reported as CORRECTED; two flipped bits are DETECTED
+    and the returned word is not to be trusted.
+    """
+    syndrome = 0
+    bits = codeword >> 1
+    pos = 1
+    while bits:
+        if bits & 1:
+            syndrome ^= pos
+        pos += 1
+        bits >>= 1
+    overall = parity(codeword)
+    if syndrome == 0 and overall == 0:
+        status = EccStatus.CLEAN
+    elif overall == 1:
+        # Odd overall parity: exactly one bit flipped.  The syndrome is
+        # its position (0 means the overall-parity bit itself).
+        codeword ^= 1 << syndrome
+        status = EccStatus.CORRECTED
+    else:
+        # Even parity but nonzero syndrome: two bits flipped.
+        status = EccStatus.DETECTED
+    word = 0
+    for i, position in enumerate(_data_positions(data_bits)):
+        if (codeword >> position) & 1:
+            word |= 1 << i
+    return word, status
+
+
+def flip_bits(codeword: int, positions) -> int:
+    """Return *codeword* with each bit position in *positions* flipped."""
+    for position in positions:
+        codeword ^= 1 << position
+    return codeword

@@ -1,0 +1,172 @@
+"""Deterministic, seeded fault injector.
+
+Follows the controlled-perturbation methodology: every fault is a
+:class:`FaultPlan` naming a target array, a bit, and the instruction
+count at which it strikes.  Plans are drawn from a seeded PRNG, so the
+same seed always produces the same campaign — a divergence found at
+seed 1234 reproduces forever.
+
+Architectural targets (integer/FP registers, the PC) are flipped
+directly in the emulator's :class:`~repro.sim.state.MachineState` by
+the emulator's step hook.  Array targets (cache data/tag, TLB) are
+applied to whatever :class:`~repro.mem.cache.Cache` / TLB objects the
+campaign attaches, where the ECC/parity model resolves them.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+
+class FaultTarget(enum.Enum):
+    """Which array the bit flip lands in."""
+
+    XREG = "xreg"            # integer register file
+    FREG = "freg"            # FP register file
+    PC = "pc"                # program counter latch
+    CACHE_DATA = "cache-data"
+    CACHE_TAG = "cache-tag"
+    TLB = "tlb"
+
+
+ARCH_TARGETS = (FaultTarget.XREG, FaultTarget.FREG, FaultTarget.PC)
+ARRAY_TARGETS = (FaultTarget.CACHE_DATA, FaultTarget.CACHE_TAG,
+                 FaultTarget.TLB)
+ALL_TARGETS = ARCH_TARGETS + ARRAY_TARGETS
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scheduled bit flip."""
+
+    target: FaultTarget
+    at_instret: int          # strike when state.instret reaches this
+    index: int = 0           # register number (XREG/FREG); unused otherwise
+    bit: int = 0             # bit position to flip
+    bits: int = 1            # flipped bits (CACHE_DATA: 2 = uncorrectable)
+
+
+@dataclass
+class FaultRecord:
+    """What actually happened when a plan fired."""
+
+    plan: FaultPlan
+    applied: bool
+    note: str = ""
+
+
+class FaultInjector:
+    """Applies a schedule of faults to one hart and its arrays."""
+
+    def __init__(self, seed: int = 0, plans: list[FaultPlan] | None = None):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.plans: list[FaultPlan] = sorted(
+            plans or [], key=lambda p: p.at_instret)
+        self.records: list[FaultRecord] = []
+        self._next = 0
+        self._caches: list = []
+        self._tlb = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_cache(self, cache) -> None:
+        """Array faults may land in *cache* (call once per level)."""
+        self._caches.append(cache)
+
+    def attach_tlb(self, tlb) -> None:
+        self._tlb = tlb
+
+    # -- planning -------------------------------------------------------------
+
+    def plan_random(self, count: int, window: int,
+                    targets=ALL_TARGETS,
+                    double_bit_rate: float = 0.0) -> list[FaultPlan]:
+        """Draw *count* plans striking within the first *window* retires.
+
+        Deterministic for a given seed/arguments.  *double_bit_rate* is
+        the fraction of CACHE_DATA faults upgraded to uncorrectable
+        two-bit flips.
+        """
+        rng = self.rng
+        plans = []
+        for _ in range(count):
+            target = rng.choice(targets)
+            at = rng.randrange(1, max(2, window))
+            if target is FaultTarget.XREG:
+                plan = FaultPlan(target, at, index=rng.randrange(1, 32),
+                                 bit=rng.randrange(64))
+            elif target is FaultTarget.FREG:
+                plan = FaultPlan(target, at, index=rng.randrange(32),
+                                 bit=rng.randrange(64))
+            elif target is FaultTarget.PC:
+                # Low-order bits: a realistic latch upset near the fetch
+                # address (bit 0 would be masked by IALIGN anyway).
+                plan = FaultPlan(target, at, bit=rng.randrange(1, 13))
+            elif target is FaultTarget.CACHE_DATA:
+                bits = 2 if rng.random() < double_bit_rate else 1
+                plan = FaultPlan(target, at, bit=rng.randrange(512),
+                                 bits=bits)
+            elif target is FaultTarget.CACHE_TAG:
+                plan = FaultPlan(target, at, bit=rng.randrange(40))
+            else:
+                plan = FaultPlan(FaultTarget.TLB, at,
+                                 bit=rng.randrange(64))
+            plans.append(plan)
+        plans.sort(key=lambda p: p.at_instret)
+        self.plans = sorted(self.plans + plans, key=lambda p: p.at_instret)
+        return plans
+
+    # -- application ----------------------------------------------------------
+
+    def step_hook(self, emulator) -> None:
+        """Called by the emulator at each instruction boundary."""
+        instret = emulator.state.instret
+        while (self._next < len(self.plans)
+               and self.plans[self._next].at_instret <= instret):
+            plan = self.plans[self._next]
+            self._next += 1
+            self.records.append(self._apply(emulator, plan))
+
+    def _apply(self, emulator, plan: FaultPlan) -> FaultRecord:
+        state = emulator.state
+        target = plan.target
+        if target is FaultTarget.XREG:
+            if plan.index == 0:
+                return FaultRecord(plan, False, "x0 is hardwired")
+            state.regs[plan.index] ^= 1 << plan.bit
+            return FaultRecord(plan, True,
+                               f"x{plan.index} bit {plan.bit}")
+        if target is FaultTarget.FREG:
+            state.fregs[plan.index] ^= 1 << plan.bit
+            return FaultRecord(plan, True,
+                               f"f{plan.index} bit {plan.bit}")
+        if target is FaultTarget.PC:
+            state.pc ^= 1 << plan.bit
+            return FaultRecord(plan, True, f"pc bit {plan.bit}")
+        if target in (FaultTarget.CACHE_DATA, FaultTarget.CACHE_TAG):
+            if not self._caches:
+                return FaultRecord(plan, False, "no cache attached")
+            cache = self.rng.choice(self._caches)
+            if target is FaultTarget.CACHE_DATA:
+                hit = cache.inject_data_fault(bits=plan.bits, rng=self.rng)
+            else:
+                hit = cache.inject_tag_fault(rng=self.rng)
+            if hit is None:
+                return FaultRecord(plan, False,
+                                   f"{cache.name}: no resident line")
+            return FaultRecord(plan, True,
+                               f"{cache.name} line {hit:#x}")
+        if target is FaultTarget.TLB:
+            if self._tlb is None:
+                return FaultRecord(plan, False, "no TLB attached")
+            if not self._tlb.inject_fault(rng=self.rng):
+                return FaultRecord(plan, False, "TLB empty")
+            return FaultRecord(plan, True, "TLB entry poisoned")
+        return FaultRecord(plan, False, "unknown target")
+
+    @property
+    def applied_count(self) -> int:
+        return sum(1 for r in self.records if r.applied)

@@ -1,6 +1,12 @@
 """Functional simulation substrate: emulator, memory, machine state."""
 
-from .emulator import Emulator, EmulatorError, run_program  # noqa: F401
+from .emulator import (  # noqa: F401
+    Emulator,
+    EmulatorError,
+    MachineCheckError,
+    WatchdogExpired,
+    run_program,
+)
 from .memory import Memory  # noqa: F401
 from .state import MachineState  # noqa: F401
 from .syscalls import ExitRequest, SyscallShim  # noqa: F401

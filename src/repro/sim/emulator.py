@@ -9,6 +9,7 @@ the assembler and decoder continuously validate each other.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Iterator
 
 from ..asm.program import STACK_TOP, Program
@@ -24,17 +25,50 @@ from .syscalls import ExitRequest, SyscallShim
 from .trace import DynInst
 
 
+#: how many retired instructions the crash/watchdog backtrace keeps
+RECENT_WINDOW = 16
+
+
 class EmulatorError(Exception):
     """Raised for unrecoverable emulation problems (bad fetch etc.)."""
+
+
+class WatchdogExpired(EmulatorError):
+    """The instruction-limit watchdog fired (a hang, not a halt).
+
+    Distinguishable from a normal exit and carries a post-mortem dump:
+    ``pc``, the integer register file, and a disassembled backtrace of
+    the last retired instructions.
+    """
+
+    def __init__(self, message: str, pc: int, regs: list[int],
+                 backtrace: list[str]):
+        super().__init__(message)
+        self.pc = pc
+        self.regs = regs
+        self.backtrace = backtrace
+
+
+class MachineCheckError(EmulatorError):
+    """An uncorrectable hardware error with no guest handler installed."""
+
+    def __init__(self, message: str, addr: int, source: int):
+        super().__init__(message)
+        self.addr = addr
+        self.source = source
 
 
 class Emulator:
     """One hart running a program on a (possibly shared) memory."""
 
+    DEFAULT_INSTRUCTION_LIMIT = 50_000_000
+
     def __init__(self, program: Program, memory: Memory | None = None,
                  hart_id: int = 0, stack_top: int = STACK_TOP,
                  load: bool = True, interrupt_fn=None,
-                 enable_mmu: bool = False):
+                 enable_mmu: bool = False,
+                 instruction_limit: int | None = None,
+                 fault_injector=None):
         self.program = program
         self.state = MachineState(memory=memory, hart_id=hart_id)
         #: optional zero-arg callable returning pending mip bits
@@ -55,7 +89,15 @@ class Emulator:
         self.exit_code: int | None = None
         self.halted = False
         self._decode_cache: dict[int, Instruction] = {}
-        self.instruction_limit = 50_000_000
+        self.instruction_limit = (instruction_limit
+                                  if instruction_limit is not None
+                                  else self.DEFAULT_INSTRUCTION_LIMIT)
+        #: optional repro.ras.FaultInjector applied at step boundaries
+        self.fault_injector = fault_injector
+        self.machine_checks = 0
+        self._pending_mcheck: tuple[int, int] | None = None
+        self._recent: deque[tuple[int, Instruction]] = deque(
+            maxlen=RECENT_WINDOW)
 
     # -- fetch/decode -----------------------------------------------------------
 
@@ -83,7 +125,8 @@ class Emulator:
             raise
         except Exception as exc:
             raise EmulatorError(
-                f"cannot decode instruction at pc={pc:#x}: {exc}") from exc
+                f"cannot decode instruction at pc={pc:#x}: {exc}\n"
+                + self._recent_window_text()) from exc
         if self.mmu is None or not self.mmu._active():
             self._decode_cache[pc] = inst
         return inst
@@ -93,6 +136,10 @@ class Emulator:
     def step(self) -> DynInst:
         """Execute one instruction and return its dynamic record."""
         state = self.state
+        if self._pending_mcheck is not None:
+            self._deliver_machine_check()
+        if self.fault_injector is not None:
+            self.fault_injector.step_hook(self)
         if self.interrupt_fn is not None:
             self._check_interrupts()
         pc = state.pc
@@ -108,17 +155,20 @@ class Emulator:
         side = state.side
         side.reset()
         mnemonic = inst.spec.mnemonic
+        self._recent.append((pc, inst))
 
         handler = SCALAR_EXEC.get(mnemonic)
+        vhandler = None
+        if handler is None:
+            vhandler = VECTOR_EXEC.get(mnemonic)
+            if vhandler is None:
+                raise EmulatorError(
+                    f"no semantics for {mnemonic} at pc={pc:#x}")
         next_pc: int | None = None
         try:
             if handler is not None:
                 next_pc = handler(state, inst)
             else:
-                vhandler = VECTOR_EXEC.get(mnemonic)
-                if vhandler is None:
-                    raise EmulatorError(
-                        f"no semantics for {mnemonic} at pc={pc:#x}")
                 vhandler(state, inst)
         except EcallShim:
             from ..isa.csr import PrivMode, TrapCause
@@ -145,8 +195,17 @@ class Emulator:
             state.pc = next_pc
             state.instret += 1
             return record
+        except EmulatorError:
+            raise
+        except Exception as exc:
+            raise EmulatorError(
+                self._crash_report(pc, mnemonic, exc)) from exc
 
-        if mnemonic == "sfence.vma":
+        if mnemonic in ("fence.i", "icache.iall", "icache.iva"):
+            # Instruction-stream synchronisation: stale decodes of
+            # self-modified code must not survive the fence.
+            self._decode_cache.clear()
+        elif mnemonic == "sfence.vma":
             self._decode_cache.clear()
             if self.mmu is not None:
                 self.mmu.flush_tlb()
@@ -156,6 +215,83 @@ class Emulator:
         state.pc = next_pc
         state.instret += 1
         return record
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def recent_instructions(self) -> list[str]:
+        """Disassembled window of the last retired instructions."""
+        from ..isa.disasm import disassemble
+
+        lines = []
+        for pc, inst in self._recent:
+            try:
+                text = disassemble(inst, pc)
+            except Exception:
+                text = inst.spec.mnemonic
+            lines.append(f"{pc:#010x}: {text}")
+        return lines
+
+    def _recent_window_text(self, last: int = 8) -> str:
+        recent = self.recent_instructions()
+        window = "\n  ".join(recent[-last:]) if recent else "(none)"
+        return f"last retired instructions:\n  {window}"
+
+    def _crash_report(self, pc: int, mnemonic: str, exc: Exception) -> str:
+        return (f"{type(exc).__name__} while executing {mnemonic} at "
+                f"pc={pc:#x}: {exc}\n" + self._recent_window_text())
+
+    def _watchdog(self, limit: int) -> WatchdogExpired:
+        regs = list(self.state.regs)
+        backtrace = self.recent_instructions()
+        names = (("ra", 1), ("sp", 2), ("gp", 3), ("a0", 10), ("a7", 17))
+        regdump = "  ".join(f"{n}={regs[i]:#x}" for n, i in names)
+        message = (
+            f"watchdog: instruction limit {limit} exceeded at "
+            f"pc={self.state.pc:#x} (instret={self.state.instret})\n"
+            f"  {regdump}\n" + self._recent_window_text())
+        return WatchdogExpired(message, self.state.pc, regs, backtrace)
+
+    # -- machine checks (RAS) ----------------------------------------------------
+
+    def post_machine_check(self, addr: int, source: int = 0) -> None:
+        """Bank an uncorrectable-error report; trap at the next boundary.
+
+        The error is delivered asynchronously, like a real machine
+        check: the failing address and source are latched in the mcerr
+        CSRs, and the trap is taken before the next instruction issues.
+        """
+        if self._pending_mcheck is None:     # first error wins the bank
+            self._pending_mcheck = (addr & MASK64, source)
+
+    def report_corrected(self, addr: int = 0, source: int = 0) -> None:
+        """Count a hardware-corrected error in the guest-visible CSR."""
+        from ..isa.csr import CSR_MCECNT
+
+        csrs = self.state.csrs
+        csrs.write(CSR_MCECNT, csrs.read(CSR_MCECNT) + 1)
+
+    def _deliver_machine_check(self) -> None:
+        from ..isa.csr import (
+            CSR_MCERR,
+            CSR_MCERR_ADDR,
+            CSR_MTVEC,
+            MCERR_SOURCE_SHIFT,
+            MCERR_UNCORRECTABLE,
+            MCERR_VALID,
+        )
+
+        addr, source = self._pending_mcheck
+        self._pending_mcheck = None
+        csrs = self.state.csrs
+        csrs.write(CSR_MCERR, MCERR_VALID | MCERR_UNCORRECTABLE
+                   | ((source & 0xFF) << MCERR_SOURCE_SHIFT))
+        csrs.write(CSR_MCERR_ADDR, addr)
+        self.machine_checks += 1
+        if csrs.read(CSR_MTVEC) == 0:
+            raise MachineCheckError(
+                f"uncorrectable hardware error at addr={addr:#x} "
+                f"(source {source}) with no mtvec handler", addr, source)
+        self._take_trap(Trap(TrapCause.MACHINE_CHECK, addr))
 
     def _record(self, pc: int, inst: Instruction, next_pc: int) -> DynInst:
         side = self.state.side
@@ -227,14 +363,16 @@ class Emulator:
         self.state.pc = mtvec & ~3
 
     def run(self, max_steps: int | None = None) -> int:
-        """Run to exit (or *max_steps*); returns the exit code."""
+        """Run to exit (or the watchdog); returns the exit code.
+
+        A normal halt returns; a runaway loop raises
+        :class:`WatchdogExpired` with a post-mortem dump.
+        """
         limit = max_steps if max_steps is not None else self.instruction_limit
         steps = 0
         while not self.halted:
             if steps >= limit:
-                raise EmulatorError(
-                    f"instruction limit {limit} exceeded at "
-                    f"pc={self.state.pc:#x}")
+                raise self._watchdog(limit)
             self.step()
             steps += 1
         return self.exit_code if self.exit_code is not None else -1
@@ -247,9 +385,7 @@ class Emulator:
             yield self.step()
             steps += 1
         if not self.halted and steps >= limit:
-            raise EmulatorError(
-                f"instruction limit {limit} exceeded at "
-                f"pc={self.state.pc:#x}")
+            raise self._watchdog(limit)
 
     @property
     def stdout(self) -> str:

@@ -129,6 +129,7 @@ class PipelineModel:
         for dyn in trace:
             self._simulate(dyn)
         self._drain()
+        self._collect_ras()
         return self.stats
 
     def feed(self, dyn: DynInst) -> None:
@@ -139,7 +140,21 @@ class PipelineModel:
     def finish(self) -> CoreStats:
         """Close out an incremental run started with :meth:`feed`."""
         self._drain()
+        self._collect_ras()
         return self.stats
+
+    def _collect_ras(self) -> None:
+        """Fold the hierarchy's RAS counters into the run statistics.
+
+        With a shared L2 (SMP runs) the L2's events appear in every
+        core's stats; the campaign reads the hierarchy directly when it
+        needs exact attribution.
+        """
+        summary = self.hier.ras_summary()
+        self.stats.ecc_corrected = summary["ecc_corrected"]
+        self.stats.ecc_uncorrectable = summary["ecc_uncorrectable"]
+        self.stats.parity_errors = summary["parity_errors"]
+        self.stats.ways_disabled = summary["ways_disabled"]
 
     # -- state -----------------------------------------------------------------------
 

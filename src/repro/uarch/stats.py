@@ -32,6 +32,11 @@ class CoreStats:
     serializations: int = 0
     vector_instructions: int = 0
     vector_beats: int = 0
+    # RAS (reliability) events from the memory hierarchy
+    ecc_corrected: int = 0
+    ecc_uncorrectable: int = 0
+    parity_errors: int = 0
+    ways_disabled: int = 0
 
     extra: dict = field(default_factory=dict)
 
@@ -68,4 +73,11 @@ class CoreStats:
             f"LSU violations    {self.lsu_violations}"
             f" forwards {self.lsu_forwards}",
         ]
+        if (self.ecc_corrected or self.ecc_uncorrectable
+                or self.parity_errors or self.ways_disabled):
+            lines.append(
+                f"RAS events        ecc_corrected {self.ecc_corrected}"
+                f" uncorrectable {self.ecc_uncorrectable}"
+                f" parity {self.parity_errors}"
+                f" ways_disabled {self.ways_disabled}")
         return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Cache/TLB RAS modeling: ECC, parity, way quarantine, scrubbing."""
+
+import random
+
+from repro.mem.cache import Cache
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.tlb import Tlb
+
+
+def _small_cache(**kwargs):
+    # 4 ways, 1 set: every line shares the set, ways are observable.
+    return Cache("t", size=4 * 64, assoc=4, line_size=64, **kwargs)
+
+
+class TestDataEcc:
+    def test_single_bit_corrected_on_access(self):
+        cache = _small_cache()
+        cache.fill(0x1000)
+        assert cache.inject_data_fault(addr=0x1000) is not None
+        assert cache.access(0x1000)         # still a hit: SEC-DED repaired
+        assert cache.stats.ecc_corrected == 1
+        assert cache.stats.ecc_uncorrectable == 0
+        # fault is cleared: the next access is clean
+        cache.access(0x1000)
+        assert cache.stats.ecc_corrected == 1
+
+    def test_double_bit_escalates(self):
+        events = []
+        cache = _small_cache()
+        cache.on_uncorrectable = lambda addr, name: events.append(
+            (addr, name))
+        cache.fill(0x2000)
+        cache.inject_data_fault(addr=0x2000, bits=2)
+        assert not cache.access(0x2000)     # miss: line was dropped
+        assert cache.stats.ecc_uncorrectable == 1
+        assert events == [(0x2000, "t")]
+
+    def test_corrected_callback_fires(self):
+        events = []
+        cache = _small_cache()
+        cache.on_corrected = lambda addr, name: events.append(addr)
+        cache.fill(0x3000)
+        cache.inject_data_fault(addr=0x3000)
+        cache.access(0x3000)
+        assert events == [0x3000]
+
+
+class TestTagParity:
+    def test_tag_fault_drops_line(self):
+        cache = _small_cache()
+        cache.fill(0x4000)
+        cache.inject_tag_fault(addr=0x4000)
+        assert not cache.access(0x4000)     # parity forces a refetch
+        assert cache.stats.parity_errors == 1
+        cache.fill(0x4000)                  # recovery: clean refill
+        assert cache.access(0x4000)
+
+
+class TestQuarantine:
+    def test_way_disabled_after_repeated_correctables(self):
+        cache = _small_cache()
+        cache.fill(0x1000)
+        way = cache.lookup(0x1000).way
+        for _ in range(cache.quarantine_threshold):
+            cache.inject_data_fault(addr=0x1000)
+            cache.access(0x1000)
+            if not cache.contains(0x1000):
+                cache.fill(0x1000)
+        assert cache.stats.ways_disabled == 1
+        assert cache.disabled_way_count() == 1
+        assert way in cache._disabled_ways[0]
+        # capacity shrinks: only 3 lines fit in the 4-way set now
+        for i in range(4):
+            cache.fill(0x10_000 + i * 64 * cache.num_sets * 16)
+        assert cache.occupancy <= 3
+
+    def test_last_way_never_disabled(self):
+        cache = Cache("direct", size=2 * 64, assoc=2, line_size=64,
+                      quarantine_threshold=1)
+        cache.fill(0x1000)
+        cache.inject_data_fault(addr=0x1000)
+        cache.access(0x1000)                # disables way 0 (1 of 2)
+        cache.fill(0x2000)
+        cache.inject_data_fault(addr=0x2000)
+        cache.access(0x2000)                # must NOT disable the last way
+        assert cache.disabled_way_count() == 1
+
+
+class TestScrub:
+    def test_scrub_resolves_latent_faults(self):
+        cache = _small_cache()
+        cache.fill(0x1000)
+        cache.fill(0x2000)
+        cache.inject_data_fault(addr=0x1000, bits=1)
+        cache.inject_data_fault(addr=0x2000, bits=2)
+        report = cache.scrub()
+        assert report["corrected"] == 1
+        assert report["uncorrectable"] == 1
+
+    def test_random_injection_picks_resident_line(self):
+        cache = _small_cache()
+        rng = random.Random(0)
+        assert cache.inject_data_fault(rng=rng) is None   # empty cache
+        cache.fill(0x5000)
+        assert cache.inject_data_fault(rng=rng) is not None
+
+
+class TestTlbParity:
+    def test_poisoned_entry_detected_and_purged(self):
+        tlb = Tlb()
+        tlb.refill(0x1000)
+        assert tlb.inject_fault(vaddr=0x1000)
+        latency, entry = tlb.translate(0x1000)
+        assert entry is None                # detected: full miss -> walk
+        assert tlb.stats.parity_errors == 1
+        tlb.refill(0x1000)                  # walk reinstalls cleanly
+        _, entry = tlb.translate(0x1000)
+        assert entry is not None
+
+    def test_scrub_counts_latent_poison(self):
+        tlb = Tlb()
+        tlb.refill(0x1000)
+        tlb.refill(0x2000)
+        tlb.inject_fault(vaddr=0x2000)
+        assert tlb.scrub() == 1
+        assert tlb.stats.parity_errors == 1
+
+    def test_contains_ignores_poisoned(self):
+        tlb = Tlb()
+        tlb.refill(0x1000)
+        assert tlb.contains(0x1000)
+        tlb.inject_fault(vaddr=0x1000)
+        assert not tlb.contains(0x1000)
+
+
+class TestHierarchyPlumbing:
+    def test_callbacks_forward_and_summary_aggregates(self):
+        hierarchy = MemoryHierarchy()
+        seen = []
+        hierarchy.on_uncorrectable = lambda addr, src: seen.append(src)
+        hierarchy.l1d.fill(0x1000)
+        hierarchy.l1d.inject_data_fault(addr=0x1000, bits=2)
+        hierarchy.l1d.access(0x1000)
+        assert seen == ["L1D"]
+        summary = hierarchy.ras_summary()
+        assert summary["ecc_uncorrectable"] == 1
+
+    def test_hierarchy_scrub(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.l1i.fill(0x8000)
+        hierarchy.l1i.inject_data_fault(addr=0x8000)
+        report = hierarchy.scrub()
+        assert report["L1I"]["corrected"] == 1

@@ -1,0 +1,43 @@
+"""Campaign runner: seeded sweeps classify every fault, no leaks."""
+
+from repro.harness.ras_campaign import SAFE, CampaignResult, run_campaign
+from repro.harness import run_ras
+
+
+class TestCampaign:
+    def test_small_sweep_is_covered(self):
+        campaign = run_campaign(n=12, seed=99, control_n=2)
+        assert campaign.total == 12
+        assert campaign.unhandled == 0
+        assert campaign.silent == 0
+        assert campaign.coverage >= 0.9
+        assert all(i.outcome in SAFE + ("silent",)
+                   for i in campaign.injections)
+
+    def test_campaign_is_deterministic(self):
+        a = run_campaign(n=6, seed=7, control_n=1)
+        b = run_campaign(n=6, seed=7, control_n=1)
+        assert [i.outcome for i in a.injections] \
+            == [i.outcome for i in b.injections]
+        assert [i.detail for i in a.injections] \
+            == [i.detail for i in b.injections]
+
+    def test_lockstep_detections_carry_divergence_pc(self):
+        campaign = run_campaign(n=10, seed=5, control_n=1)
+        lockstep_hits = [i for i in campaign.injections
+                         if i.outcome == "detected-lockstep"]
+        assert lockstep_hits
+        assert all(i.divergence_pc is not None for i in lockstep_hits)
+
+    def test_empty_campaign_coverage(self):
+        assert CampaignResult(workload="x").coverage == 1.0
+
+
+class TestExperiment:
+    def test_run_ras_renders(self):
+        result = run_ras(quick=True)
+        text = result.render()
+        assert "fault-injection coverage" in result.title
+        assert "silent corruption" in text
+        assert "unhandled exceptions" in text
+        assert result.raw["coverage"] >= 0.95

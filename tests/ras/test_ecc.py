@@ -1,0 +1,68 @@
+"""SEC-DED codec: unit tests plus hypothesis round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ras.ecc import (
+    EccStatus,
+    check_bits,
+    codeword_bits,
+    flip_bits,
+    parity,
+    secded_decode,
+    secded_encode,
+)
+
+WORD64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+BITPOS = st.integers(min_value=0, max_value=codeword_bits(64) - 1)
+
+
+class TestShapes:
+    def test_72_64_code(self):
+        assert check_bits(64) == 7
+        assert codeword_bits(64) == 72
+
+    @pytest.mark.parametrize("data_bits,total", [(8, 13), (16, 22),
+                                                 (32, 39), (64, 72)])
+    def test_widths(self, data_bits, total):
+        assert codeword_bits(data_bits) == total
+
+    def test_parity(self):
+        assert parity(0) == 0
+        assert parity(0b1011) == 1
+        assert parity(0b11) == 0
+
+
+class TestRoundTrip:
+    @settings(max_examples=200)
+    @given(WORD64)
+    def test_clean_roundtrip(self, word):
+        assert secded_decode(secded_encode(word)) == (word, EccStatus.CLEAN)
+
+    @settings(max_examples=200)
+    @given(WORD64, BITPOS)
+    def test_single_bit_corrected(self, word, bit):
+        corrupted = flip_bits(secded_encode(word), [bit])
+        decoded, status = secded_decode(corrupted)
+        assert status is EccStatus.CORRECTED
+        assert decoded == word
+
+    @settings(max_examples=200)
+    @given(WORD64, st.lists(BITPOS, min_size=2, max_size=2, unique=True))
+    def test_double_bit_detected(self, word, bits):
+        corrupted = flip_bits(secded_encode(word), bits)
+        _, status = secded_decode(corrupted)
+        assert status is EccStatus.DETECTED
+
+    @pytest.mark.parametrize("data_bits", [8, 16, 32])
+    def test_narrow_widths_roundtrip(self, data_bits):
+        for word in (0, 1, (1 << data_bits) - 1, 0xA5 % (1 << data_bits)):
+            codeword = secded_encode(word, data_bits)
+            assert secded_decode(codeword, data_bits) == (
+                word, EccStatus.CLEAN)
+            for bit in range(codeword_bits(data_bits)):
+                decoded, status = secded_decode(
+                    flip_bits(codeword, [bit]), data_bits)
+                assert status is EccStatus.CORRECTED
+                assert decoded == word

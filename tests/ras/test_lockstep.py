@@ -1,0 +1,85 @@
+"""Lockstep golden checker: clean agreement and divergence pinpointing."""
+
+from repro.asm import assemble
+from repro.ras import (
+    FaultInjector,
+    FaultPlan,
+    FaultTarget,
+    LockstepChecker,
+    check_program,
+)
+from repro.sim import Emulator
+
+
+def _program():
+    return assemble("""
+    _start:
+        li t0, 200
+        li a0, 0
+    loop:
+        addi a0, a0, 3
+        addi t0, t0, -1
+        bnez t0, loop
+        li a7, 93
+        ecall
+    """)
+
+
+class TestCleanRun:
+    def test_no_divergence(self):
+        result = check_program(_program())
+        assert result.ok
+        assert result.divergence is None
+        assert result.steps > 400
+
+    def test_exit_codes_compared(self):
+        result = check_program(assemble("""
+        _start:
+            li a0, 7
+            li a7, 93
+            ecall
+        """))
+        assert result.ok
+
+
+class TestDivergence:
+    def test_register_fault_pinpointed(self):
+        program = _program()
+        # Strike x10 (the accumulator) at instruction 50.
+        plan = FaultPlan(FaultTarget.XREG, at_instret=50, index=10, bit=3)
+        injector = FaultInjector(seed=1, plans=[plan])
+        result = check_program(program, injector=injector)
+        assert not result.ok
+        divergence = result.divergence
+        # Detected on the very instruction the fault struck.
+        assert divergence.seq == 51
+        assert any(name == "x10" for name, _, _ in divergence.diffs)
+        assert divergence.window           # disassembled context present
+        assert "addi" in " ".join(divergence.window)
+        # The divergence pc is inside the loop body.
+        body = range(program.entry, program.entry + 0x40)
+        assert divergence.pc in body
+
+    def test_pc_fault_detected(self):
+        plan = FaultPlan(FaultTarget.PC, at_instret=30, bit=3)
+        injector = FaultInjector(seed=2, plans=[plan])
+        result = check_program(_program(), injector=injector)
+        assert not result.ok
+        assert result.divergence.reason.startswith(
+            ("state-diff", "primary-crash"))
+
+    def test_render_mentions_pc(self):
+        plan = FaultPlan(FaultTarget.XREG, at_instret=10, index=5, bit=0)
+        injector = FaultInjector(seed=3, plans=[plan])
+        result = check_program(_program(), injector=injector)
+        text = result.divergence.render()
+        assert "divergence at pc=" in text
+        assert "golden=" in text
+
+    def test_primary_can_be_supplied(self):
+        program = _program()
+        primary = Emulator(program)
+        checker = LockstepChecker(program, primary=primary)
+        result = checker.run()
+        assert result.ok
+        assert primary.halted and checker.shadow.halted

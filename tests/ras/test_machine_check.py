@@ -1,0 +1,116 @@
+"""Machine-check delivery: error banking CSRs and guest recovery."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa.csr import (
+    CSR_MCECNT,
+    MCERR_SOURCES,
+    MCERR_UNCORRECTABLE,
+    MCERR_VALID,
+    TrapCause,
+)
+from repro.sim import Emulator, MachineCheckError
+
+# A guest that installs a machine-check-aware handler: it banks the
+# mcerr CSRs into memory, clears the error, and mret-resumes.  The main
+# loop exits 0 only if the handler observed a valid error report.
+RECOVERY_GUEST = """
+    .data
+    .align 3
+seen:   .dword 0
+addr:   .dword 0
+    .text
+_start:
+    la t0, handler
+    csrw mtvec, t0
+    li t0, 60
+spin:
+    addi t0, t0, -1
+    bnez t0, spin
+    la t1, seen
+    ld a0, 0(t1)
+    beqz a0, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+handler:
+    csrr t2, mcerr
+    la t3, seen
+    sd t2, 0(t3)
+    csrr t2, mcerraddr
+    la t3, addr
+    sd t2, 0(t3)
+    csrw mcerr, x0
+    mret
+"""
+
+
+class TestGuestRecovery:
+    def test_handler_observes_and_recovers(self):
+        program = assemble(RECOVERY_GUEST)
+        emulator = Emulator(program)
+        for _ in range(10):
+            emulator.step()
+        emulator.post_machine_check(0xCAFE0, source=MCERR_SOURCES["L1D"])
+        assert emulator.run() == 0          # guest recovered and exited
+        assert emulator.machine_checks == 1
+        memory = emulator.state.memory
+        seen = memory.load_int(program.symbol("seen"), 8)
+        assert seen & MCERR_VALID
+        assert seen & MCERR_UNCORRECTABLE
+        assert (seen >> 8) & 0xFF == MCERR_SOURCES["L1D"]
+        assert memory.load_int(program.symbol("addr"), 8) == 0xCAFE0
+
+    def test_mcause_is_machine_check(self):
+        program = assemble(RECOVERY_GUEST)
+        emulator = Emulator(program)
+        for _ in range(5):
+            emulator.step()
+        emulator.post_machine_check(0x1000)
+        emulator.step()                     # delivery happens here
+        from repro.isa.csr import CSR_MCAUSE
+        assert emulator.state.csrs.read(CSR_MCAUSE) \
+            == TrapCause.MACHINE_CHECK.value
+
+
+class TestUnhandled:
+    def test_no_handler_raises_structured_error(self):
+        program = assemble("""
+        _start:
+            li t0, 100
+        spin:
+            addi t0, t0, -1
+            bnez t0, spin
+            li a7, 93
+            ecall
+        """)
+        emulator = Emulator(program)
+        emulator.step()
+        emulator.post_machine_check(0xBEEF, source=MCERR_SOURCES["L2"])
+        with pytest.raises(MachineCheckError) as excinfo:
+            emulator.run()
+        assert excinfo.value.addr == 0xBEEF
+        assert excinfo.value.source == MCERR_SOURCES["L2"]
+
+    def test_first_error_wins_the_bank(self):
+        program = assemble("_start:\nnop\nnop\nnop\n")
+        emulator = Emulator(program)
+        emulator.post_machine_check(0x1111, source=1)
+        emulator.post_machine_check(0x2222, source=2)
+        with pytest.raises(MachineCheckError) as excinfo:
+            emulator.step()
+        assert excinfo.value.addr == 0x1111
+
+
+class TestCorrectedCounting:
+    def test_report_corrected_increments_mcecnt(self):
+        program = assemble("_start:\nnop\n")
+        emulator = Emulator(program)
+        for _ in range(3):
+            emulator.report_corrected(0x40)
+        assert emulator.state.csrs.read(CSR_MCECNT) == 3

@@ -1,0 +1,66 @@
+"""Watchdog: instruction-limit expiry is a structured post-mortem."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim import Emulator, WatchdogExpired
+
+HANG = """
+_start:
+    li s0, 123
+spin:
+    j spin
+"""
+
+
+class TestWatchdog:
+    def test_expiry_raises_watchdog_with_dump(self):
+        emulator = Emulator(assemble(HANG), instruction_limit=500)
+        with pytest.raises(WatchdogExpired) as excinfo:
+            emulator.run()
+        exc = excinfo.value
+        assert exc.pc == emulator.state.pc
+        assert exc.regs[8] == 123           # s0 visible in the dump
+        assert exc.backtrace                # disassembled window
+        assert any("j" in line or "jal" in line for line in exc.backtrace)
+        assert "watchdog" in str(exc)
+
+    def test_constructor_limit_honoured(self):
+        emulator = Emulator(assemble(HANG), instruction_limit=7)
+        with pytest.raises(WatchdogExpired):
+            emulator.run()
+        assert emulator.state.instret == 7
+
+    def test_max_steps_overrides_limit(self):
+        emulator = Emulator(assemble(HANG), instruction_limit=10)
+        with pytest.raises(WatchdogExpired):
+            emulator.run(max_steps=3)
+        assert emulator.state.instret == 3
+
+    def test_normal_halt_does_not_raise(self):
+        emulator = Emulator(assemble("""
+        _start:
+            li a0, 0
+            li a7, 93
+            ecall
+        """), instruction_limit=100)
+        assert emulator.run() == 0
+        assert emulator.halted
+
+    def test_watchdog_is_distinguishable_from_emulator_error(self):
+        from repro.sim import EmulatorError
+
+        assert issubclass(WatchdogExpired, EmulatorError)
+        emulator = Emulator(assemble(HANG), instruction_limit=5)
+        try:
+            emulator.run()
+        except WatchdogExpired:
+            pass                            # the distinguishable path
+        else:
+            pytest.fail("watchdog did not fire")
+
+    def test_trace_raises_watchdog(self):
+        emulator = Emulator(assemble(HANG), instruction_limit=20)
+        with pytest.raises(WatchdogExpired):
+            for _ in emulator.trace():
+                pass

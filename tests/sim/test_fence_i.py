@@ -1,0 +1,53 @@
+"""fence.i must flush the decode cache so self-modifying code is seen.
+
+Regression test: fence.i used to be a no-op, so a store over an
+already-executed instruction kept hitting the stale cached decode.
+"""
+
+from repro.asm import assemble
+from repro.sim import Emulator
+
+# 0x00200513 encodes "addi a0, x0, 2".
+_PATCH_WORD = 0x00200513
+
+
+def _program(barrier: str) -> str:
+    return f"""
+    _start:
+        li s0, 2
+        la t0, patchme
+        li t1, {_PATCH_WORD:#x}
+    again:
+    patchme:
+        addi a0, x0, 1
+        sw t1, 0(t0)
+        {barrier}
+        addi s0, s0, -1
+        bnez s0, again
+        li a7, 93
+        ecall
+    """
+
+
+class TestFenceI:
+    def test_fence_i_exposes_patched_instruction(self):
+        # Pass 1 executes (and caches) "addi a0, x0, 1", then stores
+        # "addi a0, x0, 2" over it and fences.  Pass 2 must see the
+        # patched instruction, so the program exits 2.
+        emulator = Emulator(assemble(_program("fence.i"), compress=False))
+        assert emulator.run() == 2
+
+    def test_without_fence_stale_decode_survives(self):
+        # Same program with the fence dropped: the decode cache keeps
+        # the pre-patch instruction and the program exits 1.  This
+        # pins down WHY the fence is required — if decode caching were
+        # removed entirely, both variants would exit 2.
+        emulator = Emulator(assemble(_program("nop"), compress=False))
+        assert emulator.run() == 1
+
+    def test_icache_iall_also_flushes(self):
+        # The Xuantie cache-management extension's full-flush op must
+        # behave like fence.i for the decode cache.
+        emulator = Emulator(
+            assemble(_program("icache.iall"), compress=False))
+        assert emulator.run() == 2

@@ -59,3 +59,43 @@ class TestCli:
     def test_bad_core_rejected(self, program_file):
         with pytest.raises(SystemExit):
             main(["run", program_file, "--core", "pentium"])
+
+
+HANG_SOURCE = """
+_start:
+    li s0, 42
+spin:
+    j spin
+"""
+
+
+@pytest.fixture
+def hang_file(tmp_path):
+    path = tmp_path / "hang.s"
+    path.write_text(HANG_SOURCE)
+    return str(path)
+
+
+class TestRasCli:
+    def test_max_insts_watchdog(self, hang_file, capsys):
+        assert main(["run", hang_file, "--max-insts", "200"]) == 2
+        out = capsys.readouterr().out
+        assert "watchdog" in out
+        assert "pc=" in out
+
+    def test_max_insts_does_not_trip_on_clean_exit(self, program_file,
+                                                   capsys):
+        assert main(["run", program_file, "--max-insts", "100000"]) == 0
+        assert "exit 0" in capsys.readouterr().out
+
+    def test_lockstep_clean(self, program_file, capsys):
+        assert main(["run", program_file, "--lockstep"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergence" in out
+
+    def test_lockstep_with_max_insts(self, hang_file, capsys):
+        # Both primary and shadow hit the watchdog together; the
+        # checker reports the crash as a divergence-free abort or the
+        # CLI surfaces the watchdog -- either way no traceback leaks.
+        rc = main(["run", hang_file, "--lockstep", "--max-insts", "100"])
+        assert rc in (1, 2)
