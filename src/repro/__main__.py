@@ -4,6 +4,7 @@
     python -m repro disasm program.s
     python -m repro profile program.s [--core xt910] [--top 15]
     python -m repro compare program.s --cores xt910 u74 cortex-a73
+    python -m repro bench [--quick] [--out BENCH_emulator.json]
     python -m repro harness [experiment ...]      (alias of repro.harness)
 """
 
@@ -96,6 +97,32 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import os
+
+    from .harness import perfbench
+
+    if args.baseline and not os.path.exists(args.baseline):
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    payload = perfbench.run_bench(quick=args.quick, repeat=args.repeat)
+    print(perfbench.render(payload))
+    if args.out:
+        perfbench.save(payload, args.out)
+        print(f"wrote {args.out}")
+    if args.baseline:
+        baseline = perfbench.load(args.baseline)
+        failures = perfbench.check_regression(payload, baseline,
+                                              tolerance=args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(f"no regression vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -138,6 +165,23 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp.add_argument("--cores", nargs="+", default=["xt910", "u74"],
                        choices=sorted(PRESETS))
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_bench = sub.add_parser(
+        "bench", help="emulator MIPS + harness wall-clock benchmark")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CoreMark kernels only (the CI smoke set)")
+    p_bench.add_argument("--repeat", type=int, default=3,
+                         help="timing runs per cell; best is kept")
+    p_bench.add_argument("--out", default=None,
+                         help="write the JSON payload here "
+                              "(e.g. BENCH_emulator.json)")
+    p_bench.add_argument("--baseline", default=None,
+                         help="committed BENCH_emulator.json to gate "
+                              "against; exits 1 on regression")
+    p_bench.add_argument("--tolerance", type=float,
+                         default=0.30,
+                         help="allowed fractional MIPS drop vs baseline")
+    p_bench.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -37,6 +37,19 @@ EXPERIMENTS = {
 }
 
 
-def run_all(quick: bool = True) -> dict[str, ExperimentResult]:
-    """Run every experiment; returns {name: result}."""
-    return {name: fn(quick=quick) for name, fn in EXPERIMENTS.items()}
+def run_all(quick: bool = True,
+            jobs: int | None = None) -> dict[str, ExperimentResult]:
+    """Run every experiment; returns {name: result}.
+
+    ``jobs`` fans each experiment's independent (core, workload) cells
+    out over a process pool where the experiment supports it.
+    """
+    import inspect
+
+    results = {}
+    for name, fn in EXPERIMENTS.items():
+        kwargs = {"quick": quick}
+        if jobs is not None and "jobs" in inspect.signature(fn).parameters:
+            kwargs["jobs"] = jobs
+        results[name] = fn(**kwargs)
+    return results

@@ -3,10 +3,19 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
 from . import EXPERIMENTS
+
+
+def _run_one(fn, quick: bool, jobs: int | None):
+    """Invoke one experiment, passing ``jobs`` only where supported."""
+    kwargs = {"quick": quick}
+    if jobs is not None and "jobs" in inspect.signature(fn).parameters:
+        kwargs["jobs"] = jobs
+    return fn(**kwargs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -18,11 +27,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiments to run (default: all)")
     parser.add_argument("--full", action="store_true",
                         help="full-size workloads (slower, closer shapes)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="fan independent (core, workload) cells out "
+                             "over N processes (default: serial)")
     args = parser.parse_args(argv)
     names = args.experiments or list(EXPERIMENTS)
     for name in names:
         start = time.time()
-        result = EXPERIMENTS[name](quick=not args.full)
+        result = _run_one(EXPERIMENTS[name], quick=not args.full,
+                          jobs=args.jobs)
         print(result.render())
         print(f"[{name} took {time.time() - start:.1f}s]\n")
     return 0

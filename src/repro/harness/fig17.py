@@ -14,6 +14,7 @@ reproduce is the ladder: the ordering and the ratios between cores.
 from __future__ import annotations
 
 from ..workloads.coremark import coremark_suite
+from .parallel import run_cells
 from .report import ExperimentResult, geomean
 from .runner import run_on_core
 
@@ -30,22 +31,31 @@ PAPER_SCORES = {
 DEFAULT_CORES = ["xt910", "u74", "cortex-a55", "swerv", "cortex-a53", "u54"]
 
 
-def coremark_ipc(core: str, quick: bool = False) -> float:
+def _coremark_cell(core: str, workload_name: str) -> float:
+    """IPC of one CoreMark kernel on one core (picklable cell)."""
+    workload = next(w for w in coremark_suite() if w.name == workload_name)
+    return run_on_core(workload.program(), core).ipc
+
+
+def coremark_ipc(core: str, quick: bool = False,
+                 jobs: int | None = None) -> float:
     """Geometric-mean IPC over the four CoreMark kernels."""
-    ipcs = []
-    for workload in coremark_suite():
-        result = run_on_core(workload.program(), core)
-        ipcs.append(result.ipc)
-    return geomean(ipcs)
+    names = [w.name for w in coremark_suite()]
+    return geomean(run_cells(_coremark_cell,
+                             [(core, name) for name in names], jobs))
 
 
-def run_fig17(cores: list[str] | None = None,
-              quick: bool = False) -> ExperimentResult:
+def run_fig17(cores: list[str] | None = None, quick: bool = False,
+              jobs: int | None = None) -> ExperimentResult:
     cores = cores if cores is not None else DEFAULT_CORES
     result = ExperimentResult(
         experiment="fig17",
         title="CoreMark/MHz across embedded cores")
-    ipcs = {core: coremark_ipc(core, quick) for core in cores}
+    names = [w.name for w in coremark_suite()]
+    cells = [(core, name) for core in cores for name in names]
+    cell_ipcs = run_cells(_coremark_cell, cells, jobs)
+    ipcs = {core: geomean(cell_ipcs[i * len(names):(i + 1) * len(names)])
+            for i, core in enumerate(cores)}
     scale = PAPER_SCORES["xt910"] / ipcs["xt910"]
     for core in cores:
         result.add(core, PAPER_SCORES.get(core),

@@ -9,22 +9,33 @@ normalized-per-MHz ratio per kernel plus the geometric mean.
 from __future__ import annotations
 
 from ..workloads.eembc import eembc_suite
+from .parallel import run_cells
 from .report import ExperimentResult, geomean
 from .runner import run_on_core
 
 
-def run_fig18(quick: bool = False) -> ExperimentResult:
+def _eembc_cell(workload_name: str, core: str) -> float:
+    """IPC of one EEMBC kernel on one core (picklable cell)."""
+    workload = next(w for w in eembc_suite() if w.name == workload_name)
+    return run_on_core(workload.program(), core).ipc
+
+
+def run_fig18(quick: bool = False,
+              jobs: int | None = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig18",
         title="EEMBC-like kernels, XT-910 normalized to Cortex-A73")
+    names = [w.name for w in eembc_suite()]
+    cells = [(name, core) for name in names
+             for core in ("xt910", "cortex-a73")]
+    ipcs = run_cells(_eembc_cell, cells, jobs)
     ratios = []
-    for workload in eembc_suite():
-        xt = run_on_core(workload.program(), "xt910")
-        a73 = run_on_core(workload.program(), "cortex-a73")
-        ratio = xt.ipc / a73.ipc
+    for i, name in enumerate(names):
+        xt_ipc, a73_ipc = ipcs[2 * i], ipcs[2 * i + 1]
+        ratio = xt_ipc / a73_ipc
         ratios.append(ratio)
-        result.add(workload.name, None, round(ratio, 3), "x A73",
-                   note=f"IPC {xt.ipc:.2f} vs {a73.ipc:.2f}")
+        result.add(name, None, round(ratio, 3), "x A73",
+                   note=f"IPC {xt_ipc:.2f} vs {a73_ipc:.2f}")
     result.add("geometric mean", 1.0, round(geomean(ratios), 3), "x A73",
                note="paper: 'on par with the ARM Cortex-A73'")
     result.raw = {"ratios": ratios}

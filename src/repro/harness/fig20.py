@@ -11,29 +11,41 @@ is cycles(base) / cycles(optimized).
 
 from __future__ import annotations
 
-import copy
-
 from ..toolchain import CodegenOptions, build_program, fig20_kernels
+from .parallel import run_cells
 from .report import ExperimentResult, geomean
 from .runner import run_on_core
 
 
-def run_fig20(quick: bool = False) -> ExperimentResult:
+def _fig20_cell(kernel_name: str, optimized: bool) -> int:
+    """Cycles of one kernel under one compiler personality.
+
+    Rebuilds the kernel from scratch (``fig20_kernels`` yields fresh
+    objects), so ``build_program`` may mutate it freely and the cell
+    pickles as two primitives.
+    """
+    kernel = next(k for k in fig20_kernels() if k.name == kernel_name)
+    options = (CodegenOptions.optimized() if optimized
+               else CodegenOptions.base())
+    return run_on_core(build_program(kernel, options), "xt910").cycles
+
+
+def run_fig20(quick: bool = False,
+              jobs: int | None = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig20",
         title="instruction extensions + optimized compiler speedup")
+    names = [k.name for k in fig20_kernels()]
+    cells = [(name, optimized) for name in names
+             for optimized in (False, True)]
+    cycles = run_cells(_fig20_cell, cells, jobs)
     speedups = []
-    for kernel in fig20_kernels():
-        base_prog = build_program(copy.deepcopy(kernel),
-                                  CodegenOptions.base())
-        opt_prog = build_program(copy.deepcopy(kernel),
-                                 CodegenOptions.optimized())
-        base = run_on_core(base_prog, "xt910")
-        opt = run_on_core(opt_prog, "xt910")
-        speedup = base.cycles / opt.cycles
+    for i, name in enumerate(names):
+        base_cycles, opt_cycles = cycles[2 * i], cycles[2 * i + 1]
+        speedup = base_cycles / opt_cycles
         speedups.append(speedup)
-        result.add(kernel.name, None, round(speedup, 3), "x",
-                   note=f"{base.cycles} -> {opt.cycles} cycles")
+        result.add(name, None, round(speedup, 3), "x",
+                   note=f"{base_cycles} -> {opt_cycles} cycles")
     result.add("geometric mean", 1.20, round(geomean(speedups), 3), "x",
                note="paper: 'improved by about 20%'")
     result.raw = {"speedups": speedups}

@@ -21,6 +21,7 @@ from ..mem.dram import DramConfig
 from ..mem.hierarchy import MemHierConfig
 from ..mem.prefetch import PrefetchConfig
 from ..workloads.stream import stream_suite
+from .parallel import run_cells
 from .report import ExperimentResult
 from .runner import run_on_core
 from ..uarch.presets import xt910
@@ -67,15 +68,16 @@ def run_scenario(scenario: str, elems: int = 24576,
     return total
 
 
-def run_fig21(quick: bool = False,
-              elems: int | None = None) -> ExperimentResult:
+def run_fig21(quick: bool = False, elems: int | None = None,
+              jobs: int | None = None) -> ExperimentResult:
     elems = elems if elems is not None else (16384 if quick else 24576)
     kernels = ("triad",) if quick else ("copy", "triad")
     result = ExperimentResult(
         experiment="fig21",
         title="prefetch ablation on STREAM (200-cycle DRAM)")
-    cycles = {s: run_scenario(s, elems=elems, kernels=kernels)
-              for s in "abcde"}
+    cells = [(s, elems, kernels) for s in "abcde"]
+    totals = run_cells(run_scenario, cells, jobs)
+    cycles = dict(zip("abcde", totals))
     base = cycles["a"]
     for scenario in "abcde":
         speedup = base / cycles[scenario]

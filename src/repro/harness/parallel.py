@@ -1,0 +1,52 @@
+"""Process-pool execution of independent harness cells.
+
+Every figure sweep and the RAS campaign decompose into independent
+(core, workload)-style cells: each cell builds its own program and
+emulator, runs, and returns a small picklable result.  Python threads
+would serialize on the GIL (the emulator is pure Python), so the
+parallel path uses processes; cell functions must therefore be
+module-level and take primitive arguments (workload *names*, core
+*names*, seeds) — children rebuild the heavyweight objects themselves.
+
+``jobs=None`` / ``jobs<=1`` runs the cells serially in-process, which
+keeps single-cell debugging (pdb, coverage, exceptions with full
+context) trivial and is the default everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` value for this machine."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _invoke(payload):
+    fn, args = payload
+    return fn(*args)
+
+
+def run_cells(fn: Callable, cells: Iterable[tuple], jobs: int | None = None,
+              ) -> list:
+    """Run ``fn(*cell)`` for every cell, preserving input order.
+
+    With ``jobs`` > 1 the cells are fanned out over a process pool
+    (``fn`` and each cell must be picklable); otherwise they run
+    serially in this process.  A cell that raises propagates the
+    exception either way — callers that want per-cell containment
+    (e.g. the RAS campaign) catch inside the cell function.
+    """
+    cells = list(cells)
+    if jobs is None or jobs <= 1 or len(cells) <= 1:
+        return [fn(*cell) for cell in cells]
+    workers = min(jobs, len(cells))
+    payloads = [(fn, cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_invoke, payloads))
+
+
+__all__ = ["run_cells", "default_jobs"]

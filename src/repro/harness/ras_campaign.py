@@ -40,6 +40,7 @@ from ..ras.injector import (
 from ..ras.lockstep import LockstepChecker
 from ..sim.emulator import Emulator, EmulatorError, MachineCheckError
 from ..workloads import coremark_suite
+from .parallel import run_cells
 from .report import ExperimentResult
 
 DETECTED = ("detected-parity", "detected-mcheck", "detected-lockstep",
@@ -193,50 +194,65 @@ def _array_injection(workload, seed: int, window: int, golden_sum: int,
     return Injection(seed, target, "vanished", "fault evicted clean")
 
 
+def _campaign_cell(kind: str, workload_name: str, inj_seed: int,
+                   window: int, golden_sum: int, result_addr: int,
+                   double_bit_rate: float) -> Injection:
+    """One seeded injection as a picklable parallel cell.
+
+    Exceptions are contained here (not in the executor) because an
+    unhandled raw exception is itself a campaign outcome to count.
+    """
+    workload = next(w for w in coremark_suite() if w.name == workload_name)
+    try:
+        if kind == "arch":
+            return _arch_injection(workload, inj_seed, window, golden_sum,
+                                   result_addr, lockstep=True)
+        if kind == "array":
+            return _array_injection(workload, inj_seed, window, golden_sum,
+                                    result_addr, double_bit_rate)
+        return _arch_injection(workload, inj_seed, window, golden_sum,
+                               result_addr, lockstep=False)
+    except Exception as exc:  # the campaign's own acceptance metric
+        return Injection(inj_seed, "?", "unhandled",
+                         f"{type(exc).__name__}: {exc}")
+
+
 def run_campaign(n: int = 100, seed: int = 2020,
                  workload_name: str = "coremark-list",
                  double_bit_rate: float = 0.15,
-                 control_n: int | None = None) -> CampaignResult:
-    """Sweep *n* seeded injections; returns the classified results."""
+                 control_n: int | None = None,
+                 jobs: int | None = None) -> CampaignResult:
+    """Sweep *n* seeded injections; returns the classified results.
+
+    Each flip is an independent seeded run, so the sweep fans out over
+    the shared :func:`repro.harness.parallel.run_cells` executor;
+    ``jobs=None`` keeps the historical serial order bit-for-bit.
+    """
     workload = next(w for w in coremark_suite() if w.name == workload_name)
     window, golden_sum, result_addr = _golden(workload)
     result = CampaignResult(workload=workload.name)
     # Alternate arch and array faults so both halves get even coverage.
-    for i in range(n):
-        inj_seed = seed * 1_000_003 + i
-        try:
-            if i % 2 == 0:
-                injection = _arch_injection(
-                    workload, inj_seed, window, golden_sum, result_addr,
-                    lockstep=True)
-            else:
-                injection = _array_injection(
-                    workload, inj_seed, window, golden_sum, result_addr,
-                    double_bit_rate)
-        except Exception as exc:  # the campaign's own acceptance metric
-            result.unhandled += 1
-            injection = Injection(inj_seed, "?", "unhandled",
-                                  f"{type(exc).__name__}: {exc}")
-        result.injections.append(injection)
+    cells = [("arch" if i % 2 == 0 else "array", workload.name,
+              seed * 1_000_003 + i, window, golden_sum, result_addr,
+              double_bit_rate)
+             for i in range(n)]
     # Control arm: the same architectural faults without the checker.
     control_n = control_n if control_n is not None else max(4, n // 10)
-    for i in range(control_n):
-        inj_seed = seed * 1_000_003 + i * 2  # reuse the arch-fault seeds
-        try:
-            result.control.append(_arch_injection(
-                workload, inj_seed, window, golden_sum, result_addr,
-                lockstep=False))
-        except Exception as exc:
-            result.unhandled += 1
-            result.control.append(Injection(inj_seed, "?", "unhandled",
-                                            type(exc).__name__))
+    cells += [("control", workload.name, seed * 1_000_003 + i * 2,
+               window, golden_sum, result_addr, double_bit_rate)
+              for i in range(control_n)]
+    outcomes = run_cells(_campaign_cell, cells, jobs)
+    result.injections = outcomes[:n]
+    result.control = outcomes[n:]
+    result.unhandled = sum(1 for inj in outcomes
+                           if inj.outcome == "unhandled")
     return result
 
 
-def run_ras(quick: bool = True) -> ExperimentResult:
+def run_ras(quick: bool = True, jobs: int | None = None) -> ExperimentResult:
     """Harness entry point: the RAS injection-coverage experiment."""
     n = 40 if quick else 120
-    campaign = run_campaign(n=n)
+    campaign = run_campaign(n=n, jobs=jobs)
     result = ExperimentResult(
         experiment="ras",
         title=f"fault-injection coverage, {n} seeded flips "

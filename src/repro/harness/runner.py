@@ -34,24 +34,37 @@ class RunResult:
 
 def run_on_core(program: Program, core: CoreConfig | str,
                 max_steps: int | None = None,
-                hierarchy: MemoryHierarchy | None = None) -> RunResult:
-    """Execute *program* functionally and time it on *core*."""
+                hierarchy: MemoryHierarchy | None = None,
+                fast: bool = True) -> RunResult:
+    """Execute *program* functionally and time it on *core*.
+
+    ``fast`` feeds the timing model through the block-translation
+    cache (``Emulator.fast_trace``); the retired stream is identical
+    to the precise interpreter, so timing results do not change.
+    """
     config = get_preset(core) if isinstance(core, str) else core
     emulator = Emulator(program)
     pipeline = PipelineModel(config, hierarchy=hierarchy)
-    stats = pipeline.run(emulator.trace(max_steps))
+    trace = (emulator.fast_trace(max_steps) if fast
+             else emulator.trace(max_steps))
+    stats = pipeline.run(trace)
     if emulator.exit_code not in (0, None):
         raise RuntimeError(
             f"program exited with {emulator.exit_code} on {config.name}; "
             f"stdout: {emulator.stdout!r}")
+    stats.decode_cache_hits = emulator.decode_cache_hits
+    stats.decode_cache_misses = emulator.decode_cache_misses
+    if emulator._blocks is not None:
+        stats.extra.update(emulator._blocks.counters())
     return RunResult(core=config.name, stats=stats,
                      exit_code=emulator.exit_code or 0,
                      stdout=emulator.stdout, pipeline=pipeline)
 
 
 def compare_cores(program: Program, cores: list[CoreConfig | str],
-                  max_steps: int | None = None) -> dict[str, RunResult]:
+                  max_steps: int | None = None,
+                  fast: bool = True) -> dict[str, RunResult]:
     """Run the same binary on several cores (the paper's methodology)."""
     return {result.core: result
-            for result in (run_on_core(program, core, max_steps)
+            for result in (run_on_core(program, core, max_steps, fast=fast)
                            for core in cores)}

@@ -1,0 +1,341 @@
+"""Basic-block translation cache: decode straight-line runs once, replay fast.
+
+The precise interpreter (:meth:`repro.sim.emulator.Emulator.step`) pays
+per retired instruction for a handler-dict lookup, a side-effect reset,
+a fresh :class:`~repro.sim.trace.DynInst` allocation, and the
+fence/trap bookkeeping.  Profiles show those fixed costs outweigh the
+actual instruction semantics by ~3:1, so this module translates each
+basic block exactly once into a :class:`TranslatedBlock`:
+
+* handler references are resolved at translation time (no
+  ``SCALAR_EXEC``/``VECTOR_EXEC`` dict lookup per step),
+* fall-through PCs are pre-computed per entry,
+* each entry owns a reusable ``DynInst`` slot, pre-filled with every
+  field that is constant across executions (pc, inst, and — for pure
+  compute instructions — the whole record minus seq/vl/sew),
+* instructions that provably produce no side effects, never read the
+  PC and never trap take a short path that is just the handler call
+  plus three slot writes.
+
+Architectural behavior is preserved exactly: the full path below is a
+line-for-line equivalent of ``Emulator.step`` (same trap delivery,
+same ecall shim, same fence invalidation, same DynInst field values),
+and the block dispatcher re-checks machine-check banks between blocks.
+``fence.i``/``icache``/``sfence.vma`` invalidate the whole cache.
+Self-modifying stores that hit the *not-yet-executed* tail of the
+block being translated-and-run for the first time invalidate that tail
+so the fresh bytes are re-decoded, matching the precise interpreter's
+decode-at-first-execution order (see DESIGN.md for the one accepted
+deviation: SMC without ``fence.i`` after a partial first execution).
+
+Record lifetime contract: the lists yielded by
+``Emulator.fast_trace`` reuse their ``DynInst`` slots — each batch is
+only valid until the next batch is requested.  Consumers that need to
+retain records (e.g. equivalence tests) must copy them.
+"""
+
+from __future__ import annotations
+
+from ..isa.csr import PrivMode, TrapCause
+from ..isa.instructions import Instruction, InstrClass
+from .exec_scalar import SCALAR_EXEC, EcallShim, Trap
+from .exec_vector import VECTOR_EXEC
+from .syscalls import ExitRequest
+from .trace import DynInst
+
+#: longest straight-line run translated into one block
+MAX_BLOCK_INSTS = 64
+#: cached blocks before the whole cache is flushed (bounds memory under
+#: JIT-style guests that keep generating fresh code regions)
+BLOCK_CACHE_LIMIT = 4096
+
+# Per-entry flag bits.  flags == 0 is the short "pure compute" path.
+FLAG_FULL = 1          # needs the step-equivalent path
+FLAG_MAY_WRITE = 2     # store/AMO: may hit translated code
+FLAG_FENCE_I = 4       # fence.i / icache.*: flush decode + block caches
+FLAG_SFENCE = 8        # sfence.vma: same, plus a TLB flush
+FLAG_VECTOR = 16       # VECTOR_EXEC handler: return value is discarded
+
+#: classes that may redirect the PC and therefore end a block
+_TERMINATORS = frozenset({InstrClass.BRANCH, InstrClass.JUMP,
+                          InstrClass.SYSTEM, InstrClass.CSR})
+#: classes whose handlers never touch ``state.side``, never read
+#: ``state.pc`` and never raise (architecturally) — eligible for the
+#: short path.  DIV is excluded (records div_bits), auipc reads the PC.
+_SIMPLE_CLASSES = frozenset({InstrClass.ALU, InstrClass.MUL,
+                             InstrClass.FP, InstrClass.FMUL,
+                             InstrClass.FDIV})
+_PC_READERS = frozenset({"auipc"})
+_WRITE_CLASSES = frozenset({InstrClass.STORE, InstrClass.VSTORE,
+                            InstrClass.AMO})
+
+_MASK64 = (1 << 64) - 1
+
+
+class TranslatedBlock:
+    """One decoded straight-line run.
+
+    ``entries`` holds ``(handler, inst, pc, fall, flags, rec)`` tuples
+    in program order; ``records`` is the parallel list of reusable
+    ``DynInst`` slots, so a fully executed block can yield it without
+    any per-instruction list building.
+    """
+
+    __slots__ = ("start", "end", "entries", "records", "run_count")
+
+    def __init__(self, start: int, end: int, entries: list):
+        self.start = start
+        self.end = end          # exclusive byte bound of translated code
+        self.entries = entries
+        self.records = [entry[5] for entry in entries]
+        self.run_count = 0
+
+
+def _fill(rec: DynInst, state, side, next_pc: int) -> None:
+    """Write one full record (cold paths; the hot path inlines this)."""
+    rec.seq = state.instret
+    rec.next_pc = next_pc
+    rec.taken = side.taken
+    rec.target = side.target
+    rec.mem_addr = side.mem_addr
+    rec.mem_size = side.mem_size
+    rec.vl = state.vl
+    rec.sew = state.sew
+    rec.div_bits = side.div_bits
+
+
+class BlockEngine:
+    """Block cache + dispatcher state for one :class:`Emulator`."""
+
+    def __init__(self, emulator):
+        self.emu = emulator
+        self.blocks: dict[int, TranslatedBlock] = {}
+        # counters (surfaced through CoreStats.extra / bench output)
+        self.translated_blocks = 0
+        self.translated_insts = 0
+        self.executions = 0
+        self.flushes = 0
+        self.smc_invalidations = 0
+
+    # -- cache maintenance ---------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every translation (fence.i / sfence.vma semantics)."""
+        if self.blocks:
+            self.blocks.clear()
+            self.flushes += 1
+
+    def _invalidate_tail(self, block: TranslatedBlock, executed: int) -> None:
+        """A store hit the untranslated-yet-unexecuted tail of *block*.
+
+        Drop the block and evict the tail's decode-cache entries (they
+        were filled at translation time from the pre-store bytes) so
+        the next dispatch re-decodes the fresh bytes — the order the
+        precise interpreter would have seen.
+        """
+        self.smc_invalidations += 1
+        self.blocks.pop(block.start, None)
+        decode_cache = self.emu._decode_cache
+        for entry in block.entries[executed:]:
+            decode_cache.pop(entry[2], None)
+
+    # -- translation ---------------------------------------------------------
+
+    def translate(self, pc: int) -> TranslatedBlock:
+        """Decode the basic block starting at *pc* and cache it.
+
+        Raises exactly what the precise interpreter would raise on its
+        first step at *pc* (a fetch ``Trap`` or an ``EmulatorError``);
+        decode problems *past* the first instruction just truncate the
+        block, so the error surfaces when execution actually reaches
+        the bad PC.
+        """
+        from .emulator import EmulatorError
+
+        emu = self.emu
+        entries: list = []
+        cur = pc
+        fall = pc
+        while True:
+            try:
+                inst = emu._fetch(cur)
+            except (Trap, EmulatorError):
+                if not entries:
+                    raise
+                break
+            spec = inst.spec
+            mnemonic = spec.mnemonic
+            vector = False
+            handler = SCALAR_EXEC.get(mnemonic)
+            if handler is None:
+                handler = VECTOR_EXEC.get(mnemonic)
+                if handler is None:
+                    if not entries:
+                        raise EmulatorError(
+                            f"no semantics for {mnemonic} at pc={cur:#x}")
+                    break
+                vector = True
+            fall = (cur + inst.size) & _MASK64
+            iclass = spec.iclass
+            if iclass in _SIMPLE_CLASSES and mnemonic not in _PC_READERS:
+                flags = 0
+            else:
+                flags = FLAG_FULL
+                if vector:
+                    flags |= FLAG_VECTOR
+                if iclass in _WRITE_CLASSES:
+                    flags |= FLAG_MAY_WRITE
+                if mnemonic in ("fence.i", "icache.iall", "icache.iva"):
+                    flags |= FLAG_FENCE_I
+                elif mnemonic == "sfence.vma":
+                    flags |= FLAG_SFENCE
+            rec = DynInst(seq=0, pc=cur, inst=inst, next_pc=fall)
+            entries.append((handler, inst, cur, fall, flags, rec))
+            if iclass in _TERMINATORS or len(entries) >= MAX_BLOCK_INSTS:
+                break
+            cur = fall
+        block = TranslatedBlock(pc, fall, entries)
+        if len(self.blocks) >= BLOCK_CACHE_LIMIT:
+            self.blocks.clear()
+            self.flushes += 1
+        self.blocks[pc] = block
+        self.translated_blocks += 1
+        self.translated_insts += len(entries)
+        return block
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, block: TranslatedBlock, budget: int,
+                record: bool = True):
+        """Run *block* (at most *budget* instructions).
+
+        Returns ``(retired_count, batch)`` where *batch* is the list of
+        reused ``DynInst`` slots for the executed prefix (``None`` when
+        *record* is false).  The loop below is the fast twin of
+        ``Emulator.step``: every architectural effect, trap path and
+        record field matches the precise interpreter bit for bit.
+        """
+        emu = self.emu
+        state = emu.state
+        side = state.side
+        entries = block.entries
+        if budget < len(entries):
+            entries = entries[:budget]
+        first_run = block.run_count == 0
+        block.run_count += 1
+        self.executions += 1
+        start_ret = state.instret
+        try:
+            for handler, inst, pc, fall, flags, rec in entries:
+                if flags == 0:
+                    # Pure compute: no side effects, no PC read, no
+                    # traps.  rec.next_pc/taken/target/mem/div were
+                    # pre-filled at translation time.
+                    handler(state, inst)
+                    if record:
+                        rec.seq = state.instret
+                        rec.vl = state.vl
+                        rec.sew = state.sew
+                    state.instret += 1
+                    continue
+
+                # -- full, step()-equivalent path -----------------------
+                state.pc = pc
+                side.reset()
+                emu._recent.append((pc, inst))
+                next_pc = None
+                try:
+                    next_pc = handler(state, inst)
+                except EcallShim:
+                    if state.priv == PrivMode.MACHINE:
+                        try:
+                            emu.syscalls.handle(state)
+                        except ExitRequest as exit_req:
+                            emu.exit_code = exit_req.code
+                            emu.halted = True
+                        # fall through: retires like a plain instruction
+                    else:
+                        cause = (TrapCause.ECALL_FROM_U
+                                 if state.priv == PrivMode.USER
+                                 else TrapCause.ECALL_FROM_S)
+                        emu._take_trap(Trap(cause, 0))
+                        if record:
+                            _fill(rec, state, side, state.pc)
+                        state.instret += 1
+                        break
+                except ExitRequest as exit_req:
+                    emu.exit_code = exit_req.code
+                    emu.halted = True
+                except Trap as trap:
+                    emu._take_trap(trap)
+                    if record:
+                        _fill(rec, state, side, state.pc)
+                    state.instret += 1
+                    break
+
+                if flags & (FLAG_FENCE_I | FLAG_SFENCE):
+                    emu._decode_cache.clear()
+                    self.invalidate()
+                    if flags & FLAG_SFENCE and emu.mmu is not None:
+                        emu.mmu.flush_tlb()
+                if flags & FLAG_VECTOR:
+                    next_pc = None  # step() ignores vector return values
+                if next_pc is None:
+                    next_pc = fall
+                if record:
+                    rec.seq = state.instret
+                    rec.next_pc = next_pc
+                    rec.taken = side.taken
+                    rec.target = side.target
+                    rec.mem_addr = side.mem_addr
+                    rec.mem_size = side.mem_size
+                    rec.vl = state.vl
+                    rec.sew = state.sew
+                    rec.div_bits = side.div_bits
+                state.pc = next_pc
+                state.instret += 1
+
+                if flags & FLAG_MAY_WRITE and first_run and side.mem_size:
+                    addr = side.mem_addr
+                    if addr < block.end and addr + side.mem_size > fall:
+                        self._invalidate_tail(
+                            block, state.instret - start_ret)
+                        break
+                if emu.halted or next_pc != fall:
+                    break
+            else:
+                # Ran off the end of a straight-line (or budget-cut)
+                # block: resume at the last fall-through.
+                state.pc = entries[-1][3]
+        except Exception as exc:
+            from .emulator import EmulatorError
+
+            if isinstance(exc, EmulatorError):
+                raise
+            retired = state.instret - start_ret
+            index = min(retired, len(entries) - 1)
+            bad = entries[index]
+            raise EmulatorError(
+                emu._crash_report(bad[2], bad[1].spec.mnemonic,
+                                  exc)) from exc
+
+        retired = state.instret - start_ret
+        if not record:
+            return retired, None
+        records = block.records
+        if retired == len(records):
+            return retired, records
+        return retired, records[:retired]
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "translated_blocks": self.translated_blocks,
+            "translated_insts": self.translated_insts,
+            "block_executions": self.executions,
+            "block_flushes": self.flushes,
+            "smc_invalidations": self.smc_invalidations,
+        }
+
+
+__all__ = ["BlockEngine", "TranslatedBlock", "MAX_BLOCK_INSTS",
+           "BLOCK_CACHE_LIMIT"]

@@ -14,9 +14,24 @@ from collections.abc import Iterator
 
 from ..asm.program import STACK_TOP, Program
 from ..isa import compressed
-from ..isa.csr import TrapCause
+from ..isa.csr import (
+    CSR_MCAUSE,
+    CSR_MCECNT,
+    CSR_MCERR,
+    CSR_MCERR_ADDR,
+    CSR_MEPC,
+    CSR_MIE,
+    CSR_MSTATUS,
+    CSR_MTVAL,
+    CSR_MTVEC,
+    MCERR_SOURCE_SHIFT,
+    MCERR_UNCORRECTABLE,
+    MCERR_VALID,
+    PrivMode,
+    TrapCause,
+)
 from ..isa.encoding import decode_word
-from ..isa.instructions import Instruction
+from ..isa.instructions import SPECS, Instruction
 from .exec_scalar import SCALAR_EXEC, EcallShim, Trap
 from .exec_vector import VECTOR_EXEC
 from .memory import Memory
@@ -62,6 +77,10 @@ class Emulator:
     """One hart running a program on a (possibly shared) memory."""
 
     DEFAULT_INSTRUCTION_LIMIT = 50_000_000
+    #: decode-cache entries before a wholesale flush.  Self-modifying or
+    #: JIT-style guests keep minting fresh PCs; without a bound the
+    #: cache grows with the dynamic code footprint.
+    DECODE_CACHE_LIMIT = 1 << 16
 
     def __init__(self, program: Program, memory: Memory | None = None,
                  hart_id: int = 0, stack_top: int = STACK_TOP,
@@ -98,13 +117,20 @@ class Emulator:
         self._pending_mcheck: tuple[int, int] | None = None
         self._recent: deque[tuple[int, Instruction]] = deque(
             maxlen=RECENT_WINDOW)
+        self.decode_cache_hits = 0
+        self.decode_cache_misses = 0
+        self.decode_cache_flushes = 0
+        #: lazily created block-translation engine (fast mode)
+        self._blocks = None
 
     # -- fetch/decode -----------------------------------------------------------
 
     def _fetch(self, pc: int) -> Instruction:
         cached = self._decode_cache.get(pc)
         if cached is not None:
+            self.decode_cache_hits += 1
             return cached
+        self.decode_cache_misses += 1
         mem = self.state.memory
         if self.mmu is not None:
             half = int.from_bytes(self.mmu.fetch_bytes(pc, 2), "little")
@@ -128,6 +154,9 @@ class Emulator:
                 f"cannot decode instruction at pc={pc:#x}: {exc}\n"
                 + self._recent_window_text()) from exc
         if self.mmu is None or not self.mmu._active():
+            if len(self._decode_cache) >= self.DECODE_CACHE_LIMIT:
+                self._decode_cache.clear()
+                self.decode_cache_flushes += 1
             self._decode_cache[pc] = inst
         return inst
 
@@ -148,7 +177,6 @@ class Emulator:
         except Trap as trap:
             self._take_trap(trap)
             state.instret += 1
-            from ..isa.instructions import SPECS
             nop = Instruction(spec=SPECS["addi"])
             return DynInst(seq=state.instret, pc=pc, inst=nop,
                            next_pc=state.pc)
@@ -171,8 +199,6 @@ class Emulator:
             else:
                 vhandler(state, inst)
         except EcallShim:
-            from ..isa.csr import PrivMode, TrapCause
-
             if state.priv == PrivMode.MACHINE:
                 try:
                     self.syscalls.handle(state)
@@ -205,8 +231,12 @@ class Emulator:
             # Instruction-stream synchronisation: stale decodes of
             # self-modified code must not survive the fence.
             self._decode_cache.clear()
+            if self._blocks is not None:
+                self._blocks.invalidate()
         elif mnemonic == "sfence.vma":
             self._decode_cache.clear()
+            if self._blocks is not None:
+                self._blocks.invalidate()
             if self.mmu is not None:
                 self.mmu.flush_tlb()
         if next_pc is None:
@@ -265,21 +295,10 @@ class Emulator:
 
     def report_corrected(self, addr: int = 0, source: int = 0) -> None:
         """Count a hardware-corrected error in the guest-visible CSR."""
-        from ..isa.csr import CSR_MCECNT
-
         csrs = self.state.csrs
         csrs.write(CSR_MCECNT, csrs.read(CSR_MCECNT) + 1)
 
     def _deliver_machine_check(self) -> None:
-        from ..isa.csr import (
-            CSR_MCERR,
-            CSR_MCERR_ADDR,
-            CSR_MTVEC,
-            MCERR_SOURCE_SHIFT,
-            MCERR_UNCORRECTABLE,
-            MCERR_VALID,
-        )
-
         addr, source = self._pending_mcheck
         self._pending_mcheck = None
         csrs = self.state.csrs
@@ -304,14 +323,6 @@ class Emulator:
 
     def _check_interrupts(self) -> None:
         """Take the highest-priority enabled pending interrupt, if any."""
-        from ..isa.csr import (
-            CSR_MCAUSE,
-            CSR_MEPC,
-            CSR_MIE,
-            CSR_MSTATUS,
-            CSR_MTVEC,
-        )
-
         csrs = self.state.csrs
         mstatus = csrs.read(CSR_MSTATUS)
         if not mstatus & 0x8:        # mstatus.MIE clear: masked
@@ -328,8 +339,6 @@ class Emulator:
         mtvec = csrs.read(CSR_MTVEC)
         if mtvec == 0:
             raise EmulatorError("interrupt pending with no mtvec handler")
-        from ..isa.csr import PrivMode
-
         csrs.write(CSR_MEPC, self.state.pc)
         csrs.write(CSR_MCAUSE, (1 << 63) | code)
         # Push the interrupt-enable stack (MPIE <- MIE, MIE <- 0) and
@@ -342,10 +351,6 @@ class Emulator:
         self.state.pc = mtvec & ~3
 
     def _take_trap(self, trap: Trap) -> None:
-        from ..isa.csr import CSR_MCAUSE, CSR_MEPC, CSR_MTVAL, CSR_MTVEC
-
-        from ..isa.csr import CSR_MSTATUS, PrivMode
-
         csrs = self.state.csrs
         csrs.write(CSR_MEPC, self.state.pc)
         csrs.write(CSR_MCAUSE, trap.cause.value)
@@ -362,12 +367,109 @@ class Emulator:
         self.state.priv = PrivMode.MACHINE
         self.state.pc = mtvec & ~3
 
-    def run(self, max_steps: int | None = None) -> int:
+    # -- fast (block-translated) execution ---------------------------------------
+
+    def _fast_eligible(self) -> bool:
+        """Whether block dispatch preserves exact semantics here.
+
+        The fast path elides the per-step fault-injector, interrupt and
+        MMU hooks, so any of those forces the precise interpreter.
+        """
+        return (self.mmu is None and self.fault_injector is None
+                and self.interrupt_fn is None)
+
+    def _engine(self):
+        if self._blocks is None:
+            from .blockcache import BlockEngine
+
+            self._blocks = BlockEngine(self)
+        return self._blocks
+
+    def fast_trace(self, max_steps: int | None = None):
+        """Yield the dynamic instruction stream in block-sized batches.
+
+        Batches are lists (or tuples) of :class:`DynInst` whose slots
+        are **reused**: each batch is only valid until the next one is
+        requested, so consumers that retain records must copy them.
+        The retired stream is field-for-field identical to
+        :meth:`trace`; when the configuration is not
+        :meth:`_fast_eligible` this silently degrades to precise
+        single-step batches.
+        """
+        limit = max_steps if max_steps is not None else self.instruction_limit
+        steps = 0
+        if not self._fast_eligible():
+            while not self.halted and steps < limit:
+                yield (self.step(),)
+                steps += 1
+            if not self.halted and steps >= limit:
+                raise self._watchdog(limit)
+            return
+        engine = self._engine()
+        blocks = engine.blocks
+        state = self.state
+        while not self.halted and steps < limit:
+            if self._pending_mcheck is not None:
+                self._deliver_machine_check()
+            pc = state.pc
+            block = blocks.get(pc)
+            if block is None:
+                try:
+                    block = engine.translate(pc)
+                except Trap as trap:
+                    # Same fetch-trap record the precise path emits.
+                    self._take_trap(trap)
+                    state.instret += 1
+                    nop = Instruction(spec=SPECS["addi"])
+                    yield (DynInst(seq=state.instret, pc=pc, inst=nop,
+                                   next_pc=state.pc),)
+                    steps += 1
+                    continue
+            retired, batch = engine.execute(block, limit - steps)
+            steps += retired
+            if batch:
+                yield batch
+        if not self.halted and steps >= limit:
+            raise self._watchdog(limit)
+
+    def run_fast(self, max_steps: int | None = None) -> int:
+        """:meth:`run` through the block engine, recording nothing."""
+        if not self._fast_eligible():
+            return self.run(max_steps)
+        limit = max_steps if max_steps is not None else self.instruction_limit
+        engine = self._engine()
+        blocks = engine.blocks
+        state = self.state
+        steps = 0
+        while not self.halted:
+            if steps >= limit:
+                raise self._watchdog(limit)
+            if self._pending_mcheck is not None:
+                self._deliver_machine_check()
+            pc = state.pc
+            block = blocks.get(pc)
+            if block is None:
+                try:
+                    block = engine.translate(pc)
+                except Trap as trap:
+                    self._take_trap(trap)
+                    state.instret += 1
+                    steps += 1
+                    continue
+            retired, _ = engine.execute(block, limit - steps, record=False)
+            steps += retired
+        return self.exit_code if self.exit_code is not None else -1
+
+    def run(self, max_steps: int | None = None, fast: bool = False) -> int:
         """Run to exit (or the watchdog); returns the exit code.
 
         A normal halt returns; a runaway loop raises
-        :class:`WatchdogExpired` with a post-mortem dump.
+        :class:`WatchdogExpired` with a post-mortem dump.  ``fast=True``
+        dispatches through the block-translation cache when the
+        configuration allows it (see :meth:`_fast_eligible`).
         """
+        if fast:
+            return self.run_fast(max_steps)
         limit = max_steps if max_steps is not None else self.instruction_limit
         steps = 0
         while not self.halted:

@@ -123,11 +123,22 @@ class PipelineModel:
 
     # -- public API ---------------------------------------------------------------
 
-    def run(self, trace: Iterable[DynInst]) -> CoreStats:
-        """Consume a dynamic instruction stream; returns the statistics."""
+    def run(self, trace: Iterable) -> CoreStats:
+        """Consume a dynamic instruction stream; returns the statistics.
+
+        Accepts either a flat :class:`DynInst` iterator
+        (``Emulator.trace``) or a batched one yielding lists/tuples of
+        records (``Emulator.fast_trace``) — the timing result is
+        identical, batching only amortises generator overhead.
+        """
         self._reset_run_state()
-        for dyn in trace:
-            self._simulate(dyn)
+        simulate = self._simulate
+        for item in trace:
+            if type(item) is DynInst:
+                simulate(item)
+            else:
+                for dyn in item:
+                    simulate(dyn)
         self._drain()
         self._collect_ras()
         return self.stats

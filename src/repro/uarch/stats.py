@@ -37,6 +37,9 @@ class CoreStats:
     ecc_uncorrectable: int = 0
     parity_errors: int = 0
     ways_disabled: int = 0
+    # emulator decode cache (functional front end, not the timing I$)
+    decode_cache_hits: int = 0
+    decode_cache_misses: int = 0
 
     extra: dict = field(default_factory=dict)
 
@@ -73,6 +76,12 @@ class CoreStats:
             f"LSU violations    {self.lsu_violations}"
             f" forwards {self.lsu_forwards}",
         ]
+        if self.decode_cache_hits or self.decode_cache_misses:
+            total = self.decode_cache_hits + self.decode_cache_misses
+            rate = 100 * self.decode_cache_hits / total if total else 0.0
+            lines.append(
+                f"decode cache      {self.decode_cache_hits} hits /"
+                f" {self.decode_cache_misses} misses ({rate:.1f}%)")
         if (self.ecc_corrected or self.ecc_uncorrectable
                 or self.parity_errors or self.ways_disabled):
             lines.append(

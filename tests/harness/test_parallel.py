@@ -1,0 +1,40 @@
+"""The shared cell executor: serial/parallel parity and ordering."""
+
+import pytest
+
+from repro.harness.parallel import default_jobs, run_cells
+
+
+def _square_minus(x, y):
+    return x * x - y
+
+
+def _boom(x):
+    raise ValueError(f"cell {x}")
+
+
+class TestRunCells:
+    def test_serial_default(self):
+        assert run_cells(_square_minus, [(3, 1), (4, 2)]) == [8, 14]
+
+    def test_serial_explicit(self):
+        assert run_cells(_square_minus, [(3, 1)], jobs=1) == [8]
+
+    def test_parallel_preserves_order(self):
+        cells = [(i, 0) for i in range(10)]
+        assert run_cells(_square_minus, cells, jobs=3) \
+            == [i * i for i in range(10)]
+
+    def test_empty(self):
+        assert run_cells(_square_minus, [], jobs=4) == []
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="cell 7"):
+            run_cells(_boom, [(7,)])
+
+    def test_parallel_exception_propagates(self):
+        with pytest.raises(ValueError, match="cell"):
+            run_cells(_boom, [(1,), (2,)], jobs=2)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1

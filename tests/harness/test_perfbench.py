@@ -1,0 +1,91 @@
+"""The bench payload, the regression gate, and the CLI subcommand."""
+
+import json
+import pathlib
+
+from repro.harness import perfbench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _payload(fast_mips=2.0, speedup=3.5):
+    return {
+        "schema": perfbench.SCHEMA,
+        "summary": {
+            "coremark_fast_mips": fast_mips,
+            "coremark_precise_mips": fast_mips / speedup,
+            "coremark_speedup": speedup,
+        },
+    }
+
+
+class TestRegressionGate:
+    def test_no_regression(self):
+        assert perfbench.check_regression(_payload(2.0), _payload(2.0)) == []
+
+    def test_faster_is_fine(self):
+        assert perfbench.check_regression(_payload(9.0), _payload(2.0)) == []
+
+    def test_within_tolerance(self):
+        assert perfbench.check_regression(
+            _payload(1.5), _payload(2.0), tolerance=0.30) == []
+
+    def test_mips_regression_fails(self):
+        failures = perfbench.check_regression(
+            _payload(1.0), _payload(2.0), tolerance=0.30)
+        assert any("coremark_fast_mips" in f for f in failures)
+
+    def test_speedup_regression_fails(self):
+        failures = perfbench.check_regression(
+            _payload(2.0, speedup=1.5), _payload(2.0, speedup=3.5),
+            tolerance=0.30)
+        assert any("coremark_speedup" in f for f in failures)
+
+    def test_empty_baseline_passes(self):
+        assert perfbench.check_regression(_payload(), {"summary": {}}) == []
+
+
+class TestBenchRun:
+    def test_bench_workload_shape(self):
+        result = perfbench.bench_workload("coremark-list", repeat=1)
+        assert result["insts"] > 0
+        assert result["precise_mips"] > 0
+        assert result["fast_mips"] > result["precise_mips"]
+        assert result["speedup"] > 1.0
+        assert result["harness_s"] > 0
+
+    def test_render_and_save(self, tmp_path):
+        payload = {
+            "schema": perfbench.SCHEMA,
+            "workloads": {
+                "coremark-list": {
+                    "insts": 100, "precise_s": 1.0, "fast_s": 0.25,
+                    "precise_mips": 0.0001, "fast_mips": 0.0004,
+                    "speedup": 4.0, "harness_s": 0.5}},
+            "summary": {"coremark_precise_mips": 0.0001,
+                        "coremark_fast_mips": 0.0004,
+                        "coremark_speedup": 4.0,
+                        "geomean_speedup": 4.0,
+                        "harness_wall_s": 0.5},
+        }
+        text = perfbench.render(payload)
+        assert "coremark-list" in text
+        assert "4.00x" in text
+        path = tmp_path / "bench.json"
+        perfbench.save(payload, str(path))
+        assert perfbench.load(str(path)) == payload
+
+
+class TestCommittedBaseline:
+    def test_checked_in_payload_is_valid(self):
+        with open(REPO_ROOT / "BENCH_emulator.json") as handle:
+            payload = json.load(handle)
+        assert payload["schema"] == perfbench.SCHEMA
+        summary = payload["summary"]
+        # The acceptance bar this PR ships under: >= 3x on CoreMark.
+        assert summary["coremark_speedup"] >= 3.0
+        assert summary["coremark_fast_mips"] > summary[
+            "coremark_precise_mips"]
+        for result in payload["workloads"].values():
+            assert result["insts"] > 0
+            assert result["speedup"] > 1.0
