@@ -1,10 +1,11 @@
 """Command-line interface.
 
-    python -m repro run program.s [--core xt910] [--mmu]
+    python -m repro run program.s [--core xt910] [--mmu] [--profile]
     python -m repro disasm program.s
     python -m repro profile program.s [--core xt910] [--top 15]
     python -m repro compare program.s --cores xt910 u74 cortex-a73
     python -m repro bench [--quick] [--out BENCH_emulator.json]
+    python -m repro bench --pipeline [--out BENCH_pipeline.json]
     python -m repro harness [experiment ...]      (alias of repro.harness)
 """
 
@@ -28,14 +29,26 @@ def _load(path: str, compress: bool) -> "Program":  # noqa: F821
 
 def cmd_run(args) -> int:
     program = _load(args.program, not args.no_compress)
+    if args.profile and not args.core:
+        print("error: --profile needs --core (it profiles the harness "
+              "path: emulator + timing model)", file=sys.stderr)
+        return 2
     if args.core:
-        result = run_on_core(program, args.core)
+        breakdown = None
+        if args.profile:
+            from .harness.runner import profile_run, render_profile
+
+            result, breakdown = profile_run(program, args.core)
+        else:
+            result = run_on_core(program, args.core)
         print(f"core {args.core}: {result.cycles} cycles, "
               f"IPC {result.ipc:.3f}, exit {result.exit_code}")
         if result.stdout:
             print(result.stdout, end="")
         if args.stats:
             print(result.stats.summary())
+        if breakdown is not None:
+            print(render_profile(breakdown))
         return result.exit_code
     emulator = Emulator(program, enable_mmu=args.mmu,
                         instruction_limit=args.max_insts)
@@ -100,19 +113,22 @@ def cmd_compare(args) -> int:
 def cmd_bench(args) -> int:
     import os
 
-    from .harness import perfbench
+    if args.pipeline:
+        from .harness import pipebench as bench_mod
+    else:
+        from .harness import perfbench as bench_mod
 
     if args.baseline and not os.path.exists(args.baseline):
         print(f"error: baseline {args.baseline} not found", file=sys.stderr)
         return 2
-    payload = perfbench.run_bench(quick=args.quick, repeat=args.repeat)
-    print(perfbench.render(payload))
+    payload = bench_mod.run_bench(quick=args.quick, repeat=args.repeat)
+    print(bench_mod.render(payload))
     if args.out:
-        perfbench.save(payload, args.out)
+        bench_mod.save(payload, args.out)
         print(f"wrote {args.out}")
     if args.baseline:
-        baseline = perfbench.load(args.baseline)
-        failures = perfbench.check_regression(payload, baseline,
+        baseline = bench_mod.load(args.baseline)
+        failures = bench_mod.check_regression(payload, baseline,
                                               tolerance=args.tolerance)
         for failure in failures:
             print(f"REGRESSION: {failure}")
@@ -141,6 +157,10 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--mmu", action="store_true",
                        help="enable SV39 translation in the emulator")
     p_run.add_argument("--stats", action="store_true")
+    p_run.add_argument("--profile", action="store_true",
+                       help="with --core: wall-time breakdown of the "
+                            "harness (emulation vs timing model vs "
+                            "memory hierarchy)")
     p_run.add_argument("--max-steps", type=int, default=None)
     p_run.add_argument("--max-insts", type=int, default=None,
                        help="watchdog instruction limit (default 50M); "
@@ -168,6 +188,11 @@ def main(argv: list[str] | None = None) -> int:
 
     p_bench = sub.add_parser(
         "bench", help="emulator MIPS + harness wall-clock benchmark")
+    p_bench.add_argument("--pipeline", action="store_true",
+                         help="benchmark the 12-stage timing model "
+                              "(fast path vs frozen reference oracle) "
+                              "instead of the emulator; writes/reads "
+                              "BENCH_pipeline.json-shaped payloads")
     p_bench.add_argument("--quick", action="store_true",
                          help="CoreMark kernels only (the CI smoke set)")
     p_bench.add_argument("--repeat", type=int, default=3,

@@ -1,0 +1,161 @@
+"""Pipeline timing-model benchmark (``python -m repro bench --pipeline``).
+
+Times the 12-stage timing model in both implementations — the frozen
+pre-fast-path oracle (:class:`repro.uarch.refmodel.ReferencePipelineModel`,
+"ref") and the optimised production model
+(:class:`repro.uarch.core.PipelineModel`, "fast") — over the full
+harness path (block-translated emulator + timing model) on the CoreMark
+kernels, and writes ``BENCH_pipeline.json``.
+
+Methodology: ref and fast are interleaved back-to-back in the same
+process and each cell keeps the best of ``repeat`` runs, which shaves
+scheduler noise off the ratio; every pair of runs is also checked for
+bit-identical :meth:`CoreStats.as_comparable` — a bench run that would
+publish a speedup for a model that diverged from the oracle fails
+instead.
+
+The committed JSON doubles as the CI regression baseline, exactly like
+``BENCH_emulator.json``: the bench CI job re-runs ``bench --pipeline
+--quick`` and fails when fast-model harness MIPS or the fast/ref
+speedup drops more than the tolerance (default 30%) below the
+checked-in numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..mem.hierarchy import MemoryHierarchy
+from ..sim.emulator import Emulator
+from ..uarch.core import PipelineModel
+from ..uarch.presets import get_preset
+from ..uarch.refmodel import ReferencePipelineModel
+from .perfbench import _lookup, _workloads
+from .report import geomean
+
+#: JSON schema version of BENCH_pipeline.json
+SCHEMA = 1
+DEFAULT_TOLERANCE = 0.30
+CORE = "xt910"
+
+
+def _time_model(model_cls, program):
+    """One harness run (emulator + *model_cls*): (stats, seconds)."""
+    config = get_preset(CORE)
+    model = model_cls(config, MemoryHierarchy(config.mem))
+    emulator = Emulator(program)
+    start = time.perf_counter()
+    stats = model.run(emulator.fast_trace(None))
+    elapsed = time.perf_counter() - start
+    return stats, elapsed
+
+
+def bench_workload(name: str, repeat: int = 3) -> dict:
+    """Interleaved ref/fast numbers for one kernel."""
+    program = _lookup(name).program()
+    best_ref = best_fast = float("inf")
+    insts = 0
+    for _ in range(repeat):
+        ref_stats, ref_s = _time_model(ReferencePipelineModel, program)
+        fast_stats, fast_s = _time_model(PipelineModel, program)
+        if fast_stats.as_comparable() != ref_stats.as_comparable():
+            raise RuntimeError(
+                f"{name}: fast model diverged from the reference oracle; "
+                f"refusing to publish bench numbers")
+        best_ref = min(best_ref, ref_s)
+        best_fast = min(best_fast, fast_s)
+        insts = fast_stats.instructions
+    return {
+        "insts": insts,
+        "ref_s": round(best_ref, 6),
+        "fast_s": round(best_fast, 6),
+        "ref_mips": round(insts / best_ref / 1e6, 4),
+        "fast_mips": round(insts / best_fast / 1e6, 4),
+        "speedup": round(best_ref / best_fast, 3),
+    }
+
+
+def run_bench(quick: bool = False, repeat: int = 3) -> dict:
+    """Benchmark every kernel; returns the BENCH_pipeline.json payload."""
+    workloads = _workloads(quick)
+    results = {w.name: bench_workload(w.name, repeat=repeat)
+               for w in workloads}
+    coremark = [r for name, r in results.items()
+                if name.startswith("coremark")]
+    return {
+        "schema": SCHEMA,
+        "bench": "pipeline",
+        "core": CORE,
+        "quick": quick,
+        "repeat": repeat,
+        "workloads": results,
+        "summary": {
+            "geomean_speedup": round(
+                geomean([r["speedup"] for r in results.values()]), 3),
+            "coremark_ref_mips": round(
+                geomean([r["ref_mips"] for r in coremark]), 4),
+            "coremark_fast_mips": round(
+                geomean([r["fast_mips"] for r in coremark]), 4),
+            "coremark_speedup": round(
+                geomean([r["speedup"] for r in coremark]), 3),
+        },
+    }
+
+
+def check_regression(payload: dict, baseline: dict,
+                     tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Compare a fresh bench run against the committed baseline.
+
+    Returns human-readable failure strings (empty = no regression).
+    Two gates: absolute fast-model harness throughput (host-relative,
+    hence the ratio tolerance) and the fast/ref speedup, which is
+    host-independent and catches the fast path quietly losing its edge.
+    """
+    failures = []
+    base_summary = baseline.get("summary", {})
+    for key in ("coremark_fast_mips", "coremark_speedup"):
+        base = base_summary.get(key)
+        if not base:
+            continue
+        current = payload["summary"][key]
+        floor = base * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"{key} regressed: {current} < {floor:.4f} "
+                f"(baseline {base}, tolerance {tolerance:.0%})")
+    return failures
+
+
+def render(payload: dict) -> str:
+    """Terminal table for the bench payload."""
+    lines = [f"{'workload':18s}{'insts':>9}{'ref':>10}{'fast':>10}"
+             f"{'speedup':>9}",
+             f"{'':18s}{'':>9}{'MIPS':>10}{'MIPS':>10}{'':>9}"]
+    for name, r in payload["workloads"].items():
+        lines.append(
+            f"{name:18s}{r['insts']:>9}{r['ref_mips']:>10.3f}"
+            f"{r['fast_mips']:>10.3f}{r['speedup']:>8.2f}x")
+    s = payload["summary"]
+    lines.append(
+        f"{'geomean':18s}{'':>9}{s['coremark_ref_mips']:>10.3f}"
+        f"{s['coremark_fast_mips']:>10.3f}{s['coremark_speedup']:>8.2f}x")
+    lines.append("(harness MIPS = emulator + xt910 timing model; ref is "
+                 "the frozen pre-fast-path oracle, interleaved best-of-"
+                 f"{payload['repeat']})")
+    return "\n".join(lines)
+
+
+def save(payload: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+__all__ = ["run_bench", "bench_workload", "check_regression", "render",
+           "save", "load", "DEFAULT_TOLERANCE", "SCHEMA", "CORE"]

@@ -61,6 +61,68 @@ def run_on_core(program: Program, core: CoreConfig | str,
                      stdout=emulator.stdout, pipeline=pipeline)
 
 
+#: Component buckets for :func:`profile_run`, keyed by the ``repro``
+#: subpackage that owns the profiled frame.
+_PROFILE_BUCKETS = (
+    ("emulation", "sim"),       # functional emulator + block cache
+    ("timing_model", "uarch"),  # 12-stage pipeline model
+    ("memory_hierarchy", "mem"),  # caches / TLBs / prefetch / DRAM model
+)
+
+
+def profile_run(program: Program, core: CoreConfig | str,
+                max_steps: int | None = None,
+                fast: bool = True) -> tuple[RunResult, dict]:
+    """Run like :func:`run_on_core` under ``cProfile`` and attribute
+    wall time to emulation vs timing model vs memory hierarchy.
+
+    Attribution is by owning subpackage of each profiled frame's file
+    (``repro.sim`` / ``repro.uarch`` / ``repro.mem``; everything else is
+    ``other``).  Note the caveat: the fast-path monolith inlines the
+    L1/TLB hit paths directly into ``repro.uarch.core``, so demand *hits*
+    are charged to ``timing_model`` — ``memory_hierarchy`` covers the
+    miss paths, prefetch and refill machinery.  Profiling itself adds
+    interpreter overhead, so use the ratios, not the absolute seconds.
+    """
+    import cProfile
+    import os
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_on_core(program, core, max_steps=max_steps, fast=fast)
+    profiler.disable()
+
+    sep = os.sep
+    breakdown = {name: 0.0 for name, _ in _PROFILE_BUCKETS}
+    breakdown["other"] = 0.0
+    total = 0.0
+    for (filename, _line, _fn), (_cc, _nc, tt, _ct, _callers) \
+            in pstats.Stats(profiler).stats.items():
+        total += tt
+        for name, pkg in _PROFILE_BUCKETS:
+            if f"{sep}repro{sep}{pkg}{sep}" in filename:
+                breakdown[name] += tt
+                break
+        else:
+            breakdown["other"] += tt
+    breakdown["total_s"] = total
+    return result, breakdown
+
+
+def render_profile(breakdown: dict) -> str:
+    """Terminal table for a :func:`profile_run` breakdown."""
+    total = breakdown["total_s"] or 1.0
+    lines = [f"{'component':20s}{'seconds':>10}{'share':>8}"]
+    for name in ("emulation", "timing_model", "memory_hierarchy", "other"):
+        seconds = breakdown[name]
+        lines.append(f"{name:20s}{seconds:>10.3f}{seconds / total:>7.1%}")
+    lines.append(f"{'total':20s}{breakdown['total_s']:>10.3f}{'':>8}")
+    lines.append("(cProfile self-time by owning subpackage; L1/TLB demand "
+                 "hits are inlined into the timing model)")
+    return "\n".join(lines)
+
+
 def compare_cores(program: Program, cores: list[CoreConfig | str],
                   max_steps: int | None = None,
                   fast: bool = True) -> dict[str, RunResult]:

@@ -102,6 +102,11 @@ class Cache:
             else self.QUARANTINE_THRESHOLD)
         self._corr_counts: dict[tuple[int, int], int] = {}
         self._disabled_ways: dict[int, set[int]] = {}
+        # While True, every set's occupied ways are exactly {0..len-1}
+        # (fills append the next way, evictions reuse the victim's), so
+        # fill() can assign ways without scanning.  Any out-of-order
+        # removal — invalidate, parity/ECC drop, quarantine — clears it.
+        self._ways_dense = True
         self.on_corrected = None        # callable(addr, cache_name)
         self.on_uncorrectable = None    # callable(addr, cache_name)
 
@@ -149,6 +154,7 @@ class Cache:
             # the data is refetched from the next level).
             self.stats.parity_errors += 1
             del cache_set[laddr]
+            self._ways_dense = False
             return None
         if line.data_faults == 1:
             # SEC-DED corrects a single flipped data bit in place.
@@ -163,6 +169,7 @@ class Cache:
         # Two or more flipped bits: detected but uncorrectable.
         self.stats.ecc_uncorrectable += 1
         del cache_set[laddr]
+        self._ways_dense = False
         if self.on_uncorrectable is not None:
             self.on_uncorrectable(addr, self.name)
         return None
@@ -177,6 +184,7 @@ class Cache:
                 and len(disabled) < self.assoc - 1:
             disabled.add(way)
             self.stats.ways_disabled += 1
+            self._ways_dense = False
             cache_set = self._sets[index]
             stale = [tag for tag, line in cache_set.items()
                      if line.way == way]
@@ -250,10 +258,21 @@ class Cache:
 
     def access(self, addr: int, is_write: bool = False) -> bool:
         """Demand access; returns True on hit and updates stats/state."""
-        line = self.lookup(addr)
-        if line is None:
+        # Inlined lookup(): this runs once per demand access at every
+        # level, so the common clean-hit path avoids the extra call.
+        laddr = addr >> self._offset_bits
+        index = laddr % self.num_sets
+        cache_set = self._sets[index]
+        line = cache_set.get(laddr)
+        if line is None or line.state is LineState.INVALID:
             self.stats.misses += 1
             return False
+        if line.tag_fault or line.data_faults:
+            line = self._resolve_faults(addr, laddr, index, line)
+            if line is None:
+                self.stats.misses += 1
+                return False
+        cache_set.move_to_end(laddr)
         self.stats.hits += 1
         if line.prefetched:
             self.stats.prefetch_hits += 1
@@ -286,6 +305,8 @@ class Cache:
                 self.stats.writebacks += 1
         if victim is not None:
             way = victim.way
+        elif self._ways_dense and not disabled:
+            way = len(cache_set)
         else:
             used = {line.way for line in cache_set.values()}
             way = next((w for w in range(self.assoc)
@@ -300,7 +321,10 @@ class Cache:
         """Drop the line containing *addr*; returns it if present."""
         laddr = self.line_addr(addr)
         cache_set = self._sets[self._index(laddr)]
-        return cache_set.pop(laddr, None)
+        line = cache_set.pop(laddr, None)
+        if line is not None:
+            self._ways_dense = False
+        return line
 
     def contains(self, addr: int) -> bool:
         return self.lookup(addr, update_lru=False) is not None
@@ -311,6 +335,8 @@ class Cache:
         for cache_set in self._sets:
             dirty += sum(1 for line in cache_set.values() if line.dirty)
             cache_set.clear()
+        if not self._disabled_ways:
+            self._ways_dense = True      # empty sets are trivially dense
         return dirty
 
     @property

@@ -71,6 +71,7 @@ class MemoryHierarchy:
         self.dram = dram if dram is not None else Dram(config.dram)
         self.tlb = Tlb(config.tlb)
         self.stats = HierarchyStats()
+        self._line_shift = ls.bit_length() - 1
         self._pending_l1: dict[int, int] = {}   # line -> ready cycle
         self._pending_l2: dict[int, int] = {}
         self._mshr_heap: list[int] = []          # demand-miss completions
@@ -142,18 +143,18 @@ class MemoryHierarchy:
     def access_data(self, vaddr: int, cycle: int, is_write: bool = False,
                     size: int = 8) -> int:
         """One LSU access; returns total latency in cycles."""
+        stats = self.stats
         if is_write:
-            self.stats.stores += 1
+            stats.stores += 1
         else:
-            self.stats.loads += 1
+            stats.loads += 1
+        shift = self._line_shift
         latency = self.translate(vaddr, cycle)
-        first_line = vaddr >> (self.config.line_size.bit_length() - 1)
-        last_line = (vaddr + max(size, 1) - 1) >> (
-            self.config.line_size.bit_length() - 1)
+        first_line = vaddr >> shift
+        last_line = (vaddr + max(size, 1) - 1) >> shift
         latency += self._access_line(vaddr, cycle + latency, is_write)
         if last_line != first_line:  # line-crossing access: second lookup
-            next_addr = (first_line + 1) << (
-                self.config.line_size.bit_length() - 1)
+            next_addr = (first_line + 1) << shift
             latency += 1 + self._access_line(next_addr, cycle + latency,
                                              is_write)
         self.l1_prefetcher.observe(vaddr, cycle)

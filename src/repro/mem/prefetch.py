@@ -50,7 +50,7 @@ class PrefetchConfig:
         return cls(enabled=False)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Stream:
     last_addr: int
     stride: int = 0
@@ -82,6 +82,7 @@ class StreamPrefetcher:
         self.config = config
         self.line_size = line_size
         self._line_shift = line_size.bit_length() - 1
+        self._global_mode = config.mode == "global"
         self.issue_fn = issue_fn
         self.tlb_prefetch_fn = tlb_prefetch_fn
         self._streams: dict[int, _Stream] = {}
@@ -91,39 +92,35 @@ class StreamPrefetcher:
     # -- demand-stream observation ------------------------------------------------
 
     def observe(self, addr: int, cycle: int) -> None:
-        """Feed one demand access; may issue prefetches."""
-        if not self.config.enabled:
+        """Feed one demand access; trains the stride detector (step 1)
+        and may issue prefetches."""
+        cfg = self.config
+        if not cfg.enabled:
             return
-        stream = self._match_stream(addr, cycle)
-        if stream is None:
-            return
-        if stream.confidence < self.config.confidence_threshold:
-            return
-        self._run_ahead(stream, addr, cycle)
-
-    # -- stride calculation (step 1) -----------------------------------------------
-
-    def _match_stream(self, addr: int, cycle: int) -> _Stream | None:
         stream = self._find_stream(addr)
         if stream is None:
-            return self._allocate(addr, cycle)
-        stride = addr - stream.last_addr
-        if stride == 0:
-            stream.last_used = cycle
-            return stream
-        if stride == stream.stride:
-            stream.confidence = min(stream.confidence + 1, 7)
+            stream = self._allocate(addr, cycle)
         else:
-            # Prefetch control: evaluate whether to modify or abandon.
-            stream.confidence -= 1
-            if stream.confidence <= 0:
-                stream.stride = stride
-                stream.confidence = 1
-                stream.next_line = self._line(addr)
-                self.stats.streams_abandoned += 1
-        stream.last_addr = addr
-        stream.last_used = cycle
-        return stream
+            stride = addr - stream.last_addr
+            if stride == 0:
+                stream.last_used = cycle
+            else:
+                if stride == stream.stride:
+                    if stream.confidence < 7:
+                        stream.confidence += 1
+                else:
+                    # Prefetch control: modify or abandon the policy.
+                    stream.confidence -= 1
+                    if stream.confidence <= 0:
+                        stream.stride = stride
+                        stream.confidence = 1
+                        stream.next_line = addr >> self._line_shift
+                        self.stats.streams_abandoned += 1
+                stream.last_addr = addr
+                stream.last_used = cycle
+        if stream.confidence < cfg.confidence_threshold:
+            return
+        self._run_ahead(stream, addr, cycle)
 
     # Proximity window for stream ownership: an access trains the
     # stream whose last address is nearest, within this many bytes.
@@ -131,22 +128,31 @@ class StreamPrefetcher:
 
     def _find_stream(self, addr: int) -> _Stream | None:
         """Proximity matching: the nearest stream owns the access."""
-        if self.config.mode == "global":
+        if self._global_mode:
             return self._streams.get(0)
         best: _Stream | None = None
         best_distance = self._MATCH_WINDOW + 1
         for stream in self._streams.values():
-            distance = abs(addr - stream.last_addr)
-            if stream.stride:
-                distance = min(distance,
-                               abs(addr - (stream.last_addr + stream.stride)))
+            last = stream.last_addr
+            distance = addr - last
+            if distance < 0:
+                distance = -distance
+            stride = stream.stride
+            if stride:
+                d2 = addr - last - stride
+                if d2 < 0:
+                    d2 = -d2
+                if d2 < distance:
+                    distance = d2
             if distance < best_distance:
                 best = stream
                 best_distance = distance
+                if distance == 0:
+                    break   # nothing can beat an exact match
         return best
 
     def _allocate(self, addr: int, cycle: int) -> _Stream:
-        capacity = 1 if self.config.mode == "global" \
+        capacity = 1 if self._global_mode \
             else max(self.config.streams, 1)
         if len(self._streams) >= capacity:
             lru_key = min(self._streams,
@@ -156,7 +162,7 @@ class StreamPrefetcher:
                          last_used=cycle)
         self._streams[self._next_key] = stream
         self._next_key += 1
-        if self.config.mode == "global":
+        if self._global_mode:
             self._streams = {0: stream}
         self.stats.streams_allocated += 1
         return stream
@@ -167,35 +173,46 @@ class StreamPrefetcher:
         return addr >> self._line_shift
 
     def _run_ahead(self, stream: _Stream, addr: int, cycle: int) -> None:
-        if stream.stride == 0:
+        stride = stream.stride
+        if stride == 0:
             return
-        stride_lines = max(1, abs(stream.stride) >> self._line_shift) \
-            if abs(stream.stride) >= self.line_size else 1
-        direction = 1 if stream.stride > 0 else -1
-        current_line = self._line(addr)
-        horizon = current_line + direction * self.config.distance * stride_lines
-        depth_limit = current_line + direction * self.config.max_depth
-        if direction > 0:
-            horizon = min(horizon, depth_limit)
+        shift = self._line_shift
+        astride = stride if stride > 0 else -stride
+        stride_lines = astride >> shift if astride >= self.line_size else 1
+        cfg = self.config
+        current_line = addr >> shift
+        next_line = stream.next_line
+        if stride > 0:
+            horizon = current_line + cfg.distance * stride_lines
+            depth_limit = current_line + cfg.max_depth
+            if horizon > depth_limit:
+                horizon = depth_limit
+            # Restart the run-ahead pointer if the demand stream jumped.
+            if next_line <= current_line:
+                next_line = current_line + 1
+            step = stride_lines
         else:
-            horizon = max(horizon, depth_limit)
-        # Restart the run-ahead pointer if the demand stream jumped.
-        if direction > 0 and stream.next_line <= current_line:
-            stream.next_line = current_line + 1
-        if direction < 0 and stream.next_line >= current_line:
-            stream.next_line = current_line - 1
+            horizon = current_line - cfg.distance * stride_lines
+            depth_limit = current_line - cfg.max_depth
+            if horizon < depth_limit:
+                horizon = depth_limit
+            if next_line >= current_line:
+                next_line = current_line - 1
+            step = -stride_lines
         issued = 0
         while (issued < 8 and
-               (stream.next_line <= horizon if direction > 0
-                else stream.next_line >= horizon)):
-            target_addr = stream.next_line << self._line_shift
+               (next_line <= horizon if stride > 0
+                else next_line >= horizon)):
+            target_addr = next_line << shift
             if not self._check_page(addr, target_addr):
                 self.stats.dropped_page_boundary += 1
+                stream.next_line = next_line
                 return  # stall at page boundary until demand restarts us
             self.issue_fn(target_addr, cycle)
             self.stats.issued += 1
-            stream.next_line += direction * stride_lines
+            next_line += step
             issued += 1
+        stream.next_line = next_line
 
     def _check_page(self, demand_addr: int, target_addr: int) -> bool:
         """Page-boundary policy: True if the prefetch may proceed."""

@@ -118,6 +118,13 @@ class Tlb:
         self.stats = TlbStats()
         self.asid = 1
         self._next_asid = 2
+        # Count of uTLB entries that the direct-probe fast path cannot
+        # represent (non-4K pages or global pages).  While zero — the
+        # common case, since the walk model installs 4K private pages —
+        # a covering entry is exactly the one under key
+        # (vaddr >> 12, 4096, asid), so translate() probes the dict once
+        # instead of scanning the whole fully-associative array.
+        self._utlb_nonstd = 0
 
     # -- translation ---------------------------------------------------------------
 
@@ -128,14 +135,26 @@ class Tlb:
         (the caller runs the page-table walk and calls :meth:`refill`).
         """
         # uTLB: fully associative, every entry knows its page size.
-        for key, entry in list(self._utlb.items()):
-            if self._covers(entry, vaddr):
+        if not self._utlb_nonstd:
+            # All-4K/private array: direct probe (see __init__).
+            key = (vaddr >> 12, 4096, self.asid)
+            entry = self._utlb.get(key)
+            if entry is not None:
                 if entry.poisoned:
                     self._purge_poisoned(entry, key)
-                    continue     # parity caught it; fall through to jTLB
-                self._utlb.move_to_end(key)
-                self.stats.utlb_hits += 1
-                return self.config.utlb_latency, entry
+                else:
+                    self._utlb.move_to_end(key)
+                    self.stats.utlb_hits += 1
+                    return self.config.utlb_latency, entry
+        else:
+            for key, entry in list(self._utlb.items()):
+                if self._covers(entry, vaddr):
+                    if entry.poisoned:
+                        self._purge_poisoned(entry, key)
+                        continue  # parity caught it; fall through to jTLB
+                    self._utlb.move_to_end(key)
+                    self.stats.utlb_hits += 1
+                    return self.config.utlb_latency, entry
         # jTLB: probe 4K, then 2M, then 1G indexes (paper Fig. 12).
         latency = self.config.utlb_latency
         for page_size in PAGE_SIZES:
@@ -163,7 +182,10 @@ class Tlb:
         entry.poisoned = False   # counted once, even if aliased in both
         if utlb_key is None:
             utlb_key = (entry.vpn, entry.page_size, entry.asid)
-        self._utlb.pop(utlb_key, None)
+        popped = self._utlb.pop(utlb_key, None)
+        if popped is not None and (popped.page_size != 4096
+                                   or popped.global_page):
+            self._utlb_nonstd -= 1
         self._jtlb.remove(entry)
 
     def _covers(self, entry: TlbEntry, vaddr: int) -> bool:
@@ -191,8 +213,12 @@ class Tlb:
             self._utlb.move_to_end(key)
             return
         if len(self._utlb) >= self.config.utlb_entries:
-            self._utlb.popitem(last=False)
+            _, evicted = self._utlb.popitem(last=False)
+            if evicted.page_size != 4096 or evicted.global_page:
+                self._utlb_nonstd -= 1
         self._utlb[key] = entry
+        if entry.page_size != 4096 or entry.global_page:
+            self._utlb_nonstd += 1
 
     def contains(self, vaddr: int) -> bool:
         if any(self._covers(e, vaddr) and not e.poisoned
@@ -245,6 +271,7 @@ class Tlb:
 
     def flush(self) -> None:
         self._utlb.clear()
+        self._utlb_nonstd = 0
         self._jtlb.flush()
         self.stats.flushes += 1
 
@@ -252,6 +279,9 @@ class Tlb:
         stale = [k for k, e in self._utlb.items()
                  if e.asid == asid and not e.global_page]
         for key in stale:
+            if self._utlb[key].page_size != 4096 \
+                    or self._utlb[key].global_page:
+                self._utlb_nonstd -= 1
             del self._utlb[key]
         self._jtlb.flush_asid(asid)
 

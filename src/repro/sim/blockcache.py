@@ -37,7 +37,7 @@ retain records (e.g. equivalence tests) must copy them.
 from __future__ import annotations
 
 from ..isa.csr import PrivMode, TrapCause
-from ..isa.instructions import Instruction, InstrClass
+from ..isa.instructions import InstrClass
 from .exec_scalar import SCALAR_EXEC, EcallShim, Trap
 from .exec_vector import VECTOR_EXEC
 from .syscalls import ExitRequest
@@ -225,6 +225,15 @@ class BlockEngine:
         block.run_count += 1
         self.executions += 1
         start_ret = state.instret
+        # The simple-path loop keeps instret/vl/sew in locals: simple
+        # handlers never read them (no CSR access, no vector config),
+        # so ``state`` only needs syncing around full-path entries.
+        # On any exit the true count is max(state.instret, instret) —
+        # whichever side advanced last.
+        instret = start_ret
+        vl_now = state.vl
+        sew_now = state.sew
+        recent_append = emu._recent.append
         try:
             for handler, inst, pc, fall, flags, rec in entries:
                 if flags == 0:
@@ -233,16 +242,23 @@ class BlockEngine:
                     # pre-filled at translation time.
                     handler(state, inst)
                     if record:
-                        rec.seq = state.instret
-                        rec.vl = state.vl
-                        rec.sew = state.sew
-                    state.instret += 1
+                        rec.seq = instret
+                        rec.vl = vl_now
+                        rec.sew = sew_now
+                    instret += 1
                     continue
 
                 # -- full, step()-equivalent path -----------------------
+                state.instret = instret
                 state.pc = pc
-                side.reset()
-                emu._recent.append((pc, inst))
+                # side.reset() spelled out: one method call per
+                # non-simple instruction adds up on branchy code.
+                side.mem_addr = 0
+                side.mem_size = 0
+                side.taken = False
+                side.target = 0
+                side.div_bits = 0
+                recent_append((pc, inst))
                 next_pc = None
                 try:
                     next_pc = handler(state, inst)
@@ -294,6 +310,9 @@ class BlockEngine:
                     rec.div_bits = side.div_bits
                 state.pc = next_pc
                 state.instret += 1
+                instret = state.instret
+                vl_now = state.vl
+                sew_now = state.sew
 
                 if flags & FLAG_MAY_WRITE and first_run and side.mem_size:
                     addr = side.mem_addr
@@ -310,6 +329,8 @@ class BlockEngine:
         except Exception as exc:
             from .emulator import EmulatorError
 
+            if instret > state.instret:
+                state.instret = instret
             if isinstance(exc, EmulatorError):
                 raise
             retired = state.instret - start_ret
@@ -319,6 +340,8 @@ class BlockEngine:
                 emu._crash_report(bad[2], bad[1].spec.mnemonic,
                                   exc)) from exc
 
+        if instret > state.instret:
+            state.instret = instret
         retired = state.instret - start_ret
         if not record:
             return retired, None

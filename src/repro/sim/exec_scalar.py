@@ -52,155 +52,197 @@ def _op(*names: str):
 
 # -- integer computational -------------------------------------------------
 
+# The integer handlers below spell out ``write_x`` (guard + masked
+# store) because the method call costs more than the instruction
+# semantics at interpreter speed.  ``(x ^ _SIGN64)`` turns an unsigned
+# 64-bit compare into the signed one without the to_signed() calls.
+_SIGN64 = 1 << 63
+
+
 @_op("lui")
 def _lui(s, i):
-    s.write_x(i.rd, i.imm)
+    if i.rd:
+        s.regs[i.rd] = i.imm & MASK64
 
 
 @_op("auipc")
 def _auipc(s, i):
-    s.write_x(i.rd, s.pc + i.imm)
+    if i.rd:
+        s.regs[i.rd] = (s.pc + i.imm) & MASK64
 
 
 @_op("addi")
 def _addi(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] + i.imm)
+    if i.rd:
+        s.regs[i.rd] = (s.regs[i.rs1] + i.imm) & MASK64
 
 
 @_op("slti")
 def _slti(s, i):
-    s.write_x(i.rd, int(to_signed(s.regs[i.rs1]) < i.imm))
+    if i.rd:
+        s.regs[i.rd] = int(to_signed(s.regs[i.rs1]) < i.imm)
 
 
 @_op("sltiu")
 def _sltiu(s, i):
-    s.write_x(i.rd, int(s.regs[i.rs1] < (i.imm & MASK64)))
+    if i.rd:
+        s.regs[i.rd] = int(s.regs[i.rs1] < (i.imm & MASK64))
 
 
 @_op("xori")
 def _xori(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] ^ i.imm)
+    if i.rd:
+        s.regs[i.rd] = (s.regs[i.rs1] ^ i.imm) & MASK64
 
 
 @_op("ori")
 def _ori(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] | i.imm)
+    if i.rd:
+        s.regs[i.rd] = (s.regs[i.rs1] | i.imm) & MASK64
 
 
 @_op("andi")
 def _andi(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] & i.imm)
+    if i.rd:
+        s.regs[i.rd] = (s.regs[i.rs1] & i.imm) & MASK64
 
 
 @_op("slli")
 def _slli(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] << i.imm)
+    if i.rd:
+        s.regs[i.rd] = (s.regs[i.rs1] << i.imm) & MASK64
 
 
 @_op("srli")
 def _srli(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] >> i.imm)
+    if i.rd:
+        s.regs[i.rd] = s.regs[i.rs1] >> i.imm
 
 
 @_op("srai")
 def _srai(s, i):
-    s.write_x(i.rd, to_signed(s.regs[i.rs1]) >> i.imm)
+    if i.rd:
+        s.regs[i.rd] = (to_signed(s.regs[i.rs1]) >> i.imm) & MASK64
 
 
 @_op("add")
 def _add(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] + s.regs[i.rs2])
+    if i.rd:
+        s.regs[i.rd] = (s.regs[i.rs1] + s.regs[i.rs2]) & MASK64
 
 
 @_op("sub")
 def _sub(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] - s.regs[i.rs2])
+    if i.rd:
+        s.regs[i.rd] = (s.regs[i.rs1] - s.regs[i.rs2]) & MASK64
 
 
 @_op("sll")
 def _sll(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] << (s.regs[i.rs2] & 63))
+    if i.rd:
+        s.regs[i.rd] = (s.regs[i.rs1] << (s.regs[i.rs2] & 63)) & MASK64
 
 
 @_op("slt")
 def _slt(s, i):
-    s.write_x(i.rd, int(to_signed(s.regs[i.rs1]) < to_signed(s.regs[i.rs2])))
+    if i.rd:
+        s.regs[i.rd] = int((s.regs[i.rs1] ^ _SIGN64)
+                           < (s.regs[i.rs2] ^ _SIGN64))
 
 
 @_op("sltu")
 def _sltu(s, i):
-    s.write_x(i.rd, int(s.regs[i.rs1] < s.regs[i.rs2]))
+    if i.rd:
+        s.regs[i.rd] = int(s.regs[i.rs1] < s.regs[i.rs2])
 
 
 @_op("xor")
 def _xor(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] ^ s.regs[i.rs2])
+    if i.rd:
+        s.regs[i.rd] = s.regs[i.rs1] ^ s.regs[i.rs2]
 
 
 @_op("srl")
 def _srl(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] >> (s.regs[i.rs2] & 63))
+    if i.rd:
+        s.regs[i.rd] = s.regs[i.rs1] >> (s.regs[i.rs2] & 63)
 
 
 @_op("sra")
 def _sra(s, i):
-    s.write_x(i.rd, to_signed(s.regs[i.rs1]) >> (s.regs[i.rs2] & 63))
+    if i.rd:
+        s.regs[i.rd] = (to_signed(s.regs[i.rs1])
+                        >> (s.regs[i.rs2] & 63)) & MASK64
 
 
 @_op("or")
 def _or(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] | s.regs[i.rs2])
+    if i.rd:
+        s.regs[i.rd] = s.regs[i.rs1] | s.regs[i.rs2]
 
 
 @_op("and")
 def _and(s, i):
-    s.write_x(i.rd, s.regs[i.rs1] & s.regs[i.rs2])
+    if i.rd:
+        s.regs[i.rd] = s.regs[i.rs1] & s.regs[i.rs2]
 
 
 @_op("addiw")
 def _addiw(s, i):
-    s.write_x(i.rd, sext32(s.regs[i.rs1] + i.imm))
+    if i.rd:
+        s.regs[i.rd] = sext32(s.regs[i.rs1] + i.imm) & MASK64
 
 
 @_op("slliw")
 def _slliw(s, i):
-    s.write_x(i.rd, sext32(s.regs[i.rs1] << i.imm))
+    if i.rd:
+        s.regs[i.rd] = sext32(s.regs[i.rs1] << i.imm) & MASK64
 
 
 @_op("srliw")
 def _srliw(s, i):
-    s.write_x(i.rd, sext32((s.regs[i.rs1] & MASK32) >> i.imm))
+    if i.rd:
+        s.regs[i.rd] = sext32((s.regs[i.rs1] & MASK32) >> i.imm) & MASK64
 
 
 @_op("sraiw")
 def _sraiw(s, i):
-    s.write_x(i.rd, sext32(to_signed(s.regs[i.rs1], 32) >> i.imm))
+    if i.rd:
+        s.regs[i.rd] = sext32(to_signed(s.regs[i.rs1], 32) >> i.imm) \
+            & MASK64
 
 
 @_op("addw")
 def _addw(s, i):
-    s.write_x(i.rd, sext32(s.regs[i.rs1] + s.regs[i.rs2]))
+    if i.rd:
+        s.regs[i.rd] = sext32(s.regs[i.rs1] + s.regs[i.rs2]) & MASK64
 
 
 @_op("subw")
 def _subw(s, i):
-    s.write_x(i.rd, sext32(s.regs[i.rs1] - s.regs[i.rs2]))
+    if i.rd:
+        s.regs[i.rd] = sext32(s.regs[i.rs1] - s.regs[i.rs2]) & MASK64
 
 
 @_op("sllw")
 def _sllw(s, i):
-    s.write_x(i.rd, sext32(s.regs[i.rs1] << (s.regs[i.rs2] & 31)))
+    if i.rd:
+        s.regs[i.rd] = sext32(s.regs[i.rs1]
+                              << (s.regs[i.rs2] & 31)) & MASK64
 
 
 @_op("srlw")
 def _srlw(s, i):
-    s.write_x(i.rd, sext32((s.regs[i.rs1] & MASK32) >> (s.regs[i.rs2] & 31)))
+    if i.rd:
+        s.regs[i.rd] = sext32((s.regs[i.rs1] & MASK32)
+                              >> (s.regs[i.rs2] & 31)) & MASK64
 
 
 @_op("sraw")
 def _sraw(s, i):
-    s.write_x(i.rd, sext32(to_signed(s.regs[i.rs1], 32)
-                           >> (s.regs[i.rs2] & 31)))
+    if i.rd:
+        s.regs[i.rd] = sext32(to_signed(s.regs[i.rs1], 32)
+                              >> (s.regs[i.rs2] & 31)) & MASK64
 
 
 # -- control flow ------------------------------------------------------------
@@ -225,16 +267,18 @@ def _jalr(s, i):
 def _branch(cond_fn):
     def handler(s, i):
         taken = cond_fn(s.regs[i.rs1], s.regs[i.rs2])
-        s.side.taken = taken
-        s.side.target = (s.pc + i.imm) & MASK64
-        return s.side.target if taken else None
+        side = s.side
+        side.taken = taken
+        target = (s.pc + i.imm) & MASK64
+        side.target = target
+        return target if taken else None
     return handler
 
 
 SCALAR_EXEC["beq"] = _branch(lambda a, b: a == b)
 SCALAR_EXEC["bne"] = _branch(lambda a, b: a != b)
-SCALAR_EXEC["blt"] = _branch(lambda a, b: to_signed(a) < to_signed(b))
-SCALAR_EXEC["bge"] = _branch(lambda a, b: to_signed(a) >= to_signed(b))
+SCALAR_EXEC["blt"] = _branch(lambda a, b: (a ^ _SIGN64) < (b ^ _SIGN64))
+SCALAR_EXEC["bge"] = _branch(lambda a, b: (a ^ _SIGN64) >= (b ^ _SIGN64))
 SCALAR_EXEC["bltu"] = _branch(lambda a, b: a < b)
 SCALAR_EXEC["bgeu"] = _branch(lambda a, b: a >= b)
 

@@ -91,14 +91,30 @@ class Memory:
             offset = 0
 
     def load_int(self, addr: int, size: int, signed: bool = False) -> int:
-        value = int.from_bytes(self.load_bytes(addr, size), "little")
+        # Fast path: RAM-only, within one page (the overwhelmingly
+        # common shape) — skips the load_bytes/_load_bytes_ram frames.
+        offset = addr & PAGE_MASK
+        if not self._mmio and offset + size <= PAGE_SIZE:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            value = 0 if page is None else int.from_bytes(
+                page[offset:offset + size], "little")
+        else:
+            value = int.from_bytes(self.load_bytes(addr, size), "little")
         if signed and value >= 1 << (size * 8 - 1):
             value -= 1 << (size * 8)
         return value
 
     def store_int(self, addr: int, value: int, size: int) -> None:
-        self.store_bytes(addr, (value & ((1 << (size * 8)) - 1))
-                         .to_bytes(size, "little"))
+        data = (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little")
+        offset = addr & PAGE_MASK
+        if not self._mmio and offset + size <= PAGE_SIZE:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[addr >> PAGE_SHIFT] = page
+            page[offset:offset + size] = data
+            return
+        self.store_bytes(addr, data)
 
     def load_program(self, program) -> None:
         """Copy a :class:`repro.asm.Program`'s segments into memory."""

@@ -47,17 +47,29 @@ class SmpMachine:
 
     def _wrap_reservations(self) -> None:
         original_store = self.memory.store_bytes
+        original_store_int = self.memory.store_int
         harts = self.harts
 
-        def store_bytes(addr: int, data: bytes) -> None:
-            original_store(addr, data)
+        def break_reservations(addr: int, size: int) -> None:
             for hart in harts:
                 reservation = hart.state.reservation
                 if reservation is not None and \
-                        addr <= reservation < addr + max(len(data), 1):
+                        addr <= reservation < addr + max(size, 1):
                     hart.state.reservation = None
 
+        def store_bytes(addr: int, data: bytes) -> None:
+            original_store(addr, data)
+            break_reservations(addr, len(data))
+
+        def store_int(addr: int, value: int, size: int) -> None:
+            original_store_int(addr, value, size)
+            break_reservations(addr, size)
+
+        # Both entry points must be wrapped: store_int has a single-page
+        # RAM fast path that writes pages directly without going through
+        # store_bytes.
         self.memory.store_bytes = store_bytes  # type: ignore[method-assign]
+        self.memory.store_int = store_int  # type: ignore[method-assign]
 
     def run(self, max_steps_per_hart: int = 5_000_000) -> SmpResult:
         """Round-robin step all harts until they all exit."""

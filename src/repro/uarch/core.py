@@ -19,17 +19,42 @@ timestamps; widths and structural hazards are enforced by monotonic
 slot allocators, so the model is cycle-accounting rather than
 event-queue driven — the standard trace-driven methodology (see
 DESIGN.md for the accepted approximations).
+
+Fast path
+---------
+
+The model has two equivalent execution paths:
+
+* the **staged methods** (`_frontend`/`_dispatch`/`_execute`/`_retire`/
+  `_resolve_control`) — the readable specification, used by the
+  incremental :meth:`PipelineModel.feed` interface (SMP interleaving)
+  and by :mod:`repro.tools.profiler`;
+* the **batched hot loop** in :meth:`PipelineModel.run` — a hand-inlined
+  port of the same accounting that charges whole trace batches
+  (``Emulator.fast_trace`` yields one ``TranslatedBlock`` worth of
+  records at a time) through cached per-PC :class:`TimingInfo` records.
+
+Static per-instruction facts (pipe selection, latency, operand register
+ids, store addr/data operand split, branch kind) are resolved once per
+static instruction and cached by PC; the cache validates by
+``Instruction`` object identity, so the same fence.i / icache events
+that rebuild the emulator's decode cache and block cache automatically
+invalidate stale timing entries (a re-decoded PC carries a fresh
+``Instruction``).  Scheduling state lives in flat ring buffers
+(:class:`PipeGroup`, the ROB, the register scoreboard) so the per
+dynamic instruction cost is a short run of array operations.  The two
+paths are locked together by differential tests against the frozen
+:mod:`repro.uarch.refmodel` oracle — see DESIGN.md ("Timing fast
+path") for the equivalence argument.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
 from collections.abc import Iterable
-from dataclasses import dataclass
+from heapq import heappush, heappop
 
 from ..isa.instructions import InstrClass
-from ..isa.registers import Reg
+from ..mem.cache import LineState
 from ..mem.hierarchy import MemoryHierarchy
 from ..sim.trace import DynInst
 from .branch import HybridDirectionPredictor
@@ -38,6 +63,29 @@ from .config import CoreConfig
 from .loopbuf import LoopBuffer
 from .lsu import MemDepPredictor, StoreQueueModel, StoreRecord
 from .stats import CoreStats
+
+#: Cycle span of the PipeGroup booking window; bookings outside the
+#: window spill to an exact overflow dict, so the window size is a
+#: performance knob, not a correctness bound.
+_WINDOW = 1 << 15
+_MASK = _WINDOW - 1
+_ZEROS = [0] * _WINDOW
+
+#: Flat register-id space: x0-x31 -> 0-31, f0-f31 -> 32-63, v0-v31 -> 64-95.
+_FILE_BASE = {"x": 0, "f": 32, "v": 64}
+_NUM_REGS = 96
+
+#: TimingInfo.kind codes.
+K_SIMPLE, K_DIV, K_VEC, K_LOAD, K_VLOAD, K_STORE = range(6)
+#: TimingInfo.pipe codes (indices into PipelineModel._pipe_list).
+P_ALU, P_BJU, P_DIV, P_LOAD, P_STADDR, P_STDATA, P_FPU, P_VEC = range(8)
+_PIPE_NAMES = ("alu", "bju", "div", "load", "staddr", "stdata", "fpu", "vec")
+#: TimingInfo.ctrl codes.
+(C_NONE, C_BRANCH, C_JAL_CALL, C_JAL,
+ C_RETURN, C_IND_CALL, C_INDIRECT) = range(7)
+
+#: Static timing cache bound (distinct static PCs; cleared when full).
+TCACHE_LIMIT = 1 << 16
 
 
 class SlotAllocator:
@@ -68,38 +116,141 @@ class PipeGroup:
     younger instruction whose operands are ready early can slip into a
     cycle an older long-waiting instruction left idle — what an age-
     vector scheduler actually does.
+
+    Counters live in a flat ring covering ``[_base, _base + _WINDOW)``;
+    bookings outside the window go to the exact ``_far`` dict (normally
+    empty).  :meth:`prune` advances the window floor, recycling slots,
+    so memory stays constant over arbitrarily long runs.
     """
+
+    __slots__ = ("count", "_ring", "_base", "_limit", "_far")
 
     def __init__(self, count: int):
         self.count = max(count, 1)
-        self.used: dict[int, int] = {}
+        self._ring = [0] * _WINDOW
+        self._base = 0
+        self._limit = _WINDOW
+        self._far: dict[int, int] = {}
+
+    def reset(self) -> None:
+        """Clear all bookings in place (cheaper than reallocating)."""
+        self._ring[:] = _ZEROS
+        self._base = 0
+        self._limit = _WINDOW
+        self._far.clear()
+
+    @property
+    def used(self) -> dict[int, int]:
+        """Booked {cycle: pipes-in-use} view (introspection/tests)."""
+        booked = {}
+        ring = self._ring
+        for cycle in range(self._base, self._limit):
+            n = ring[cycle & _MASK]
+            if n:
+                booked[cycle] = n
+        booked.update(self._far)
+        return booked
+
+    def _get(self, cycle: int) -> int:
+        if self._base <= cycle < self._limit:
+            return self._ring[cycle & _MASK]
+        return self._far.get(cycle, 0)
 
     def earliest(self, ready: int, occupy: int = 1) -> int:
-        cycle = ready
+        count = self.count
         if occupy <= 1:
-            while self.used.get(cycle, 0) >= self.count:
+            if not self._far:
+                ring = self._ring
+                base = self._base
+                limit = self._limit
+                cycle = ready
+                while base <= cycle < limit and ring[cycle & _MASK] >= count:
+                    cycle += 1
+                # cycle < base (pruned horizon: free) or past the
+                # window (no far bookings: free) both terminate here.
+                return cycle
+            get = self._get
+            cycle = ready
+            while get(cycle) >= count:
                 cycle += 1
             return cycle
+        get = self._get
+        cycle = ready
         while True:
-            if all(self.used.get(cycle + k, 0) < self.count
-                   for k in range(occupy)):
+            k = 0
+            while k < occupy and get(cycle + k) < count:
+                k += 1
+            if k == occupy:
                 return cycle
-            cycle += 1
+            # Slot cycle+k is full: every window containing it fails,
+            # so the next candidate start is just past the blocker.
+            cycle += k + 1
 
     def book(self, cycle: int, occupy: int = 1) -> None:
+        base = self._base
+        limit = self._limit
+        ring = self._ring
         for k in range(occupy):
-            slot = cycle + k
-            self.used[slot] = self.used.get(slot, 0) + 1
+            c = cycle + k
+            if base <= c < limit:
+                ring[c & _MASK] += 1
+            else:
+                far = self._far
+                far[c] = far.get(c, 0) + 1
 
     def prune(self, before: int) -> None:
-        if len(self.used) > 4096:
-            self.used = {c: n for c, n in self.used.items() if c >= before}
+        """Forget bookings below *before* and recycle their slots."""
+        self.advance(before)
+
+    def advance(self, floor: int) -> None:
+        base = self._base
+        if floor <= base:
+            return
+        ring = self._ring
+        if floor - base >= _WINDOW:
+            ring[:] = _ZEROS
+        else:
+            lo = base & _MASK
+            hi = floor & _MASK
+            if lo < hi:
+                ring[lo:hi] = _ZEROS[lo:hi]
+            else:
+                ring[lo:] = _ZEROS[lo:]
+                ring[:hi] = _ZEROS[:hi]
+        self._base = floor
+        self._limit = limit = floor + _WINDOW
+        far = self._far
+        if far:
+            for c in [c for c in far if c < floor]:
+                del far[c]
+            for c in [c for c in far if c < limit]:
+                ring[c & _MASK] += far.pop(c)
 
 
-@dataclass
-class _RobEntry:
-    seq: int
-    complete: int
+class TimingInfo:
+    """Static timing facts for one decoded instruction, cached by PC.
+
+    Everything here is a function of the ``Instruction`` alone (plus
+    core config), so it is resolved once per static instruction instead
+    of once per dynamic instance.  ``inst`` anchors cache validation:
+    a re-decode after fence.i/icache maintenance produces a fresh
+    ``Instruction`` object, which fails the identity check and forces a
+    rebuild — the same invalidation events as the emulator's decode and
+    block caches.
+    """
+
+    __slots__ = ("inst", "kind", "pipe", "latency", "occupy", "base",
+                 "is_vdiv", "src_rids", "dest_rids", "addr_rids",
+                 "data_rids", "serialize", "is_store_q", "vec_stat",
+                 "is_amo", "ctrl", "size",
+                 # Unrolled dependency fields for the stream hot loop:
+                 # s0..s2 are src_rids padded with _NUM_REGS (a spare
+                 # reg-ready slot that is never written, so it always
+                 # reads 0); d0 is the first dest padded with
+                 # _NUM_REGS + 1 (a spare slot that is never read).
+                 # The rare >3-src / >1-dest remainders live in
+                 # src_rest / dest_rest.
+                 "s0", "s1", "s2", "src_rest", "d0", "dest_rest")
 
 
 class PipelineModel:
@@ -110,15 +261,9 @@ class PipelineModel:
         self.config = config = config if config is not None else CoreConfig()
         self.hier = hierarchy if hierarchy is not None \
             else MemoryHierarchy(config.mem)
-        fe = config.frontend
-        self.direction = HybridDirectionPredictor(fe.direction)
-        self.btb = CascadedBtb(fe.btb)
-        self.ras = ReturnAddressStack(fe.ras_entries)
-        self.indirect = IndirectPredictor(fe.indirect_entries)
-        self.lbuf = LoopBuffer(fe.loop_buffer)
-        self.memdep = MemDepPredictor(config.lsu.memdep_entries,
-                                      config.lsu.memdep_predictor)
         self.stats = CoreStats()
+        self._vec_bits = config.fu.vec_slices * 128
+        self._tcache: dict[int, TimingInfo] = {}
         self._reset_run_state()
 
     # -- public API ---------------------------------------------------------------
@@ -129,16 +274,11 @@ class PipelineModel:
         Accepts either a flat :class:`DynInst` iterator
         (``Emulator.trace``) or a batched one yielding lists/tuples of
         records (``Emulator.fast_trace``) — the timing result is
-        identical, batching only amortises generator overhead.
+        identical, batching only amortises per-instruction overhead
+        through the inlined hot loop.
         """
         self._reset_run_state()
-        simulate = self._simulate
-        for item in trace:
-            if type(item) is DynInst:
-                simulate(item)
-            else:
-                for dyn in item:
-                    simulate(dyn)
+        self._run_stream(trace)
         self._drain()
         self._collect_ras()
         return self.stats
@@ -170,21 +310,49 @@ class PipelineModel:
     # -- state -----------------------------------------------------------------------
 
     def _reset_run_state(self) -> None:
+        """Restore a reused model to its construction state.
+
+        Recreates the predictors as well as the scheduling structures,
+        so two runs on the same model object start from identical
+        state (the static timing cache survives — it holds facts, not
+        history, and revalidates by instruction identity).
+        """
         cfg = self.config
+        fe = cfg.frontend
+        self.direction = HybridDirectionPredictor(fe.direction)
+        self.btb = CascadedBtb(fe.btb)
+        self.ras = ReturnAddressStack(fe.ras_entries)
+        self.indirect = IndirectPredictor(fe.indirect_entries)
+        self.lbuf = LoopBuffer(fe.loop_buffer)
+        self.memdep = MemDepPredictor(cfg.lsu.memdep_entries,
+                                      cfg.lsu.memdep_predictor)
         self.stats = CoreStats()
         self._fetch_cycle = 0
         self._fetch_group: int | None = None
         self._fetch_slots = 0
-        self._group_shift = cfg.frontend.fetch_bytes.bit_length() - 1
+        self._group_shift = fe.fetch_bytes.bit_length() - 1
         self._pending_redirect: int | None = None
         self._last_was_branch_cycle = -2
         self._decode_slots = SlotAllocator(cfg.decode_width)
         self._last_dispatch = 0
         self._rename_slots = SlotAllocator(cfg.rename_width)
         self._retire_slots = SlotAllocator(cfg.retire_width)
-        self._decode_ring: deque[int] = deque(maxlen=cfg.frontend.ibuf_entries)
-        self._reg_ready: dict[Reg, int] = {}
-        self._rob: deque[_RobEntry] = deque()
+        # IBUF ring: fetch may run at most ibuf_entries ahead of the
+        # cycle decode drains into rename.
+        self._dr_cap = max(fe.ibuf_entries, 1)
+        self._dr_buf = [0] * self._dr_cap
+        self._dr_start = 0
+        self._dr_count = 0
+        # Register scoreboard: flat ready-cycle array indexed by rid.
+        # Two spare slots back the unrolled dependency fields: index
+        # _NUM_REGS is src padding (never written, always reads 0) and
+        # _NUM_REGS + 1 is dest padding (written, never read).
+        self._reg_ready = [0] * (_NUM_REGS + 2)
+        # ROB ring: only the completion cycle is needed per entry.
+        self._rob_size = max(cfg.rob_entries, 1)
+        self._rob_buf = [0] * self._rob_size
+        self._rob_head = 0
+        self._rob_count = 0
         self._last_retire = 0
         self._iq_heap: list[int] = []
         self._sq_heap: list[int] = []
@@ -192,29 +360,1063 @@ class PipelineModel:
         self._last_issue = 0          # for in-order issue
         self._inorder_slots = SlotAllocator(cfg.issue_width)
         self._max_complete = 0
-        self._loop_head_seq: dict[int, int] = {}
         self._last_target_seen: dict[int, int] = {}
-        self._issue_bw = PipeGroup(cfg.issue_width)
         self._prune_countdown = 8192
-        fu = self.config.fu
-        self._pipes = {
-            "alu": PipeGroup(fu.alu_count),
-            "bju": PipeGroup(fu.bju_count),
-            "div": PipeGroup(1),
-            "load": PipeGroup(1),
-            "staddr": PipeGroup(1),
-            "stdata": PipeGroup(1),
-            "fpu": PipeGroup(fu.fpu_count),
-            "vec": PipeGroup(fu.vec_slices),
-        }
-        if not self.config.lsu.dual_issue:
-            shared = PipeGroup(1)
-            self._pipes["load"] = shared
-            self._pipes["staddr"] = shared
-            self._pipes["stdata"] = shared
-        self._stores = StoreQueueModel(self.config.lsu.sq_entries * 2)
+        fu = cfg.fu
+        pipes = getattr(self, "_pipe_list", None)
+        if pipes is not None:
+            # Reuse the existing rings: zeroing in place avoids the
+            # allocate/free churn of ~9 window-sized lists per run.
+            self._issue_bw.reset()
+            for group in dict.fromkeys(pipes):
+                group.reset()
+        else:
+            self._issue_bw = PipeGroup(cfg.issue_width)
+            alu = PipeGroup(fu.alu_count)
+            load = PipeGroup(1)
+            if cfg.lsu.dual_issue:
+                staddr = PipeGroup(1)
+                stdata = PipeGroup(1)
+            else:
+                staddr = stdata = load
+            self._pipe_list = [alu, PipeGroup(fu.bju_count), PipeGroup(1),
+                               load, staddr, stdata,
+                               PipeGroup(fu.fpu_count),
+                               PipeGroup(fu.vec_slices)]
+            self._pipes = dict(zip(_PIPE_NAMES, self._pipe_list))
+        self._stores = StoreQueueModel(cfg.lsu.sq_entries * 2)
 
-    # -- per-instruction simulation ------------------------------------------------------
+    # -- static timing cache --------------------------------------------------------
+
+    def _info(self, dyn: DynInst) -> TimingInfo:
+        info = self._tcache.get(dyn.pc)
+        if info is not None and info.inst is dyn.inst:
+            return info
+        return self._build_info(dyn)
+
+    def _build_info(self, dyn: DynInst) -> TimingInfo:
+        inst = dyn.inst
+        spec = inst.spec
+        iclass = spec.iclass
+        fu = self.config.fu
+        ti = TimingInfo()
+        ti.inst = inst
+        ti.size = inst.size
+        ti.src_rids = srcs = tuple(
+            _FILE_BASE[r.file] + r.index for r in inst.srcs)
+        ti.dest_rids = dests = tuple(_FILE_BASE[r.file] + r.index
+                                     for r in inst.dests)
+        pad = (_NUM_REGS, _NUM_REGS, _NUM_REGS)
+        ti.s0, ti.s1, ti.s2 = (srcs + pad)[:3]
+        ti.src_rest = srcs[3:]
+        ti.d0 = dests[0] if dests else _NUM_REGS + 1
+        ti.dest_rest = dests[1:]
+        ti.serialize = iclass is InstrClass.CSR \
+            or iclass is InstrClass.SYSTEM
+        ti.vec_stat = iclass.value[0] == "v"
+        ti.is_store_q = False
+        ti.is_amo = iclass is InstrClass.AMO
+        ti.is_vdiv = False
+        ti.addr_rids = ti.data_rids = ()
+        ti.base = 0
+
+        if iclass is InstrClass.BRANCH:
+            ti.ctrl = C_BRANCH
+        elif iclass is InstrClass.JUMP:
+            if spec.mnemonic == "jal":
+                ti.ctrl = C_JAL_CALL if inst.rd == 1 else C_JAL
+            elif inst.rd == 0 and inst.rs1 == 1:
+                ti.ctrl = C_RETURN
+            elif inst.rd == 1:
+                ti.ctrl = C_IND_CALL
+            else:
+                ti.ctrl = C_INDIRECT
+        else:
+            ti.ctrl = C_NONE
+
+        ti.kind = K_SIMPLE
+        ti.pipe = P_ALU
+        ti.latency = 1
+        ti.occupy = 1
+        if iclass is InstrClass.ALU:
+            pass
+        elif iclass is InstrClass.LOAD or iclass is InstrClass.AMO:
+            ti.kind = K_LOAD
+            ti.pipe = P_LOAD
+        elif iclass is InstrClass.STORE or iclass is InstrClass.VSTORE:
+            ti.kind = K_STORE
+            ti.pipe = P_STADDR
+            ti.is_store_q = True
+            addr_rids: list[int] = []
+            data_rids: list[int] = []
+            fmt = spec.fmt
+            for reg in inst.srcs:
+                if fmt == "S":
+                    is_data = reg.file == spec.rs2_file \
+                        and reg.index == inst.rs2
+                elif fmt == "XTIDXS":
+                    is_data = reg.file == "x" and reg.index == inst.rs3
+                elif fmt in ("VS", "VSS"):
+                    is_data = reg.file == "v"
+                else:
+                    is_data = False
+                (data_rids if is_data else addr_rids).append(
+                    _FILE_BASE[reg.file] + reg.index)
+            ti.addr_rids = tuple(addr_rids)
+            ti.data_rids = tuple(data_rids)
+        elif iclass is InstrClass.BRANCH or iclass is InstrClass.JUMP:
+            ti.pipe = P_BJU
+        elif iclass is InstrClass.MUL:
+            ti.latency = fu.mul_latency
+        elif iclass is InstrClass.DIV:
+            ti.kind = K_DIV
+            ti.pipe = P_DIV
+            ti.latency = fu.div_latency_min
+            ti.base = fu.div_latency_max - fu.div_latency_min
+        elif iclass is InstrClass.FP:
+            ti.pipe = P_FPU
+            ti.latency = fu.fp_latency
+        elif iclass is InstrClass.FMUL:
+            ti.pipe = P_FPU
+            ti.latency = fu.fmul_latency
+        elif iclass is InstrClass.FDIV:
+            ti.pipe = P_FPU
+            ti.latency = fu.fdiv_latency
+            ti.occupy = fu.fdiv_latency
+        elif iclass in (InstrClass.CSR, InstrClass.SYSTEM, InstrClass.VSET):
+            pass
+        elif iclass is InstrClass.VLOAD:
+            ti.kind = K_VLOAD
+            ti.pipe = P_LOAD
+        else:
+            # vector compute classes
+            ti.kind = K_VEC
+            ti.pipe = P_VEC
+            ti.base = {InstrClass.VALU: fu.valu_latency,
+                       InstrClass.VMUL: fu.vmul_latency,
+                       InstrClass.VFP: fu.vfp_latency,
+                       InstrClass.VFMUL: fu.vfmul_latency,
+                       InstrClass.VFDIV: fu.vdiv_latency,
+                       InstrClass.VDIV: fu.vdiv_latency,
+                       InstrClass.VREDUCE: fu.vreduce_latency,
+                       InstrClass.VPERM: fu.vperm_latency}.get(iclass, 3)
+            ti.is_vdiv = iclass in (InstrClass.VDIV, InstrClass.VFDIV)
+
+        tcache = self._tcache
+        if len(tcache) >= TCACHE_LIMIT:
+            tcache.clear()
+        tcache[dyn.pc] = ti
+        return ti
+
+    # -- batched hot loop -----------------------------------------------------------
+
+    def _run_stream(self, trace: Iterable) -> None:
+        """Inlined port of the staged per-instruction accounting.
+
+        One dynamic instruction costs a short run of array and integer
+        operations over cached :class:`TimingInfo`; all mutable scalar
+        state lives in locals and is written back in ``finally``.  The
+        staged methods remain the readable specification; differential
+        tests pin this loop to them and to the frozen reference model.
+        """
+        cfg = self.config
+        fe = cfg.frontend
+        lsu = cfg.lsu
+        st = self.stats
+        hier = self.hier
+        access_inst = hier.access_inst
+        access_data = hier.access_data
+
+        # Memory fast path: pre-resolved structures for the all-hit
+        # case (single-line access, 4K-private uTLB hit, clean L1 hit).
+        # Anything else falls back to the full access_data/access_inst
+        # path, which performs the identical accounting.
+        h_cfg = hier.config
+        h_stats = hier.stats
+        tlb = hier.tlb
+        utlb = tlb._utlb
+        tlb_stats = tlb.stats
+        mem_tlb = h_cfg.model_tlb
+        mem_inline = (not mem_tlb) or h_cfg.tlb.utlb_latency == 0
+        l1_latency = h_cfg.l1_latency
+        l1d = hier.l1d
+        l1d_shift = l1d._offset_bits
+        l1d_nsets = l1d.num_sets
+        l1d_sets = l1d._sets
+        l1d_stats = l1d.stats
+        l1i = hier.l1i
+        l1i_shift = l1i._offset_bits
+        l1i_nsets = l1i.num_sets
+        l1i_sets = l1i._sets
+        l1i_stats = l1i.stats
+        observe_l1 = hier.l1_prefetcher.observe
+        INVALID = LineState.INVALID
+        MODIFIED = LineState.MODIFIED
+        wstates = (LineState.EXCLUSIVE, LineState.SHARED, LineState.OWNED)
+
+        tcache_get = self._tcache.get
+        build_info = self._build_info
+        reg_ready = self._reg_ready
+        iq_heap = self._iq_heap
+        sq_heap = self._sq_heap
+        pipe_list = self._pipe_list
+        pipe_set = list(dict.fromkeys(pipe_list)) + [self._issue_bw]
+        issue_on = self._issue_on
+        issue_bw = self._issue_bw
+        bw_ring = issue_bw._ring
+        bw_far = issue_bw._far
+        bw_base = issue_bw._base
+        bw_limit = issue_bw._limit
+        bw_cnt = issue_bw.count
+        p_load = pipe_list[P_LOAD]
+        p_staddr = pipe_list[P_STADDR]
+        p_stdata = pipe_list[P_STDATA]
+
+        out_of_order = cfg.out_of_order
+        decode_width = cfg.decode_width
+        fetch_insts = fe.fetch_insts
+        group_shift = self._group_shift
+        rob_entries = cfg.rob_entries
+        iq_entries = cfg.iq_entries
+        sq_entries = lsu.sq_entries
+        mispredict_extra = fe.mispredict_extra
+        tb_l0 = fe.taken_bubble_l0
+        tb_l1 = fe.taken_bubble_l1
+        tb_miss = fe.taken_bubble_miss
+        load_to_use = lsu.load_to_use
+        forward_latency = lsu.forward_latency
+        violation_flush_penalty = lsu.violation_flush_penalty
+        pseudo_dual = lsu.pseudo_dual_store
+        vec_bits = self._vec_bits
+
+        dirp = self.direction
+        bim_tab = dirp._bimodal.table
+        bim_mask = dirp._bimodal.mask
+        gsh_tab = dirp._gshare.table
+        gsh_mask = dirp._gshare.mask
+        cho_tab = dirp._chooser.table
+        cho_mask = dirp._chooser.mask
+        dir_hist = dirp._history
+        dir_hist_mask = dirp._history_mask
+        consecutive_ok = dirp.config.two_level_buffers
+        btb = self.btb
+        btb_l0 = btb._l0
+        btb_l1 = btb._l1
+        btb_l1_nsets = btb._l1_sets
+        btb_stats = btb.stats
+        btb_l1_ways = btb.config.l1_ways
+        btb_l0_entries = btb.config.l0_entries
+        ras = self.ras
+        indirect_update = self.indirect.update
+        lbuf = self.lbuf
+        observe_branch = lbuf.observe_branch
+        lb_enabled = lbuf.config.enabled
+        lbuf_active = lbuf._active
+        loop_lo = lbuf._loop_target if lbuf_active else 0
+        loop_hi = lbuf._loop_pc if lbuf_active else 0
+        memdep = self.memdep
+        memdep_on = memdep.enabled
+        md_tagged = memdep._tagged
+        sq_deque = self._stores._stores
+        sq_model_cap = self._stores.capacity
+        # Cached seq of the oldest queued store (sentinel when empty):
+        # turns the per-instruction age-prune check into one compare.
+        sq0_seq = sq_deque[0].seq if sq_deque else 1 << 62
+        last_target_seen = self._last_target_seen
+
+        # Mutable scalar state (sentinel -1 encodes None).
+        fetch_cycle = self._fetch_cycle
+        fetch_group = -1 if self._fetch_group is None else self._fetch_group
+        fetch_slots = self._fetch_slots
+        pending_redirect = -1 if self._pending_redirect is None \
+            else self._pending_redirect
+        last_was_branch_cycle = self._last_was_branch_cycle
+        last_dispatch = self._last_dispatch
+        last_retire = self._last_retire
+        serialize_until = self._serialize_until
+        last_issue = self._last_issue
+        max_complete = self._max_complete
+        prune_countdown = self._prune_countdown
+        dec = self._decode_slots
+        dec_cycle, dec_used, dec_width = dec.cycle, dec.used, dec.width
+        ren = self._rename_slots
+        ren_cycle, ren_used, ren_width = ren.cycle, ren.used, ren.width
+        ret = self._retire_slots
+        ret_cycle, ret_used, ret_width = ret.cycle, ret.used, ret.width
+        ino = self._inorder_slots
+        io_cycle, io_used, io_width = ino.cycle, ino.used, ino.width
+        dr_buf = self._dr_buf
+        dr_cap = self._dr_cap
+        dr_start = self._dr_start
+        dr_count = self._dr_count
+        rob_buf = self._rob_buf
+        rob_size = self._rob_size
+        rob_head = self._rob_head
+        rob_count = self._rob_count
+
+        # Hot statistics accumulate in locals; written back in finally.
+        n_inst = 0
+        n_uops = 0
+        n_branch = 0
+        n_taken_bub = 0
+        n_lbuf = 0
+        n_vec = 0
+        n_beats = 0
+        dir_preds = 0
+        dir_misp = 0
+
+        try:
+            for item in trace:
+                batch = (item,) if type(item) is DynInst else item
+                for dyn in batch:
+                    pc = dyn.pc
+                    inst = dyn.inst
+                    ti = tcache_get(pc)
+                    if ti is None or ti.inst is not inst:
+                        ti = build_info(dyn)
+                    n_inst += 1
+
+                    # ---- frontend (IF/IP/IB) ----
+                    if pending_redirect >= 0:
+                        if pending_redirect > fetch_cycle:
+                            fetch_cycle = pending_redirect
+                        fetch_group = -1
+                        pending_redirect = -1
+                    if lbuf_active and loop_lo <= pc <= loop_hi:
+                        if fetch_slots >= decode_width:
+                            fetch_cycle += 1
+                            fetch_slots = 0
+                        fetch_slots += 1
+                        n_lbuf += 1
+                        fetch_group = -1
+                        fetch = fetch_cycle
+                    else:
+                        group = pc >> group_shift
+                        if group != fetch_group \
+                                or fetch_slots >= fetch_insts:
+                            if fetch_group != -1:
+                                fetch_cycle += 1
+                            laddr = pc >> l1i_shift
+                            cs = l1i_sets[laddr % l1i_nsets]
+                            line = cs.get(laddr)
+                            if line is not None \
+                                    and line.state is not INVALID \
+                                    and not line.tag_fault \
+                                    and not line.data_faults:
+                                # Clean L1I hit: access_inst would
+                                # charge 0 cycles and touch only these
+                                # counters and the LRU order.
+                                cs.move_to_end(laddr)
+                                l1i_stats.hits += 1
+                                if line.prefetched:
+                                    l1i_stats.prefetch_hits += 1
+                                    line.prefetched = False
+                                h_stats.inst_fetches += 1
+                            else:
+                                extra = access_inst(pc, fetch_cycle)
+                                if extra:
+                                    fetch_cycle += extra
+                                    st.icache_stall_cycles += extra
+                            fetch_group = group
+                            fetch_slots = 0
+                        fetch_slots += 1
+                        if dr_count == dr_cap:
+                            t = dr_buf[dr_start]
+                            if t > fetch_cycle:
+                                fetch_cycle = t
+                        fetch = fetch_cycle
+
+                    # ---- decode/rename/dispatch ----
+                    e = fetch + 3
+                    if e > dec_cycle:
+                        dec_cycle = e
+                        dec_used = 1
+                        decode = e
+                    elif dec_used < dec_width:
+                        dec_used += 1
+                        decode = dec_cycle
+                    else:
+                        dec_cycle += 1
+                        dec_used = 1
+                        decode = dec_cycle
+
+                    earliest = decode + 2
+                    if last_dispatch > earliest:
+                        earliest = last_dispatch
+                    floor = earliest
+
+                    if ti.serialize:
+                        wait = max_complete \
+                            if max_complete > serialize_until \
+                            else serialize_until
+                        if wait > earliest:
+                            st.serializations += 1
+                            earliest = wait
+                        serialize_until = earliest
+                    elif serialize_until > earliest:
+                        earliest = serialize_until
+
+                    if rob_count >= rob_entries:
+                        head_complete = rob_buf[rob_head]
+                        rob_head += 1
+                        if rob_head == rob_size:
+                            rob_head = 0
+                        rob_count -= 1
+                        e = head_complete + 2
+                        if e > ret_cycle:
+                            ret_cycle = e
+                            ret_used = 1
+                            head_retire = e
+                        elif ret_used < ret_width:
+                            ret_used += 1
+                            head_retire = ret_cycle
+                        else:
+                            ret_cycle += 1
+                            ret_used = 1
+                            head_retire = ret_cycle
+                        if head_retire > last_retire:
+                            last_retire = head_retire
+                        if head_retire > earliest:
+                            st.rob_stall_cycles += head_retire - floor
+                            earliest = head_retire
+
+                    while iq_heap and iq_heap[0] <= earliest:
+                        heappop(iq_heap)
+                    if len(iq_heap) >= iq_entries:
+                        soonest = heappop(iq_heap)
+                        if soonest > earliest:
+                            st.iq_stall_cycles += soonest - earliest
+                            earliest = soonest
+
+                    if ti.is_store_q:
+                        while sq_heap and sq_heap[0] <= earliest:
+                            heappop(sq_heap)
+                        if len(sq_heap) >= sq_entries:
+                            soonest = heappop(sq_heap)
+                            if soonest > earliest:
+                                st.sq_stall_cycles += soonest - earliest
+                                earliest = soonest
+
+                    if earliest > ren_cycle:
+                        ren_cycle = earliest
+                        ren_used = 1
+                        dispatch = earliest
+                    elif ren_used < ren_width:
+                        ren_used += 1
+                        dispatch = ren_cycle
+                    else:
+                        ren_cycle += 1
+                        ren_used = 1
+                        dispatch = ren_cycle
+                    last_dispatch = dispatch
+
+                    if dr_count == dr_cap:
+                        dr_buf[dr_start] = dispatch - 2
+                        dr_start += 1
+                        if dr_start == dr_cap:
+                            dr_start = 0
+                    else:
+                        idx = dr_start + dr_count
+                        if idx >= dr_cap:
+                            idx -= dr_cap
+                        dr_buf[idx] = dispatch - 2
+                        dr_count += 1
+
+                    # ---- issue/execute ----
+                    ready = dispatch + 1
+                    t = reg_ready[ti.s0]
+                    if t > ready:
+                        ready = t
+                    t = reg_ready[ti.s1]
+                    if t > ready:
+                        ready = t
+                    t = reg_ready[ti.s2]
+                    if t > ready:
+                        ready = t
+                    rest = ti.src_rest
+                    if rest:
+                        for rid in rest:
+                            t = reg_ready[rid]
+                            if t > ready:
+                                ready = t
+                    if not out_of_order:
+                        if last_issue > ready:
+                            ready = last_issue
+                        if ready > io_cycle:
+                            io_cycle = ready
+                            io_used = 1
+                        elif io_used < io_width:
+                            io_used += 1
+                            ready = io_cycle
+                        else:
+                            io_cycle += 1
+                            io_used = 1
+                            ready = io_cycle
+                        last_issue = ready
+
+                    kind = ti.kind
+                    if kind == 0:       # K_SIMPLE
+                        occupy = ti.occupy
+                        pipe = pipe_list[ti.pipe]
+                        if occupy == 1 and not pipe._far and not bw_far \
+                                and ready >= pipe._base and ready >= bw_base:
+                            p_ring = pipe._ring
+                            p_cnt = pipe.count
+                            lim = pipe._limit
+                            if bw_limit < lim:
+                                lim = bw_limit
+                            c = ready
+                            while c < lim and (p_ring[c & _MASK] >= p_cnt
+                                               or bw_ring[c & _MASK]
+                                               >= bw_cnt):
+                                c += 1
+                            if c < lim:
+                                p_ring[c & _MASK] += 1
+                                bw_ring[c & _MASK] += 1
+                                issue = c
+                            else:
+                                issue = issue_on(ti.pipe, ready, 1)
+                        else:
+                            issue = issue_on(ti.pipe, ready, occupy)
+                        complete = issue + ti.latency
+                    elif kind == 3 or kind == 4:    # K_LOAD / K_VLOAD
+                        pipe = p_load
+                        if not pipe._far and not bw_far \
+                                and ready >= pipe._base and ready >= bw_base:
+                            p_ring = pipe._ring
+                            p_cnt = pipe.count
+                            lim = pipe._limit
+                            if bw_limit < lim:
+                                lim = bw_limit
+                            c = ready
+                            while c < lim and (p_ring[c & _MASK] >= p_cnt
+                                               or bw_ring[c & _MASK]
+                                               >= bw_cnt):
+                                c += 1
+                            if c < lim:
+                                p_ring[c & _MASK] += 1
+                                bw_ring[c & _MASK] += 1
+                                issue = c
+                            else:
+                                issue = issue_on(P_LOAD, ready, 1)
+                        else:
+                            issue = issue_on(P_LOAD, ready, 1)
+
+                        seq = dyn.seq
+                        if memdep_on and md_tagged.get(pc, 0) > 0:
+                            barrier = 0
+                            unresolved = False
+                            for s in sq_deque:
+                                if s.seq < seq and s.addr_ready > issue:
+                                    unresolved = True
+                                    if s.addr_ready > barrier:
+                                        barrier = s.addr_ready
+                            if unresolved:
+                                if barrier > issue:
+                                    st.memdep_delays += 1
+                                    issue = issue_on(P_LOAD, barrier, 1)
+                            else:
+                                memdep.train_no_conflict(pc)
+
+                        addr = dyn.mem_addr
+                        size = dyn.mem_size
+                        if size < 1:
+                            size = 1
+                        violation_store = None
+                        forward_store = None
+                        for s in sq_deque:
+                            if s.seq < seq:
+                                s_addr = s.addr
+                                if addr < s_addr + s.size \
+                                        and s_addr < addr + size:
+                                    if s.addr_ready > issue:
+                                        violation_store = s
+                                    else:
+                                        forward_store = s
+                        if violation_store is not None:
+                            st.lsu_violations += 1
+                            memdep.train_violation(pc)
+                            restart = violation_store.data_ready \
+                                + violation_flush_penalty
+                            if restart < issue:
+                                restart = issue
+                            issue = issue_on(P_LOAD, restart, 1)
+                            forward_store = violation_store
+                        if forward_store is not None:
+                            st.lsu_forwards += 1
+                            fwd_data = forward_store.data_ready
+                            if fwd_data <= issue + 1:
+                                complete = issue + forward_latency + 1
+                                alt = fwd_data + forward_latency
+                                if alt > complete:
+                                    complete = alt
+                            else:
+                                complete = fwd_data + forward_latency + 1
+                        else:
+                            extra = -1
+                            laddr = addr >> l1d_shift
+                            if mem_inline and not ti.is_amo \
+                                    and (addr + size - 1) >> l1d_shift \
+                                    == laddr:
+                                if mem_tlb:
+                                    tkey = (addr >> 12, 4096, tlb.asid)
+                                    tentry = None if tlb._utlb_nonstd \
+                                        else utlb.get(tkey)
+                                    tlb_ok = tentry is not None \
+                                        and not tentry.poisoned
+                                else:
+                                    tlb_ok = True
+                                if tlb_ok:
+                                    cs = l1d_sets[laddr % l1d_nsets]
+                                    line = cs.get(laddr)
+                                    if line is not None \
+                                            and line.state is not INVALID \
+                                            and not line.tag_fault \
+                                            and not line.data_faults:
+                                        if mem_tlb:
+                                            utlb.move_to_end(tkey)
+                                            tlb_stats.utlb_hits += 1
+                                        cs.move_to_end(laddr)
+                                        l1d_stats.hits += 1
+                                        if line.prefetched:
+                                            l1d_stats.prefetch_hits += 1
+                                            line.prefetched = False
+                                        h_stats.loads += 1
+                                        observe_l1(addr, issue)
+                                        extra = l1_latency
+                            if extra < 0:
+                                extra = access_data(addr, issue,
+                                                    ti.is_amo, size)
+                            if kind == 4:
+                                vl = dyn.vl
+                                if vl < 1:
+                                    vl = 1
+                                sew = dyn.sew
+                                if sew < 8:
+                                    sew = 8
+                                extra += (vl * sew + vec_bits - 1) \
+                                    // vec_bits - 1
+                            complete = issue + load_to_use + extra
+                    elif kind == 5:     # K_STORE
+                        n_uops += 1     # the extra st.data uop
+                        if pseudo_dual:
+                            addr_ready = dispatch + 1
+                            for rid in ti.addr_rids:
+                                t = reg_ready[rid]
+                                if t > addr_ready:
+                                    addr_ready = t
+                            data_ready = dispatch + 1
+                            for rid in ti.data_rids:
+                                t = reg_ready[rid]
+                                if t > data_ready:
+                                    data_ready = t
+                            if not out_of_order:
+                                if ready > addr_ready:
+                                    addr_ready = ready
+                                if ready > data_ready:
+                                    data_ready = ready
+                            pipe = p_staddr
+                            if not pipe._far and not bw_far \
+                                    and addr_ready >= pipe._base \
+                                    and addr_ready >= bw_base:
+                                p_ring = pipe._ring
+                                p_cnt = pipe.count
+                                lim = pipe._limit
+                                if bw_limit < lim:
+                                    lim = bw_limit
+                                c = addr_ready
+                                while c < lim \
+                                        and (p_ring[c & _MASK] >= p_cnt
+                                             or bw_ring[c & _MASK]
+                                             >= bw_cnt):
+                                    c += 1
+                                if c < lim:
+                                    p_ring[c & _MASK] += 1
+                                    bw_ring[c & _MASK] += 1
+                                    addr_issue = c
+                                else:
+                                    addr_issue = issue_on(P_STADDR,
+                                                          addr_ready, 1)
+                            else:
+                                addr_issue = issue_on(P_STADDR,
+                                                      addr_ready, 1)
+                            pipe = p_stdata
+                            if not pipe._far and not bw_far \
+                                    and data_ready >= pipe._base \
+                                    and data_ready >= bw_base:
+                                p_ring = pipe._ring
+                                p_cnt = pipe.count
+                                lim = pipe._limit
+                                if bw_limit < lim:
+                                    lim = bw_limit
+                                c = data_ready
+                                while c < lim \
+                                        and (p_ring[c & _MASK] >= p_cnt
+                                             or bw_ring[c & _MASK]
+                                             >= bw_cnt):
+                                    c += 1
+                                if c < lim:
+                                    p_ring[c & _MASK] += 1
+                                    bw_ring[c & _MASK] += 1
+                                    data_issue = c
+                                else:
+                                    data_issue = issue_on(P_STDATA,
+                                                          data_ready, 1)
+                            else:
+                                data_issue = issue_on(P_STDATA,
+                                                      data_ready, 1)
+                        else:
+                            addr_issue = issue_on(P_STADDR, ready, 1)
+                            data_issue = addr_issue
+                        addr_done = addr_issue + 1
+                        data_done = data_issue + 1
+                        complete = data_done if data_done > addr_done \
+                            else addr_done
+                        size = dyn.mem_size
+                        if size < 1:
+                            size = 1
+                        addr = dyn.mem_addr
+                        drain = -1
+                        laddr = addr >> l1d_shift
+                        if mem_inline \
+                                and (addr + size - 1) >> l1d_shift == laddr:
+                            if mem_tlb:
+                                tkey = (addr >> 12, 4096, tlb.asid)
+                                tentry = None if tlb._utlb_nonstd \
+                                    else utlb.get(tkey)
+                                tlb_ok = tentry is not None \
+                                    and not tentry.poisoned
+                            else:
+                                tlb_ok = True
+                            if tlb_ok:
+                                cs = l1d_sets[laddr % l1d_nsets]
+                                line = cs.get(laddr)
+                                if line is not None \
+                                        and line.state is not INVALID \
+                                        and not line.tag_fault \
+                                        and not line.data_faults:
+                                    if mem_tlb:
+                                        utlb.move_to_end(tkey)
+                                        tlb_stats.utlb_hits += 1
+                                    cs.move_to_end(laddr)
+                                    l1d_stats.hits += 1
+                                    if line.prefetched:
+                                        l1d_stats.prefetch_hits += 1
+                                        line.prefetched = False
+                                    line.dirty = True
+                                    if line.state in wstates:
+                                        line.state = MODIFIED
+                                    h_stats.stores += 1
+                                    observe_l1(addr, complete)
+                                    drain = l1_latency
+                        if drain < 0:
+                            drain = access_data(addr, complete, True,
+                                                size)
+                        heappush(sq_heap, complete + drain)
+                        if not sq_deque:
+                            sq0_seq = dyn.seq
+                        sq_deque.append(StoreRecord(
+                            seq=dyn.seq, pc=pc, addr=dyn.mem_addr,
+                            size=size, addr_ready=addr_done,
+                            data_ready=data_done))
+                        if len(sq_deque) > sq_model_cap:
+                            sq_deque.popleft()
+                            sq0_seq = sq_deque[0].seq
+                        issue = data_issue if data_issue > addr_issue \
+                            else addr_issue
+                    elif kind == 1:     # K_DIV
+                        spread = ti.base
+                        if spread <= 0:
+                            latency = ti.latency
+                        else:
+                            bits = dyn.div_bits
+                            if bits < 1:
+                                bits = 1
+                            elif bits > 64:
+                                bits = 64
+                            latency = ti.latency + (spread * bits) // 64
+                        issue = issue_on(P_DIV, ready, latency)
+                        complete = issue + latency
+                    else:               # K_VEC
+                        vl = dyn.vl
+                        if vl < 1:
+                            vl = 1
+                        sew = dyn.sew
+                        if sew < 8:
+                            sew = 8
+                        beats = (vl * sew + vec_bits - 1) // vec_bits
+                        n_beats += beats
+                        base = ti.base
+                        occupy = base * beats if ti.is_vdiv else beats
+                        issue = issue_on(P_VEC, ready, occupy)
+                        complete = issue + base + beats - 1
+
+                    if ti.vec_stat:
+                        n_vec += 1
+                    reg_ready[ti.d0] = complete
+                    rest = ti.dest_rest
+                    if rest:
+                        for rid in rest:
+                            reg_ready[rid] = complete
+                    if complete > max_complete:
+                        max_complete = complete
+                    heappush(iq_heap, issue)
+
+                    # ---- retire bookkeeping ----
+                    n_uops += 1
+                    idx = rob_head + rob_count
+                    if idx >= rob_size:
+                        idx -= rob_size
+                    rob_buf[idx] = complete
+                    rob_count += 1
+                    bound = dyn.seq - rob_entries
+                    while sq0_seq < bound:
+                        sq_deque.popleft()
+                        sq0_seq = sq_deque[0].seq if sq_deque \
+                            else 1 << 62
+                    prune_countdown -= 1
+                    if prune_countdown <= 0:
+                        prune_countdown = 8192
+                        floor_c = dispatch - 64
+                        for pg in pipe_set:
+                            pg.advance(floor_c)
+                        bw_base = issue_bw._base
+                        bw_limit = issue_bw._limit
+
+                    # ---- control resolution ----
+                    ctrl = ti.ctrl
+                    if ctrl:
+                        n_branch += 1
+                        taken = dyn.taken
+                        target = dyn.target
+                        seq = dyn.seq
+                        key = target if taken else dyn.next_pc
+                        in_lbuf = lbuf_active and loop_lo <= pc <= loop_hi
+                        # observe_branch() is a no-op unless a backward
+                        # taken branch can start/stop a capture or the
+                        # locked loop's own branch falls through — gate
+                        # the call (and the body-size lookup) on that.
+                        if lb_enabled:
+                            if taken and target <= pc:
+                                if not (lbuf_active and pc == loop_hi):
+                                    body = 0
+                                    last_seen = last_target_seen.get(target)
+                                    if last_seen is not None:
+                                        body = seq - last_seen
+                                    observe_branch(pc, key, taken, body)
+                                    lbuf_active = lbuf._active
+                                    if lbuf_active:
+                                        loop_lo = lbuf._loop_target
+                                        loop_hi = lbuf._loop_pc
+                            elif lbuf_active and not taken \
+                                    and pc == loop_hi:
+                                observe_branch(pc, key, taken, 0)
+                                lbuf_active = lbuf._active
+                        last_target_seen[key] = seq
+                        if len(last_target_seen) > 4096:
+                            last_target_seen.clear()
+
+                        if ctrl == 1:   # conditional branch
+                            i_b = pc >> 1
+                            bi = i_b & bim_mask
+                            b_val = bim_tab[bi]
+                            bimodal_pred = b_val >= 2
+                            gi = (i_b ^ dir_hist) & gsh_mask
+                            g_val = gsh_tab[gi]
+                            gshare_pred = g_val >= 2
+                            ci = i_b & cho_mask
+                            prediction = gshare_pred \
+                                if cho_tab[ci] >= 2 else bimodal_pred
+                            dir_preds += 1
+                            mispredicted = prediction != taken
+                            if mispredicted:
+                                dir_misp += 1
+                            if bimodal_pred != gshare_pred:
+                                cv = cho_tab[ci]
+                                if gshare_pred == taken:
+                                    if cv < 3:
+                                        cho_tab[ci] = cv + 1
+                                elif cv > 0:
+                                    cho_tab[ci] = cv - 1
+                            if taken:
+                                if b_val < 3:
+                                    bim_tab[bi] = b_val + 1
+                                if g_val < 3:
+                                    gsh_tab[gi] = g_val + 1
+                            else:
+                                if b_val > 0:
+                                    bim_tab[bi] = b_val - 1
+                                if g_val > 0:
+                                    gsh_tab[gi] = g_val - 1
+                            dir_hist = ((dir_hist << 1) | taken) \
+                                & dir_hist_mask
+                            if mispredicted:
+                                resume = complete + mispredict_extra
+                                if resume > pending_redirect:
+                                    pending_redirect = resume
+                                continue
+                            if taken:
+                                # Fused CascadedBtb.predict + .update
+                                # (same lookups, LRU moves, eviction
+                                # decisions and counters, one pass).
+                                l1s = btb_l1[(pc >> 1) % btb_l1_nsets]
+                                predicted = btb_l0.get(pc)
+                                if predicted is not None:
+                                    btb_l0.move_to_end(pc)
+                                    btb_stats.l0_hits += 1
+                                    lvl = 0
+                                else:
+                                    predicted = l1s.get(pc)
+                                    if predicted is not None:
+                                        l1s.move_to_end(pc)
+                                        btb_stats.l1_hits += 1
+                                        lvl = 1
+                                    else:
+                                        btb_stats.misses += 1
+                                        lvl = 2
+                                if pc in l1s:
+                                    l1s[pc] = target
+                                    l1s.move_to_end(pc)
+                                else:
+                                    if len(l1s) >= btb_l1_ways:
+                                        l1s.popitem(last=False)
+                                    l1s[pc] = target
+                                if btb_l0_entries > 0:
+                                    if pc in btb_l0:
+                                        btb_l0[pc] = target
+                                        btb_l0.move_to_end(pc)
+                                    else:
+                                        if len(btb_l0) >= btb_l0_entries:
+                                            btb_l0.popitem(last=False)
+                                        btb_l0[pc] = target
+                                if predicted is not None \
+                                        and predicted != target:
+                                    btb_stats.target_mispredicts += 1
+                                    st.target_mispredicts += 1
+                                    bubbles = tb_miss
+                                elif in_lbuf:
+                                    bubbles = 0
+                                elif lvl == 0:
+                                    bubbles = tb_l0
+                                elif lvl == 1:
+                                    bubbles = tb_l1
+                                else:
+                                    bubbles = tb_miss
+                                if bubbles:
+                                    fetch_cycle += bubbles
+                                    n_taken_bub += bubbles
+                                fetch_group = -1
+                            if not consecutive_ok:
+                                if fetch - last_was_branch_cycle <= 1:
+                                    fetch_cycle += 1
+                                    st.fetch_bubbles += 1
+                            last_was_branch_cycle = fetch
+                            continue
+
+                        # jumps
+                        redirected = False
+                        if ctrl == 2:       # jal, rd == ra
+                            ras.push(pc + ti.size)
+                        elif ctrl == 4:     # jalr return
+                            predicted = ras.predict_pop()
+                            if ras.check(predicted, target):
+                                st.ras_mispredicts += 1
+                                resume = complete + mispredict_extra
+                                if resume > pending_redirect:
+                                    pending_redirect = resume
+                                redirected = True
+                        elif ctrl == 5 or ctrl == 6:    # jalr indirect
+                            if ctrl == 5:
+                                ras.push(pc + ti.size)
+                            if indirect_update(pc, target):
+                                st.indirect_mispredicts += 1
+                                resume = complete + mispredict_extra
+                                if resume > pending_redirect:
+                                    pending_redirect = resume
+                                redirected = True
+                        if not redirected:
+                            l1s = btb_l1[(pc >> 1) % btb_l1_nsets]
+                            predicted = btb_l0.get(pc)
+                            if predicted is not None:
+                                btb_l0.move_to_end(pc)
+                                btb_stats.l0_hits += 1
+                                lvl = 0
+                            else:
+                                predicted = l1s.get(pc)
+                                if predicted is not None:
+                                    l1s.move_to_end(pc)
+                                    btb_stats.l1_hits += 1
+                                    lvl = 1
+                                else:
+                                    btb_stats.misses += 1
+                                    lvl = 2
+                            if pc in l1s:
+                                l1s[pc] = target
+                                l1s.move_to_end(pc)
+                            else:
+                                if len(l1s) >= btb_l1_ways:
+                                    l1s.popitem(last=False)
+                                l1s[pc] = target
+                            if btb_l0_entries > 0:
+                                if pc in btb_l0:
+                                    btb_l0[pc] = target
+                                    btb_l0.move_to_end(pc)
+                                else:
+                                    if len(btb_l0) >= btb_l0_entries:
+                                        btb_l0.popitem(last=False)
+                                    btb_l0[pc] = target
+                            if predicted is not None \
+                                    and predicted != target:
+                                btb_stats.target_mispredicts += 1
+                                st.target_mispredicts += 1
+                                bubbles = tb_miss
+                            elif in_lbuf:
+                                bubbles = 0
+                            elif lvl == 0:
+                                bubbles = tb_l0
+                            elif lvl == 1:
+                                bubbles = tb_l1
+                            else:
+                                bubbles = tb_miss
+                            if bubbles:
+                                fetch_cycle += bubbles
+                                n_taken_bub += bubbles
+                            fetch_group = -1
+        finally:
+            self._fetch_cycle = fetch_cycle
+            self._fetch_group = None if fetch_group == -1 else fetch_group
+            self._fetch_slots = fetch_slots
+            self._pending_redirect = None if pending_redirect < 0 \
+                else pending_redirect
+            self._last_was_branch_cycle = last_was_branch_cycle
+            self._last_dispatch = last_dispatch
+            self._last_retire = last_retire
+            self._serialize_until = serialize_until
+            self._last_issue = last_issue
+            self._max_complete = max_complete
+            self._prune_countdown = prune_countdown
+            dec.cycle, dec.used = dec_cycle, dec_used
+            ren.cycle, ren.used = ren_cycle, ren_used
+            ret.cycle, ret.used = ret_cycle, ret_used
+            ino.cycle, ino.used = io_cycle, io_used
+            self._dr_start = dr_start
+            self._dr_count = dr_count
+            self._rob_head = rob_head
+            self._rob_count = rob_count
+            st.instructions += n_inst
+            st.uops += n_uops
+            st.branches += n_branch
+            st.taken_branch_bubbles += n_taken_bub
+            st.lbuf_supplied += n_lbuf
+            st.vector_instructions += n_vec
+            st.vector_beats += n_beats
+            st.direction_mispredicts += dir_misp
+            dirp.stats.predictions += dir_preds
+            dirp.stats.mispredictions += dir_misp
+            dirp._history = dir_hist
+            lbuf.stats.supplied_insts += n_lbuf
+
+    # -- per-instruction simulation (staged specification) ---------------------------
 
     def _simulate(self, dyn: DynInst) -> None:
         self.stats.instructions += 1
@@ -262,17 +1464,20 @@ class PipelineModel:
         self._fetch_slots += 1
 
         # IBUF capacity: fetch cannot run further ahead than the buffer.
-        if len(self._decode_ring) == self._decode_ring.maxlen:
-            self._fetch_cycle = max(self._fetch_cycle, self._decode_ring[0])
+        if self._dr_count == self._dr_cap:
+            oldest = self._dr_buf[self._dr_start]
+            if oldest > self._fetch_cycle:
+                self._fetch_cycle = oldest
         return self._fetch_cycle
 
     def _dispatch(self, dyn: DynInst, fetch: int) -> int:
         cfg = self.config
+        ti = self._info(dyn)
         decode = self._decode_slots.allocate(fetch + 3)      # IF/IP/IB -> ID
         earliest = max(decode + 2, self._last_dispatch)      # ID/IR -> IS
         floor = earliest
 
-        if dyn.inst.iclass in (InstrClass.CSR, InstrClass.SYSTEM):
+        if ti.serialize:
             # Serializing: wait for the machine to drain.
             wait = max(self._max_complete, self._serialize_until)
             if wait > earliest:
@@ -284,9 +1489,13 @@ class PipelineModel:
 
         # ROB occupancy: a full window stalls rename until the oldest
         # entry retires.
-        if len(self._rob) >= cfg.rob_entries:
-            head = self._rob.popleft()
-            head_retire = self._retire_slots.allocate(head.complete + 2)
+        if self._rob_count >= cfg.rob_entries:
+            head_complete = self._rob_buf[self._rob_head]
+            self._rob_head += 1
+            if self._rob_head == self._rob_size:
+                self._rob_head = 0
+            self._rob_count -= 1
+            head_retire = self._retire_slots.allocate(head_complete + 2)
             self._last_retire = max(self._last_retire, head_retire)
             if head_retire > earliest:
                 self.stats.rob_stall_cycles += head_retire - floor
@@ -295,20 +1504,20 @@ class PipelineModel:
         # IQ occupancy (the 8 shared instruction slots + queues).
         heap = self._iq_heap
         while heap and heap[0] <= earliest:
-            heapq.heappop(heap)
+            heappop(heap)
         if len(heap) >= cfg.iq_entries:
-            soonest = heapq.heappop(heap)
+            soonest = heappop(heap)
             if soonest > earliest:
                 self.stats.iq_stall_cycles += soonest - earliest
                 earliest = soonest
 
         # SQ occupancy for stores.
-        if dyn.inst.iclass in (InstrClass.STORE, InstrClass.VSTORE):
+        if ti.is_store_q:
             sq = self._sq_heap
             while sq and sq[0] <= earliest:
-                heapq.heappop(sq)
+                heappop(sq)
             if len(sq) >= cfg.lsu.sq_entries:
-                soonest = heapq.heappop(sq)
+                soonest = heappop(sq)
                 if soonest > earliest:
                     self.stats.sq_stall_cycles += soonest - earliest
                     earliest = soonest
@@ -320,17 +1529,27 @@ class PipelineModel:
         # Backend pressure reaches the IBUF through the decode ring:
         # fetch may run at most ibuf_entries instructions ahead of the
         # point where decode actually drains into rename.
-        self._decode_ring.append(dispatch - 2)
+        if self._dr_count == self._dr_cap:
+            self._dr_buf[self._dr_start] = dispatch - 2
+            self._dr_start += 1
+            if self._dr_start == self._dr_cap:
+                self._dr_start = 0
+        else:
+            idx = self._dr_start + self._dr_count
+            if idx >= self._dr_cap:
+                idx -= self._dr_cap
+            self._dr_buf[idx] = dispatch - 2
+            self._dr_count += 1
         return dispatch
 
     # -- execute ---------------------------------------------------------------------------
 
     def _execute(self, dyn: DynInst, dispatch: int) -> tuple[int, int]:
-        inst = dyn.inst
-        iclass = inst.iclass
+        ti = self._info(dyn)
+        reg_ready = self._reg_ready
         ready = dispatch + 1
-        for src in inst.srcs:
-            t = self._reg_ready.get(src, 0)
+        for rid in ti.src_rids:
+            t = reg_ready[rid]
             if t > ready:
                 ready = t
         if not self.config.out_of_order:
@@ -338,38 +1557,55 @@ class PipelineModel:
             ready = self._inorder_slots.allocate(ready)
             self._last_issue = ready
 
-        if iclass in (InstrClass.STORE, InstrClass.VSTORE):
-            issue, complete = self._execute_store(dyn, dispatch, ready)
-        elif iclass in (InstrClass.LOAD, InstrClass.AMO):
-            issue, complete = self._execute_load(dyn, dispatch, ready)
-        elif iclass == InstrClass.VLOAD:
-            issue, complete = self._execute_load(dyn, dispatch, ready,
+        kind = ti.kind
+        if kind == K_STORE:
+            issue, complete = self._execute_store(dyn, ti, dispatch, ready)
+        elif kind == K_LOAD:
+            issue, complete = self._execute_load(dyn, ti, ready)
+        elif kind == K_VLOAD:
+            issue, complete = self._execute_load(dyn, ti, ready,
                                                  vector=True)
-        else:
-            pipe, latency, occupy = self._pipe_and_latency(dyn)
-            issue = self._issue_on(pipe, ready, occupy)
+        elif kind == K_SIMPLE:
+            issue = self._issue_on(ti.pipe, ready, ti.occupy)
+            complete = issue + ti.latency
+        elif kind == K_DIV:
+            spread = ti.base
+            if spread <= 0:
+                latency = ti.latency
+            else:
+                bits = min(max(dyn.div_bits, 1), 64)
+                latency = ti.latency + (spread * bits) // 64
+            issue = self._issue_on(P_DIV, ready, latency)
             complete = issue + latency
+        else:   # K_VEC
+            beats = self._vector_beats(dyn)
+            self.stats.vector_beats += beats
+            base = ti.base
+            occupy = base * beats if ti.is_vdiv else beats
+            issue = self._issue_on(P_VEC, ready, occupy)
+            complete = issue + base + beats - 1
 
-        if iclass.value.startswith("v"):
+        if ti.vec_stat:
             self.stats.vector_instructions += 1
-        for dest in inst.dests:
-            self._reg_ready[dest] = complete
+        for rid in ti.dest_rids:
+            reg_ready[rid] = complete
         if complete > self._max_complete:
             self._max_complete = complete
-        heapq.heappush(self._iq_heap, issue)
+        heappush(self._iq_heap, issue)
         return issue, complete
 
-    def _issue_on(self, pipe_name: str, ready: int, occupy: int = 1) -> int:
+    def _issue_on(self, pipe_index: int, ready: int, occupy: int = 1) -> int:
         """Find the earliest cycle satisfying the pipe and the global
         8-wide issue bandwidth, then book both."""
-        pipe = self._pipes[pipe_name]
+        pipe = self._pipe_list[pipe_index]
+        bw = self._issue_bw
         cycle = ready
         while True:
             c1 = pipe.earliest(cycle, occupy)
-            c2 = self._issue_bw.earliest(c1)
+            c2 = bw.earliest(c1)
             if c2 == c1:
                 pipe.book(c1, occupy)
-                self._issue_bw.book(c1)
+                bw.book(c1)
                 return c1
             cycle = c2
 
@@ -377,104 +1613,42 @@ class PipelineModel:
         self._prune_countdown -= 1
         if self._prune_countdown <= 0:
             self._prune_countdown = 8192
-            for pipe in set(self._pipes.values()):
-                pipe.prune(before - 64)
-            self._issue_bw.prune(before - 64)
-
-    def _pipe_and_latency(self, dyn: DynInst) -> tuple[str, int, int]:
-        fu = self.config.fu
-        iclass = dyn.inst.iclass
-        if iclass == InstrClass.ALU:
-            return "alu", 1, 1
-        if iclass == InstrClass.MUL:
-            return "alu", fu.mul_latency, 1
-        if iclass == InstrClass.DIV:
-            latency = self._div_latency(fu.div_latency_min,
-                                        fu.div_latency_max, dyn)
-            return "div", latency, latency
-        if iclass in (InstrClass.BRANCH, InstrClass.JUMP):
-            return "bju", 1, 1
-        if iclass == InstrClass.FP:
-            return "fpu", fu.fp_latency, 1
-        if iclass == InstrClass.FMUL:
-            return "fpu", fu.fmul_latency, 1
-        if iclass == InstrClass.FDIV:
-            return "fpu", fu.fdiv_latency, fu.fdiv_latency
-        if iclass in (InstrClass.CSR, InstrClass.SYSTEM, InstrClass.VSET):
-            return "alu", 1, 1
-        # vector classes
-        beats = self._vector_beats(dyn)
-        self.stats.vector_beats += beats
-        base = {InstrClass.VALU: fu.valu_latency,
-                InstrClass.VMUL: fu.vmul_latency,
-                InstrClass.VFP: fu.vfp_latency,
-                InstrClass.VFMUL: fu.vfmul_latency,
-                InstrClass.VFDIV: fu.vdiv_latency,
-                InstrClass.VDIV: fu.vdiv_latency,
-                InstrClass.VREDUCE: fu.vreduce_latency,
-                InstrClass.VPERM: fu.vperm_latency}.get(iclass, 3)
-        occupy = beats if iclass not in (InstrClass.VDIV, InstrClass.VFDIV) \
-            else base * beats
-        return "vec", base + beats - 1, occupy
+            floor = before - 64
+            for pipe in set(self._pipe_list):
+                pipe.advance(floor)
+            self._issue_bw.advance(floor)
 
     def _vector_beats(self, dyn: DynInst) -> int:
         """Beats from the slice datapath: 2 slices x 2 pipes x 64 bits =
         256 result bits per cycle (section VII)."""
-        bits_per_cycle = self.config.fu.vec_slices * 128
         work = max(dyn.vl, 1) * max(dyn.sew, 8)
-        return max(1, -(-work // bits_per_cycle))
-
-    @staticmethod
-    def _div_latency(lo: int, hi: int, dyn: DynInst) -> int:
-        """Early-out divider: latency scales with the dividend's
-        magnitude, which the emulator records in the trace."""
-        spread = hi - lo
-        if spread <= 0:
-            return lo
-        bits = min(max(dyn.div_bits, 1), 64)
-        return lo + (spread * bits) // 64
+        return max(1, -(-work // self._vec_bits))
 
     # -- LSU -----------------------------------------------------------------------------------
 
-    def _split_store_operands(self, dyn: DynInst) -> tuple[list[Reg], list[Reg]]:
-        """(address-generation sources, data sources) for a store."""
-        inst = dyn.inst
-        spec = inst.spec
-        addr_srcs: list[Reg] = []
-        data_srcs: list[Reg] = []
-        for reg in inst.srcs:
-            if spec.fmt == "S":
-                (data_srcs if (reg.file == spec.rs2_file
-                               and reg.index == inst.rs2)
-                 else addr_srcs).append(reg)
-            elif spec.fmt == "XTIDXS":
-                (data_srcs if (reg.file == "x" and reg.index == inst.rs3)
-                 else addr_srcs).append(reg)
-            elif spec.fmt in ("VS", "VSS"):
-                (data_srcs if reg.file == "v" else addr_srcs).append(reg)
-            else:
-                addr_srcs.append(reg)
-        return addr_srcs, data_srcs
-
-    def _execute_store(self, dyn: DynInst, dispatch: int,
+    def _execute_store(self, dyn: DynInst, ti: TimingInfo, dispatch: int,
                        ready_all: int) -> tuple[int, int]:
         lsu = self.config.lsu
         self.stats.uops += 1  # the extra st.data uop
         if lsu.pseudo_dual_store:
-            addr_srcs, data_srcs = self._split_store_operands(dyn)
+            reg_ready = self._reg_ready
             addr_ready = dispatch + 1
-            for reg in addr_srcs:
-                addr_ready = max(addr_ready, self._reg_ready.get(reg, 0))
+            for rid in ti.addr_rids:
+                t = reg_ready[rid]
+                if t > addr_ready:
+                    addr_ready = t
             data_ready = dispatch + 1
-            for reg in data_srcs:
-                data_ready = max(data_ready, self._reg_ready.get(reg, 0))
+            for rid in ti.data_rids:
+                t = reg_ready[rid]
+                if t > data_ready:
+                    data_ready = t
             if not self.config.out_of_order:
                 addr_ready = max(addr_ready, ready_all)
                 data_ready = max(data_ready, ready_all)
-            addr_issue = self._issue_on("staddr", addr_ready)
-            data_issue = self._issue_on("stdata", data_ready)
+            addr_issue = self._issue_on(P_STADDR, addr_ready)
+            data_issue = self._issue_on(P_STDATA, data_ready)
         else:
-            addr_issue = self._issue_on("staddr", ready_all)
+            addr_issue = self._issue_on(P_STADDR, ready_all)
             data_issue = addr_issue
         addr_done = addr_issue + 1
         data_done = data_issue + 1
@@ -484,17 +1658,17 @@ class PipelineModel:
         drain_latency = self.hier.access_data(
             dyn.mem_addr, complete, is_write=True,
             size=max(dyn.mem_size, 1))
-        heapq.heappush(self._sq_heap, complete + drain_latency)
+        heappush(self._sq_heap, complete + drain_latency)
         self._stores.add(StoreRecord(
             seq=dyn.seq, pc=dyn.pc, addr=dyn.mem_addr,
             size=max(dyn.mem_size, 1), addr_ready=addr_done,
             data_ready=data_done))
         return max(addr_issue, data_issue), complete
 
-    def _execute_load(self, dyn: DynInst, dispatch: int, ready: int,
+    def _execute_load(self, dyn: DynInst, ti: TimingInfo, ready: int,
                       vector: bool = False) -> tuple[int, int]:
         lsu = self.config.lsu
-        issue = self._issue_on("load", ready)
+        issue = self._issue_on(P_LOAD, ready)
 
         # Memory-dependence prediction: tagged loads wait for older
         # unresolved store addresses instead of speculating.
@@ -504,7 +1678,7 @@ class PipelineModel:
                 barrier = max(s.addr_ready for s in unresolved)
                 if barrier > issue:
                     self.stats.memdep_delays += 1
-                    issue = self._issue_on("load", barrier)
+                    issue = self._issue_on(P_LOAD, barrier)
             else:
                 self.memdep.train_no_conflict(dyn.pc)
 
@@ -525,7 +1699,7 @@ class PipelineModel:
             self.memdep.train_violation(dyn.pc)
             restart = violation_store.data_ready \
                 + lsu.violation_flush_penalty
-            issue = self._issue_on("load", max(issue, restart))
+            issue = self._issue_on(P_LOAD, max(issue, restart))
             forward_store = violation_store
 
         if forward_store is not None and forward_store.data_ready <= issue + 1:
@@ -539,8 +1713,8 @@ class PipelineModel:
             complete = forward_store.data_ready + lsu.forward_latency + 1
             return issue, complete
 
-        is_amo = dyn.inst.iclass == InstrClass.AMO
-        extra = self.hier.access_data(dyn.mem_addr, issue, is_write=is_amo,
+        extra = self.hier.access_data(dyn.mem_addr, issue,
+                                      is_write=ti.is_amo,
                                       size=max(dyn.mem_size, 1))
         if vector:
             extra += self._vector_beats(dyn) - 1
@@ -551,14 +1725,22 @@ class PipelineModel:
 
     def _retire(self, dyn: DynInst, dispatch: int, complete: int) -> None:
         self.stats.uops += 1
-        self._rob.append(_RobEntry(seq=dyn.seq, complete=complete))
+        idx = self._rob_head + self._rob_count
+        if idx >= self._rob_size:
+            idx -= self._rob_size
+        self._rob_buf[idx] = complete
+        self._rob_count += 1
         self._stores.retire_older_than(dyn.seq - self.config.rob_entries)
         self._prune_pipes(dispatch)
 
     def _drain(self) -> None:
-        while self._rob:
-            head = self._rob.popleft()
-            cycle = self._retire_slots.allocate(head.complete + 2)
+        while self._rob_count:
+            head_complete = self._rob_buf[self._rob_head]
+            self._rob_head += 1
+            if self._rob_head == self._rob_size:
+                self._rob_head = 0
+            self._rob_count -= 1
+            cycle = self._retire_slots.allocate(head_complete + 2)
             self._last_retire = max(self._last_retire, cycle)
         self.stats.cycles = max(self._last_retire, self._fetch_cycle, 1)
         self.hier.drain_pending()
@@ -567,9 +1749,9 @@ class PipelineModel:
 
     def _resolve_control(self, dyn: DynInst, fetch: int,
                          complete: int) -> None:
-        inst = dyn.inst
-        iclass = inst.iclass
-        if iclass not in (InstrClass.BRANCH, InstrClass.JUMP):
+        ti = self._info(dyn)
+        ctrl = ti.ctrl
+        if ctrl == C_NONE:
             return
         fe = self.config.frontend
         self.stats.branches += 1
@@ -590,7 +1772,7 @@ class PipelineModel:
         self.lbuf.observe_branch(pc, dyn.target if dyn.taken else dyn.next_pc,
                                  dyn.taken, body)
 
-        if iclass == InstrClass.BRANCH:
+        if ctrl == C_BRANCH:
             mispredicted = self.direction.update(pc, dyn.taken)
             if mispredicted:
                 self.stats.direction_mispredicts += 1
@@ -608,16 +1790,14 @@ class PipelineModel:
             return
 
         # Jumps.
-        mn = inst.spec.mnemonic
-        if mn == "jal":
-            if inst.rd == 1:
-                self.ras.push(pc + inst.size)
+        if ctrl == C_JAL_CALL:
+            self.ras.push(pc + ti.size)
             self._taken_bubble(pc, dyn.target, in_lbuf)
             return
-        # jalr family
-        is_return = inst.rd == 0 and inst.rs1 == 1
-        is_call = inst.rd == 1
-        if is_return:
+        if ctrl == C_JAL:
+            self._taken_bubble(pc, dyn.target, in_lbuf)
+            return
+        if ctrl == C_RETURN:
             predicted = self.ras.predict_pop()
             if self.ras.check(predicted, dyn.target):
                 self.stats.ras_mispredicts += 1
@@ -625,8 +1805,8 @@ class PipelineModel:
             else:
                 self._taken_bubble(pc, dyn.target, in_lbuf)
             return
-        if is_call:
-            self.ras.push(pc + inst.size)
+        if ctrl == C_IND_CALL:
+            self.ras.push(pc + ti.size)
         if self.indirect.update(pc, dyn.target):
             self.stats.indirect_mispredicts += 1
             self._redirect(complete + fe.mispredict_extra)

@@ -1,0 +1,677 @@
+"""Frozen pre-fast-path pipeline model (the differential-test oracle).
+
+This is a verbatim copy of ``repro.uarch.core`` as it stood before the
+timing fast path (static ``TimingInfo`` cache, ring-array scheduling
+structures, block-batched feed) landed.  It exists for one purpose: the
+equivalence gate.  ``tests/uarch/test_timing_fastpath.py`` replays the
+same dynamic instruction trace through this model and the optimised one
+and requires bit-identical :class:`~repro.uarch.stats.CoreStats`.
+
+Do not optimise or "fix" this module.  If the timing semantics are ever
+*intentionally* changed, change :mod:`repro.uarch.core` first, update
+this copy to match in the same commit, and regenerate
+``tests/uarch/golden_stats.json``.
+"""
+
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..isa.instructions import InstrClass
+from ..isa.registers import Reg
+from ..mem.hierarchy import MemoryHierarchy
+from ..sim.trace import DynInst
+from .branch import HybridDirectionPredictor
+from .btb import BtbLevel, CascadedBtb, IndirectPredictor, ReturnAddressStack
+from .config import CoreConfig
+from .loopbuf import LoopBuffer
+from .lsu import MemDepPredictor, StoreRecord
+from .stats import CoreStats
+
+
+class _FrozenStoreQueueModel:
+    """The pre-fast-path (list-rebuilding) store queue, kept verbatim so
+    the oracle's cost profile stays representative of the old model."""
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._stores: list[StoreRecord] = []
+
+    def add(self, record: StoreRecord) -> None:
+        self._stores.append(record)
+        if len(self._stores) > self.capacity:
+            self._stores.pop(0)
+
+    def retire_older_than(self, seq: int) -> None:
+        self._stores = [s for s in self._stores if s.seq >= seq]
+
+    def conflicting_stores(self, seq: int, addr: int,
+                           size: int) -> list[StoreRecord]:
+        return [s for s in self._stores
+                if s.seq < seq and s.overlaps(addr, size)]
+
+    def unresolved_at(self, seq: int, cycle: int) -> list[StoreRecord]:
+        return [s for s in self._stores
+                if s.seq < seq and s.addr_ready > cycle]
+
+
+class SlotAllocator:
+    """Bandwidth limiter: at most ``width`` grants per cycle, monotonic."""
+
+    def __init__(self, width: int):
+        self.width = width
+        self.cycle = -1
+        self.used = 0
+
+    def allocate(self, earliest: int) -> int:
+        if earliest > self.cycle:
+            self.cycle = earliest
+            self.used = 1
+            return earliest
+        if self.used < self.width:
+            self.used += 1
+            return self.cycle
+        self.cycle += 1
+        self.used = 1
+        return self.cycle
+
+
+class PipeGroup:
+    """N identical execution pipes with out-of-order backfill.
+
+    Bookings are per-cycle counters rather than next-free pointers, so a
+    younger instruction whose operands are ready early can slip into a
+    cycle an older long-waiting instruction left idle — what an age-
+    vector scheduler actually does.
+    """
+
+    def __init__(self, count: int):
+        self.count = max(count, 1)
+        self.used: dict[int, int] = {}
+
+    def earliest(self, ready: int, occupy: int = 1) -> int:
+        cycle = ready
+        if occupy <= 1:
+            while self.used.get(cycle, 0) >= self.count:
+                cycle += 1
+            return cycle
+        while True:
+            if all(self.used.get(cycle + k, 0) < self.count
+                   for k in range(occupy)):
+                return cycle
+            cycle += 1
+
+    def book(self, cycle: int, occupy: int = 1) -> None:
+        for k in range(occupy):
+            slot = cycle + k
+            self.used[slot] = self.used.get(slot, 0) + 1
+
+    def prune(self, before: int) -> None:
+        if len(self.used) > 4096:
+            self.used = {c: n for c, n in self.used.items() if c >= before}
+
+
+@dataclass
+class _RobEntry:
+    seq: int
+    complete: int
+
+
+class ReferencePipelineModel:
+    """Runs a dynamic instruction stream through one core."""
+
+    def __init__(self, config: CoreConfig | None = None,
+                 hierarchy: MemoryHierarchy | None = None):
+        self.config = config = config if config is not None else CoreConfig()
+        self.hier = hierarchy if hierarchy is not None \
+            else MemoryHierarchy(config.mem)
+        fe = config.frontend
+        self.direction = HybridDirectionPredictor(fe.direction)
+        self.btb = CascadedBtb(fe.btb)
+        self.ras = ReturnAddressStack(fe.ras_entries)
+        self.indirect = IndirectPredictor(fe.indirect_entries)
+        self.lbuf = LoopBuffer(fe.loop_buffer)
+        self.memdep = MemDepPredictor(config.lsu.memdep_entries,
+                                      config.lsu.memdep_predictor)
+        self.stats = CoreStats()
+        self._reset_run_state()
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, trace: Iterable) -> CoreStats:
+        """Consume a dynamic instruction stream; returns the statistics.
+
+        Accepts either a flat :class:`DynInst` iterator
+        (``Emulator.trace``) or a batched one yielding lists/tuples of
+        records (``Emulator.fast_trace``) — the timing result is
+        identical, batching only amortises generator overhead.
+        """
+        self._reset_run_state()
+        simulate = self._simulate
+        for item in trace:
+            if type(item) is DynInst:
+                simulate(item)
+            else:
+                for dyn in item:
+                    simulate(dyn)
+        self._drain()
+        self._collect_ras()
+        return self.stats
+
+    def feed(self, dyn: DynInst) -> None:
+        """Incremental interface: time one instruction (multi-core
+        interleaving uses this to keep per-core clocks aligned)."""
+        self._simulate(dyn)
+
+    def finish(self) -> CoreStats:
+        """Close out an incremental run started with :meth:`feed`."""
+        self._drain()
+        self._collect_ras()
+        return self.stats
+
+    def _collect_ras(self) -> None:
+        """Fold the hierarchy's RAS counters into the run statistics.
+
+        With a shared L2 (SMP runs) the L2's events appear in every
+        core's stats; the campaign reads the hierarchy directly when it
+        needs exact attribution.
+        """
+        summary = self.hier.ras_summary()
+        self.stats.ecc_corrected = summary["ecc_corrected"]
+        self.stats.ecc_uncorrectable = summary["ecc_uncorrectable"]
+        self.stats.parity_errors = summary["parity_errors"]
+        self.stats.ways_disabled = summary["ways_disabled"]
+
+    # -- state -----------------------------------------------------------------------
+
+    def _reset_run_state(self) -> None:
+        cfg = self.config
+        self.stats = CoreStats()
+        self._fetch_cycle = 0
+        self._fetch_group: int | None = None
+        self._fetch_slots = 0
+        self._group_shift = cfg.frontend.fetch_bytes.bit_length() - 1
+        self._pending_redirect: int | None = None
+        self._last_was_branch_cycle = -2
+        self._decode_slots = SlotAllocator(cfg.decode_width)
+        self._last_dispatch = 0
+        self._rename_slots = SlotAllocator(cfg.rename_width)
+        self._retire_slots = SlotAllocator(cfg.retire_width)
+        self._decode_ring: deque[int] = deque(maxlen=cfg.frontend.ibuf_entries)
+        self._reg_ready: dict[Reg, int] = {}
+        self._rob: deque[_RobEntry] = deque()
+        self._last_retire = 0
+        self._iq_heap: list[int] = []
+        self._sq_heap: list[int] = []
+        self._serialize_until = 0
+        self._last_issue = 0          # for in-order issue
+        self._inorder_slots = SlotAllocator(cfg.issue_width)
+        self._max_complete = 0
+        self._loop_head_seq: dict[int, int] = {}
+        self._last_target_seen: dict[int, int] = {}
+        self._issue_bw = PipeGroup(cfg.issue_width)
+        self._prune_countdown = 8192
+        fu = self.config.fu
+        self._pipes = {
+            "alu": PipeGroup(fu.alu_count),
+            "bju": PipeGroup(fu.bju_count),
+            "div": PipeGroup(1),
+            "load": PipeGroup(1),
+            "staddr": PipeGroup(1),
+            "stdata": PipeGroup(1),
+            "fpu": PipeGroup(fu.fpu_count),
+            "vec": PipeGroup(fu.vec_slices),
+        }
+        if not self.config.lsu.dual_issue:
+            shared = PipeGroup(1)
+            self._pipes["load"] = shared
+            self._pipes["staddr"] = shared
+            self._pipes["stdata"] = shared
+        self._stores = _FrozenStoreQueueModel(self.config.lsu.sq_entries * 2)
+
+    # -- per-instruction simulation ------------------------------------------------------
+
+    def _simulate(self, dyn: DynInst) -> None:
+        self.stats.instructions += 1
+        fetch = self._frontend(dyn)
+        dispatch = self._dispatch(dyn, fetch)
+        issue, complete = self._execute(dyn, dispatch)
+        self._retire(dyn, dispatch, complete)
+        self._resolve_control(dyn, fetch, complete)
+
+    # -- frontend -------------------------------------------------------------------------
+
+    def _frontend(self, dyn: DynInst) -> int:
+        fe = self.config.frontend
+        pc = dyn.pc
+        if self._pending_redirect is not None:
+            self._fetch_cycle = max(self._fetch_cycle,
+                                    self._pending_redirect)
+            self._fetch_group = None
+            self._pending_redirect = None
+
+        from_lbuf = self.lbuf.active and self.lbuf.covers(pc)
+        if from_lbuf:
+            # LBUF supplies decode-width instructions per cycle with no
+            # I$ access and no taken-branch bubble.
+            if self._fetch_slots >= self.config.decode_width:
+                self._fetch_cycle += 1
+                self._fetch_slots = 0
+            self._fetch_slots += 1
+            self.lbuf.supply()
+            self.stats.lbuf_supplied += 1
+            self._fetch_group = None
+            return self._fetch_cycle
+
+    # Normal path: one 128-bit aligned group per cycle.
+        group = pc >> self._group_shift
+        if group != self._fetch_group or self._fetch_slots >= fe.fetch_insts:
+            if self._fetch_group is not None:
+                self._fetch_cycle += 1
+            extra = self.hier.access_inst(pc, self._fetch_cycle)
+            if extra:
+                self._fetch_cycle += extra
+                self.stats.icache_stall_cycles += extra
+            self._fetch_group = group
+            self._fetch_slots = 0
+        self._fetch_slots += 1
+
+        # IBUF capacity: fetch cannot run further ahead than the buffer.
+        if len(self._decode_ring) == self._decode_ring.maxlen:
+            self._fetch_cycle = max(self._fetch_cycle, self._decode_ring[0])
+        return self._fetch_cycle
+
+    def _dispatch(self, dyn: DynInst, fetch: int) -> int:
+        cfg = self.config
+        decode = self._decode_slots.allocate(fetch + 3)      # IF/IP/IB -> ID
+        earliest = max(decode + 2, self._last_dispatch)      # ID/IR -> IS
+        floor = earliest
+
+        if dyn.inst.iclass in (InstrClass.CSR, InstrClass.SYSTEM):
+            # Serializing: wait for the machine to drain.
+            wait = max(self._max_complete, self._serialize_until)
+            if wait > earliest:
+                self.stats.serializations += 1
+                earliest = wait
+            self._serialize_until = earliest
+        elif self._serialize_until > earliest:
+            earliest = self._serialize_until
+
+        # ROB occupancy: a full window stalls rename until the oldest
+        # entry retires.
+        if len(self._rob) >= cfg.rob_entries:
+            head = self._rob.popleft()
+            head_retire = self._retire_slots.allocate(head.complete + 2)
+            self._last_retire = max(self._last_retire, head_retire)
+            if head_retire > earliest:
+                self.stats.rob_stall_cycles += head_retire - floor
+                earliest = head_retire
+
+        # IQ occupancy (the 8 shared instruction slots + queues).
+        heap = self._iq_heap
+        while heap and heap[0] <= earliest:
+            heapq.heappop(heap)
+        if len(heap) >= cfg.iq_entries:
+            soonest = heapq.heappop(heap)
+            if soonest > earliest:
+                self.stats.iq_stall_cycles += soonest - earliest
+                earliest = soonest
+
+        # SQ occupancy for stores.
+        if dyn.inst.iclass in (InstrClass.STORE, InstrClass.VSTORE):
+            sq = self._sq_heap
+            while sq and sq[0] <= earliest:
+                heapq.heappop(sq)
+            if len(sq) >= cfg.lsu.sq_entries:
+                soonest = heapq.heappop(sq)
+                if soonest > earliest:
+                    self.stats.sq_stall_cycles += soonest - earliest
+                    earliest = soonest
+
+        # The rename-bandwidth allocation comes last so dispatch times
+        # stay monotonic even after structural stalls.
+        dispatch = self._rename_slots.allocate(earliest)
+        self._last_dispatch = dispatch
+        # Backend pressure reaches the IBUF through the decode ring:
+        # fetch may run at most ibuf_entries instructions ahead of the
+        # point where decode actually drains into rename.
+        self._decode_ring.append(dispatch - 2)
+        return dispatch
+
+    # -- execute ---------------------------------------------------------------------------
+
+    def _execute(self, dyn: DynInst, dispatch: int) -> tuple[int, int]:
+        inst = dyn.inst
+        iclass = inst.iclass
+        ready = dispatch + 1
+        for src in inst.srcs:
+            t = self._reg_ready.get(src, 0)
+            if t > ready:
+                ready = t
+        if not self.config.out_of_order:
+            ready = max(ready, self._last_issue)
+            ready = self._inorder_slots.allocate(ready)
+            self._last_issue = ready
+
+        if iclass in (InstrClass.STORE, InstrClass.VSTORE):
+            issue, complete = self._execute_store(dyn, dispatch, ready)
+        elif iclass in (InstrClass.LOAD, InstrClass.AMO):
+            issue, complete = self._execute_load(dyn, dispatch, ready)
+        elif iclass == InstrClass.VLOAD:
+            issue, complete = self._execute_load(dyn, dispatch, ready,
+                                                 vector=True)
+        else:
+            pipe, latency, occupy = self._pipe_and_latency(dyn)
+            issue = self._issue_on(pipe, ready, occupy)
+            complete = issue + latency
+
+        if iclass.value.startswith("v"):
+            self.stats.vector_instructions += 1
+        for dest in inst.dests:
+            self._reg_ready[dest] = complete
+        if complete > self._max_complete:
+            self._max_complete = complete
+        heapq.heappush(self._iq_heap, issue)
+        return issue, complete
+
+    def _issue_on(self, pipe_name: str, ready: int, occupy: int = 1) -> int:
+        """Find the earliest cycle satisfying the pipe and the global
+        8-wide issue bandwidth, then book both."""
+        pipe = self._pipes[pipe_name]
+        cycle = ready
+        while True:
+            c1 = pipe.earliest(cycle, occupy)
+            c2 = self._issue_bw.earliest(c1)
+            if c2 == c1:
+                pipe.book(c1, occupy)
+                self._issue_bw.book(c1)
+                return c1
+            cycle = c2
+
+    def _prune_pipes(self, before: int) -> None:
+        self._prune_countdown -= 1
+        if self._prune_countdown <= 0:
+            self._prune_countdown = 8192
+            for pipe in set(self._pipes.values()):
+                pipe.prune(before - 64)
+            self._issue_bw.prune(before - 64)
+
+    def _pipe_and_latency(self, dyn: DynInst) -> tuple[str, int, int]:
+        fu = self.config.fu
+        iclass = dyn.inst.iclass
+        if iclass == InstrClass.ALU:
+            return "alu", 1, 1
+        if iclass == InstrClass.MUL:
+            return "alu", fu.mul_latency, 1
+        if iclass == InstrClass.DIV:
+            latency = self._div_latency(fu.div_latency_min,
+                                        fu.div_latency_max, dyn)
+            return "div", latency, latency
+        if iclass in (InstrClass.BRANCH, InstrClass.JUMP):
+            return "bju", 1, 1
+        if iclass == InstrClass.FP:
+            return "fpu", fu.fp_latency, 1
+        if iclass == InstrClass.FMUL:
+            return "fpu", fu.fmul_latency, 1
+        if iclass == InstrClass.FDIV:
+            return "fpu", fu.fdiv_latency, fu.fdiv_latency
+        if iclass in (InstrClass.CSR, InstrClass.SYSTEM, InstrClass.VSET):
+            return "alu", 1, 1
+        # vector classes
+        beats = self._vector_beats(dyn)
+        self.stats.vector_beats += beats
+        base = {InstrClass.VALU: fu.valu_latency,
+                InstrClass.VMUL: fu.vmul_latency,
+                InstrClass.VFP: fu.vfp_latency,
+                InstrClass.VFMUL: fu.vfmul_latency,
+                InstrClass.VFDIV: fu.vdiv_latency,
+                InstrClass.VDIV: fu.vdiv_latency,
+                InstrClass.VREDUCE: fu.vreduce_latency,
+                InstrClass.VPERM: fu.vperm_latency}.get(iclass, 3)
+        occupy = beats if iclass not in (InstrClass.VDIV, InstrClass.VFDIV) \
+            else base * beats
+        return "vec", base + beats - 1, occupy
+
+    def _vector_beats(self, dyn: DynInst) -> int:
+        """Beats from the slice datapath: 2 slices x 2 pipes x 64 bits =
+        256 result bits per cycle (section VII)."""
+        bits_per_cycle = self.config.fu.vec_slices * 128
+        work = max(dyn.vl, 1) * max(dyn.sew, 8)
+        return max(1, -(-work // bits_per_cycle))
+
+    @staticmethod
+    def _div_latency(lo: int, hi: int, dyn: DynInst) -> int:
+        """Early-out divider: latency scales with the dividend's
+        magnitude, which the emulator records in the trace."""
+        spread = hi - lo
+        if spread <= 0:
+            return lo
+        bits = min(max(dyn.div_bits, 1), 64)
+        return lo + (spread * bits) // 64
+
+    # -- LSU -----------------------------------------------------------------------------------
+
+    def _split_store_operands(self, dyn: DynInst) -> tuple[list[Reg], list[Reg]]:
+        """(address-generation sources, data sources) for a store."""
+        inst = dyn.inst
+        spec = inst.spec
+        addr_srcs: list[Reg] = []
+        data_srcs: list[Reg] = []
+        for reg in inst.srcs:
+            if spec.fmt == "S":
+                (data_srcs if (reg.file == spec.rs2_file
+                               and reg.index == inst.rs2)
+                 else addr_srcs).append(reg)
+            elif spec.fmt == "XTIDXS":
+                (data_srcs if (reg.file == "x" and reg.index == inst.rs3)
+                 else addr_srcs).append(reg)
+            elif spec.fmt in ("VS", "VSS"):
+                (data_srcs if reg.file == "v" else addr_srcs).append(reg)
+            else:
+                addr_srcs.append(reg)
+        return addr_srcs, data_srcs
+
+    def _execute_store(self, dyn: DynInst, dispatch: int,
+                       ready_all: int) -> tuple[int, int]:
+        lsu = self.config.lsu
+        self.stats.uops += 1  # the extra st.data uop
+        if lsu.pseudo_dual_store:
+            addr_srcs, data_srcs = self._split_store_operands(dyn)
+            addr_ready = dispatch + 1
+            for reg in addr_srcs:
+                addr_ready = max(addr_ready, self._reg_ready.get(reg, 0))
+            data_ready = dispatch + 1
+            for reg in data_srcs:
+                data_ready = max(data_ready, self._reg_ready.get(reg, 0))
+            if not self.config.out_of_order:
+                addr_ready = max(addr_ready, ready_all)
+                data_ready = max(data_ready, ready_all)
+            addr_issue = self._issue_on("staddr", addr_ready)
+            data_issue = self._issue_on("stdata", data_ready)
+        else:
+            addr_issue = self._issue_on("staddr", ready_all)
+            data_issue = addr_issue
+        addr_done = addr_issue + 1
+        data_done = data_issue + 1
+        complete = max(addr_done, data_done)
+        # The merged write drains from the SQ's write buffer to the
+        # cache after both halves arrive.
+        drain_latency = self.hier.access_data(
+            dyn.mem_addr, complete, is_write=True,
+            size=max(dyn.mem_size, 1))
+        heapq.heappush(self._sq_heap, complete + drain_latency)
+        self._stores.add(StoreRecord(
+            seq=dyn.seq, pc=dyn.pc, addr=dyn.mem_addr,
+            size=max(dyn.mem_size, 1), addr_ready=addr_done,
+            data_ready=data_done))
+        return max(addr_issue, data_issue), complete
+
+    def _execute_load(self, dyn: DynInst, dispatch: int, ready: int,
+                      vector: bool = False) -> tuple[int, int]:
+        lsu = self.config.lsu
+        issue = self._issue_on("load", ready)
+
+        # Memory-dependence prediction: tagged loads wait for older
+        # unresolved store addresses instead of speculating.
+        if self.memdep.predicts_conflict(dyn.pc):
+            unresolved = self._stores.unresolved_at(dyn.seq, issue)
+            if unresolved:
+                barrier = max(s.addr_ready for s in unresolved)
+                if barrier > issue:
+                    self.stats.memdep_delays += 1
+                    issue = self._issue_on("load", barrier)
+            else:
+                self.memdep.train_no_conflict(dyn.pc)
+
+        conflicts = self._stores.conflicting_stores(
+            dyn.seq, dyn.mem_addr, max(dyn.mem_size, 1))
+        violation_store = None
+        forward_store = None
+        for store in conflicts:
+            if store.addr_ready > issue:
+                violation_store = store
+            else:
+                forward_store = store
+
+        if violation_store is not None:
+            # The load executed before an older same-address store's
+            # address resolved: speculative failure, global flush.
+            self.stats.lsu_violations += 1
+            self.memdep.train_violation(dyn.pc)
+            restart = violation_store.data_ready \
+                + lsu.violation_flush_penalty
+            issue = self._issue_on("load", max(issue, restart))
+            forward_store = violation_store
+
+        if forward_store is not None and forward_store.data_ready <= issue + 1:
+            self.stats.lsu_forwards += 1
+            complete = max(issue + lsu.forward_latency + 1,
+                           forward_store.data_ready + lsu.forward_latency)
+            return issue, complete
+        if forward_store is not None:
+            # Data not yet available: wait for it, then forward.
+            self.stats.lsu_forwards += 1
+            complete = forward_store.data_ready + lsu.forward_latency + 1
+            return issue, complete
+
+        is_amo = dyn.inst.iclass == InstrClass.AMO
+        extra = self.hier.access_data(dyn.mem_addr, issue, is_write=is_amo,
+                                      size=max(dyn.mem_size, 1))
+        if vector:
+            extra += self._vector_beats(dyn) - 1
+        complete = issue + lsu.load_to_use + extra
+        return issue, complete
+
+    # -- retire --------------------------------------------------------------------------------
+
+    def _retire(self, dyn: DynInst, dispatch: int, complete: int) -> None:
+        self.stats.uops += 1
+        self._rob.append(_RobEntry(seq=dyn.seq, complete=complete))
+        self._stores.retire_older_than(dyn.seq - self.config.rob_entries)
+        self._prune_pipes(dispatch)
+
+    def _drain(self) -> None:
+        while self._rob:
+            head = self._rob.popleft()
+            cycle = self._retire_slots.allocate(head.complete + 2)
+            self._last_retire = max(self._last_retire, cycle)
+        self.stats.cycles = max(self._last_retire, self._fetch_cycle, 1)
+        self.hier.drain_pending()
+
+    # -- control resolution ----------------------------------------------------------------------
+
+    def _resolve_control(self, dyn: DynInst, fetch: int,
+                         complete: int) -> None:
+        inst = dyn.inst
+        iclass = inst.iclass
+        if iclass not in (InstrClass.BRANCH, InstrClass.JUMP):
+            return
+        fe = self.config.frontend
+        self.stats.branches += 1
+        pc = dyn.pc
+
+        # Loop-buffer tracking: distance back to the target in dynamic
+        # instructions approximates the body size.
+        body = 0
+        if dyn.taken and dyn.target <= pc:
+            last_seen = self._last_target_seen.get(dyn.target)
+            if last_seen is not None:
+                body = dyn.seq - last_seen
+        self._last_target_seen[dyn.target if dyn.taken else dyn.next_pc] \
+            = dyn.seq
+        if len(self._last_target_seen) > 4096:
+            self._last_target_seen.clear()
+        in_lbuf = self.lbuf.active and self.lbuf.covers(pc)
+        self.lbuf.observe_branch(pc, dyn.target if dyn.taken else dyn.next_pc,
+                                 dyn.taken, body)
+
+        if iclass == InstrClass.BRANCH:
+            mispredicted = self.direction.update(pc, dyn.taken)
+            if mispredicted:
+                self.stats.direction_mispredicts += 1
+                self._redirect(complete + fe.mispredict_extra)
+                return
+            if dyn.taken:
+                self._taken_bubble(pc, dyn.target, in_lbuf)
+            # Back-to-back conditional branches without the two-level
+            # prefetch buffers cost one dead cycle (section III.A).
+            if not self.direction.consecutive_ok:
+                if fetch - self._last_was_branch_cycle <= 1:
+                    self._fetch_cycle += 1
+                    self.stats.fetch_bubbles += 1
+            self._last_was_branch_cycle = fetch
+            return
+
+        # Jumps.
+        mn = inst.spec.mnemonic
+        if mn == "jal":
+            if inst.rd == 1:
+                self.ras.push(pc + inst.size)
+            self._taken_bubble(pc, dyn.target, in_lbuf)
+            return
+        # jalr family
+        is_return = inst.rd == 0 and inst.rs1 == 1
+        is_call = inst.rd == 1
+        if is_return:
+            predicted = self.ras.predict_pop()
+            if self.ras.check(predicted, dyn.target):
+                self.stats.ras_mispredicts += 1
+                self._redirect(complete + fe.mispredict_extra)
+            else:
+                self._taken_bubble(pc, dyn.target, in_lbuf)
+            return
+        if is_call:
+            self.ras.push(pc + inst.size)
+        if self.indirect.update(pc, dyn.target):
+            self.stats.indirect_mispredicts += 1
+            self._redirect(complete + fe.mispredict_extra)
+        else:
+            self._taken_bubble(pc, dyn.target, in_lbuf)
+
+    def _taken_bubble(self, pc: int, target: int, in_lbuf: bool) -> None:
+        """Charge the taken-redirect cost by where the target came from."""
+        fe = self.config.frontend
+        level, predicted = self.btb.predict(pc)
+        if self.btb.update(pc, target, predicted):
+            self.stats.target_mispredicts += 1
+            bubbles = fe.taken_bubble_miss
+        elif in_lbuf:
+            bubbles = 0   # LBUF: last and first instruction co-issue
+        elif level is BtbLevel.L0:
+            bubbles = fe.taken_bubble_l0
+        elif level is BtbLevel.L1:
+            bubbles = fe.taken_bubble_l1
+        else:
+            bubbles = fe.taken_bubble_miss
+        if bubbles:
+            self._fetch_cycle += bubbles
+            self.stats.taken_branch_bubbles += bubbles
+        self._fetch_group = None  # next fetch starts a new group
+
+    def _redirect(self, resume_cycle: int) -> None:
+        self._pending_redirect = max(
+            self._pending_redirect or 0, resume_cycle)

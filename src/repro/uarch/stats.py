@@ -43,6 +43,22 @@ class CoreStats:
 
     extra: dict = field(default_factory=dict)
 
+    #: Fields excluded from :meth:`as_comparable`: ``extra`` holds
+    #: harness-side annotations (block-cache counters) and the decode
+    #: cache belongs to the functional emulator, not the timing model,
+    #: so neither is part of the timing-equivalence contract.
+    _NON_TIMING_FIELDS = frozenset(
+        {"extra", "decode_cache_hits", "decode_cache_misses"})
+
+    def as_comparable(self) -> dict:
+        """Timing-model counters as a plain dict, for equality checks.
+
+        Two models are *stats-identical* iff their ``as_comparable()``
+        dicts are equal; this is the contract the fast path is gated on.
+        """
+        return {name: value for name, value in vars(self).items()
+                if name not in self._NON_TIMING_FIELDS}
+
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0

@@ -11,7 +11,6 @@ through the whole stack — assembler, RVC compressor, emulator, pipeline
 * every executed instruction disassembles and reassembles to itself.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble

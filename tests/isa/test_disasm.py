@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble
 from repro.isa.disasm import disassemble, disassemble_program
-from repro.isa.encoding import decode_word, encode
+from repro.isa.encoding import encode
 from repro.isa.instructions import Instruction, SPECS, compute_operands
 
 

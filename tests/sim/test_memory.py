@@ -1,6 +1,5 @@
 """Memory model tests: sparse pages, cross-page access, MMIO windows."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim import Memory

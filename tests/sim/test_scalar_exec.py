@@ -1,6 +1,5 @@
 """Functional semantics tests for the scalar ISA."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble
@@ -522,8 +521,6 @@ class TestXtExtensions:
 def test_add_matches_python(a, b):
     emu = run_asm(f"li t0, {a}\nli t1, {b}\nadd t2, t0, t1\n"
                   "li a0, 0\nsd t2, -8(sp)\n")
-    from repro.sim.state import to_signed
-
     value = emu.state.memory.load_int(emu.state.regs[2] - 8, 8, signed=True)
     assert value == a + b
 

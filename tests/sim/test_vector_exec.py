@@ -2,9 +2,6 @@
 
 import struct
 
-from .conftest import run_asm
-
-
 def dump_dwords(emu, symbol, count):
     base = emu.program.symbol(symbol)
     return [emu.state.memory.load_int(base + 8 * i, 8, signed=True)

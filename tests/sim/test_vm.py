@@ -1,10 +1,8 @@
 """SV39 virtual memory tests: translation, permissions, page faults,
 privilege transitions (section V.E)."""
 
-import pytest
-
 from repro.asm import assemble
-from repro.mem.ptw import PTE_R, PTE_U, PTE_W, PTE_X, PageTableBuilder
+from repro.mem.ptw import PTE_R, PTE_W, PTE_X, PageTableBuilder
 from repro.sim import Emulator, Memory
 
 

@@ -1,8 +1,6 @@
 """Pipeline-model behaviour tests: run tiny kernels, check the timing
 model responds to microarchitecture features the way the paper says."""
 
-import pytest
-
 from repro.asm import assemble
 from repro.harness.runner import run_on_core
 from repro.uarch.presets import get_preset

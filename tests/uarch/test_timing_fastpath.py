@@ -1,0 +1,178 @@
+"""Equivalence gates for the timing-model fast path.
+
+The optimised :class:`repro.uarch.core.PipelineModel` (static timing
+cache, ring-array scheduling structures, block-batched monolith) is
+only allowed to be fast because it is *stats-identical* to the slow
+model.  Three independent oracles pin that down:
+
+1. the frozen pre-fast-path copy
+   (:class:`repro.uarch.refmodel.ReferencePipelineModel`), replaying
+   the same dynamic trace;
+2. the committed ``golden_stats.json`` snapshot, generated with the
+   reference model on every bundled workload — catches drift that a
+   same-commit differential cannot (both models changing together);
+3. the model's own staged per-instruction path (``feed``/``finish``),
+   which the monolith is an inlined port of.
+
+Plus the operational properties the fast path must not break:
+determinism across runs, ``_reset_run_state`` completeness on model
+reuse, static-cache revalidation by instruction identity, and bounded
+``PipeGroup`` memory over long runs.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.runner import run_on_core
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.emulator import Emulator, WatchdogExpired
+from repro.uarch.core import _WINDOW, PipeGroup, PipelineModel
+from repro.uarch.presets import get_preset
+from repro.uarch.refmodel import ReferencePipelineModel
+from repro.workloads import all_workloads
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_stats.json").read_text())
+
+#: Workloads replayed through both models in-process (the reference
+#: model is ~3x slower, so this is a representative sample, not the
+#: full suite: int-heavy, branchy, memory-heavy and vector kernels).
+DIFF_WORKLOADS = ["coremark-list", "coremark-state", "eembc-canrdr",
+                  "vec-mac16"]
+
+#: Workloads checked against the committed golden snapshot on every CI
+#: run; the full 33-workload sweep is the bench job's differential.
+GOLDEN_SUBSET = ["coremark-list", "coremark-matrix", "coremark-state",
+                 "coremark-crc", "eembc-canrdr", "eembc-idctrn",
+                 "nbench-idea", "stream-triad", "vec-mac16",
+                 "dhrystone-like"]
+
+
+def _workload(name: str):
+    for workload in all_workloads():
+        if workload.name == name:
+            return workload
+    raise KeyError(name)
+
+
+def _run_model(model_cls, program, max_steps=None):
+    config = get_preset("xt910")
+    model = model_cls(config, MemoryHierarchy(config.mem))
+    emulator = Emulator(program)
+    return model.run(emulator.fast_trace(max_steps))
+
+
+@pytest.mark.parametrize("name", DIFF_WORKLOADS)
+def test_fast_path_matches_reference_oracle(name):
+    program = _workload(name).program()
+    ref = _run_model(ReferencePipelineModel, program)
+    fast = _run_model(PipelineModel, program)
+    assert fast.as_comparable() == ref.as_comparable()
+
+
+@pytest.mark.parametrize("name", GOLDEN_SUBSET)
+def test_matches_committed_golden_stats(name):
+    result = run_on_core(_workload(name).program(), "xt910")
+    got = result.stats.as_comparable()
+    want = {key: value for key, value in GOLDEN[name].items()
+            if key in got}
+    assert got == want
+
+
+def test_golden_file_covers_every_bundled_workload():
+    assert sorted(GOLDEN) == sorted(w.name for w in all_workloads())
+
+
+def test_feed_matches_run():
+    """The staged per-instruction path (the readable spec) and the
+    batched monolith must produce identical statistics."""
+    program = _workload("coremark-list").program()
+    config = get_preset("xt910")
+
+    batched = PipelineModel(config, MemoryHierarchy(config.mem))
+    run_stats = batched.run(Emulator(program).fast_trace(None))
+
+    staged = PipelineModel(config, MemoryHierarchy(config.mem))
+    for dyn in Emulator(program).trace(None):
+        staged.feed(dyn)
+    feed_stats = staged.finish()
+
+    assert feed_stats.as_comparable() == run_stats.as_comparable()
+
+
+def _stats_for(model, program, max_steps):
+    """Run *program* through *model*; a trace cut short by the step
+    watchdog is closed out with ``finish()`` — the monolith's
+    try/finally write-back must leave consistent, deterministic stats
+    even when the feeding generator raises mid-run."""
+    try:
+        model.run(Emulator(program).fast_trace(max_steps))
+    except WatchdogExpired:
+        model.finish()
+    return model.stats.as_comparable()
+
+
+@settings(max_examples=6, deadline=None)
+@given(name=st.sampled_from(["coremark-list", "stream-copy",
+                             "nbench-fourier"]),
+       max_steps=st.one_of(st.none(),
+                           st.integers(min_value=200, max_value=4000)))
+def test_determinism_and_reset_completeness(name, max_steps):
+    """Identical inputs give identical stats — from a fresh model and
+    from a reused one (``_reset_run_state`` must forget everything;
+    the hierarchy is external state and is swapped fresh)."""
+    program = _workload(name).program()
+    config = get_preset("xt910")
+
+    fresh = PipelineModel(config, MemoryHierarchy(config.mem))
+    first = _stats_for(fresh, program, max_steps)
+
+    reused = PipelineModel(config, MemoryHierarchy(config.mem))
+    second = _stats_for(reused, program, max_steps)
+    assert second == first
+
+    reused.hier = MemoryHierarchy(config.mem)
+    third = _stats_for(reused, program, max_steps)
+    assert third == first
+
+
+def test_tcache_revalidates_on_new_instruction_object():
+    """The static cache is keyed by PC but validated by ``inst``
+    identity: a re-decode (fence.i, icache maintenance) produces a new
+    ``Instruction`` object and must force a rebuild."""
+    program = _workload("coremark-list").program()
+    model = PipelineModel(get_preset("xt910"))
+    dyn = next(iter(Emulator(program).trace(4)))
+
+    info = model._info(dyn)
+    assert model._info(dyn) is info          # same object: cache hit
+
+    redecoded = copy.copy(dyn)
+    redecoded.inst = copy.copy(dyn.inst)     # fresh Instruction object
+    rebuilt = model._info(redecoded)
+    assert rebuilt is not info               # identity miss: rebuilt
+    assert rebuilt.src_rids == info.src_rids
+    assert model._info(redecoded) is rebuilt  # and re-cached
+
+
+def test_pipegroup_memory_bounded_over_one_million_cycles():
+    """The booking window recycles in place: a synthetic 1M-cycle run
+    must not grow the ring or leak bookings into the far dict."""
+    group = PipeGroup(2)
+    ring_len = len(group._ring)
+    for cycle in range(0, 1_000_000, 5):
+        slot = group.earliest(cycle, occupy=2)
+        group.book(slot, occupy=2)
+        if cycle % 8192 == 0 and cycle:
+            group.prune(cycle - 64)
+    assert len(group._ring) == ring_len == _WINDOW
+    assert len(group._far) < 64
+    # and the window actually advanced with the pruning
+    assert group._base > 0
