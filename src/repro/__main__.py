@@ -1,6 +1,9 @@
 """Command-line interface.
 
     python -m repro run program.s [--core xt910] [--mmu] [--profile]
+    python -m repro run program.s --sanitize
+    python -m repro lint program.s [--json]
+    python -m repro lint --workloads [--update-baseline]
     python -m repro disasm program.s
     python -m repro profile program.s [--core xt910] [--top 15]
     python -m repro compare program.s --cores xt910 u74 cortex-a73
@@ -33,6 +36,12 @@ def cmd_run(args) -> int:
         print("error: --profile needs --core (it profiles the harness "
               "path: emulator + timing model)", file=sys.stderr)
         return 2
+    if args.sanitize:
+        if args.core or args.mmu or args.lockstep:
+            print("error: --sanitize hooks the block-cache fast path "
+                  "and excludes --core/--mmu/--lockstep", file=sys.stderr)
+            return 2
+        return _run_sanitized(program, args)
     if args.core:
         breakdown = None
         if args.profile:
@@ -81,6 +90,97 @@ def cmd_run(args) -> int:
         print(emulator.stdout, end="")
     print(f"exit {code} after {emulator.state.instret} instructions")
     return code
+
+
+def _run_sanitized(program, args) -> int:
+    from .analysis import Sanitizer, SanitizerViolation
+
+    emulator = Emulator(program, instruction_limit=args.max_insts)
+    emulator.sanitizer = Sanitizer(program)
+    try:
+        code = emulator.run_fast(args.max_steps)
+    except SanitizerViolation as exc:
+        if emulator.stdout:
+            print(emulator.stdout, end="")
+        print(f"sanitizer: {exc.violation.render()}")
+        return 1
+    except WatchdogExpired as exc:
+        print(exc)
+        return 2
+    if emulator.stdout:
+        print(emulator.stdout, end="")
+    stats = emulator.sanitizer.summary()
+    print(f"exit {code} after {emulator.state.instret} instructions "
+          f"(sanitized: {stats['blocks_checked']} blocks, "
+          f"max call depth {stats['max_call_depth']}, "
+          f"{stats['violations']} violations)")
+    return code
+
+
+def cmd_lint(args) -> int:
+    import json as json_mod
+
+    from .analysis import (compare_to_baseline, lint_program,
+                           lint_workloads, load_baseline, save_baseline)
+    from .analysis.lint import DEFAULT_BASELINE
+
+    if bool(args.program) == bool(args.workloads):
+        print("error: lint needs a program file or --workloads",
+              file=sys.stderr)
+        return 2
+    if args.workloads:
+        reports = lint_workloads()
+    else:
+        program = _load(args.program, not args.no_compress)
+        reports = [lint_program(program, name=args.program)]
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.update_baseline:
+        save_baseline(reports, baseline_path)
+        total = sum(len(r.keys) for r in reports)
+        print(f"wrote {baseline_path} ({total} accepted findings)")
+        return 0
+
+    # A single-file lint only honors an explicitly-passed baseline; the
+    # committed one keys findings by workload name.
+    use_baseline = not args.no_baseline and (args.workloads
+                                             or args.baseline is not None)
+    baseline = load_baseline(baseline_path) if use_baseline else {}
+    new, stale = compare_to_baseline(reports, baseline)
+    if args.json:
+        payload = {
+            "programs": [r.to_dict() for r in reports],
+            "new": [{"program": name, **_finding_json(f)}
+                    for name, f in new],
+            "stale": [{"program": name, "key": key}
+                      for name, key in stale],
+        }
+        print(json_mod.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            status = "clean" if not report.findings else \
+                f"{len(report.findings)} finding(s)"
+            print(f"{report.name}: {report.instructions} insts, "
+                  f"{report.blocks} blocks, {report.functions} "
+                  f"function(s) -- {status}")
+            for finding in report.findings:
+                marker = " " if finding.key in \
+                    set(baseline.get(report.name, ())) else "*"
+                print(f"  {marker} {finding.render()}")
+        for name, key in stale:
+            print(f"stale baseline entry: {name}: {key}")
+    if new:
+        against = f"not in baseline ({baseline_path})" if use_baseline \
+            else "reported"
+        print(f"lint: {len(new)} finding(s) {against}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _finding_json(finding) -> dict:
+    from .analysis.lint import finding_dict
+
+    return finding_dict(finding)
 
 
 def cmd_disasm(args) -> int:
@@ -168,7 +268,31 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--lockstep", action="store_true",
                        help="run a golden shadow emulator and diff "
                             "architectural state every instruction")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="run on the block-cache path with shadow "
+                            "init-state and call-stack checking; exits "
+                            "1 on the first violation")
     p_run.set_defaults(fn=cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: CFG recovery + checker suite")
+    p_lint.add_argument("program", nargs="?", default=None,
+                        help="assembly source file (or use --workloads)")
+    p_lint.add_argument("--no-compress", action="store_true",
+                        help="disable RVC compression")
+    p_lint.add_argument("--workloads", action="store_true",
+                        help="lint every bundled workload")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable findings on stdout")
+    p_lint.add_argument("--baseline", default=None,
+                        help="accepted-findings JSON (default: the "
+                             "committed lint_baseline.json)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, ignore the baseline")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's "
+                             "findings")
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_dis = sub.add_parser("disasm", help="disassemble the text section")
     add_common(p_dis)

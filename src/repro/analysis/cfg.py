@@ -1,0 +1,413 @@
+"""Whole-program control-flow-graph recovery from decoded text sections.
+
+The builder walks the statically decoded instruction stream
+(:func:`repro.isa.classify.iter_text`), splits it at leaders, and links
+basic blocks with branch, jump, call-fall-through and recovered
+indirect-jump edges.  Indirect jumps (``jr``) get their successor set
+from code pointers found in the data section and symbol table — the
+jump-table idiom every compiler emits for dense switches.  On top of
+the raw graph it partitions blocks into functions (program entry plus
+every static call target), computes per-function dominator trees, and
+flags code no edge can reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..isa.classify import (
+    DecodedInst,
+    exit_syscall_value,
+    is_branch,
+    is_call,
+    is_indirect_jump,
+    is_plain_jump,
+    is_ret,
+    iter_text,
+    jump_target,
+)
+from ..isa.instructions import InstrClass
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..asm.program import Program
+
+#: mnemonics that end a basic block because control may not fall through
+_SYSTEM_TERMINATORS = frozenset({"ecall", "ebreak", "mret", "sret"})
+
+#: block terminator classification
+KIND_FALL = "fall"          # runs into the next block
+KIND_BRANCH = "branch"      # conditional: target + fall-through
+KIND_JUMP = "jump"          # unconditional direct jump
+KIND_CALL = "call"          # direct or indirect call; falls through on return
+KIND_RET = "ret"            # function return
+KIND_INDIRECT = "indirect"  # jump-table style jalr
+KIND_EXIT = "exit"          # ecall with a statically-known exit a7
+KIND_SYSTEM = "system"      # ecall/ebreak/mret/sret with unknown continuation
+
+
+@dataclass
+class BasicBlock:
+    """One maximal straight-line run of instructions."""
+
+    start: int
+    insts: list[DecodedInst]
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+    kind: str = KIND_FALL
+    #: static call target (``jal ra``); None for indirect calls
+    call_target: int | None = None
+
+    @property
+    def end(self) -> int:
+        last = self.insts[-1]
+        return last.addr + last.inst.size
+
+    @property
+    def terminator(self) -> DecodedInst:
+        return self.insts[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BasicBlock({self.start:#x}..{self.end:#x} "
+                f"{self.kind} -> {[hex(s) for s in self.succs]})")
+
+
+@dataclass
+class Function:
+    """A connected region of blocks reachable from one call target."""
+
+    entry: int
+    name: str
+    blocks: list[int] = field(default_factory=list)
+    #: starts of blocks ending in ``ret``
+    rets: list[int] = field(default_factory=list)
+    #: immediate dominator per block start (entry maps to itself)
+    idom: dict[int, int] = field(default_factory=dict)
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Whether block *a* dominates block *b* inside this function."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom.get(node)
+            if parent is None or parent == node:
+                return a == node
+            node = parent
+
+
+class CFG:
+    """The recovered whole-program control-flow graph."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.blocks: dict[int, BasicBlock] = {}
+        #: block starts in address order
+        self.order: list[int] = []
+        self.entry: int = program.entry
+        self.functions: dict[int, Function] = {}
+        #: block start -> owning function entry
+        self.block_func: dict[int, int] = {}
+        #: function entry -> call-site block starts
+        self.callers: dict[int, list[int]] = {}
+        #: block starts no edge (or call) reaches
+        self.unreachable: list[int] = []
+        #: recovered indirect-jump target pool (jump tables)
+        self.indirect_targets: list[int] = []
+
+    # -- lookups -----------------------------------------------------------
+
+    def block_at(self, addr: int) -> BasicBlock | None:
+        """The block containing *addr*, if any."""
+        block = self.blocks.get(addr)
+        if block is not None:
+            return block
+        for start in self.order:
+            candidate = self.blocks[start]
+            if candidate.start <= addr < candidate.end:
+                return candidate
+        return None
+
+    def function_of(self, block_start: int) -> Function | None:
+        entry = self.block_func.get(block_start)
+        return self.functions.get(entry) if entry is not None else None
+
+    # -- interprocedural successor view ------------------------------------
+
+    def super_succs(self, block: BasicBlock) -> list[int]:
+        """Successors in the interprocedural supergraph.
+
+        Call blocks flow into their callee's entry (the fall-through is
+        reached *through* the callee's return); return blocks flow back
+        to the fall-through of every recorded call site.
+        """
+        if block.kind == KIND_CALL and block.call_target is not None:
+            if block.call_target in self.blocks:
+                return [block.call_target]
+            return list(block.succs)
+        if block.kind == KIND_RET:
+            entry = self.block_func.get(block.start)
+            sites: list[int] = []
+            for site in self.callers.get(entry if entry is not None else -1,
+                                         []):
+                call_block = self.blocks[site]
+                sites.extend(call_block.succs)
+            return sites
+        return list(block.succs)
+
+
+def _code_pointers(program: Program, starts: set[int]) -> list[int]:
+    """Instruction addresses the data section points at.
+
+    Jump tables are ``.dword label`` runs, so every aligned data dword
+    that lands on a decoded instruction start is a candidate indirect
+    target.  Deliberately *not* the whole symbol table: routing every
+    ``jr`` to every label would fuse unrelated functions together.
+    """
+    targets: set[int] = set()
+    data = program.data
+    for offset in range(0, len(data) - 7, 8):
+        value = int.from_bytes(data[offset:offset + 8], "little")
+        if value in starts:
+            targets.add(value)
+    return sorted(targets)
+
+
+def build_cfg(program: Program) -> CFG:
+    """Recover the CFG of *program*'s text section."""
+    cfg = CFG(program)
+    insts = list(iter_text(program))
+    if not insts:
+        return cfg
+    index_of = {di.addr: i for i, di in enumerate(insts)}
+    starts = set(index_of)
+
+    # -- pass 1: leaders and terminators -----------------------------------
+    leaders: set[int] = {program.entry} if program.entry in starts \
+        else {insts[0].addr}
+    terminator_at: dict[int, str] = {}
+    for i, di in enumerate(insts):
+        inst = di.inst
+        kind: str | None = None
+        if is_branch(inst):
+            kind = KIND_BRANCH
+            leaders.add(jump_target(inst, di.addr))
+        elif is_call(inst):
+            kind = KIND_CALL
+            if inst.spec.mnemonic == "jal":
+                leaders.add(jump_target(inst, di.addr))
+        elif is_ret(inst):
+            kind = KIND_RET
+        elif is_plain_jump(inst):
+            kind = KIND_JUMP
+            leaders.add(jump_target(inst, di.addr))
+        elif is_indirect_jump(inst):
+            kind = KIND_INDIRECT
+        elif inst.spec.mnemonic in _SYSTEM_TERMINATORS:
+            if (inst.spec.mnemonic == "ecall"
+                    and exit_syscall_value(insts, i) == 93):
+                kind = KIND_EXIT
+            else:
+                kind = KIND_SYSTEM
+        if kind is not None:
+            terminator_at[di.addr] = kind
+            if i + 1 < len(insts):
+                leaders.add(insts[i + 1].addr)
+    leaders &= starts
+
+    # -- pass 2: carve blocks ----------------------------------------------
+    current: list[DecodedInst] = []
+    block_start = insts[0].addr
+    for di in insts:
+        if di.addr in leaders and current:
+            cfg.blocks[block_start] = BasicBlock(block_start, current)
+            current = []
+        if not current:
+            block_start = di.addr
+        current.append(di)
+        if di.addr in terminator_at:
+            block = BasicBlock(block_start, current,
+                               kind=terminator_at[di.addr])
+            cfg.blocks[block_start] = block
+            current = []
+    if current:
+        cfg.blocks[block_start] = BasicBlock(block_start, current)
+    cfg.order = sorted(cfg.blocks)
+
+    cfg.indirect_targets = _code_pointers(program, leaders)
+
+    # -- pass 3: edges ------------------------------------------------------
+    block_starts = set(cfg.order)
+
+    def fall_through(block: BasicBlock) -> int | None:
+        nxt = block.end
+        return nxt if nxt in block_starts else None
+
+    for start in cfg.order:
+        block = cfg.blocks[start]
+        term = block.terminator
+        inst = term.inst
+        succs: list[int] = []
+        if block.kind == KIND_BRANCH:
+            target = jump_target(inst, term.addr)
+            if target in block_starts:
+                succs.append(target)
+            fall = fall_through(block)
+            if fall is not None:
+                succs.append(fall)
+        elif block.kind == KIND_JUMP:
+            target = jump_target(inst, term.addr)
+            if target in block_starts:
+                succs.append(target)
+        elif block.kind == KIND_CALL:
+            if inst.spec.mnemonic == "jal":
+                block.call_target = jump_target(inst, term.addr)
+            fall = fall_through(block)
+            if fall is not None:
+                succs.append(fall)
+        elif block.kind == KIND_INDIRECT:
+            succs.extend(t for t in cfg.indirect_targets
+                         if t in block_starts)
+        elif block.kind in (KIND_RET, KIND_EXIT, KIND_SYSTEM):
+            pass
+        else:  # plain fall-through (incl. non-terminating system insts)
+            fall = fall_through(block)
+            if fall is not None:
+                succs.append(fall)
+        block.succs = succs
+    for start in cfg.order:
+        for succ in cfg.blocks[start].succs:
+            cfg.blocks[succ].preds.append(start)
+
+    _partition_functions(cfg)
+    _compute_dominators(cfg)
+    _find_unreachable(cfg)
+    return cfg
+
+
+def _function_name(program: Program, addr: int) -> str:
+    names = sorted(name for name, value in program.symbols.items()
+                   if value == addr)
+    if names:
+        return names[0]
+    return f"func_{addr:#x}"
+
+
+def _partition_functions(cfg: CFG) -> None:
+    """Assign blocks to functions by intra-procedural reachability."""
+    program = cfg.program
+    entries: list[int] = []
+    if cfg.entry in cfg.blocks:
+        entries.append(cfg.entry)
+    call_sites: dict[int, list[int]] = {}
+    for start in cfg.order:
+        block = cfg.blocks[start]
+        if block.kind == KIND_CALL and block.call_target is not None:
+            call_sites.setdefault(block.call_target, []).append(start)
+            if (block.call_target in cfg.blocks
+                    and block.call_target not in entries):
+                entries.append(block.call_target)
+    cfg.callers = call_sites
+
+    # Pre-claim each entry for its own function so that stray edges
+    # into a callee's first block (e.g. recovered indirect targets)
+    # cannot absorb the callee into its caller.
+    claimed: dict[int, int] = {entry: entry for entry in entries}
+    for entry in entries:
+        func = Function(entry=entry, name=_function_name(program, entry))
+        stack = [entry]
+        while stack:
+            start = stack.pop()
+            if start in claimed and claimed[start] != entry:
+                continue
+            if start in func.blocks:
+                continue
+            claimed[start] = entry
+            func.blocks.append(start)
+            block = cfg.blocks[start]
+            if block.kind == KIND_RET:
+                func.rets.append(start)
+            stack.extend(s for s in block.succs if s not in claimed)
+        func.blocks.sort()
+        cfg.functions[entry] = func
+    cfg.block_func = claimed
+
+
+def _compute_dominators(cfg: CFG) -> None:
+    """Iterative dominator computation (Cooper/Harvey/Kennedy) per
+    function, over the intra-procedural edges."""
+    for func in cfg.functions.values():
+        members = set(func.blocks)
+        # Reverse postorder from the function entry.
+        order: list[int] = []
+        seen: set[int] = set()
+
+        def visit(start: int, members: set[int] = members,
+                  order: list[int] = order, seen: set[int] = seen) -> None:
+            stack = [(start, iter(cfg.blocks[start].succs))]
+            seen.add(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ in members and succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(cfg.blocks[succ].succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(func.entry)
+        rpo = list(reversed(order))
+        rpo_index = {b: i for i, b in enumerate(rpo)}
+        idom: dict[int, int] = {func.entry: func.entry}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while rpo_index[a] > rpo_index[b]:
+                    a = idom[a]
+                while rpo_index[b] > rpo_index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in rpo:
+                if node == func.entry:
+                    continue
+                preds = [p for p in cfg.blocks[node].preds
+                         if p in rpo_index and p in idom]
+                if not preds:
+                    continue
+                new = preds[0]
+                for pred in preds[1:]:
+                    new = intersect(new, pred)
+                if idom.get(node) != new:
+                    idom[node] = new
+                    changed = True
+        func.idom = idom
+
+
+def _find_unreachable(cfg: CFG) -> None:
+    """Blocks no edge, call or recovered indirect target reaches."""
+    reached: set[int] = set()
+    roots = [cfg.entry] if cfg.entry in cfg.blocks else []
+    stack = list(roots)
+    while stack:
+        start = stack.pop()
+        if start in reached:
+            continue
+        reached.add(start)
+        block = cfg.blocks[start]
+        succs = list(block.succs)
+        if block.kind == KIND_CALL and block.call_target is not None \
+                and block.call_target in cfg.blocks:
+            succs.append(block.call_target)
+        if block.kind == KIND_INDIRECT:
+            # succs already carry the recovered pool
+            pass
+        stack.extend(succs)
+    cfg.unreachable = [start for start in cfg.order if start not in reached]

@@ -1,0 +1,517 @@
+"""The lint checker suite over a recovered CFG.
+
+Each checker turns dataflow facts into :class:`Finding` records with
+source-line provenance.  Finding keys deliberately use function name,
+source line and register — not raw addresses — so the committed
+baselines survive unrelated code motion.
+
+Checks implemented (ids in brackets):
+
+* maybe-uninitialized register reads [``uninit-read``],
+* vector instruction with no dominating ``vsetvl`` [``vector-no-vsetvl``],
+* vector reconfiguration while differently-configured registers are
+  live [``vreconfig-live``],
+* callee-saved register clobbered without save/restore
+  [``callee-clobber``],
+* unbalanced stack-pointer adjustment at return [``stack-imbalance``]
+  and untracked stack-pointer writes [``sp-untracked``],
+* LR/SC pairing and forward-progress rules [``lrsc-unpaired``,
+  ``lrsc-orphan-sc``, ``lrsc-progress``],
+* statically wild or misaligned effective addresses [``mem-wild``,
+  ``mem-misaligned``, ``store-to-text``],
+* code no edge reaches [``unreachable-code``].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm.program import STACK_TOP, TOHOST_ADDR
+from ..isa.classify import (
+    CALLEE_SAVED_F,
+    CALLEE_SAVED_X,
+    SP,
+    DecodedInst,
+    is_vector_config,
+)
+from ..isa.instructions import Instruction, InstrClass
+from .cfg import CFG, KIND_RET, BasicBlock, Function
+from .dataflow import (
+    ALL_BITS,
+    F_BASE,
+    V_BASE,
+    VCONFIG_BIT,
+    bit_name,
+    def_mask,
+    live_at,
+    liveness,
+    must_init,
+    walk_init,
+)
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+SEV_INFO = "info"
+
+#: forward-progress window the architecture guarantees for LR/SC loops
+_LRSC_WINDOW = 16
+
+#: vtype lattice sentinels (values >= 0 are concrete vtype immediates)
+_VTYPE_TOP = -2
+_VTYPE_UNKNOWN = -1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic with source provenance."""
+
+    check: str
+    severity: str
+    function: str
+    addr: int
+    line: int
+    message: str
+    #: short detail (usually a register name) that disambiguates the key
+    extra: str = ""
+    source: str = ""
+
+    @property
+    def key(self) -> str:
+        """Baseline identity: stable across address-only code motion."""
+        return f"{self.check}:{self.function}:{self.line}:{self.extra}"
+
+    def render(self) -> str:
+        loc = f"line {self.line}" if self.line else f"{self.addr:#x}"
+        text = (f"{self.severity}: [{self.check}] {self.function} {loc}: "
+                f"{self.message}")
+        if self.source:
+            text += f"  |  {self.source}"
+        return text
+
+
+def run_checks(cfg: CFG) -> list[Finding]:
+    """Run every checker; findings come back in address order."""
+    findings: list[Finding] = []
+    findings += check_init(cfg)
+    findings += check_callee_saved(cfg)
+    findings += check_stack(cfg)
+    findings += check_vector_reconfig(cfg)
+    findings += check_lrsc(cfg)
+    findings += check_memory(cfg)
+    findings += check_unreachable(cfg)
+    findings.sort(key=lambda f: (f.addr, f.check, f.extra))
+    return findings
+
+
+def _finding(cfg: CFG, check: str, severity: str, di: DecodedInst,
+             message: str, extra: str = "") -> Finding:
+    func = cfg.function_of(cfg.block_at(di.addr).start
+                           if cfg.block_at(di.addr) else di.addr)
+    return Finding(
+        check=check, severity=severity,
+        function=func.name if func else "?",
+        addr=di.addr, line=di.line, message=message, extra=extra,
+        source=cfg.program.source_line(di.addr))
+
+
+# -- initialization + vector configuration ----------------------------------
+
+def check_init(cfg: CFG) -> list[Finding]:
+    """Flag reads of registers no path has definitely written, and
+    vector instructions executing with no ``vsetvl`` on some path."""
+    findings: list[Finding] = []
+    state_in = must_init(cfg)
+    for start in cfg.order:
+        state = state_in[start]
+        if state == ALL_BITS:  # unreachable: vacuous
+            continue
+        for di, missing, _before in walk_init(cfg.blocks[start], state):
+            bit = 0
+            while missing >> bit:
+                if missing >> bit & 1:
+                    name = bit_name(bit)
+                    if bit == VCONFIG_BIT:
+                        findings.append(_finding(
+                            cfg, "vector-no-vsetvl", SEV_ERROR, di,
+                            f"vector instruction "
+                            f"'{di.inst.spec.mnemonic}' with no "
+                            f"dominating vsetvl/vsetvli"))
+                    else:
+                        findings.append(_finding(
+                            cfg, "uninit-read", SEV_WARNING, di,
+                            f"read of maybe-uninitialized register "
+                            f"{name}", extra=name))
+                bit += 1
+    return findings
+
+
+# -- ABI: callee-saved preservation -----------------------------------------
+
+def check_callee_saved(cfg: CFG) -> list[Finding]:
+    """Callee-saved registers written by a function must be spilled to
+    the stack and reloaded before return."""
+    findings: list[Finding] = []
+    for entry, func in cfg.functions.items():
+        if entry == cfg.entry:
+            continue  # the entry routine has no caller to preserve for
+        clobbers: dict[int, DecodedInst] = {}
+        saved: set[int] = set()
+        restored: set[int] = set()
+        for start in func.blocks:
+            for di in cfg.blocks[start].insts:
+                inst = di.inst
+                spec = inst.spec
+                if (spec.iclass is InstrClass.STORE and inst.rs1 == SP
+                        and spec.rs2_file in ("x", "f")):
+                    bit = inst.rs2 if spec.rs2_file == "x" \
+                        else F_BASE + inst.rs2
+                    if _is_callee_saved(bit):
+                        saved.add(bit)
+                        continue
+                if (spec.iclass is InstrClass.LOAD and inst.rs1 == SP
+                        and spec.rd_file in ("x", "f")):
+                    bit = inst.rd if spec.rd_file == "x" \
+                        else F_BASE + inst.rd
+                    if _is_callee_saved(bit):
+                        restored.add(bit)
+                        continue
+                for reg in inst.dests:
+                    if reg.file == "x" and reg.index in CALLEE_SAVED_X:
+                        clobbers.setdefault(reg.index, di)
+                    elif reg.file == "f" and reg.index in CALLEE_SAVED_F:
+                        clobbers.setdefault(F_BASE + reg.index, di)
+        for bit, di in sorted(clobbers.items()):
+            if bit in saved and bit in restored:
+                continue
+            name = bit_name(bit)
+            findings.append(_finding(
+                cfg, "callee-clobber", SEV_WARNING, di,
+                f"callee-saved register {name} clobbered without "
+                f"save/restore in '{func.name}'", extra=name))
+    return findings
+
+
+def _is_callee_saved(bit: int) -> bool:
+    if bit < F_BASE:
+        return bit in CALLEE_SAVED_X
+    return (bit - F_BASE) in CALLEE_SAVED_F
+
+
+# -- ABI: stack-pointer balance ---------------------------------------------
+
+def check_stack(cfg: CFG) -> list[Finding]:
+    """Track ``addi sp, sp, imm`` deltas through each function; at
+    every return the net adjustment must be zero."""
+    findings: list[Finding] = []
+    for func in cfg.functions.values():
+        members = set(func.blocks)
+        delta_in: dict[int, int | None] = {}
+        delta_in[func.entry] = 0
+        worklist = [func.entry]
+        flagged_untracked: set[int] = set()
+        while worklist:
+            start = worklist.pop()
+            delta = delta_in[start]
+            block = cfg.blocks[start]
+            for di in block.insts:
+                inst = di.inst
+                if not any(r.file == "x" and r.index == SP
+                           for r in inst.dests):
+                    continue
+                if (inst.spec.mnemonic in ("addi", "addiw")
+                        and inst.rs1 == SP and delta is not None):
+                    delta += inst.imm
+                else:
+                    if di.addr not in flagged_untracked:
+                        flagged_untracked.add(di.addr)
+                        findings.append(_finding(
+                            cfg, "sp-untracked", SEV_INFO, di,
+                            f"stack pointer written by "
+                            f"'{inst.spec.mnemonic}'; frame tracking "
+                            f"lost"))
+                    delta = None
+            if block.kind == KIND_RET and delta is not None and delta != 0:
+                findings.append(_finding(
+                    cfg, "stack-imbalance", SEV_ERROR, block.terminator,
+                    f"return from '{func.name}' with unbalanced stack "
+                    f"pointer ({delta:+#x})", extra=f"{delta:+#x}"))
+            for succ in block.succs:
+                if succ not in members:
+                    continue
+                if succ not in delta_in:
+                    delta_in[succ] = delta
+                    worklist.append(succ)
+                elif delta_in[succ] != delta:
+                    if delta_in[succ] is not None:
+                        delta_in[succ] = None
+                        worklist.append(succ)
+    return findings
+
+
+# -- vector reconfiguration hazards -----------------------------------------
+
+def _static_vtype(inst: Instruction) -> int:
+    """The vtype a config instruction establishes, if static."""
+    if inst.spec.mnemonic == "vsetvli":
+        return inst.imm
+    return _VTYPE_UNKNOWN
+
+
+def _meet_vtype(a: int, b: int) -> int:
+    if a == _VTYPE_TOP:
+        return b
+    if b == _VTYPE_TOP or a == b:
+        return a
+    return _VTYPE_UNKNOWN
+
+
+def check_vector_reconfig(cfg: CFG) -> list[Finding]:
+    """Flag ``vsetvl`` reconfigurations while vector registers defined
+    under a *different* configuration are still live.
+
+    Reading such a register after the reconfiguration is
+    implementation-defined under RVV 0.7.1 (the paper's vector unit
+    reshuffles element layout with LMUL) — legitimate widening idioms
+    do this on purpose, which is what the lint baseline is for.
+    """
+    findings: list[Finding] = []
+    for func in cfg.functions.values():
+        touches_vector = any(
+            di.inst.spec.iclass is InstrClass.VSET
+            for start in func.blocks
+            for di in cfg.blocks[start].insts)
+        if not touches_vector:
+            continue
+        members = set(func.blocks)
+        _live_in, live_out = liveness(cfg, func)
+
+        # Forward pass: (current vtype, per-vreg definition vtype).
+        state_in: dict[int, tuple[int, tuple[int, ...]]] = {
+            func.entry: (_VTYPE_TOP, (_VTYPE_TOP,) * 32)}
+        worklist = [func.entry]
+        visited_states: dict[int, tuple[int, tuple[int, ...]]] = {}
+        while worklist:
+            start = worklist.pop()
+            state = state_in[start]
+            if visited_states.get(start) == state:
+                continue
+            visited_states[start] = state
+            cur, defs = state
+            defs_list = list(defs)
+            for di in cfg.blocks[start].insts:
+                inst = di.inst
+                if is_vector_config(inst):
+                    cur = _static_vtype(inst)
+                for reg in inst.dests:
+                    if reg.file == "v":
+                        defs_list[reg.index] = cur
+            out = (cur, tuple(defs_list))
+            for succ in cfg.blocks[start].succs:
+                if succ not in members:
+                    continue
+                if succ not in state_in:
+                    state_in[succ] = out
+                else:
+                    old_cur, old_defs = state_in[succ]
+                    state_in[succ] = (
+                        _meet_vtype(old_cur, out[0]),
+                        tuple(_meet_vtype(a, b)
+                              for a, b in zip(old_defs, out[1])))
+                if state_in[succ] != visited_states.get(succ):
+                    worklist.append(succ)
+
+        # Report pass: at each static reconfig, check live v-regs.
+        for start in func.blocks:
+            if start not in visited_states:
+                continue
+            cur, defs = visited_states[start]
+            defs_list = list(defs)
+            after = live_at(cfg.blocks[start], live_out[start])
+            for di in cfg.blocks[start].insts:
+                inst = di.inst
+                if is_vector_config(inst):
+                    new = _static_vtype(inst)
+                    if new >= 0:
+                        live = after[di.addr]
+                        for v in range(32):
+                            if (live >> (V_BASE + v) & 1
+                                    and defs_list[v] >= 0
+                                    and defs_list[v] != new):
+                                findings.append(_finding(
+                                    cfg, "vreconfig-live", SEV_INFO, di,
+                                    f"vtype reconfiguration while v{v} "
+                                    f"(defined under vtype "
+                                    f"{defs_list[v]:#x}) is live",
+                                    extra=f"v{v}"))
+                    cur = new
+                for reg in inst.dests:
+                    if reg.file == "v":
+                        defs_list[reg.index] = cur
+    return findings
+
+
+# -- LR/SC pairing and forward progress -------------------------------------
+
+def check_lrsc(cfg: CFG) -> list[Finding]:
+    """Enforce the architecture's LR/SC forward-progress envelope: a
+    reservation must reach its SC within a short straight-line window
+    free of other memory accesses and control transfers."""
+    findings: list[Finding] = []
+    insts: list[DecodedInst] = []
+    for start in cfg.order:
+        insts.extend(cfg.blocks[start].insts)
+    matched_sc: set[int] = set()
+    for i, di in enumerate(insts):
+        mn = di.inst.spec.mnemonic
+        if not mn.startswith("lr."):
+            continue
+        width = mn[3:]
+        paired = False
+        for j in range(i + 1, min(i + 1 + _LRSC_WINDOW, len(insts))):
+            other = insts[j]
+            omn = other.inst.spec.mnemonic
+            if omn == f"sc.{width}":
+                paired = True
+                matched_sc.add(other.addr)
+                break
+            if omn.startswith(("sc.", "lr.")):
+                break
+            iclass = other.inst.spec.iclass
+            if iclass in (InstrClass.LOAD, InstrClass.STORE,
+                          InstrClass.AMO, InstrClass.VLOAD,
+                          InstrClass.VSTORE):
+                findings.append(_finding(
+                    cfg, "lrsc-progress", SEV_WARNING, other,
+                    f"memory access '{omn}' inside an LR/SC "
+                    f"reservation window breaks forward-progress "
+                    f"guarantees", extra=omn))
+            elif iclass in (InstrClass.BRANCH, InstrClass.JUMP,
+                            InstrClass.SYSTEM, InstrClass.CSR):
+                findings.append(_finding(
+                    cfg, "lrsc-progress", SEV_WARNING, other,
+                    f"control transfer '{omn}' inside an LR/SC "
+                    f"reservation window may lose the reservation",
+                    extra=omn))
+        if not paired:
+            findings.append(_finding(
+                cfg, "lrsc-unpaired", SEV_ERROR, di,
+                f"'{mn}' with no matching sc.{width} within "
+                f"{_LRSC_WINDOW} instructions"))
+    for di in insts:
+        mn = di.inst.spec.mnemonic
+        if mn.startswith("sc.") and di.addr not in matched_sc:
+            findings.append(_finding(
+                cfg, "lrsc-orphan-sc", SEV_ERROR, di,
+                f"'{mn}' with no preceding lr.{mn[3:]} reservation"))
+    return findings
+
+
+# -- static effective addresses ---------------------------------------------
+
+def check_memory(cfg: CFG) -> list[Finding]:
+    """Evaluate block-local constant address computations and flag
+    accesses that are misaligned or fall outside every mapped region."""
+    findings: list[Finding] = []
+    program = cfg.program
+    text_lo, text_hi = program.text_base, program.text_end
+    for start in cfg.order:
+        known: dict[int, int] = {0: 0}
+        for di in cfg.blocks[start].insts:
+            inst = di.inst
+            spec = inst.spec
+            ea: int | None = None
+            if spec.mem_bytes and spec.rs1_file == "x" \
+                    and spec.iclass in (InstrClass.LOAD, InstrClass.STORE):
+                base = known.get(inst.rs1)
+                if base is not None:
+                    ea = (base + inst.imm) & ((1 << 64) - 1)
+            if ea is not None:
+                width = spec.mem_bytes
+                is_store = spec.iclass is InstrClass.STORE
+                if ea % width:
+                    findings.append(_finding(
+                        cfg, "mem-misaligned", SEV_WARNING, di,
+                        f"{width}-byte access to statically misaligned "
+                        f"address {ea:#x}", extra=f"{ea:#x}"))
+                if not _mapped(program, ea, width):
+                    findings.append(_finding(
+                        cfg, "mem-wild", SEV_ERROR, di,
+                        f"access to unmapped address {ea:#x}",
+                        extra=f"{ea:#x}"))
+                elif is_store and text_lo <= ea < text_hi:
+                    findings.append(_finding(
+                        cfg, "store-to-text", SEV_WARNING, di,
+                        f"store to text-section address {ea:#x}",
+                        extra=f"{ea:#x}"))
+            _constprop_step(known, inst, di.addr)
+    return findings
+
+
+def _mapped(program, ea: int, width: int) -> bool:
+    end = ea + width
+    if program.text_base <= ea and end <= program.text_end:
+        return True
+    # data, bss, heap and the descending stack share one region.
+    if program.data_base <= ea and end <= STACK_TOP:
+        return True
+    if TOHOST_ADDR <= ea and end <= TOHOST_ADDR + 8:
+        return True
+    return False
+
+
+def _constprop_step(known: dict[int, int], inst: Instruction,
+                    pc: int) -> None:
+    """Block-local constant propagation over the li/la idioms."""
+    spec = inst.spec
+    mn = spec.mnemonic
+    mask64 = (1 << 64) - 1
+    value: int | None = None
+    if mn == "lui":
+        value = inst.imm & mask64
+    elif mn == "auipc":
+        value = (pc + inst.imm) & mask64
+    elif mn in ("addi", "addiw"):
+        base = known.get(inst.rs1)
+        if base is not None:
+            value = (base + inst.imm) & mask64
+            if mn == "addiw":
+                value = _sext32(value)
+    elif mn in ("add", "addw"):
+        a, b = known.get(inst.rs1), known.get(inst.rs2)
+        if a is not None and b is not None:
+            value = (a + b) & mask64
+            if mn == "addw":
+                value = _sext32(value)
+    elif mn == "slli":
+        base = known.get(inst.rs1)
+        if base is not None:
+            value = (base << inst.imm) & mask64
+    # Any write invalidates stale knowledge; x0 stays pinned to zero.
+    for reg in inst.dests:
+        if reg.file == "x":
+            known.pop(reg.index, None)
+    if value is not None and spec.rd_file == "x" and inst.rd != 0:
+        known[inst.rd] = value
+    known[0] = 0
+
+
+def _sext32(value: int) -> int:
+    value &= (1 << 64) - 1
+    low = value & 0xFFFF_FFFF
+    if low & 0x8000_0000:
+        return (low | ~0xFFFF_FFFF) & ((1 << 64) - 1)
+    return low
+
+
+# -- unreachable code -------------------------------------------------------
+
+def check_unreachable(cfg: CFG) -> list[Finding]:
+    findings: list[Finding] = []
+    for start in cfg.unreachable:
+        block = cfg.blocks[start]
+        di = block.insts[0]
+        findings.append(_finding(
+            cfg, "unreachable-code", SEV_INFO, di,
+            f"block at {start:#x} ({len(block.insts)} instructions) is "
+            f"unreachable from the entry point"))
+    return findings

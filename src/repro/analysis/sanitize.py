@@ -1,0 +1,203 @@
+"""Runtime sanitizer: static facts validated on the block-cache path.
+
+:class:`Sanitizer` hangs off an :class:`~repro.sim.emulator.Emulator`
+(``emulator.sanitizer``); the fast dispatch loops call
+:meth:`pre_block` before and :meth:`post_block` after each translated
+block.  Because translated blocks are straight-line, block granularity
+is exact: entering a block executes its whole use/def summary unless a
+trap or exit cuts it short, and the retired count from the engine
+covers that case.
+
+Two invariant families are enforced:
+
+* **register init state** — a shadow bitmask (same layout as
+  :mod:`repro.analysis.dataflow`) tracks definitely-written registers;
+  a block whose uses-before-defs exceed the mask is a violation,
+* **stack discipline** — a shadow call stack pushed at calls records
+  the expected return PC and stack pointer; every return must match
+  both (frame balance + control-flow integrity).
+
+Summaries are computed once per :class:`TranslatedBlock` and cached on
+the block's ``sanitize`` slot, so steady-state overhead is two integer
+ANDs per block.  With ``emulator.sanitizer`` left at ``None`` the fast
+loops skip both hooks entirely — retired state and
+:class:`~repro.uarch.stats.CoreStats` are bit-identical to an
+unsanitized run.
+"""
+
+from __future__ import annotations
+
+from ..isa.classify import is_call, is_ret
+from ..isa.instructions import Instruction
+from .dataflow import ENTRY_MASK, bit_name, def_mask, use_mask
+
+
+class SanitizerViolation(RuntimeError):
+    """Raised in strict mode when a runtime invariant breaks."""
+
+    def __init__(self, violation: Violation):
+        super().__init__(violation.render())
+        self.violation = violation
+
+
+class Violation:
+    """One runtime invariant failure."""
+
+    __slots__ = ("kind", "pc", "line", "message", "detail", "source")
+
+    def __init__(self, kind: str, pc: int, message: str,
+                 detail: str = "", line: int = 0, source: str = ""):
+        self.kind = kind
+        self.pc = pc
+        self.line = line
+        self.message = message
+        self.detail = detail
+        self.source = source
+
+    def render(self) -> str:
+        loc = f"line {self.line}" if self.line else f"pc={self.pc:#x}"
+        text = f"[{self.kind}] {loc}: {self.message}"
+        if self.source:
+            text += f"  |  {self.source}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "pc": self.pc, "line": self.line,
+                "message": self.message, "detail": self.detail,
+                "source": self.source}
+
+
+class _BlockSummary:
+    """Static use/def facts of one translated block."""
+
+    __slots__ = ("use_before_def", "def_masks", "full_defs",
+                 "terminator", "call_fall")
+
+    def __init__(self, entries: list):
+        use_bd = 0
+        defs = 0
+        self.def_masks: list[int] = []
+        for _handler, inst, _pc, _fall, _flags, _rec in entries:
+            use_bd |= use_mask(inst) & ~defs
+            defs |= def_mask(inst)
+            self.def_masks.append(defs)
+        self.use_before_def = use_bd
+        self.full_defs = defs
+        self.terminator = ""
+        self.call_fall = 0
+        if entries:
+            last: Instruction = entries[-1][1]
+            if is_call(last):
+                self.terminator = "call"
+                self.call_fall = entries[-1][3]
+            elif is_ret(last):
+                self.terminator = "ret"
+
+
+class Sanitizer:
+    """Shadow state checked at translated-block boundaries."""
+
+    def __init__(self, program=None, strict: bool = True,
+                 shadow: int = ENTRY_MASK):
+        self.program = program
+        self.strict = strict
+        #: definitely-written register bits (dataflow bit layout)
+        self.shadow = shadow
+        #: (expected return pc, expected sp) per active call frame
+        self.call_stack: list[tuple[int, int]] = []
+        self.violations: list[Violation] = []
+        self.blocks_checked = 0
+        self.max_depth = 0
+
+    # -- hooks called from the emulator's fast loops -----------------------
+
+    def pre_block(self, block) -> None:
+        """Validate the block's uses against the shadow init mask."""
+        summary = block.sanitize
+        if summary is None:
+            summary = block.sanitize = _BlockSummary(block.entries)
+        self.blocks_checked += 1
+        missing = summary.use_before_def & ~self.shadow
+        if missing:
+            self._attribute_uninit(block, missing)
+
+    def post_block(self, block, retired: int, state) -> None:
+        """Fold in the executed prefix's defs; track calls/returns."""
+        summary = block.sanitize
+        entries = block.entries
+        if retired >= len(entries):
+            self.shadow |= summary.full_defs
+            if summary.terminator == "call":
+                self.call_stack.append((summary.call_fall, state.regs[2]))
+                if len(self.call_stack) > self.max_depth:
+                    self.max_depth = len(self.call_stack)
+            elif summary.terminator == "ret":
+                self._check_return(entries[-1][2], state)
+        elif retired > 0:
+            self.shadow |= summary.def_masks[retired - 1]
+
+    # -- violation details -------------------------------------------------
+
+    def _attribute_uninit(self, block, missing: int) -> None:
+        """Walk the block to name the first offending read per register."""
+        shadow = self.shadow
+        for _handler, inst, pc, _fall, _flags, _rec in block.entries:
+            bad = use_mask(inst) & ~shadow
+            bit = 0
+            while bad >> bit:
+                if bad >> bit & 1:
+                    name = bit_name(bit)
+                    if bit == 96:
+                        self._report(
+                            "vector-no-vsetvl", pc,
+                            f"vector instruction "
+                            f"'{inst.spec.mnemonic}' executed before "
+                            f"any vsetvl", detail=name)
+                    else:
+                        self._report(
+                            "uninit-read", pc,
+                            f"read of never-written register {name}",
+                            detail=name)
+                bit += 1
+            shadow |= def_mask(inst)
+
+    def _check_return(self, ret_pc: int, state) -> None:
+        if not self.call_stack:
+            self._report(
+                "stack-underflow", ret_pc,
+                "return executed with no active call frame")
+            return
+        expected_pc, expected_sp = self.call_stack.pop()
+        sp = state.regs[2]
+        if sp != expected_sp:
+            self._report(
+                "stack-imbalance", ret_pc,
+                f"return with sp={sp:#x}, expected {expected_sp:#x} "
+                f"({sp - expected_sp:+#x})",
+                detail=f"{sp - expected_sp:+#x}")
+        if state.pc != expected_pc:
+            self._report(
+                "return-target", ret_pc,
+                f"return to {state.pc:#x}, call site expects "
+                f"{expected_pc:#x}", detail=f"{state.pc:#x}")
+
+    def _report(self, kind: str, pc: int, message: str,
+                detail: str = "") -> None:
+        line = 0
+        source = ""
+        program = self.program
+        if program is not None:
+            line = getattr(program, "lines", {}).get(pc, 0)
+            source = program.source_line(pc)
+        violation = Violation(kind, pc, message, detail=detail,
+                              line=line, source=source)
+        self.violations.append(violation)
+        if self.strict:
+            raise SanitizerViolation(violation)
+
+    def summary(self) -> dict:
+        return {
+            "blocks_checked": self.blocks_checked,
+            "violations": len(self.violations),
+            "max_call_depth": self.max_depth,
+        }

@@ -96,7 +96,6 @@ class Assembler:
         symbols.update(equs)
 
         # Relaxation: iterate label layout until instruction sizes settle.
-        text_labels = self._collect_text_labels(items)
         for _ in range(16):
             addr = text_base
             for item in items:
@@ -112,8 +111,11 @@ class Assembler:
         else:  # pragma: no cover - relaxation always converges
             raise AssemblerError("compression relaxation did not converge")
 
-        # Final pass: encode.
+        # Final pass: encode.  ``lines`` records address -> source line
+        # so downstream tools (lint findings, sanitizer violations) can
+        # point back at the source text.
         blob = bytearray()
+        lines: dict[int, int] = {}
         addr = text_base
         for item in items:
             if item.kind == "label":
@@ -127,8 +129,10 @@ class Assembler:
             if item.kind in ("li", "la"):
                 for inst in self._expand_li_la(item, symbols):
                     blob += struct.pack("<I", encode(inst))
+                    lines[addr] = item.line
                     addr += 4
                 continue
+            lines[addr] = item.line
             inst = self._build(item, symbols, addr)
             if item.size == 2:
                 half = compressed.compress(inst)
@@ -151,7 +155,8 @@ class Assembler:
         entry = symbols.get("_start", text_base)
         program = Program(text=bytes(blob), data=bytes(data.data),
                           symbols=symbols, text_base=text_base,
-                          data_base=data_base, entry=entry, source=source)
+                          data_base=data_base, entry=entry, source=source,
+                          lines=lines)
         return program
 
     # -- parsing -----------------------------------------------------------
@@ -380,9 +385,6 @@ class Assembler:
         return [item(mn, ops)]
 
     # -- sizing / relaxation -------------------------------------------------
-
-    def _collect_text_labels(self, items: list[_Item]) -> set[str]:
-        return {i.mnemonic for i in items if i.kind == "label"}
 
     def _assign_sizes(self, items: list[_Item], symbols: dict[str, int],
                       text_base: int) -> bool:

@@ -30,6 +30,18 @@ class Program:
     data_base: int = DATA_BASE
     entry: int = TEXT_BASE
     source: str = ""
+    #: instruction address -> 1-based source line (assembler provenance)
+    lines: dict[int, int] = field(default_factory=dict)
+
+    def source_line(self, addr: int) -> str:
+        """The source-text line an instruction address came from."""
+        lineno = self.lines.get(addr, 0)
+        if not lineno or not self.source:
+            return ""
+        all_lines = self.source.splitlines()
+        if 1 <= lineno <= len(all_lines):
+            return all_lines[lineno - 1].strip()
+        return ""
 
     def symbol(self, name: str) -> int:
         """Address of a label; raises KeyError with context if absent."""

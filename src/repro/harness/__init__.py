@@ -13,6 +13,7 @@ from .fig18 import run_fig18  # noqa: F401
 from .fig19 import run_fig19  # noqa: F401
 from .fig20 import run_fig20  # noqa: F401
 from .fig21 import run_fig21  # noqa: F401
+from .lintsweep import run_lint  # noqa: F401
 from .ras_campaign import run_campaign, run_ras  # noqa: F401
 from .report import ExperimentResult, Row, geomean  # noqa: F401
 from .runner import RunResult, compare_cores, run_on_core  # noqa: F401
@@ -34,6 +35,7 @@ EXPERIMENTS = {
     "vecmac": run_vecmac,
     "blockchain": run_blockchain,
     "ras": run_ras,
+    "lint": run_lint,
 }
 
 

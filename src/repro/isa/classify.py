@@ -1,0 +1,155 @@
+"""Decode iteration and instruction classification helpers.
+
+Shared by the disassembler, the static analyzer (:mod:`repro.analysis`)
+and the runtime sanitizer: one place that knows how to walk a
+``Program``'s text section parcel by parcel and how to tell calls,
+returns, indirect jumps and vector-configured instructions apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from .compressed import expand, is_compressed
+from .encoding import decode_word
+from .instructions import VECTOR_CLASSES, Instruction, InstrClass
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (asm -> isa)
+    from ..asm.program import Program
+
+#: ABI link / stack / global-pointer register indices.
+RA = 1
+SP = 2
+GP = 3
+
+#: Integer registers the RISC-V calling convention requires a callee to
+#: preserve (s0-s11; sp is checked separately by the stack-balance pass).
+CALLEE_SAVED_X = frozenset({8, 9, *range(18, 28)})
+#: FP callee-saved registers (fs0-fs11).
+CALLEE_SAVED_F = frozenset({8, 9, *range(18, 28)})
+#: Caller-saved integer registers (ra, t0-t6, a0-a7): an unknown callee
+#: must be assumed to clobber these.
+CALLER_SAVED_X = frozenset({1, *range(5, 8), *range(10, 18),
+                            *range(28, 32)})
+
+#: Vector classes that require a prior ``vsetvl``/``vsetvli`` to have
+#: established SEW/LMUL/VL (every vector instruction except the config
+#: instructions themselves).
+VECTOR_CONFIGURED_CLASSES = frozenset(
+    (VECTOR_CLASSES - {InstrClass.VSET})
+    | {InstrClass.VLOAD, InstrClass.VSTORE})
+
+
+@dataclass(frozen=True)
+class DecodedInst:
+    """One statically decoded text-section instruction.
+
+    ``line`` is the 1-based source line the assembler recorded for this
+    address (0 when the program carries no provenance, e.g. raw blobs).
+    """
+
+    addr: int
+    inst: Instruction
+    line: int
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.inst.size
+
+
+def iter_parcels(program: Program) -> Iterator[tuple[int, Instruction | None, int]]:
+    """Walk the text section, yielding ``(addr, inst | None, halfword)``.
+
+    Undecodable parcels yield ``inst=None`` and advance by two bytes,
+    matching the disassembler's resynchronisation behaviour.
+    """
+    text = program.text
+    pos = 0
+    while pos < len(text):
+        addr = program.text_base + pos
+        half = int.from_bytes(text[pos:pos + 2], "little")
+        try:
+            if is_compressed(half):
+                inst = expand(half)
+            else:
+                word = int.from_bytes(text[pos:pos + 4], "little")
+                inst = decode_word(word)
+        except Exception:
+            yield addr, None, half
+            pos += 2
+            continue
+        yield addr, inst, half
+        pos += inst.size
+
+
+def iter_text(program: Program) -> Iterator[DecodedInst]:
+    """Decode the whole text section into :class:`DecodedInst` records,
+    skipping undecodable parcels."""
+    lines = getattr(program, "lines", None) or {}
+    for addr, inst, _half in iter_parcels(program):
+        if inst is not None:
+            yield DecodedInst(addr=addr, inst=inst,
+                              line=lines.get(addr, 0))
+
+
+# -- control-flow classification -------------------------------------------
+
+def is_branch(inst: Instruction) -> bool:
+    """Conditional branch (two successors)."""
+    return inst.spec.iclass is InstrClass.BRANCH
+
+
+def is_call(inst: Instruction) -> bool:
+    """``jal``/``jalr`` writing the link register (function call)."""
+    return (inst.spec.iclass is InstrClass.JUMP and inst.rd == RA)
+
+
+def is_ret(inst: Instruction) -> bool:
+    """``jalr x0, 0(ra)`` — the canonical function return."""
+    return (inst.spec.mnemonic == "jalr" and inst.rd == 0
+            and inst.rs1 == RA and inst.imm == 0)
+
+
+def is_plain_jump(inst: Instruction) -> bool:
+    """``jal x0, target`` — unconditional direct jump."""
+    return inst.spec.mnemonic == "jal" and inst.rd == 0
+
+
+def is_indirect_jump(inst: Instruction) -> bool:
+    """``jalr`` that is neither a call nor a return (jump tables)."""
+    return (inst.spec.mnemonic == "jalr" and inst.rd != RA
+            and not is_ret(inst))
+
+
+def jump_target(inst: Instruction, addr: int) -> int:
+    """Static target of a direct branch or ``jal`` at *addr*."""
+    return (addr + inst.imm) & ((1 << 64) - 1)
+
+
+def needs_vector_config(inst: Instruction) -> bool:
+    """Whether *inst* executes under the vtype/vl set by ``vsetvl``."""
+    return inst.spec.iclass in VECTOR_CONFIGURED_CLASSES
+
+
+def is_vector_config(inst: Instruction) -> bool:
+    return inst.spec.iclass is InstrClass.VSET
+
+
+def exit_syscall_value(insts: list[DecodedInst], index: int) -> int | None:
+    """Static a7 value at the ``ecall`` at ``insts[index]``, if known.
+
+    Scans backwards within the straight-line run for the closest write
+    to a7 (x17); returns its immediate when it is a plain
+    ``addi a7, x0, imm`` (the ``li`` expansion), else ``None``.
+    """
+    for prior in reversed(insts[:index]):
+        inst = prior.inst
+        if inst.rd == 17 and inst.spec.rd_file == "x":
+            if inst.spec.mnemonic == "addi" and inst.rs1 == 0:
+                return inst.imm
+            return None
+        if inst.spec.iclass in (InstrClass.BRANCH, InstrClass.JUMP):
+            return None
+    return None

@@ -162,24 +162,14 @@ def _disasm_opv(inst: Instruction) -> str:
 
 def disassemble_program(program, limit: int | None = None) -> list[str]:
     """Disassemble a Program's text section; returns 'addr: text' lines."""
-    from .compressed import expand, is_compressed
-    from .encoding import decode_word
+    from .classify import iter_parcels
 
-    lines = []
-    pos = 0
-    text = program.text
-    while pos < len(text) and (limit is None or len(lines) < limit):
-        addr = program.text_base + pos
-        half = int.from_bytes(text[pos:pos + 2], "little")
-        try:
-            if is_compressed(half):
-                inst = expand(half)
-            else:
-                word = int.from_bytes(text[pos:pos + 4], "little")
-                inst = decode_word(word)
-            lines.append(f"{addr:#x}: {disassemble(inst, pc=addr)}")
-            pos += inst.size
-        except Exception:
+    lines: list[str] = []
+    for addr, inst, half in iter_parcels(program):
+        if limit is not None and len(lines) >= limit:
+            break
+        if inst is None:
             lines.append(f"{addr:#x}: .half {half:#06x}")
-            pos += 2
+        else:
+            lines.append(f"{addr:#x}: {disassemble(inst, pc=addr)}")
     return lines

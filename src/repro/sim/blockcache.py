@@ -81,7 +81,8 @@ class TranslatedBlock:
     any per-instruction list building.
     """
 
-    __slots__ = ("start", "end", "entries", "records", "run_count")
+    __slots__ = ("start", "end", "entries", "records", "run_count",
+                 "sanitize")
 
     def __init__(self, start: int, end: int, entries: list):
         self.start = start
@@ -89,6 +90,8 @@ class TranslatedBlock:
         self.entries = entries
         self.records = [entry[5] for entry in entries]
         self.run_count = 0
+        #: lazily built repro.analysis.sanitize._BlockSummary
+        self.sanitize = None
 
 
 def _fill(rec: DynInst, state, side, next_pc: int) -> None:

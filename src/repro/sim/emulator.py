@@ -122,6 +122,9 @@ class Emulator:
         self.decode_cache_flushes = 0
         #: lazily created block-translation engine (fast mode)
         self._blocks = None
+        #: optional repro.analysis.sanitize.Sanitizer checked at block
+        #: boundaries on the fast path (None = zero overhead)
+        self.sanitizer = None
 
     # -- fetch/decode -----------------------------------------------------------
 
@@ -408,6 +411,7 @@ class Emulator:
         engine = self._engine()
         blocks = engine.blocks
         state = self.state
+        sanitizer = self.sanitizer
         while not self.halted and steps < limit:
             if self._pending_mcheck is not None:
                 self._deliver_machine_check()
@@ -425,7 +429,11 @@ class Emulator:
                                    next_pc=state.pc),)
                     steps += 1
                     continue
+            if sanitizer is not None:
+                sanitizer.pre_block(block)
             retired, batch = engine.execute(block, limit - steps)
+            if sanitizer is not None:
+                sanitizer.post_block(block, retired, state)
             steps += retired
             if batch:
                 yield batch
@@ -440,6 +448,7 @@ class Emulator:
         engine = self._engine()
         blocks = engine.blocks
         state = self.state
+        sanitizer = self.sanitizer
         steps = 0
         while not self.halted:
             if steps >= limit:
@@ -456,7 +465,11 @@ class Emulator:
                     state.instret += 1
                     steps += 1
                     continue
+            if sanitizer is not None:
+                sanitizer.pre_block(block)
             retired, _ = engine.execute(block, limit - steps, record=False)
+            if sanitizer is not None:
+                sanitizer.post_block(block, retired, state)
             steps += retired
         return self.exit_code if self.exit_code is not None else -1
 

@@ -209,7 +209,7 @@ class Codegen:
             # Anchor scheme: one register addresses the whole cluster
             # of a function's globals (section IX item 2).
             self._emit(f"la {_ANCHOR}, {self.fn.globals_[0].name}")
-        for name, reg in sorted(self.scalar_regs.items()):
+        for _name, reg in sorted(self.scalar_regs.items()):
             self._emit(f"li {reg}, 0")
 
     def _emit_epilogue(self) -> None:

@@ -1,0 +1,209 @@
+"""CFG recovery: blocks, edges, functions, dominators, jump tables."""
+
+from repro.analysis import build_cfg
+from repro.analysis.cfg import (
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_EXIT,
+    KIND_INDIRECT,
+    KIND_JUMP,
+    KIND_RET,
+)
+from repro.asm import assemble
+from repro.workloads import dhrystone
+
+LOOP = """
+_start:
+    li t0, 10
+    li t1, 0
+loop:
+    add t1, t1, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+CALLS = """
+_start:
+    li a0, 3
+    jal ra, double
+    jal ra, double
+    li a7, 93
+    ecall
+double:
+    add a0, a0, a0
+    jalr x0, 0(ra)
+dead:
+    li t5, 1
+    j dead
+"""
+
+JUMP_TABLE = """
+_start:
+    li t0, 1
+    la t1, table
+    slli t0, t0, 3
+    add t1, t1, t0
+    ld t2, 0(t1)
+    jr t2
+case0:
+    li a0, 0
+    j done
+case1:
+    li a0, 1
+done:
+    li a7, 93
+    ecall
+    .data
+table:
+    .dword case0
+    .dword case1
+"""
+
+
+def cfg_of(source, compress=True):
+    return build_cfg(assemble(source, compress=compress))
+
+
+class TestBlocks:
+    def test_loop_structure(self):
+        cfg = cfg_of(LOOP)
+        kinds = [cfg.blocks[s].kind for s in cfg.order]
+        assert kinds == ["fall", KIND_BRANCH, KIND_EXIT]
+        entry, loop, exit_ = cfg.order
+        assert cfg.blocks[entry].succs == [loop]
+        # branch: target first, then fall-through
+        assert set(cfg.blocks[loop].succs) == {loop, exit_}
+        assert cfg.blocks[exit_].succs == []
+
+    def test_every_instruction_in_exactly_one_block(self):
+        from repro.isa.classify import iter_text
+
+        cfg = cfg_of(LOOP)
+        seen = set()
+        for start in cfg.order:
+            for di in cfg.blocks[start].insts:
+                assert di.addr not in seen
+                seen.add(di.addr)
+        decoded = {di.addr for di in iter_text(cfg.program)}
+        assert seen == decoded
+
+    def test_preds_mirror_succs(self):
+        cfg = cfg_of(CALLS)
+        for start in cfg.order:
+            for succ in cfg.blocks[start].succs:
+                assert start in cfg.blocks[succ].preds
+
+
+class TestCallsAndFunctions:
+    def test_call_blocks_record_target(self):
+        cfg = cfg_of(CALLS)
+        program = cfg.program
+        double = program.symbol("double")
+        call_blocks = [cfg.blocks[s] for s in cfg.order
+                       if cfg.blocks[s].kind == KIND_CALL]
+        assert len(call_blocks) == 2
+        assert all(b.call_target == double for b in call_blocks)
+        # intra-procedural successor is the fall-through, not the callee
+        for block in call_blocks:
+            assert block.succs == [block.end]
+
+    def test_function_partitioning(self):
+        cfg = cfg_of(CALLS)
+        program = cfg.program
+        assert set(cfg.functions) == {program.entry,
+                                      program.symbol("double")}
+        double = cfg.functions[program.symbol("double")]
+        assert double.name == "double"
+        assert len(double.rets) == 1
+        assert cfg.blocks[double.rets[0]].kind == KIND_RET
+
+    def test_callers_map(self):
+        cfg = cfg_of(CALLS)
+        double = cfg.program.symbol("double")
+        assert len(cfg.callers[double]) == 2
+
+    def test_super_succs_route_through_callee(self):
+        cfg = cfg_of(CALLS)
+        double = cfg.program.symbol("double")
+        call_sites = cfg.callers[double]
+        first_call = cfg.blocks[min(call_sites)]
+        assert cfg.super_succs(first_call) == [double]
+        ret_block = cfg.blocks[cfg.functions[double].rets[0]]
+        returns_to = cfg.super_succs(ret_block)
+        assert sorted(returns_to) == sorted(
+            cfg.blocks[s].end for s in call_sites)
+
+    def test_unreachable_detection(self):
+        cfg = cfg_of(CALLS)
+        dead = cfg.program.symbol("dead")
+        assert dead in cfg.unreachable
+        assert cfg.program.entry not in cfg.unreachable
+
+    def test_exit_ecall_has_no_successors(self):
+        cfg = cfg_of(CALLS)
+        exits = [s for s in cfg.order if cfg.blocks[s].kind == KIND_EXIT]
+        assert len(exits) == 1
+        assert cfg.blocks[exits[0]].succs == []
+
+
+class TestJumpTables:
+    def test_indirect_targets_recovered_from_data(self):
+        cfg = cfg_of(JUMP_TABLE)
+        program = cfg.program
+        case0, case1 = program.symbol("case0"), program.symbol("case1")
+        indirect = [cfg.blocks[s] for s in cfg.order
+                    if cfg.blocks[s].kind == KIND_INDIRECT]
+        assert len(indirect) == 1
+        assert set(indirect[0].succs) >= {case0, case1}
+
+    def test_cases_not_unreachable(self):
+        cfg = cfg_of(JUMP_TABLE)
+        program = cfg.program
+        assert program.symbol("case0") not in cfg.unreachable
+        assert program.symbol("case1") not in cfg.unreachable
+
+
+class TestDominators:
+    def test_loop_dominators(self):
+        cfg = cfg_of(LOOP)
+        entry, loop, exit_ = cfg.order
+        func = cfg.functions[cfg.entry]
+        assert func.idom[loop] == entry
+        assert func.idom[exit_] == loop
+        assert func.dominates(entry, exit_)
+        assert not func.dominates(exit_, loop)
+
+    def test_diamond_join_dominated_by_branch(self):
+        cfg = cfg_of(JUMP_TABLE)
+        program = cfg.program
+        func = cfg.functions[cfg.entry]
+        done = program.symbol("done")
+        indirect = [s for s in cfg.order
+                    if cfg.blocks[s].kind == KIND_INDIRECT][0]
+        # neither case dominates the join; the dispatch block does
+        assert func.dominates(indirect, done)
+        assert not func.dominates(program.symbol("case0"), done)
+
+
+class TestRealWorkload:
+    def test_dhrystone_cfg(self):
+        cfg = build_cfg(dhrystone().program())
+        # _start plus the three callees
+        assert len(cfg.functions) == 4
+        names = {f.name for f in cfg.functions.values()}
+        assert {"copy_record", "str_cmp", "proc_add"} <= names
+        assert cfg.unreachable == []
+        # every non-entry function returns
+        for entry, func in cfg.functions.items():
+            if entry != cfg.entry:
+                assert func.rets
+
+    def test_jump_kind_present_in_dhrystone(self):
+        cfg = build_cfg(dhrystone().program())
+        kinds = {cfg.blocks[s].kind for s in cfg.order}
+        assert KIND_INDIRECT in kinds  # the switch jump table
+        assert KIND_JUMP in kinds
+        assert KIND_RET in kinds

@@ -1,0 +1,311 @@
+"""Negative checker tests: each seeded defect produces exactly the
+expected finding, with source-line provenance."""
+
+from repro.analysis import lint_source
+
+EXIT = "    li a0, 0\n    li a7, 93\n    ecall\n"
+
+
+def findings_of(source, check=None):
+    report = lint_source(source)
+    if check is None:
+        return report.findings
+    return [f for f in report.findings if f.check == check]
+
+
+class TestUninitRead:
+    SOURCE = """
+_start:
+    li t0, 3
+    add t1, t0, t2
+""" + EXIT
+
+    def test_exactly_one_finding(self):
+        findings = findings_of(self.SOURCE)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.check == "uninit-read"
+        assert f.extra == "t2"
+        assert f.line == 4
+        assert "add t1, t0, t2" in f.source
+
+    def test_branch_merge_is_maybe(self):
+        source = """
+_start:
+    li t0, 1
+    beqz t0, merge
+    li t3, 9
+merge:
+    add t4, t3, t0
+""" + EXIT
+        findings = findings_of(source, "uninit-read")
+        assert [f.extra for f in findings] == ["t3"]
+
+    def test_both_paths_init_is_clean(self):
+        source = """
+_start:
+    li t0, 1
+    beqz t0, other
+    li t3, 9
+    j merge
+other:
+    li t3, 8
+merge:
+    add t4, t3, t0
+""" + EXIT
+        assert findings_of(source, "uninit-read") == []
+
+
+class TestVectorConfig:
+    def test_missing_vsetvl(self):
+        source = """
+_start:
+    vadd.vv v1, v2, v3
+""" + EXIT
+        findings = findings_of(source, "vector-no-vsetvl")
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+        assert findings[0].line == 3
+        assert "vadd.vv" in findings[0].source
+
+    def test_dominating_vsetvl_is_clean(self):
+        source = """
+_start:
+    li t0, 8
+    vsetvli t1, t0, e32, m1
+    vmv.v.i v2, 1
+    vmv.v.i v3, 2
+    vadd.vv v1, v2, v3
+""" + EXIT
+        assert findings_of(source, "vector-no-vsetvl") == []
+
+    def test_reconfig_live_register(self):
+        source = """
+_start:
+    li t0, 8
+    vsetvli t1, t0, e16, m1
+    vmv.v.i v2, 1
+    vsetvli t1, t0, e32, m1
+    vadd.vv v4, v2, v2
+    vsetvli t1, t0, e16, m1
+""" + EXIT
+        findings = findings_of(source, "vreconfig-live")
+        assert [f.extra for f in findings] == ["v2"]
+        assert findings[0].line == 6
+
+
+class TestCalleeSaved:
+    def test_clobber_without_save(self):
+        source = """
+_start:
+    jal ra, victim
+""" + EXIT + """
+victim:
+    li s1, 42
+    jalr x0, 0(ra)
+"""
+        findings = findings_of(source, "callee-clobber")
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.extra == "s1"
+        assert f.function == "victim"
+        assert "li s1, 42" in f.source
+
+    def test_save_restore_is_clean(self):
+        source = """
+_start:
+    jal ra, good
+""" + EXIT + """
+good:
+    addi sp, sp, -16
+    sd s1, 0(sp)
+    li s1, 42
+    ld s1, 0(sp)
+    addi sp, sp, 16
+    jalr x0, 0(ra)
+"""
+        assert findings_of(source, "callee-clobber") == []
+
+    def test_entry_function_exempt(self):
+        source = """
+_start:
+    li s1, 42
+""" + EXIT
+        assert findings_of(source, "callee-clobber") == []
+
+
+class TestStackBalance:
+    def test_unbalanced_return(self):
+        source = """
+_start:
+    jal ra, leaky
+""" + EXIT + """
+leaky:
+    addi sp, sp, -32
+    addi sp, sp, 16
+    jalr x0, 0(ra)
+"""
+        findings = findings_of(source, "stack-imbalance")
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+        assert "-0x10" in findings[0].message
+        assert "jalr" in findings[0].source
+
+    def test_balanced_is_clean(self):
+        source = """
+_start:
+    jal ra, tidy
+""" + EXIT + """
+tidy:
+    addi sp, sp, -32
+    addi sp, sp, 32
+    jalr x0, 0(ra)
+"""
+        assert findings_of(source, "stack-imbalance") == []
+
+    def test_untracked_sp_write(self):
+        source = """
+_start:
+    li sp, 4096
+""" + EXIT
+        findings = findings_of(source, "sp-untracked")
+        assert len(findings) == 1
+
+
+class TestLrSc:
+    def test_unpaired_lr(self):
+        source = """
+_start:
+    la t0, word
+    lr.w t1, (t0)
+""" + EXIT + """
+    .data
+word: .word 0
+"""
+        findings = findings_of(source, "lrsc-unpaired")
+        assert len(findings) == 1
+        assert "lr.w" in findings[0].message
+        assert "sc.w" in findings[0].message
+
+    def test_paired_is_clean(self):
+        source = """
+_start:
+    la t0, word
+retry:
+    lr.w t1, (t0)
+    addi t1, t1, 1
+    sc.w t2, t1, (t0)
+    bnez t2, retry
+""" + EXIT + """
+    .data
+word: .word 0
+"""
+        report = lint_source(source)
+        assert [f for f in report.findings
+                if f.check.startswith("lrsc")] == []
+
+    def test_orphan_sc(self):
+        source = """
+_start:
+    la t0, word
+    li t1, 1
+    sc.w t2, t1, (t0)
+""" + EXIT + """
+    .data
+word: .word 0
+"""
+        findings = findings_of(source, "lrsc-orphan-sc")
+        assert len(findings) == 1
+
+    def test_intervening_store_breaks_progress(self):
+        source = """
+_start:
+    la t0, word
+    la t3, other
+    lr.w t1, (t0)
+    sw t1, 0(t3)
+    sc.w t2, t1, (t0)
+""" + EXIT + """
+    .data
+word: .word 0
+other: .word 0
+"""
+        findings = findings_of(source, "lrsc-progress")
+        assert len(findings) == 1
+        assert "sw" in findings[0].message
+
+
+class TestMemory:
+    def test_wild_address(self):
+        source = """
+_start:
+    li t0, 64
+    ld t1, 0(t0)
+""" + EXIT
+        findings = findings_of(source, "mem-wild")
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+        assert "0x40" in findings[0].message
+
+    def test_misaligned_static_address(self):
+        source = """
+_start:
+    la t0, word
+    ld t1, 3(t0)
+""" + EXIT + """
+    .data
+    .align 8
+word: .dword 0
+"""
+        findings = findings_of(source, "mem-misaligned")
+        assert len(findings) == 1
+
+    def test_store_to_text(self):
+        source = """
+_start:
+    la t0, _start
+    sd x0, 0(t0)
+""" + EXIT
+        findings = findings_of(source, "store-to-text")
+        assert len(findings) == 1
+
+    def test_valid_data_access_clean(self):
+        source = """
+_start:
+    la t0, word
+    ld t1, 0(t0)
+""" + EXIT + """
+    .data
+    .align 8
+word: .dword 7
+"""
+        report = lint_source(source)
+        assert [f for f in report.findings
+                if f.check.startswith("mem")] == []
+
+
+class TestUnreachable:
+    def test_dead_block_flagged(self):
+        source = """
+_start:
+""" + EXIT + """
+dead:
+    li t0, 1
+    j dead
+"""
+        findings = findings_of(source, "unreachable-code")
+        assert len(findings) == 1
+        assert findings[0].severity == "info"
+
+
+class TestProvenance:
+    def test_all_findings_carry_line_and_source(self):
+        source = """
+_start:
+    add t1, t0, t2
+    vadd.vv v1, v2, v3
+""" + EXIT
+        for finding in findings_of(source):
+            assert finding.line > 0
+            assert finding.source
+            assert finding.key.count(":") >= 3

@@ -65,7 +65,7 @@ def random_program(draw):
         f"    la s1, {SCRATCH}",
     ]
     # Seed registers with draw-dependent values.
-    for index, reg in enumerate(_REGS):
+    for reg in _REGS:
         seed = draw(st.integers(-1000, 1000))
         lines.append(f"    li {reg}, {seed}")
     lines.append(f"    li s0, {loop_count}")

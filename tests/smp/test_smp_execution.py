@@ -193,7 +193,7 @@ class TestNcore:
             cluster=CoherenceConfig(cores=2, l1_size=4096, l1_assoc=2,
                                     l2_size=65536, l2_assoc=4)))
         system.access(0, 0x1000, True)          # cluster 0 writes
-        local = system.access(1, 0x1000, False)  # same-cluster read
+        system.access(1, 0x1000, False)          # same-cluster read
         remote = system.access(2, 0x1000, False)  # other-cluster read
         assert remote > system.config.cross_cluster_latency
         assert system.stats.cross_cluster_transfers >= 1

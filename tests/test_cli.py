@@ -99,3 +99,84 @@ class TestRasCli:
         # CLI surfaces the watchdog -- either way no traceback leaks.
         rc = main(["run", hang_file, "--lockstep", "--max-insts", "100"])
         assert rc in (1, 2)
+
+
+BROKEN_SOURCE = """
+_start:
+    li a0, 1
+    jal ra, broken
+    li a7, 93
+    ecall
+broken:
+    addi sp, sp, -16
+    add a1, a2, s3
+    jalr x0, 0(ra)
+"""
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.s"
+    path.write_text(BROKEN_SOURCE)
+    return str(path)
+
+
+class TestLintCli:
+    def test_lint_clean_program(self, program_file, capsys):
+        assert main(["lint", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_lint_reports_findings(self, broken_file, capsys):
+        assert main(["lint", broken_file]) == 1
+        captured = capsys.readouterr()
+        assert "uninit-read" in captured.out
+        assert "stack-imbalance" in captured.out
+        # single-file lint ignores the committed workload baseline
+        assert "finding(s) reported" in captured.err
+        assert "lint_baseline.json" not in captured.err
+
+    def test_lint_json_output(self, broken_file, capsys):
+        import json
+
+        assert main(["lint", broken_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["programs"][0]["findings"]
+        assert payload["new"]
+
+    def test_lint_baseline_cycle(self, broken_file, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", broken_file, "--update-baseline",
+                     "--baseline", baseline]) == 0
+        capsys.readouterr()
+        # with the accepted baseline the same findings now pass
+        assert main(["lint", broken_file, "--baseline", baseline]) == 0
+
+    def test_lint_requires_input(self, capsys):
+        assert main(["lint"]) == 2
+        assert "needs a program" in capsys.readouterr().err
+
+
+class TestSanitizeCli:
+    def test_sanitize_clean(self, program_file, capsys):
+        assert main(["run", program_file, "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitized" in out and "0 violations" in out
+
+    def test_sanitize_catches_violation(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text("""
+_start:
+    add t1, t0, t2
+    li a0, 0
+    li a7, 93
+    ecall
+""")
+        assert main(["run", str(path), "--sanitize"]) == 1
+        out = capsys.readouterr().out
+        assert "uninit-read" in out
+
+    def test_sanitize_excludes_core_modes(self, program_file, capsys):
+        assert main(["run", program_file, "--sanitize", "--core",
+                     "xt910"]) == 2
+        assert "--sanitize" in capsys.readouterr().err

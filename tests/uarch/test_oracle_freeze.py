@@ -1,0 +1,50 @@
+"""Freeze guard for the timing oracle.
+
+``repro.uarch.refmodel`` is the frozen reference the fast-path timing
+model is equivalence-tested against, and ``golden_stats.json`` is its
+committed output.  Neither may drift silently: a change to either file
+must consciously update ``frozen_hashes.json`` in the same commit,
+with the equivalence suite re-run.  This test turns any accidental
+edit into a loud, named failure instead of a quietly re-baselined
+oracle.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FROZEN = Path(__file__).with_name("frozen_hashes.json")
+
+
+def _sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def test_frozen_hashes_file_exists():
+    assert FROZEN.exists(), (
+        "tests/uarch/frozen_hashes.json is missing; regenerate it from "
+        "the current oracle files and commit it")
+
+
+def test_oracle_files_unchanged():
+    frozen = json.loads(FROZEN.read_text())
+    assert frozen, "frozen_hashes.json is empty"
+    mismatches = []
+    for rel, expected in sorted(frozen.items()):
+        path = REPO_ROOT / rel
+        assert path.exists(), f"frozen oracle file {rel} was deleted"
+        actual = _sha256(path)
+        if actual != expected:
+            mismatches.append(f"{rel}: {actual} != frozen {expected}")
+    assert not mismatches, (
+        "timing-oracle files changed without updating the freeze "
+        "record. If the change is intentional, re-run the fast-path "
+        "equivalence suite and update tests/uarch/frozen_hashes.json "
+        "in the same commit:\n  " + "\n  ".join(mismatches))
+
+
+def test_freeze_covers_refmodel_and_golden_stats():
+    frozen = json.loads(FROZEN.read_text())
+    assert "src/repro/uarch/refmodel.py" in frozen
+    assert "tests/uarch/golden_stats.json" in frozen

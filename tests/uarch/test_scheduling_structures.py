@@ -37,7 +37,7 @@ class TestSlotAllocator:
         # Bandwidth respected.
         from collections import Counter
 
-        for cycle, count in Counter(grants).items():
+        for _cycle, count in Counter(grants).items():
             assert count <= width
 
 
