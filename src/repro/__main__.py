@@ -36,6 +36,14 @@ def cmd_run(args) -> int:
         print("error: --profile needs --core (it profiles the harness "
               "path: emulator + timing model)", file=sys.stderr)
         return 2
+    if args.trace and not args.core:
+        print("error: --trace needs --core (stage cycles come from the "
+              "timing model)", file=sys.stderr)
+        return 2
+    if args.trace and args.profile:
+        print("error: --trace and --profile are exclusive",
+              file=sys.stderr)
+        return 2
     if args.sanitize:
         if args.core or args.mmu or args.lockstep:
             print("error: --sanitize hooks the block-cache fast path "
@@ -44,12 +52,17 @@ def cmd_run(args) -> int:
         return _run_sanitized(program, args)
     if args.core:
         breakdown = None
+        tracer = None
         if args.profile:
             from .harness.runner import profile_run, render_profile
 
             result, breakdown = profile_run(program, args.core)
         else:
-            result = run_on_core(program, args.core)
+            if args.trace:
+                from .obs import PipelineTracer
+
+                tracer = PipelineTracer(window=args.trace_window)
+            result = run_on_core(program, args.core, tracer=tracer)
         print(f"core {args.core}: {result.cycles} cycles, "
               f"IPC {result.ipc:.3f}, exit {result.exit_code}")
         if result.stdout:
@@ -58,6 +71,10 @@ def cmd_run(args) -> int:
             print(result.stats.summary())
         if breakdown is not None:
             print(render_profile(breakdown))
+        if tracer is not None:
+            tracer.write(args.trace)
+            print(f"wrote {args.trace} ({len(tracer)} of "
+                  f"{tracer.recorded} instructions in window)")
         return result.exit_code
     emulator = Emulator(program, enable_mmu=args.mmu,
                         instruction_limit=args.max_insts)
@@ -197,6 +214,47 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from .obs import MetricsRegistry, collect_run, diff_metrics, render_diff
+
+    if args.diff:
+        if args.program:
+            print("error: --diff compares two saved snapshots and takes "
+                  "no program", file=sys.stderr)
+            return 2
+        before = MetricsRegistry.load(args.diff[0])
+        after = MetricsRegistry.load(args.diff[1])
+        deltas = diff_metrics(before.as_dict(), after.as_dict())
+        print(render_diff(deltas))
+        return 1 if deltas else 0
+    if not args.program:
+        print("error: metrics needs a program file or --diff A B",
+              file=sys.stderr)
+        return 2
+    program = _load(args.program, not args.no_compress)
+    result = run_on_core(program, args.core)
+    registry = collect_run(result)
+    if args.out:
+        registry.save(args.out)
+        print(f"wrote {args.out} ({len(registry)} metrics)")
+    elif args.csv:
+        print(registry.to_csv(), end="")
+    else:
+        print(registry.to_json())
+    return 0
+
+
+def cmd_top(args) -> int:
+    from .obs import GuestProfiler
+
+    program = _load(args.program, not args.no_compress)
+    profiler = GuestProfiler()
+    run_on_core(program, args.core, profiler=profiler)
+    report = profiler.attribute(program)
+    print(report.render(top=args.top, cumulative=args.cumulative))
+    return 0
+
+
 def cmd_compare(args) -> int:
     program = _load(args.program, not args.no_compress)
     rows = []
@@ -272,6 +330,14 @@ def main(argv: list[str] | None = None) -> int:
                        help="run on the block-cache path with shadow "
                             "init-state and call-stack checking; exits "
                             "1 on the first violation")
+    p_run.add_argument("--trace", metavar="FILE", default=None,
+                       help="with --core: write the pipeline event "
+                            "trace here (Konata/Kanata format; a "
+                            ".jsonl suffix selects JSONL)")
+    p_run.add_argument("--trace-window", type=int, default=65536,
+                       metavar="N",
+                       help="trace ring-buffer size: keep the last N "
+                            "instructions (default 65536)")
     p_run.set_defaults(fn=cmd_run)
 
     p_lint = sub.add_parser(
@@ -303,6 +369,32 @@ def main(argv: list[str] | None = None) -> int:
     p_prof.add_argument("--core", default="xt910", choices=sorted(PRESETS))
     p_prof.add_argument("--top", type=int, default=15)
     p_prof.set_defaults(fn=cmd_profile)
+
+    p_met = sub.add_parser(
+        "metrics", help="walk every model counter into one namespaced "
+                        "dict; or diff two saved snapshots")
+    p_met.add_argument("program", nargs="?", default=None,
+                       help="assembly source file (or use --diff)")
+    p_met.add_argument("--no-compress", action="store_true",
+                       help="disable RVC compression")
+    p_met.add_argument("--core", default="xt910", choices=sorted(PRESETS))
+    p_met.add_argument("--out", default=None, metavar="FILE",
+                       help="write the snapshot (JSON; .csv for CSV)")
+    p_met.add_argument("--csv", action="store_true",
+                       help="print CSV instead of JSON")
+    p_met.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                       help="compare two saved JSON snapshots; exits 1 "
+                            "when they differ")
+    p_met.set_defaults(fn=cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top", help="guest cycle profile rolled up to functions")
+    add_common(p_top)
+    p_top.add_argument("--core", default="xt910", choices=sorted(PRESETS))
+    p_top.add_argument("--top", type=int, default=20)
+    p_top.add_argument("--cumulative", action="store_true",
+                       help="rank by call-period (inclusive) cycles")
+    p_top.set_defaults(fn=cmd_top)
 
     p_cmp = sub.add_parser("compare", help="same binary on several cores")
     add_common(p_cmp)

@@ -1,9 +1,10 @@
-"""CLI: ``python -m repro.harness [experiment ...] [--full]``."""
+"""CLI: ``python -m repro.harness [experiment ...] [--full] [--json]``."""
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import time
 
@@ -30,14 +31,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="fan independent (core, workload) cells out "
                              "over N processes (default: serial)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON array of results (schema-stable "
+                             "metric keys from the repro.obs registry)")
     args = parser.parse_args(argv)
     names = args.experiments or list(EXPERIMENTS)
+    results = []
     for name in names:
         start = time.time()
         result = _run_one(EXPERIMENTS[name], quick=not args.full,
                           jobs=args.jobs)
-        print(result.render())
-        print(f"[{name} took {time.time() - start:.1f}s]\n")
+        results.append(result)
+        if not args.json:
+            print(result.render())
+            print(f"[{name} took {time.time() - start:.1f}s]\n")
+    if args.json:
+        print(json.dumps([r.to_json_dict() for r in results], indent=2))
     return 0
 
 

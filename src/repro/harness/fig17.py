@@ -69,4 +69,10 @@ def run_fig17(cores: list[str] | None = None, quick: bool = False,
         "model IPC scaled so xt910 = 7.1 CoreMark/MHz; the ladder "
         "ordering and ratios are the reproduced quantity")
     result.raw = {"ipc": ipcs, "scale": scale}
+    result.metric("scale", scale)
+    for core in cores:
+        result.metric(f"ipc.{core}", ipcs[core])
+        result.metric(f"coremark_per_mhz.{core}", ipcs[core] * scale)
+    if "u74" in ipcs:
+        result.metric("speedup_vs_u74", ipcs["xt910"] / ipcs["u74"])
     return result

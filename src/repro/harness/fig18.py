@@ -36,7 +36,9 @@ def run_fig18(quick: bool = False,
         ratios.append(ratio)
         result.add(name, None, round(ratio, 3), "x A73",
                    note=f"IPC {xt_ipc:.2f} vs {a73_ipc:.2f}")
+        result.metric(f"ratio.{name}", ratio)
     result.add("geometric mean", 1.0, round(geomean(ratios), 3), "x A73",
                note="paper: 'on par with the ARM Cortex-A73'")
     result.raw = {"ratios": ratios}
+    result.metric("geomean", geomean(ratios))
     return result

@@ -46,7 +46,11 @@ def run_fig20(quick: bool = False,
         speedups.append(speedup)
         result.add(name, None, round(speedup, 3), "x",
                    note=f"{base_cycles} -> {opt_cycles} cycles")
+        result.metric(f"speedup.{name}", speedup)
+        result.metric(f"cycles_base.{name}", base_cycles)
+        result.metric(f"cycles_optimized.{name}", opt_cycles)
     result.add("geometric mean", 1.20, round(geomean(speedups), 3), "x",
                note="paper: 'improved by about 20%'")
     result.raw = {"speedups": speedups}
+    result.metric("geomean", geomean(speedups))
     return result

@@ -84,9 +84,12 @@ def run_fig21(quick: bool = False, elems: int | None = None,
         result.add(f"scenario {scenario}", round(PAPER[scenario], 2),
                    round(speedup, 2), "x vs a",
                    note=f"{cycles[scenario]} cycles")
+        result.metric(f"cycles.{scenario}", cycles[scenario])
+        result.metric(f"speedup.{scenario}", speedup)
     drop = (cycles["e"] - cycles["d"]) / cycles["d"] * 100 \
         if cycles["d"] else 0.0
     result.add("e vs d slowdown", 2.4, round(drop, 2), "%",
                note="cost of disabling TLB prefetch")
     result.raw = {"cycles": cycles}
+    result.metric("e_vs_d_slowdown_pct", drop)
     return result

@@ -72,4 +72,14 @@ def run_lint(quick: bool = False) -> ExperimentResult:
         "sanitize_failures": sanitize_failures,
         "ok": not new and not stale and not sanitize_failures,
     }
+    result.metric("workloads_analyzed", len(reports))
+    result.metric("instructions_decoded",
+                  sum(r.instructions for r in reports))
+    result.metric("basic_blocks", sum(r.blocks for r in reports))
+    result.metric("findings_baselined", total_findings - len(new))
+    result.metric("findings_new", len(new))
+    result.metric("stale_baseline_keys", len(stale))
+    result.metric("sanitized_blocks", blocks_checked)
+    result.metric("sanitize_failures", sanitize_failures)
+    result.metric("ok", result.raw["ok"])
     return result

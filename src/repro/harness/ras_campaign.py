@@ -278,4 +278,12 @@ def run_ras(quick: bool = True, jobs: int | None = None) -> ExperimentResult:
         "unhandled": campaign.unhandled,
         "outcomes": {o: campaign.count(o) for o in SAFE + ("silent",)},
     }
+    result.metric("injections", campaign.total)
+    result.metric("coverage", campaign.coverage)
+    result.metric("silent", campaign.silent)
+    result.metric("unhandled", campaign.unhandled)
+    for outcome in SAFE + ("silent",):
+        result.metric(f"outcomes.{outcome}", campaign.count(outcome))
+    result.metric("control.silent", control_silent)
+    result.metric("control.total", len(campaign.control))
     return result

@@ -1,8 +1,20 @@
-"""Experiment result containers and text rendering."""
+"""Experiment result containers and text rendering.
+
+Every experiment reports twice: human-readable rows (``render``) and a
+machine-readable snapshot through the shared
+:class:`~repro.obs.metrics.MetricsRegistry` (``metrics``, exported by
+``to_json_dict`` / the harness ``--json`` flag).  Registry keys are
+validated dotted names namespaced by experiment, so the JSON schema is
+stable across runs — the ``raw`` dict remains for loosely-typed CI
+plumbing that predates the registry.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
+
+from ..obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -25,10 +37,27 @@ class ExperimentResult:
     rows: list[Row] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     raw: dict = field(default_factory=dict)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def add(self, name: str, paper, measured, unit: str = "",
             note: str = "") -> None:
         self.rows.append(Row(name, paper, measured, unit, note))
+
+    def metric(self, key: str, value) -> None:
+        """Record one registry metric under this experiment's namespace."""
+        self.metrics.set(f"{self.experiment}.{key}", value)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-stable payload for ``python -m repro.harness --json``."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "rows": [{"name": r.name, "paper": r.paper,
+                      "measured": r.measured, "unit": r.unit,
+                      "note": r.note} for r in self.rows],
+            "notes": list(self.notes),
+            "metrics": self.metrics.as_dict(),
+        }
 
     def render(self) -> str:
         width = max((len(r.name) for r in self.rows), default=10) + 2

@@ -35,16 +35,23 @@ class RunResult:
 def run_on_core(program: Program, core: CoreConfig | str,
                 max_steps: int | None = None,
                 hierarchy: MemoryHierarchy | None = None,
-                fast: bool = True) -> RunResult:
+                fast: bool = True,
+                tracer=None, profiler=None) -> RunResult:
     """Execute *program* functionally and time it on *core*.
 
     ``fast`` feeds the timing model through the block-translation
     cache (``Emulator.fast_trace``); the retired stream is identical
     to the precise interpreter, so timing results do not change.
+
+    ``tracer``/``profiler`` are optional ``repro.obs`` hook objects
+    (a :class:`~repro.obs.PipelineTracer` / :class:`~repro.obs.
+    GuestProfiler`); None keeps the hot loops hook-free.
     """
     config = get_preset(core) if isinstance(core, str) else core
     emulator = Emulator(program)
     pipeline = PipelineModel(config, hierarchy=hierarchy)
+    pipeline.tracer = tracer
+    pipeline.profiler = profiler
     trace = (emulator.fast_trace(max_steps) if fast
              else emulator.trace(max_steps))
     stats = pipeline.run(trace)

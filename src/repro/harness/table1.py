@@ -78,4 +78,7 @@ def run_table1(quick: bool = False,
                "/".join(f"{s}KB" for s in L1_SIZES_KB), "")
     result.add("L2 range", "256KB ~ 8MB",
                f"{L2_SIZES_KB[0]}KB ~ {L2_SIZES_KB[-1] // 1024}MB", "")
+    result.raw = {"built": built, "smoked": smoked}
+    result.metric("configurations_built", built)
+    result.metric("smoke_runs", smoked)
     return result

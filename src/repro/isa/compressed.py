@@ -98,10 +98,10 @@ def expand(word: int) -> Instruction:
             op2 = _f(word, 5, 2)
             table = {(0, 0): "sub", (0, 1): "xor", (0, 2): "or", (0, 3): "and",
                      (1, 0): "subw", (1, 1): "addw"}
-            mn = table.get((hi, op2))
-            if mn is None:
+            alu_mn = table.get((hi, op2))
+            if alu_mn is None:
                 raise EncodingError(f"bad compressed ALU word {word:#06x}")
-            return _mk(mn, word, rd=rdp, rs1=rdp, rs2=rs2p)
+            return _mk(alu_mn, word, rd=rdp, rs1=rdp, rs2=rs2p)
         if funct3 == 5:  # c.j
             imm = _sign_extend(
                 _f(word, 12, 1) << 11 | _f(word, 8, 1) << 10

@@ -9,6 +9,7 @@ configuration registers from the 0.7.1 vector spec.
 from __future__ import annotations
 
 import enum
+from collections.abc import Callable
 
 
 class PrivMode(enum.IntEnum):
@@ -135,9 +136,9 @@ class CsrFile:
     def __init__(self, hart_id: int = 0):
         self._regs: dict[int, int] = {CSR_MISA: _MISA_RV64GCV,
                                       CSR_MHARTID: hart_id}
-        self._hooks: dict[int, object] = {}
+        self._hooks: dict[int, Callable[[], int]] = {}
 
-    def bind_counter(self, addr: int, fn) -> None:
+    def bind_counter(self, addr: int, fn: Callable[[], int]) -> None:
         """Back CSR *addr* with a zero-argument callable."""
         self._hooks[addr] = fn
 

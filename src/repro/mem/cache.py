@@ -56,6 +56,10 @@ class CacheStats:
     def miss_rate(self) -> float:
         return 1.0 - self.hit_rate if self.accesses else 0.0
 
+    def counters(self) -> dict[str, int]:
+        """Flat counter dict (the repro.obs metrics surface)."""
+        return dict(vars(self))
+
 
 @dataclass
 class CacheLine:

@@ -35,6 +35,10 @@ class Dram:
         self.busy_cycles += transfer
         return start + self.config.latency + transfer
 
+    def counters(self) -> dict[str, int]:
+        """Flat counter dict (the repro.obs metrics surface)."""
+        return {"requests": self.requests, "busy_cycles": self.busy_cycles}
+
     def reset(self) -> None:
         self._busy_until = 0
         self.requests = 0

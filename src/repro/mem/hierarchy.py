@@ -56,6 +56,10 @@ class HierarchyStats:
     tlb_stall_cycles: int = 0
     l1d_miss_stall_cycles: int = 0
 
+    def counters(self) -> dict[str, int]:
+        """Flat counter dict (the repro.obs metrics surface)."""
+        return dict(vars(self))
+
 
 class MemoryHierarchy:
     """One core's view of the memory system."""

@@ -67,6 +67,10 @@ class PrefetchStats:
     streams_abandoned: int = 0
     tlb_prefetches: int = 0
 
+    def counters(self) -> dict[str, int]:
+        """Flat counter dict (the repro.obs metrics surface)."""
+        return dict(vars(self))
+
 
 class StreamPrefetcher:
     """Stride/stream prefetcher attached to one cache level.

@@ -45,6 +45,10 @@ class TlbStats:
     def accesses(self) -> int:
         return self.utlb_hits + self.jtlb_hits + self.misses
 
+    def counters(self) -> dict[str, int]:
+        """Flat counter dict (the repro.obs metrics surface)."""
+        return dict(vars(self))
+
 
 @dataclass
 class TlbEntry:

@@ -388,6 +388,20 @@ class Emulator:
             self._blocks = BlockEngine(self)
         return self._blocks
 
+    def counters(self) -> dict[str, int]:
+        """Functional-engine counters (the repro.obs metrics surface):
+        decode cache, machine checks, and — once the fast path has run —
+        the block-translation engine's counters."""
+        counters = {
+            "decode_cache_hits": self.decode_cache_hits,
+            "decode_cache_misses": self.decode_cache_misses,
+            "decode_cache_flushes": self.decode_cache_flushes,
+            "machine_checks": self.machine_checks,
+        }
+        if self._blocks is not None:
+            counters.update(self._blocks.counters())
+        return counters
+
     def fast_trace(self, max_steps: int | None = None):
         """Yield the dynamic instruction stream in block-sized batches.
 

@@ -34,6 +34,10 @@ class SmpTimingStats:
     sharing_invalidations: int = 0
     snoop_stall_cycles: int = 0
 
+    def counters(self) -> dict[str, int]:
+        """Flat counter dict (the repro.obs metrics surface)."""
+        return dict(vars(self))
+
 
 class _CoherentHierarchy(MemoryHierarchy):
     """A per-core hierarchy whose writes invalidate sibling L1 copies."""
@@ -79,6 +83,17 @@ class SmpTimingResult:
 
     def speedup_vs(self, single_core_cycles: int) -> float:
         return single_core_cycles / self.makespan if self.makespan else 0.0
+
+    def metrics(self) -> "MetricsRegistry":  # noqa: F821
+        """Coherence + per-core counters as one metrics registry."""
+        from ..obs.metrics import collect_core_stats, collect_smp
+
+        registry = collect_smp(self.coherence)
+        registry.set("smp.makespan_cycles", self.makespan)
+        registry.set("smp.total_instructions", self.total_instructions)
+        for index, stats in enumerate(self.per_core):
+            collect_core_stats(stats, registry, prefix=f"smp.core{index}")
+        return registry
 
 
 def run_smp_timing(program: Program, cores: int = 4,

@@ -264,6 +264,11 @@ class PipelineModel:
         self.stats = CoreStats()
         self._vec_bits = config.fu.vec_slices * 128
         self._tcache: dict[int, TimingInfo] = {}
+        #: opt-in observability hooks (repro.obs): a PipelineTracer /
+        #: GuestProfiler, None-guarded in the hot loops like the
+        #: sanitizer — None costs nothing and changes nothing.
+        self.tracer = None
+        self.profiler = None
         self._reset_run_state()
 
     # -- public API ---------------------------------------------------------------
@@ -334,6 +339,7 @@ class PipelineModel:
         self._pending_redirect: int | None = None
         self._last_was_branch_cycle = -2
         self._decode_slots = SlotAllocator(cfg.decode_width)
+        self._last_decode = 0
         self._last_dispatch = 0
         self._rename_slots = SlotAllocator(cfg.rename_width)
         self._retire_slots = SlotAllocator(cfg.retire_width)
@@ -556,6 +562,8 @@ class PipelineModel:
 
         tcache_get = self._tcache.get
         build_info = self._build_info
+        tracer = self.tracer
+        profiler = self.profiler
         reg_ready = self._reg_ready
         iq_heap = self._iq_heap
         sq_heap = self._sq_heap
@@ -1183,6 +1191,14 @@ class PipelineModel:
                         bw_base = issue_bw._base
                         bw_limit = issue_bw._limit
 
+                    # ---- observability hooks (None = off) ----
+                    if tracer is not None:
+                        tracer.record(dyn, fetch, decode, dispatch,
+                                      issue, complete)
+                    if profiler is not None:
+                        profiler.record(pc, complete, ti.ctrl,
+                                        dyn.target)
+
                     # ---- control resolution ----
                     ctrl = ti.ctrl
                     if ctrl:
@@ -1424,6 +1440,14 @@ class PipelineModel:
         dispatch = self._dispatch(dyn, fetch)
         issue, complete = self._execute(dyn, dispatch)
         self._retire(dyn, dispatch, complete)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(dyn, fetch, self._last_decode, dispatch,
+                          issue, complete)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.record(dyn.pc, complete, self._info(dyn).ctrl,
+                            dyn.target)
         self._resolve_control(dyn, fetch, complete)
 
     # -- frontend -------------------------------------------------------------------------
@@ -1474,6 +1498,7 @@ class PipelineModel:
         cfg = self.config
         ti = self._info(dyn)
         decode = self._decode_slots.allocate(fetch + 3)      # IF/IP/IB -> ID
+        self._last_decode = decode      # exposed for the tracer hook
         earliest = max(decode + 2, self._last_dispatch)      # ID/IR -> IS
         floor = earliest
 

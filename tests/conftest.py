@@ -1,0 +1,24 @@
+"""Shared pytest configuration: hypothesis example budgets.
+
+The PR lane runs the default profile. The nightly workflow exports
+``HYPOTHESIS_PROFILE=nightly`` to raise the example budget on every
+property test that doesn't pin its own ``max_examples`` (per-test
+``@settings`` pins always win — they were sized to the cost of the
+individual property).
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # minimal environments without hypothesis
+    settings = None
+
+if settings is not None:
+    settings.register_profile("nightly", max_examples=1000, deadline=None)
+    settings.register_profile("ci", deadline=None)
+    _profile = os.environ.get("HYPOTHESIS_PROFILE", "default")
+    if _profile != "default":
+        settings.load_profile(_profile)

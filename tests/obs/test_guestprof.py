@@ -1,0 +1,84 @@
+"""Guest profiler: cycle attribution vs the recovered CFG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.harness.runner import run_on_core
+from repro.obs import GuestProfiler
+from repro.workloads import all_workloads
+
+
+def _profiled(name: str):
+    workload = next(w for w in all_workloads() if w.name == name)
+    program = workload.program()
+    profiler = GuestProfiler()
+    result = run_on_core(program, "xt910", profiler=profiler)
+    return program, profiler, result
+
+
+@pytest.fixture(scope="module")
+def dhrystone():
+    """The bundled multi-function workload (4 recovered functions)."""
+    return _profiled("dhrystone-like")
+
+
+def test_attribution_coverage(dhrystone):
+    """>= 95% of cycles must land inside cfg-recovered functions."""
+    program, profiler, _ = dhrystone
+    report = profiler.attribute(program)
+    assert report.coverage >= 0.95
+    assert report.attributed_cycles \
+        + sum(report.unattributed.values()) == report.total_cycles
+
+
+def test_bins_decompose_the_run(dhrystone):
+    """Per-PC bins sum to the completion clock, which is within the
+    pipeline drain of the stats cycle count."""
+    _, profiler, result = dhrystone
+    assert sum(profiler.bins().values()) == profiler.total_cycles
+    assert 0 < profiler.total_cycles <= result.stats.cycles
+
+
+def test_function_boundaries_match_cfg(dhrystone):
+    """Every reported function is a cfg function and its hottest PC
+    lies inside one of that function's own blocks."""
+    program, profiler, _ = dhrystone
+    report = profiler.attribute(program)
+    cfg = build_cfg(program)
+    assert len(report.rows) >= 2                  # calls really profiled
+    names = {f.name for f in cfg.functions.values()}
+    for row in report.rows:
+        assert row.name in names
+        func = cfg.functions[row.entry]
+        assert any(cfg.blocks[b].start <= row.hot_pc < cfg.blocks[b].end
+                   for b in func.blocks)
+        assert row.cum_cycles >= row.self_cycles
+
+
+def test_root_function_spans_the_run(dhrystone):
+    program, profiler, _ = dhrystone
+    report = profiler.attribute(program)
+    cfg = build_cfg(program)
+    root = next(r for r in report.rows if r.entry == cfg.entry)
+    assert root.cum_cycles == profiler.total_cycles
+
+
+def test_render_smoke(dhrystone):
+    program, profiler, _ = dhrystone
+    report = profiler.attribute(program)
+    flat = report.render(top=10)
+    assert "guest profile (flat)" in flat
+    cum = report.render(top=10, cumulative=True)
+    assert "guest profile (cumulative)" in cum
+    for row in report.rows[:2]:
+        assert row.name in flat
+
+
+def test_single_function_workload_fully_attributed():
+    program, profiler, _ = _profiled("coremark-list")
+    report = profiler.attribute(program)
+    assert report.coverage == 1.0
+    assert len(report.rows) == 1
+    assert report.rows[0].name == "_start"
