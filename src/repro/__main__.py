@@ -9,6 +9,10 @@
     python -m repro compare program.s --cores xt910 u74 cortex-a73
     python -m repro bench [--quick] [--out BENCH_emulator.json]
     python -m repro bench --pipeline [--out BENCH_pipeline.json]
+    python -m repro bench --service [--out BENCH_service.json]
+    python -m repro submit prog1.s prog2.s [--jobs 4] [--mode auto]
+    python -m repro submit --workloads [coremark-int ...] --jobs 8
+    python -m repro serve [--jobs 4]              (JSONL jobs on stdin)
     python -m repro harness [experiment ...]      (alias of repro.harness)
 """
 
@@ -62,7 +66,12 @@ def cmd_run(args) -> int:
                 from .obs import PipelineTracer
 
                 tracer = PipelineTracer(window=args.trace_window)
-            result = run_on_core(program, args.core, tracer=tracer)
+            result = run_on_core(program, args.core, tracer=tracer,
+                                 max_insts=args.max_insts,
+                                 partial_on_watchdog=True)
+        if result.watchdog is not None:
+            first_line = str(result.watchdog.args[0]).splitlines()[0]
+            print(f"{first_line}; stats below cover the bounded prefix")
         print(f"core {args.core}: {result.cycles} cycles, "
               f"IPC {result.ipc:.3f}, exit {result.exit_code}")
         if result.stdout:
@@ -271,29 +280,134 @@ def cmd_compare(args) -> int:
 def cmd_bench(args) -> int:
     import os
 
+    if args.pipeline and args.service:
+        print("error: --pipeline and --service are exclusive",
+              file=sys.stderr)
+        return 2
     if args.pipeline:
         from .harness import pipebench as bench_mod
+    elif args.service:
+        from .service import bench as bench_mod
     else:
         from .harness import perfbench as bench_mod
 
     if args.baseline and not os.path.exists(args.baseline):
         print(f"error: baseline {args.baseline} not found", file=sys.stderr)
         return 2
-    payload = bench_mod.run_bench(quick=args.quick, repeat=args.repeat)
+    if args.service:
+        payload = bench_mod.run_bench(quick=args.quick)
+    else:
+        payload = bench_mod.run_bench(quick=args.quick, repeat=args.repeat)
     print(bench_mod.render(payload))
     if args.out:
         bench_mod.save(payload, args.out)
         print(f"wrote {args.out}")
     if args.baseline:
+        tolerance = (args.tolerance if args.tolerance is not None
+                     else bench_mod.DEFAULT_TOLERANCE)
         baseline = bench_mod.load(args.baseline)
         failures = bench_mod.check_regression(payload, baseline,
-                                              tolerance=args.tolerance)
+                                              tolerance=tolerance)
         for failure in failures:
             print(f"REGRESSION: {failure}")
         if failures:
             return 1
         print(f"no regression vs {args.baseline} "
-              f"(tolerance {args.tolerance:.0%})")
+              f"(tolerance {tolerance:.0%})")
+    return 0
+
+
+def _submit_specs(args) -> list:
+    """Build the JobSpec batch from files or bundled workloads."""
+    from .service import JobSpec
+
+    core = None if args.core in (None, "none") else args.core
+    common = dict(core=core, mode=args.mode, max_insts=args.max_insts,
+                  wall_timeout_s=args.wall_timeout, vet=not args.no_vet)
+    specs = []
+    if args.workloads:
+        from .workloads import all_workloads
+
+        workloads = all_workloads()
+        if args.targets:
+            known = {w.name for w in workloads}
+            missing = [name for name in args.targets if name not in known]
+            if missing:
+                raise SystemExit(
+                    f"error: unknown workload(s) {', '.join(missing)}; "
+                    f"known: {', '.join(sorted(known))}")
+            workloads = [w for w in workloads if w.name in args.targets]
+        for workload in workloads:
+            specs.append(JobSpec(source=workload.source,
+                                 name=workload.name,
+                                 compress=workload.compress, **common))
+    else:
+        for path in args.targets:
+            with open(path) as handle:
+                specs.append(JobSpec(source=handle.read(), name=path,
+                                     compress=not args.no_compress,
+                                     **common))
+    return specs
+
+
+def cmd_submit(args) -> int:
+    import json as json_mod
+
+    from .service import JobService, RetryPolicy
+
+    if not args.workloads and not args.targets:
+        print("error: submit needs program files or --workloads",
+              file=sys.stderr)
+        return 2
+    specs = _submit_specs(args)
+    service = JobService(workers=args.jobs,
+                         retry=RetryPolicy(max_attempts=args.max_attempts),
+                         isolation=not args.no_isolation)
+    results = service.run(specs)
+    if args.json:
+        print(json_mod.dumps({
+            "results": [r.to_dict() for r in results],
+            "counters": service.counters(),
+        }, indent=2, sort_keys=True))
+    else:
+        for result in results:
+            print(result.summary())
+        counters = service.counters()
+        print(f"-- {counters['jobs_completed']}/{len(results)} completed "
+              f"({counters['jobs_degraded']} degraded, "
+              f"{counters['retries']} retries, "
+              f"{counters['cache_hits']} cache hits) "
+              f"p50 {counters['latency_p50_ms']:.0f}ms "
+              f"p99 {counters['latency_p99_ms']:.0f}ms")
+    return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_serve(args) -> int:
+    """JSONL job server: one JobSpec per stdin line, one JobResult per
+    stdout line.  Malformed lines get a rejected result, not a crash."""
+    import json as json_mod
+
+    from .service import GuestFault, JobResult, JobService, JobState
+
+    service = JobService(workers=args.jobs,
+                         isolation=not args.no_isolation)
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            from .service import JobSpec
+
+            spec = JobSpec.from_dict(json_mod.loads(line))
+        except Exception as exc:
+            bad = JobResult(
+                name="?", state=JobState.REJECTED,
+                error=GuestFault(f"unparseable job line: {exc}",
+                                 retryable=False).to_dict())
+            print(json_mod.dumps(bad.to_dict()), flush=True)
+            continue
+        result = service.submit(spec)
+        print(json_mod.dumps(result.to_dict()), flush=True)
     return 0
 
 
@@ -402,6 +516,51 @@ def main(argv: list[str] | None = None) -> int:
                        choices=sorted(PRESETS))
     p_cmp.set_defaults(fn=cmd_compare)
 
+    p_sub = sub.add_parser(
+        "submit", help="run a batch of jobs through the fault-tolerant "
+                       "service (crash isolation, watchdogs, retry, "
+                       "fast->precise fallback)")
+    p_sub.add_argument("targets", nargs="*",
+                       help="assembly source files (or workload names "
+                            "with --workloads)")
+    p_sub.add_argument("--workloads", action="store_true",
+                       help="submit bundled workloads instead of files "
+                            "(all of them, or the named subset)")
+    p_sub.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker-pool width (default: up to 8)")
+    p_sub.add_argument("--core", default="xt910",
+                       choices=sorted(PRESETS) + ["none"],
+                       help="timing core, or 'none' for functional-only")
+    p_sub.add_argument("--mode", default="auto",
+                       choices=["auto", "fast", "precise"],
+                       help="execution tier; auto = fast with precise "
+                            "fallback on fast-path failure/divergence")
+    p_sub.add_argument("--max-insts", type=int, default=5_000_000,
+                       help="per-job instruction watchdog (default 5M)")
+    p_sub.add_argument("--wall-timeout", type=float, default=60.0,
+                       metavar="S",
+                       help="per-job wall-clock watchdog in seconds")
+    p_sub.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per job for transient failures")
+    p_sub.add_argument("--no-vet", action="store_true",
+                       help="skip static admission vetting")
+    p_sub.add_argument("--no-isolation", action="store_true",
+                       help="run jobs inline (no crash containment)")
+    p_sub.add_argument("--no-compress", action="store_true",
+                       help="disable RVC compression")
+    p_sub.add_argument("--json", action="store_true",
+                       help="machine-readable results on stdout")
+    p_sub.set_defaults(fn=cmd_submit)
+
+    p_srv = sub.add_parser(
+        "serve", help="JSONL job server: JobSpec per stdin line, "
+                      "JobResult per stdout line")
+    p_srv.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker-pool width (default: up to 8)")
+    p_srv.add_argument("--no-isolation", action="store_true",
+                       help="run jobs inline (no crash containment)")
+    p_srv.set_defaults(fn=cmd_serve)
+
     p_bench = sub.add_parser(
         "bench", help="emulator MIPS + harness wall-clock benchmark")
     p_bench.add_argument("--pipeline", action="store_true",
@@ -409,6 +568,11 @@ def main(argv: list[str] | None = None) -> int:
                               "(fast path vs frozen reference oracle) "
                               "instead of the emulator; writes/reads "
                               "BENCH_pipeline.json-shaped payloads")
+    p_bench.add_argument("--service", action="store_true",
+                         help="benchmark the job service (throughput + "
+                              "latency percentiles under process "
+                              "isolation); writes/reads "
+                              "BENCH_service.json-shaped payloads")
     p_bench.add_argument("--quick", action="store_true",
                          help="CoreMark kernels only (the CI smoke set)")
     p_bench.add_argument("--repeat", type=int, default=3,
@@ -419,9 +583,11 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--baseline", default=None,
                          help="committed BENCH_emulator.json to gate "
                               "against; exits 1 on regression")
-    p_bench.add_argument("--tolerance", type=float,
-                         default=0.30,
-                         help="allowed fractional MIPS drop vs baseline")
+    p_bench.add_argument("--tolerance", type=float, default=None,
+                         help="allowed fractional drop vs baseline "
+                              "(default: the bench's own tolerance, "
+                              "0.30 for MIPS benches, 0.50 for "
+                              "--service)")
     p_bench.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)

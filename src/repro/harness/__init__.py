@@ -22,6 +22,19 @@ from .table1 import run_table1  # noqa: F401
 from .table2 import run_table2  # noqa: F401
 from .vecmac import run_vecmac  # noqa: F401
 
+
+def run_service(quick: bool = True, jobs: int | None = None):
+    """The chaos-campaign robustness experiment (``repro.service``).
+
+    Imported lazily: the service's job worker runs cells through this
+    package (``harness.runner``), so a top-level import would be
+    circular.  ``jobs`` sets the service's worker-pool width.
+    """
+    from ..service.chaos import run_service as _run_service
+
+    return _run_service(quick=quick, jobs=jobs)
+
+
 EXPERIMENTS = {
     "table1": run_table1,
     "table2": run_table2,
@@ -36,6 +49,7 @@ EXPERIMENTS = {
     "blockchain": run_blockchain,
     "ras": run_ras,
     "lint": run_lint,
+    "service": run_service,
 }
 
 

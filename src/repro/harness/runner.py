@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from ..asm.program import Program
 from ..mem.hierarchy import MemoryHierarchy
-from ..sim.emulator import Emulator
+from ..sim.emulator import Emulator, WatchdogExpired
 from ..uarch.config import CoreConfig
 from ..uarch.core import PipelineModel
 from ..uarch.presets import get_preset
@@ -22,6 +22,9 @@ class RunResult:
     exit_code: int
     stdout: str
     pipeline: PipelineModel
+    #: the WatchdogExpired that bounded this run, when the caller asked
+    #: for a partial result instead of the exception (None = ran to exit)
+    watchdog: WatchdogExpired | None = None
 
     @property
     def ipc(self) -> float:
@@ -36,7 +39,9 @@ def run_on_core(program: Program, core: CoreConfig | str,
                 max_steps: int | None = None,
                 hierarchy: MemoryHierarchy | None = None,
                 fast: bool = True,
-                tracer=None, profiler=None) -> RunResult:
+                tracer=None, profiler=None,
+                max_insts: int | None = None,
+                partial_on_watchdog: bool = False) -> RunResult:
     """Execute *program* functionally and time it on *core*.
 
     ``fast`` feeds the timing model through the block-translation
@@ -46,16 +51,32 @@ def run_on_core(program: Program, core: CoreConfig | str,
     ``tracer``/``profiler`` are optional ``repro.obs`` hook objects
     (a :class:`~repro.obs.PipelineTracer` / :class:`~repro.obs.
     GuestProfiler`); None keeps the hot loops hook-free.
+
+    ``max_insts`` bounds the run with the emulator's instruction
+    watchdog.  When the watchdog fires, ``partial_on_watchdog=True``
+    returns the statistics accumulated up to expiry (with the
+    exception attached as ``RunResult.watchdog`` and
+    ``stats.extra["watchdog_expired"] = 1``) instead of raising —
+    bounded jobs still return data.
     """
     config = get_preset(core) if isinstance(core, str) else core
-    emulator = Emulator(program)
+    emulator = (Emulator(program, instruction_limit=max_insts)
+                if max_insts is not None else Emulator(program))
     pipeline = PipelineModel(config, hierarchy=hierarchy)
     pipeline.tracer = tracer
     pipeline.profiler = profiler
     trace = (emulator.fast_trace(max_steps) if fast
              else emulator.trace(max_steps))
-    stats = pipeline.run(trace)
-    if emulator.exit_code not in (0, None):
+    watchdog = None
+    try:
+        stats = pipeline.run(trace)
+    except WatchdogExpired as exc:
+        if not partial_on_watchdog:
+            raise
+        watchdog = exc
+        stats = pipeline.finish()   # drain in-flight work, fold RAS counters
+        stats.extra["watchdog_expired"] = 1
+    if watchdog is None and emulator.exit_code not in (0, None):
         raise RuntimeError(
             f"program exited with {emulator.exit_code} on {config.name}; "
             f"stdout: {emulator.stdout!r}")
@@ -65,7 +86,8 @@ def run_on_core(program: Program, core: CoreConfig | str,
         stats.extra.update(emulator._blocks.counters())
     return RunResult(core=config.name, stats=stats,
                      exit_code=emulator.exit_code or 0,
-                     stdout=emulator.stdout, pipeline=pipeline)
+                     stdout=emulator.stdout, pipeline=pipeline,
+                     watchdog=watchdog)
 
 
 #: Component buckets for :func:`profile_run`, keyed by the ``repro``

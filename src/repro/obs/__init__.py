@@ -23,6 +23,7 @@ from .metrics import (
     collect_core_stats,
     collect_hierarchy,
     collect_run,
+    collect_service,
     collect_smp,
     diff_metrics,
     render_diff,
@@ -49,6 +50,7 @@ __all__ = [
     "collect_core_stats",
     "collect_hierarchy",
     "collect_run",
+    "collect_service",
     "collect_smp",
     "diff_metrics",
     "parse_kanata",

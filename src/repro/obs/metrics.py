@@ -153,6 +153,20 @@ def collect_smp(smp_stats: Any,
     return registry
 
 
+def collect_service(service: Any,
+                    registry: MetricsRegistry | None = None,
+                    prefix: str = "service") -> MetricsRegistry:
+    """Walk a :class:`~repro.service.core.JobService`'s counters.
+
+    Everything lands under ``service.*``: job terminal-state counts,
+    retry/fallback/crash/timeout totals, circuit-breaker and result-
+    cache counters, and end-to-end latency percentiles.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    registry.update(prefix, service.counters())
+    return registry
+
+
 def collect_run(result: Any,
                 registry: MetricsRegistry | None = None) -> MetricsRegistry:
     """Everything one :class:`~repro.harness.runner.RunResult` measured."""

@@ -1,0 +1,125 @@
+"""Service throughput benchmark (``python -m repro bench --service``).
+
+Drives a healthy mixed load (functional + timed jobs, unique program
+hashes so the result cache cannot shortcut the measurement) through a
+fully-isolated :class:`~repro.service.core.JobService` and records
+jobs/sec plus end-to-end latency percentiles to ``BENCH_service.json``.
+
+The committed JSON doubles as the CI regression baseline, mirroring
+``BENCH_emulator.json``: the bench job re-runs the quick profile and
+fails when throughput drops more than the tolerance below the
+checked-in number.  Process-isolation cost (fork + pipe per job)
+dominates and varies widely across hosts, so the default tolerance is
+looser than the emulator bench's.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+from .chaos import clean_source
+from .core import JobService, default_workers
+from .job import JobSpec, JobState
+
+#: JSON schema version of BENCH_service.json
+SCHEMA = 1
+DEFAULT_TOLERANCE = 0.50
+
+
+def _load(jobs: int, timed_every: int = 4) -> list[JobSpec]:
+    """A healthy mixed batch with *jobs* unique program hashes."""
+    specs = []
+    for index in range(jobs):
+        timed = index % timed_every == 0
+        specs.append(JobSpec(
+            source=clean_source(index),
+            name=f"bench-{'timed' if timed else 'functional'}-{index}",
+            core="xt910" if timed else None))
+    return specs
+
+
+def run_bench(quick: bool = True, jobs: int | None = None,
+              workers: int | None = None) -> dict[str, Any]:
+    """Benchmark the service; returns the BENCH_service.json payload."""
+    count = jobs if jobs is not None else (32 if quick else 128)
+    width = workers if workers is not None else default_workers()
+    service = JobService(workers=width, use_cache=False)
+    specs = _load(count)
+    start = time.perf_counter()
+    results = service.run(specs)
+    wall_s = time.perf_counter() - start
+    completed = sum(1 for r in results if r.state is JobState.COMPLETED)
+    counters = service.counters()
+    return {
+        "schema": SCHEMA,
+        "bench": "service",
+        "quick": quick,
+        "jobs": count,
+        "workers": width,
+        "completed": completed,
+        "wall_s": round(wall_s, 3),
+        "jobs_per_s": round(count / wall_s, 3),
+        "latency_p50_ms": counters["latency_p50_ms"],
+        "latency_p99_ms": counters["latency_p99_ms"],
+        "workers_launched": counters["workers_launched"],
+        "retries": counters["retries"],
+    }
+
+
+def check_regression(payload: dict[str, Any], baseline: dict[str, Any],
+                     tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Compare a fresh service bench against the committed baseline.
+
+    Returns human-readable failure strings (empty = no regression).
+    Two gates: every job must complete (a correctness floor, no
+    tolerance), and jobs/sec must stay within *tolerance* of baseline.
+    """
+    failures = []
+    if payload["completed"] != payload["jobs"]:
+        failures.append(
+            f"service bench lost jobs: {payload['completed']} completed "
+            f"of {payload['jobs']}")
+    base = baseline.get("jobs_per_s")
+    if base:
+        current = payload["jobs_per_s"]
+        floor = base * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"jobs_per_s regressed: {current} < {floor:.3f} "
+                f"(baseline {base}, tolerance {tolerance:.0%})")
+    return failures
+
+
+def render(payload: dict[str, Any]) -> str:
+    """Terminal table for the service bench payload."""
+    lines = [
+        f"service bench: {payload['jobs']} jobs on "
+        f"{payload['workers']} workers "
+        f"({'quick' if payload['quick'] else 'full'} profile)",
+        f"{'completed':16s}{payload['completed']:>10}",
+        f"{'wall':16s}{payload['wall_s']:>10.3f}  s",
+        f"{'throughput':16s}{payload['jobs_per_s']:>10.3f}  jobs/s",
+        f"{'latency p50':16s}{payload['latency_p50_ms']:>10.3f}  ms",
+        f"{'latency p99':16s}{payload['latency_p99_ms']:>10.3f}  ms",
+        f"{'workers launched':16s}{payload['workers_launched']:>10}",
+    ]
+    lines.append("(end-to-end submit-to-terminal latency; every job runs "
+                 "in its own reapable worker process)")
+    return "\n".join(lines)
+
+
+def save(payload: dict[str, Any], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load(path: str) -> dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+__all__ = ["run_bench", "check_regression", "render", "save", "load",
+           "DEFAULT_TOLERANCE", "SCHEMA"]

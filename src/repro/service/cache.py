@@ -1,0 +1,78 @@
+"""Content-addressed result cache in front of the worker pool.
+
+Keyed by ``(program_hash, config_hash, mode)`` — the full content
+address of one deterministic simulation — so a retry of a completed
+job, a resubmission of the same program, or a duplicate inside one
+batch never reaches a worker.  Only :class:`~repro.service.job.
+JobState.COMPLETED` results are cacheable: failures must re-execute
+(they may have been environmental) and partial timeout data is bounded
+by a budget the next submission might raise.
+
+Entries round-trip through ``JobResult.to_dict()`` on both put and
+get, so a cached hit is a fresh object — callers mutating their result
+cannot poison the cache.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import Any
+
+from .job import JobResult, JobState
+
+CacheKey = tuple[str, str, str]
+
+
+class ResultCache:
+    """Bounded LRU over completed job results."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._store: OrderedDict[CacheKey, dict[str, Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._store
+
+    def get(self, key: CacheKey) -> JobResult | None:
+        payload = self._store.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        # Deep copy: from_dict's shallow copy would share the nested
+        # metrics/error dicts with the store, so a caller mutating its
+        # hit could poison every later hit.
+        result = JobResult.from_dict(copy.deepcopy(payload))
+        result.cache_hit = True
+        return result
+
+    def put(self, key: CacheKey, result: JobResult) -> bool:
+        """Store a completed result; returns False for non-cacheables."""
+        if result.state is not JobState.COMPLETED:
+            return False
+        payload = result.to_dict()
+        payload["cache_hit"] = False
+        self._store[key] = payload
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+        return True
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def counters(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._store)}
+
+
+__all__ = ["ResultCache", "CacheKey"]

@@ -1,0 +1,314 @@
+"""The fault-tolerant job service: submit specs, get terminal results.
+
+:class:`JobService` wraps the whole existing stack — analyzer/sanitizer
+vetting, blockcache/fast-path execution, the timing model, the metrics
+surface — behind one supervisor with a full robustness envelope:
+
+* a **content-addressed result cache** in front of the pool, so
+  retries and repeat submissions of identical work are free,
+* a **circuit breaker** per program hash, so a toxic program stops
+  burning worker slots after N consecutive terminal failures,
+* **crash-isolated execution** on :class:`~repro.service.pool.
+  WorkerPool` — a worker that dies or wedges is reaped and classified,
+  never propagated,
+* **retry with exponential backoff + jitter** for the transient
+  failure classes (worker crash, wall-clock timeout, internal worker
+  error), seeded so campaigns replay deterministically,
+* the **degradation ladder** inside the worker (fast → precise) for
+  fast-path faults and divergence.
+
+The service-level invariant, proven by :mod:`repro.service.chaos` and
+gated in CI: *every submitted job terminates in exactly one definitive
+terminal state, with a structured, serializable error chain when it
+did not complete* — no job is ever silently lost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import random
+import time
+from typing import Any, Sequence, cast
+
+from .cache import ResultCache
+from .errors import ServiceError, WatchdogTimeout, WorkerCrash
+from .job import JobResult, JobSpec, JobState
+from .pool import TaskOutcome, WorkerPool, serialize_exception
+from .retry import CircuitBreaker, RetryPolicy
+from .worker import execute_job
+
+
+def default_workers() -> int:
+    """A sensible pool width for this machine."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class JobService:
+    """Supervisor for batches of simulation jobs.
+
+    ``isolation=False`` runs jobs inline in this process — no crash
+    containment and no wall-clock reaping (chaos crash/hang plans
+    would take this process with them), but single-stepping a job
+    under pdb works.  The default is full process isolation.
+    """
+
+    def __init__(self, *, workers: int | None = None,
+                 retry: RetryPolicy | None = None,
+                 breaker_threshold: int = 3,
+                 cache_capacity: int = 4096,
+                 use_cache: bool = True,
+                 seed: int = 2020,
+                 isolation: bool = True,
+                 start_method: str | None = None) -> None:
+        self.workers = workers if workers is not None else default_workers()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = CircuitBreaker(breaker_threshold)
+        self.cache: ResultCache | None = (
+            ResultCache(cache_capacity) if use_cache else None)
+        self.isolation = isolation
+        self._start_method = start_method
+        self._rng = random.Random(seed)
+        self._job_seq = 0
+        self.latencies_s: list[float] = []
+        self._counts: dict[str, int] = {
+            "jobs_submitted": 0, "jobs_completed": 0, "jobs_degraded": 0,
+            "jobs_timeout": 0, "jobs_failed": 0, "jobs_rejected": 0,
+            "jobs_quarantined": 0, "retries": 0, "fallbacks": 0,
+            "worker_crashes": 0, "wall_timeouts": 0, "internal_errors": 0,
+            "workers_launched": 0,
+        }
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobResult:
+        """Run one job to its terminal state."""
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[JobSpec]) -> list[JobResult]:
+        """Run a batch; the result list parallels the input order.
+
+        Every entry is terminal on return — the method does not raise
+        for job-level problems of any kind.
+        """
+        if not specs:
+            return []
+        self._counts["jobs_submitted"] += len(specs)
+        results: list[JobResult | None] = [None] * len(specs)
+        started = [0.0] * len(specs)
+        #: (ready_time, index, attempt) — jobs awaiting (re)launch
+        ready: list[tuple[float, int, int]] = []
+        now = time.monotonic()
+        for index in range(len(specs)):
+            started[index] = now
+            heapq.heappush(ready, (now, index, 1))
+        if self.isolation:
+            self._run_pooled(specs, results, started, ready)
+        else:
+            self._run_inline(specs, results, started, ready)
+        done = [result for result in results if result is not None]
+        assert len(done) == len(specs)  # the no-silent-loss invariant
+        return done
+
+    # -- supervision --------------------------------------------------------
+
+    def _run_pooled(self, specs: Sequence[JobSpec],
+                    results: list[JobResult | None],
+                    started: list[float],
+                    ready: list[tuple[float, int, int]]) -> None:
+        with WorkerPool(self.workers, execute_job,
+                        start_method=self._start_method) as pool:
+            while ready or pool.outstanding:
+                now = time.monotonic()
+                while ready and ready[0][0] <= now:
+                    _, index, attempt = heapq.heappop(ready)
+                    self._launch(pool, specs, results, started,
+                                 index, attempt)
+                if pool.outstanding:
+                    next_ready = ready[0][0] - now if ready else None
+                    for key, outcome in pool.wait(timeout=next_ready):
+                        index, attempt = cast(tuple[int, int], key)
+                        self._absorb(specs, results, started, ready,
+                                     index, attempt, outcome)
+                elif ready:
+                    time.sleep(max(0.0, min(ready[0][0] - now, 0.05)))
+            self._counts["workers_launched"] += pool.launched
+
+    def _run_inline(self, specs: Sequence[JobSpec],
+                    results: list[JobResult | None],
+                    started: list[float],
+                    ready: list[tuple[float, int, int]]) -> None:
+        while ready:
+            ready_time, index, attempt = heapq.heappop(ready)
+            time.sleep(max(0.0, ready_time - time.monotonic()))
+            spec = specs[index]
+            if self.breaker.is_open(spec.program_hash):
+                self._finalize(results, started, index,
+                               self._quarantined(spec), spec)
+                continue
+            if attempt == 1:
+                cached = self._cache_get(spec)
+                if cached is not None:
+                    self._finalize(results, started, index, cached, spec,
+                                   from_cache=True)
+                    continue
+            payload = {"spec": spec.to_dict(), "attempt": attempt}
+            try:
+                outcome = TaskOutcome(status="ok",
+                                      value=execute_job(payload))
+            except Exception as exc:
+                outcome = TaskOutcome(status="error",
+                                      value=serialize_exception(exc))
+            self._absorb(specs, results, started, ready,
+                         index, attempt, outcome)
+
+    def _launch(self, pool: WorkerPool, specs: Sequence[JobSpec],
+                results: list[JobResult | None], started: list[float],
+                index: int, attempt: int) -> None:
+        spec = specs[index]
+        # The breaker may have opened — and a duplicate spec earlier in
+        # the batch may have populated the cache — while this job sat
+        # in the queue.
+        if self.breaker.is_open(spec.program_hash):
+            self._finalize(results, started, index,
+                           self._quarantined(spec), spec)
+            return
+        if attempt == 1:
+            cached = self._cache_get(spec)
+            if cached is not None:
+                self._finalize(results, started, index, cached, spec,
+                               from_cache=True)
+                return
+        payload = {"spec": spec.to_dict(), "attempt": attempt}
+        pool.submit((index, attempt), payload,
+                    timeout=spec.wall_timeout_s)
+
+    def _absorb(self, specs: Sequence[JobSpec],
+                results: list[JobResult | None], started: list[float],
+                ready: list[tuple[float, int, int]],
+                index: int, attempt: int, outcome: TaskOutcome) -> None:
+        """Fold one pool outcome into a terminal result or a retry."""
+        spec = specs[index]
+        if outcome.status == "ok":
+            result = JobResult.from_dict(outcome.value)
+            result.attempts = attempt
+            error = result.error
+            retryable = bool(error and error.get("retryable"))
+        else:
+            error_obj = self._supervisor_error(outcome, attempt)
+            result = JobResult(
+                name=spec.name,
+                state=(JobState.TIMEOUT
+                       if isinstance(error_obj, WatchdogTimeout)
+                       else JobState.FAILED),
+                attempts=attempt, error=error_obj.to_dict(),
+                program_hash=spec.program_hash)
+            retryable = error_obj.retryable
+        if retryable and not self.retry.exhausted(attempt) \
+                and not self.breaker.is_open(spec.program_hash):
+            self._counts["retries"] += 1
+            delay = self.retry.delay(attempt, self._rng)
+            heapq.heappush(ready,
+                           (time.monotonic() + delay, index, attempt + 1))
+            return
+        self._finalize(results, started, index, result, spec)
+
+    def _supervisor_error(self, outcome: TaskOutcome,
+                          attempt: int) -> ServiceError:
+        """Classify an outcome the worker could not report itself."""
+        if outcome.status == "crash":
+            self._counts["worker_crashes"] += 1
+            return WorkerCrash(
+                f"worker process died (exit code {outcome.exitcode}) "
+                f"on attempt {attempt}",
+                detail={"exitcode": outcome.exitcode,
+                        "attempt": attempt})
+        if outcome.status == "timeout":
+            self._counts["wall_timeouts"] += 1
+            return WatchdogTimeout(
+                f"wall-clock watchdog: worker exceeded its deadline "
+                f"({outcome.duration_s:.2f}s) on attempt {attempt}",
+                detail={"watchdog": "wall-clock",
+                        "duration_s": round(outcome.duration_s, 3),
+                        "attempt": attempt},
+                retryable=True)
+        # "error": the worker raised outside the job's own containment.
+        self._counts["internal_errors"] += 1
+        payload = outcome.value if isinstance(outcome.value, dict) else {}
+        message = payload.get("message", "worker exception")
+        error = ServiceError(
+            f"internal worker error on attempt {attempt}: "
+            f"{payload.get('type', 'Exception')}: {message}",
+            detail={"attempt": attempt}, retryable=True)
+        return error
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _quarantined(self, spec: JobSpec) -> JobResult:
+        error = ServiceError(
+            f"circuit breaker open for program {spec.program_hash}: "
+            f"{self.breaker.threshold} consecutive failures",
+            detail={"program_hash": spec.program_hash},
+            retryable=False)
+        return JobResult(name=spec.name, state=JobState.QUARANTINED,
+                         error=error.to_dict(), attempts=0,
+                         program_hash=spec.program_hash)
+
+    def _cache_get(self, spec: JobSpec) -> JobResult | None:
+        if self.cache is None:
+            return None
+        return self.cache.get(spec.cache_key())
+
+    def _finalize(self, results: list[JobResult | None],
+                  started: list[float], index: int, result: JobResult,
+                  spec: JobSpec, from_cache: bool = False) -> None:
+        self._job_seq += 1
+        result.job_id = self._job_seq
+        result.duration_s = round(time.monotonic() - started[index], 6)
+        results[index] = result
+        self.latencies_s.append(result.duration_s)
+        state_counter = {
+            JobState.COMPLETED: "jobs_completed",
+            JobState.TIMEOUT: "jobs_timeout",
+            JobState.FAILED: "jobs_failed",
+            JobState.REJECTED: "jobs_rejected",
+            JobState.QUARANTINED: "jobs_quarantined",
+        }[result.state]
+        self._counts[state_counter] += 1
+        if result.downgraded:
+            self._counts["jobs_degraded"] += 1
+            self._counts["fallbacks"] += 1
+        if from_cache:
+            return
+        if result.state is JobState.COMPLETED:
+            self.breaker.record_success(spec.program_hash)
+            if self.cache is not None:
+                self.cache.put(spec.cache_key(), result)
+        elif result.state is not JobState.QUARANTINED:
+            self.breaker.record_failure(spec.program_hash)
+
+    # -- metrics ------------------------------------------------------------
+
+    def counters(self) -> dict[str, Any]:
+        """Service-namespace counter snapshot (ints/floats only)."""
+        counters: dict[str, Any] = dict(self._counts)
+        counters["breaker_trips"] = self.breaker.trips
+        counters["breaker_open"] = len(self.breaker.open_keys)
+        if self.cache is not None:
+            for name, value in self.cache.counters().items():
+                counters[f"cache_{name}"] = value
+        lat = sorted(self.latencies_s)
+        counters["latency_p50_ms"] = round(_percentile(lat, 50.0) * 1e3, 3)
+        counters["latency_p99_ms"] = round(_percentile(lat, 99.0) * 1e3, 3)
+        return counters
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(-(-q * len(sorted_values) // 100)))  # ceil
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+__all__ = ["JobService", "default_workers"]

@@ -1,0 +1,182 @@
+"""Structured error taxonomy for the simulation job service.
+
+Every way a job can fail maps to exactly one :class:`ServiceError`
+subclass, the same discipline the RAS campaign applies to hardware
+faults: a failure that cannot be named cannot be counted, and a
+failure that cannot be counted can hide.  Each error is JSON-round-
+trippable *including its cause chain* (``raise X from Y`` links), so a
+failure that happened inside a worker process survives the pipe back
+to the supervisor and into a ``JobResult`` without losing provenance.
+
+The five terminal kinds:
+
+* :class:`GuestFault`        — the guest program itself is at fault
+                               (assembly error, admission lint error,
+                               runtime decode/fetch fault, nonzero
+                               exit on a timed run),
+* :class:`WatchdogTimeout`   — a bound fired: the instruction-count
+                               watchdog (deterministic, not retried)
+                               or the supervisor's wall-clock deadline
+                               (load-dependent, retried),
+* :class:`WorkerCrash`       — the worker process died (SIGKILL, OOM
+                               kill, ``os._exit``); always retryable,
+* :class:`ResourceExhausted` — an admission or execution resource cap
+                               (oversized program, memory),
+* :class:`DivergenceDetected`— the fast execution path disagreed with
+                               expectations; triggers the degradation
+                               ladder (precise re-execution), never a
+                               user-visible failure on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+
+class ServiceError(Exception):
+    """Base of the job-service failure taxonomy.
+
+    ``detail`` carries structured, JSON-safe context (the failing
+    stage, lint finding keys, watchdog counters).  ``retryable``
+    defaults per subclass but is overridable per instance — a wall
+    timeout is transient, an instruction-watchdog expiry is not.
+    """
+
+    kind: ClassVar[str] = "internal"
+    default_retryable: ClassVar[bool] = False
+
+    def __init__(self, message: str, *,
+                 detail: dict[str, Any] | None = None,
+                 retryable: bool | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.detail: dict[str, Any] = detail if detail is not None else {}
+        self.retryable: bool = (self.default_retryable
+                                if retryable is None else retryable)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize this error and its explicit cause chain."""
+        payload: dict[str, Any] = {
+            "kind": self.kind,
+            "type": type(self).__name__,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+        if self.detail:
+            payload["detail"] = self.detail
+        cause = self.__cause__
+        if cause is not None:
+            payload["cause"] = _cause_dict(cause)
+        return payload
+
+    def render(self) -> str:
+        """One-line human rendering including the cause chain."""
+        parts = [f"{self.kind}: {self.message}"]
+        node = self.to_dict().get("cause")
+        while node is not None:
+            parts.append(f"caused by {node['type']}: {node['message']}")
+            node = node.get("cause")
+        return " <- ".join(parts)
+
+
+class GuestFault(ServiceError):
+    """The guest program is at fault (vetting or runtime)."""
+
+    kind = "guest-fault"
+    default_retryable = False
+
+
+class WatchdogTimeout(ServiceError):
+    """An execution bound fired (instruction watchdog or wall clock).
+
+    ``detail["watchdog"]`` is ``"instructions"`` or ``"wall-clock"``;
+    only the wall-clock flavour is retryable (a loaded machine can hang
+    a healthy job, but an instruction budget expires deterministically).
+    """
+
+    kind = "watchdog-timeout"
+    default_retryable = False
+
+
+class WorkerCrash(ServiceError):
+    """The worker process died without reporting a result."""
+
+    kind = "worker-crash"
+    default_retryable = True
+
+
+class ResourceExhausted(ServiceError):
+    """A resource cap was hit (program size, memory)."""
+
+    kind = "resource-exhausted"
+    default_retryable = False
+
+
+class DivergenceDetected(ServiceError):
+    """Fast-path execution diverged; the job degrades to precise mode."""
+
+    kind = "divergence"
+    default_retryable = False
+
+
+_BY_KIND: dict[str, type[ServiceError]] = {
+    cls.kind: cls
+    for cls in (ServiceError, GuestFault, WatchdogTimeout, WorkerCrash,
+                ResourceExhausted, DivergenceDetected)
+}
+
+
+def _cause_dict(exc: BaseException) -> dict[str, Any]:
+    """Serialize an arbitrary exception node in a cause chain."""
+    if isinstance(exc, ServiceError):
+        return exc.to_dict()
+    node: dict[str, Any] = {
+        "kind": "external",
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+    if exc.__cause__ is not None:
+        node["cause"] = _cause_dict(exc.__cause__)
+    return node
+
+
+def error_from_dict(payload: dict[str, Any]) -> ServiceError:
+    """Reconstruct a :class:`ServiceError` (with cause chain) from JSON.
+
+    External (non-taxonomy) causes come back as plain  ``Exception``
+    instances whose message preserves the original type name, so the
+    chain stays renderable without importing arbitrary classes.
+    """
+    cause_payload = payload.get("cause")
+    cause: BaseException | None = None
+    if cause_payload is not None:
+        if cause_payload.get("kind") in _BY_KIND:
+            cause = error_from_dict(cause_payload)
+        else:
+            cause = Exception(f"{cause_payload.get('type', 'Exception')}: "
+                              f"{cause_payload.get('message', '')}")
+            nested = cause_payload.get("cause")
+            if nested is not None:
+                cause.__cause__ = (error_from_dict(nested)
+                                   if nested.get("kind") in _BY_KIND
+                                   else Exception(
+                                       f"{nested.get('type', 'Exception')}: "
+                                       f"{nested.get('message', '')}"))
+    cls = _BY_KIND.get(payload.get("kind", "internal"), ServiceError)
+    error = cls(payload.get("message", ""),
+                detail=payload.get("detail"),
+                retryable=payload.get("retryable"))
+    if cause is not None:
+        error.__cause__ = cause
+    return error
+
+
+__all__ = [
+    "ServiceError",
+    "GuestFault",
+    "WatchdogTimeout",
+    "WorkerCrash",
+    "ResourceExhausted",
+    "DivergenceDetected",
+    "error_from_dict",
+]

@@ -1,0 +1,158 @@
+"""Job schema: what users submit and what the service returns.
+
+A :class:`JobSpec` is a plain, picklable description of one simulation
+request — assembly source plus execution knobs.  Hashing is content-
+addressed: ``program_hash`` covers the guest program bytes-to-be,
+``config_hash`` covers every knob that changes the answer, and the two
+together (plus the resolved execution mode) key the result cache, so
+retries and repeat submissions of identical work are free.
+
+A :class:`JobResult` is the service's *only* answer shape: every job —
+completed, degraded, timed out, rejected, crashed-out or quarantined —
+terminates in exactly one terminal :class:`JobState` with a
+serializable error chain when it did not complete.  "Every submitted
+job reaches a definitive state" is the invariant the chaos harness
+(:mod:`repro.service.chaos`) exists to prove.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class JobState(str, Enum):
+    """Lifecycle states; everything below PENDING/RUNNING is terminal."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"      # ran to exit (possibly degraded)
+    TIMEOUT = "timeout"          # watchdog fired; partial data attached
+    FAILED = "failed"            # structured ServiceError, all retries spent
+    REJECTED = "rejected"        # admission vetting refused the program
+    QUARANTINED = "quarantined"  # circuit breaker: program hash is toxic
+
+
+TERMINAL_STATES = frozenset({
+    JobState.COMPLETED, JobState.TIMEOUT, JobState.FAILED,
+    JobState.REJECTED, JobState.QUARANTINED,
+})
+
+
+@dataclass
+class JobSpec:
+    """One simulation request.
+
+    ``core=None`` runs the functional emulator only; a preset name adds
+    the 12-stage timing model.  ``mode`` selects the execution tier:
+    ``"fast"`` (block-translation cache), ``"precise"`` (per-step
+    interpreter) or ``"auto"`` — fast with automatic precise fallback
+    when the fast path fails or diverges (the degradation ladder).
+    ``chaos`` is the deterministic fault-injection door used by the
+    chaos harness; production submissions leave it empty.
+    """
+
+    source: str
+    name: str = "job"
+    core: str | None = "xt910"
+    mode: str = "auto"
+    max_insts: int = 5_000_000
+    wall_timeout_s: float | None = 60.0
+    compress: bool = True
+    vet: bool = True
+    chaos: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def program_hash(self) -> str:
+        """Content hash of the guest program (source + encoding knobs)."""
+        blob = f"{self.compress}\x00{self.source}".encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    @property
+    def config_hash(self) -> str:
+        """Content hash of every knob that changes the result."""
+        config = {
+            "core": self.core,
+            "max_insts": self.max_insts,
+            "vet": self.vet,
+        }
+        blob = json.dumps(config, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def cache_key(self, mode: str | None = None) -> tuple[str, str, str]:
+        """(program, config, mode) key for the content-addressed cache."""
+        return (self.program_hash, self.config_hash,
+                mode if mode is not None else self.mode)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "JobSpec":
+        return cls(**payload)
+
+
+@dataclass
+class JobResult:
+    """The definitive outcome of one job."""
+
+    name: str
+    state: JobState
+    job_id: int = 0
+    attempts: int = 1
+    duration_s: float = 0.0
+    exit_code: int | None = None
+    error: dict[str, Any] | None = None
+    metrics: dict[str, Any] = field(default_factory=dict)
+    stdout: str = ""
+    downgraded: bool = False
+    downgrade_reason: str | None = None
+    cache_hit: bool = False
+    partial: bool = False
+    program_hash: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def ok(self) -> bool:
+        return self.state is JobState.COMPLETED
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["state"] = self.state.value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "JobResult":
+        data = dict(payload)
+        data["state"] = JobState(data["state"])
+        return cls(**data)
+
+    def summary(self) -> str:
+        """One line for the ``repro submit`` table."""
+        bits = [self.state.value]
+        if self.downgraded:
+            bits.append("degraded")
+        if self.cache_hit:
+            bits.append("cached")
+        if self.partial:
+            bits.append("partial")
+        if self.attempts > 1:
+            bits.append(f"{self.attempts} attempts")
+        head = f"{self.name}: {', '.join(bits)}"
+        if self.state is JobState.COMPLETED and "ipc" in self.metrics:
+            head += (f"  cycles={self.metrics.get('cycles')} "
+                     f"ipc={self.metrics['ipc']:.3f}")
+        elif self.state is JobState.COMPLETED:
+            head += f"  instret={self.metrics.get('instret')}"
+        elif self.error is not None:
+            head += f"  [{self.error['kind']}] {self.error['message']}"
+        return head
+
+
+__all__ = ["JobSpec", "JobResult", "JobState", "TERMINAL_STATES"]

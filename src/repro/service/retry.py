@@ -1,0 +1,92 @@
+"""Retry policy (exponential backoff + jitter) and circuit breaker.
+
+Both are deterministic given a seeded RNG, so a chaos campaign replays
+identically: the same seed produces the same backoff delays and the
+same quarantine decisions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class RetryPolicy:
+    """How transient failures (crashes, wall timeouts) are retried.
+
+    Delay for attempt *k* (1-based, i.e. before attempt ``k+1``) is
+    ``min(cap, base * 2**(k-1))`` scaled by a jitter factor drawn
+    uniformly from ``[1 - jitter, 1 + jitter]`` — full-jitter style, so
+    a burst of crashed jobs does not retry in lockstep against the same
+    overloaded machine.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before the attempt after *attempt* (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        raw = min(self.backoff_cap_s,
+                  self.backoff_base_s * (2.0 ** (attempt - 1)))
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, raw * factor)
+
+    def exhausted(self, attempt: int) -> bool:
+        return attempt >= self.max_attempts
+
+
+class CircuitBreaker:
+    """Quarantine a program hash after N *consecutive* failures.
+
+    A program that keeps crashing workers or timing out is toxic: every
+    further attempt burns a worker slot other jobs could use.  After
+    ``threshold`` consecutive terminal failures for the same program
+    hash the breaker opens and subsequent submissions short-circuit to
+    ``QUARANTINED`` without touching the pool.  Any success resets the
+    count (and a manual :meth:`reset` closes an open breaker).
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._failures: dict[str, int] = {}
+        self._open: set[str] = set()
+        self.trips = 0
+
+    def is_open(self, key: str) -> bool:
+        return key in self._open
+
+    def record_success(self, key: str) -> None:
+        self._failures.pop(key, None)
+
+    def record_failure(self, key: str) -> bool:
+        """Count one terminal failure; returns True when this trips."""
+        count = self._failures.get(key, 0) + 1
+        self._failures[key] = count
+        if count >= self.threshold and key not in self._open:
+            self._open.add(key)
+            self.trips += 1
+            return True
+        return False
+
+    def reset(self, key: str | None = None) -> None:
+        """Close one breaker (or all of them) and forget the history."""
+        if key is None:
+            self._failures.clear()
+            self._open.clear()
+        else:
+            self._failures.pop(key, None)
+            self._open.discard(key)
+
+    @property
+    def open_keys(self) -> frozenset[str]:
+        return frozenset(self._open)
+
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]

@@ -1,0 +1,329 @@
+"""What runs inside one crash-isolated worker: vet, execute, classify.
+
+``execute_job`` is the pool task function for the job service.  It is
+deliberately *total* over the domain of hostile inputs: every job
+either returns a terminal :class:`~repro.service.job.JobResult` dict
+or dies in a way the supervisor classifies (crash / wall timeout) —
+it never raises for guest-program problems.
+
+The execution ladder for ``mode="auto"`` (the default):
+
+1. **fast** — block-translation cache feeding the timing model (or
+   ``Emulator.run_fast`` for functional-only jobs),
+2. on *any* fast-path failure — a blockcache fault, an injected
+   :class:`~repro.service.errors.DivergenceDetected`, an unexpected
+   exception — the job **degrades to precise mode** and re-executes
+   from scratch; success records ``downgraded=True`` plus the reason
+   in the result metadata instead of failing the job,
+3. a failure that survives precise execution is classified into the
+   error taxonomy and becomes the job's terminal error.
+
+The instruction watchdog is *not* on the ladder: an expired budget is
+deterministic (precise mode would burn the same budget), so it
+terminates the job as ``TIMEOUT`` — with the partial statistics
+snapshot the watchdog now carries, so bounded jobs still return data.
+
+Chaos injection (``JobSpec.chaos``) is honoured only here, at the
+worker boundary, from the spec's own plan — nothing is random inside
+the worker, so a seeded campaign replays exactly:
+
+* ``crash_attempts: [n, ...]`` — ``os._exit`` before doing any work on
+  those attempt numbers (a worker crash the supervisor must reap),
+* ``hang_attempts: [n, ...]``  — spin forever (the supervisor's
+  wall-clock watchdog must SIGKILL the worker),
+* ``error_attempts: [n, ...]`` — raise a raw exception (an internal
+  worker bug the pool must serialize and contain),
+* ``fast_fault: true``         — the fast path fails (degradation
+  ladder must fall back to precise),
+* ``divergence: true``         — fast-path divergence is detected
+  after execution (same ladder, different entry).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, NoReturn
+
+from ..analysis import Sanitizer, SanitizerViolation, lint_program
+from ..analysis.checks import SEV_ERROR
+from ..asm import assemble
+from ..asm.program import Program
+from ..harness.runner import RunResult, run_on_core
+from ..sim.emulator import Emulator, EmulatorError, WatchdogExpired
+from .errors import (
+    DivergenceDetected,
+    GuestFault,
+    ResourceExhausted,
+    ServiceError,
+    WatchdogTimeout,
+)
+from .job import JobResult, JobSpec, JobState
+
+#: admission caps: reject before burning worker time on absurd inputs
+MAX_SOURCE_BYTES = 1 << 20      # 1 MiB of assembly source
+MAX_TEXT_BYTES = 1 << 18        # 256 KiB of encoded text section
+#: stdout kept per result (the service is not a log store)
+MAX_STDOUT_CHARS = 4096
+
+
+def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
+    """Pool task function: one attempt of one job, start to terminal."""
+    spec = JobSpec.from_dict(payload["spec"])
+    attempt = int(payload.get("attempt", 1))
+    _apply_chaos(spec.chaos, attempt)
+    try:
+        program = _admit(spec)
+    except ServiceError as exc:
+        return _error_result(spec, JobState.REJECTED, exc)
+    try:
+        if spec.core is None:
+            result = _run_functional(spec, program)
+        else:
+            result = _run_timed(spec, program)
+    except ServiceError as exc:
+        return _error_result(spec, JobState.FAILED, exc)
+    except Exception as exc:  # simulator bug: still a definitive state
+        internal = ServiceError(
+            f"internal execution failure: {type(exc).__name__}: {exc}")
+        internal.__cause__ = exc
+        return _error_result(spec, JobState.FAILED, internal)
+    return result.to_dict()
+
+
+# -- chaos ------------------------------------------------------------------
+
+
+def _apply_chaos(chaos: dict[str, Any], attempt: int) -> None:
+    if not chaos:
+        return
+    if attempt in chaos.get("crash_attempts", ()):
+        os._exit(86)                      # simulated hard worker death
+    if attempt in chaos.get("hang_attempts", ()):
+        while True:                       # simulated wedged guest/worker;
+            time.sleep(0.05)              # only SIGKILL gets us out
+    if attempt in chaos.get("error_attempts", ()):
+        raise RuntimeError(f"chaos: injected worker exception "
+                           f"(attempt {attempt})")
+
+
+# -- admission --------------------------------------------------------------
+
+
+def _admit(spec: JobSpec) -> Program:
+    """Vet an untrusted program before it reaches the execution engine.
+
+    Raises :class:`ResourceExhausted` for size-cap violations and
+    :class:`GuestFault` for programs that fail to assemble, crash the
+    static analyzer, or carry error-severity lint findings.
+    """
+    raw = len(spec.source.encode())
+    if raw > MAX_SOURCE_BYTES:
+        raise ResourceExhausted(
+            f"source is {raw} bytes; admission cap is "
+            f"{MAX_SOURCE_BYTES}",
+            detail={"stage": "admission", "source_bytes": raw,
+                    "cap": MAX_SOURCE_BYTES})
+    try:
+        program = assemble(spec.source, compress=spec.compress)
+    except Exception as exc:
+        raise GuestFault("assembly failed",
+                         detail={"stage": "admission"}) from exc
+    if len(program.text) > MAX_TEXT_BYTES:
+        raise ResourceExhausted(
+            f"text section is {len(program.text)} bytes; admission cap "
+            f"is {MAX_TEXT_BYTES}",
+            detail={"stage": "admission",
+                    "text_bytes": len(program.text),
+                    "cap": MAX_TEXT_BYTES})
+    if spec.vet:
+        try:
+            report = lint_program(program, name=spec.name)
+        except Exception as exc:
+            raise GuestFault("static analysis failed during admission",
+                             detail={"stage": "admission"}) from exc
+        errors = [f for f in report.findings if f.severity == SEV_ERROR]
+        if errors:
+            raise GuestFault(
+                f"admission lint: {len(errors)} error-severity "
+                f"finding(s)",
+                detail={"stage": "admission",
+                        "findings": sorted(f.key for f in errors)})
+    return program
+
+
+# -- execution --------------------------------------------------------------
+
+
+def _run_timed(spec: JobSpec, program: Program) -> JobResult:
+    """Emulator + 12-stage timing model, with the degradation ladder."""
+    assert spec.core is not None
+    downgrade_reason: str | None = None
+    if spec.mode in ("auto", "fast"):
+        try:
+            if spec.chaos.get("fast_fault"):
+                raise RuntimeError("chaos: injected fast-path fault")
+            run = run_on_core(program, spec.core, fast=True,
+                              max_insts=spec.max_insts,
+                              partial_on_watchdog=True)
+            if spec.chaos.get("divergence"):
+                raise DivergenceDetected(
+                    "chaos: injected fast/precise divergence",
+                    detail={"injected": True})
+            return _timed_result(spec, run, downgrade_reason=None)
+        except Exception as exc:
+            if spec.mode != "auto":
+                _raise_classified(exc)
+            downgrade_reason = f"{type(exc).__name__}: {exc}"
+    # Precise tier: either requested directly or the fallback rung.
+    try:
+        run = run_on_core(program, spec.core, fast=False,
+                          max_insts=spec.max_insts,
+                          partial_on_watchdog=True)
+    except Exception as exc:
+        _raise_classified(exc)
+    return _timed_result(spec, run, downgrade_reason=downgrade_reason)
+
+
+def _timed_result(spec: JobSpec, run: RunResult,
+                  downgrade_reason: str | None) -> JobResult:
+    stats = run.stats
+    metrics: dict[str, Any] = {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "ipc": round(stats.ipc, 6),
+        "stats": stats.as_comparable(),
+    }
+    if run.watchdog is not None:
+        error = WatchdogTimeout(
+            f"instruction watchdog: limit {spec.max_insts} expired",
+            detail={"watchdog": "instructions",
+                    "instret": run.watchdog.partial.get("instret"),
+                    "limit": spec.max_insts},
+            retryable=False)
+        return JobResult(
+            name=spec.name, state=JobState.TIMEOUT,
+            error=error.to_dict(), metrics=metrics,
+            stdout=run.stdout[:MAX_STDOUT_CHARS], partial=True,
+            downgraded=downgrade_reason is not None,
+            downgrade_reason=downgrade_reason,
+            program_hash=spec.program_hash)
+    return JobResult(
+        name=spec.name, state=JobState.COMPLETED,
+        exit_code=run.exit_code, metrics=metrics,
+        stdout=run.stdout[:MAX_STDOUT_CHARS],
+        downgraded=downgrade_reason is not None,
+        downgrade_reason=downgrade_reason,
+        program_hash=spec.program_hash)
+
+
+def _run_functional(spec: JobSpec, program: Program) -> JobResult:
+    """Emulator-only execution; the exit code is data, not a fault."""
+    downgrade_reason: str | None = None
+    if spec.mode in ("auto", "fast"):
+        try:
+            if spec.chaos.get("fast_fault"):
+                raise RuntimeError("chaos: injected fast-path fault")
+            return _functional_attempt(spec, program, fast=True,
+                                       downgrade_reason=None)
+        except WatchdogExpired as exc:
+            return _functional_timeout(spec, exc, downgraded=False)
+        except SanitizerViolation as exc:
+            raise GuestFault(
+                f"sanitizer: {exc.violation.render()}",
+                detail={"stage": "runtime"}) from exc
+        except Exception as exc:
+            if spec.mode != "auto":
+                _raise_classified(exc)
+            downgrade_reason = f"{type(exc).__name__}: {exc}"
+    try:
+        return _functional_attempt(spec, program, fast=False,
+                                   downgrade_reason=downgrade_reason)
+    except WatchdogExpired as exc:
+        return _functional_timeout(
+            spec, exc, downgraded=downgrade_reason is not None,
+            downgrade_reason=downgrade_reason)
+    except Exception as exc:
+        _raise_classified(exc)
+
+
+def _functional_attempt(spec: JobSpec, program: Program, fast: bool,
+                        downgrade_reason: str | None) -> JobResult:
+    emulator = Emulator(program, instruction_limit=spec.max_insts)
+    if fast:
+        if spec.vet:
+            # Runtime arm of the vetting layer: the static summaries
+            # ride along as shadow state on the block-cache path.
+            emulator.sanitizer = Sanitizer(program)
+        code = emulator.run_fast()
+    else:
+        code = emulator.run()
+    metrics: dict[str, Any] = {
+        "instret": emulator.state.instret,
+        "exit_code": code,
+    }
+    metrics.update(emulator.counters())
+    return JobResult(
+        name=spec.name, state=JobState.COMPLETED, exit_code=code,
+        metrics=metrics, stdout=emulator.stdout[:MAX_STDOUT_CHARS],
+        downgraded=downgrade_reason is not None,
+        downgrade_reason=downgrade_reason,
+        program_hash=spec.program_hash)
+
+
+def _functional_timeout(spec: JobSpec, exc: WatchdogExpired,
+                        downgraded: bool,
+                        downgrade_reason: str | None = None) -> JobResult:
+    error = WatchdogTimeout(
+        f"instruction watchdog: limit {spec.max_insts} expired",
+        detail={"watchdog": "instructions",
+                "instret": exc.partial.get("instret"),
+                "limit": spec.max_insts},
+        retryable=False)
+    metrics: dict[str, Any] = {
+        "instret": exc.partial.get("instret", 0),
+    }
+    metrics.update(exc.partial.get("counters", {}))
+    return JobResult(
+        name=spec.name, state=JobState.TIMEOUT, error=error.to_dict(),
+        metrics=metrics, partial=True, downgraded=downgraded,
+        downgrade_reason=downgrade_reason,
+        program_hash=spec.program_hash)
+
+
+# -- classification ---------------------------------------------------------
+
+
+def _raise_classified(exc: BaseException) -> NoReturn:
+    """Re-raise *exc* in taxonomy form, chaining unless it already is."""
+    classified = _classify(exc)
+    if classified is exc:
+        raise classified
+    raise classified from exc
+
+
+def _classify(exc: BaseException) -> ServiceError:
+    """Map an execution-time exception into the error taxonomy."""
+    if isinstance(exc, ServiceError):
+        return exc
+    if isinstance(exc, MemoryError):
+        return ResourceExhausted("memory exhausted during execution")
+    if isinstance(exc, EmulatorError):
+        return GuestFault(f"runtime fault: {exc}",
+                          detail={"stage": "runtime"})
+    if isinstance(exc, RuntimeError):
+        # run_on_core raises RuntimeError for a nonzero guest exit on a
+        # timed run; blockcache internals use it for translation faults.
+        return GuestFault(str(exc), detail={"stage": "runtime"})
+    return ServiceError(
+        f"unclassified execution failure: {type(exc).__name__}: {exc}")
+
+
+def _error_result(spec: JobSpec, state: JobState,
+                  error: ServiceError) -> dict[str, Any]:
+    return JobResult(
+        name=spec.name, state=state, error=error.to_dict(),
+        program_hash=spec.program_hash).to_dict()
+
+
+__all__ = ["execute_job", "MAX_SOURCE_BYTES", "MAX_TEXT_BYTES"]

@@ -52,16 +52,21 @@ class WatchdogExpired(EmulatorError):
     """The instruction-limit watchdog fired (a hang, not a halt).
 
     Distinguishable from a normal exit and carries a post-mortem dump:
-    ``pc``, the integer register file, and a disassembled backtrace of
-    the last retired instructions.
+    ``pc``, the integer register file, a disassembled backtrace of the
+    last retired instructions, and a ``partial`` snapshot (retired
+    instruction count plus the functional-engine counters) so a
+    bounded run still returns data instead of discarding everything it
+    measured before the budget expired.
     """
 
     def __init__(self, message: str, pc: int, regs: list[int],
-                 backtrace: list[str]):
+                 backtrace: list[str],
+                 partial: dict | None = None):
         super().__init__(message)
         self.pc = pc
         self.regs = regs
         self.backtrace = backtrace
+        self.partial = partial if partial is not None else {}
 
 
 class MachineCheckError(EmulatorError):
@@ -282,7 +287,10 @@ class Emulator:
             f"watchdog: instruction limit {limit} exceeded at "
             f"pc={self.state.pc:#x} (instret={self.state.instret})\n"
             f"  {regdump}\n" + self._recent_window_text())
-        return WatchdogExpired(message, self.state.pc, regs, backtrace)
+        partial = {"instret": self.state.instret, "limit": limit,
+                   "counters": self.counters()}
+        return WatchdogExpired(message, self.state.pc, regs, backtrace,
+                               partial=partial)
 
     # -- machine checks (RAS) ----------------------------------------------------
 

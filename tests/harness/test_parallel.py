@@ -1,8 +1,11 @@
-"""The shared cell executor: serial/parallel parity and ordering."""
+"""The shared cell executor: serial/parallel parity, ordering, and
+collect-and-report failure aggregation."""
+
+import os
 
 import pytest
 
-from repro.harness.parallel import default_jobs, run_cells
+from repro.harness.parallel import CellFailure, default_jobs, run_cells
 
 
 def _square_minus(x, y):
@@ -11,6 +14,22 @@ def _square_minus(x, y):
 
 def _boom(x):
     raise ValueError(f"cell {x}")
+
+
+def _boom_odd(x):
+    if x % 2:
+        raise ValueError(f"cell {x}")
+    return x * 10
+
+
+def _die(x):
+    os._exit(70)
+
+
+def _hang(x):
+    import time
+    while True:
+        time.sleep(0.05)
 
 
 class TestRunCells:
@@ -28,13 +47,43 @@ class TestRunCells:
     def test_empty(self):
         assert run_cells(_square_minus, [], jobs=4) == []
 
-    def test_serial_exception_propagates(self):
-        with pytest.raises(ValueError, match="cell 7"):
+    def test_serial_failure_names_cell(self):
+        with pytest.raises(CellFailure, match="cell 7"):
             run_cells(_boom, [(7,)])
 
-    def test_parallel_exception_propagates(self):
-        with pytest.raises(ValueError, match="cell"):
+    def test_serial_failure_chains_cause(self):
+        with pytest.raises(CellFailure) as info:
+            run_cells(_boom, [(7,)])
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_parallel_failure_names_cell(self):
+        with pytest.raises(CellFailure, match="_boom"):
             run_cells(_boom, [(1,), (2,)], jobs=2)
+
+    def test_siblings_complete_before_report(self):
+        # Failing cells must not abort the healthy ones: the failure
+        # report arrives only after every cell ran, and names exactly
+        # the odd (raising) cells with their arguments.
+        with pytest.raises(CellFailure) as info:
+            run_cells(_boom_odd, [(i,) for i in range(6)], jobs=3)
+        failure = info.value
+        assert failure.total == 6
+        assert [f.index for f in failure.failures] == [1, 3, 5]
+        assert all(f.fn == "_boom_odd" for f in failure.failures)
+        assert "cell 3" in str(failure)
+
+    def test_worker_crash_is_attributed(self):
+        with pytest.raises(CellFailure) as info:
+            run_cells(_die, [(0,), (1,)], jobs=2, timeout=30.0)
+        assert len(info.value.failures) == 2
+        failure = info.value.failures[0]
+        assert failure.status == "crash"
+        assert "exit code 70" in failure.error["message"]
+
+    def test_hung_cell_is_reaped(self):
+        with pytest.raises(CellFailure) as info:
+            run_cells(_hang, [(0,), (1,)], jobs=2, timeout=1.0)
+        assert {f.status for f in info.value.failures} == {"timeout"}
 
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1

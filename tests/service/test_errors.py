@@ -1,0 +1,90 @@
+"""The error taxonomy: kinds, retryability, serializable cause chains."""
+
+import json
+
+import pytest
+
+from repro.service.errors import (
+    DivergenceDetected,
+    GuestFault,
+    ResourceExhausted,
+    ServiceError,
+    WatchdogTimeout,
+    WorkerCrash,
+    error_from_dict,
+)
+
+ALL_KINDS = [
+    (ServiceError, "internal", False),
+    (GuestFault, "guest-fault", False),
+    (WatchdogTimeout, "watchdog-timeout", False),
+    (WorkerCrash, "worker-crash", True),
+    (ResourceExhausted, "resource-exhausted", False),
+    (DivergenceDetected, "divergence", False),
+]
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("cls,kind,retryable", ALL_KINDS)
+    def test_kind_and_default_retryable(self, cls, kind, retryable):
+        error = cls("boom")
+        assert error.kind == kind
+        assert error.retryable is retryable
+        assert error.to_dict()["kind"] == kind
+
+    def test_retryable_override(self):
+        # The wall-clock flavour of a timeout is transient.
+        error = WatchdogTimeout("wall clock", retryable=True)
+        assert error.retryable is True
+        assert error.to_dict()["retryable"] is True
+
+    def test_detail_is_carried(self):
+        error = GuestFault("lint", detail={"findings": ["mem-wild"]})
+        assert error.to_dict()["detail"] == {"findings": ["mem-wild"]}
+
+
+def _chained() -> ServiceError:
+    try:
+        try:
+            raise KeyError("inner")
+        except KeyError as inner:
+            raise ValueError("middle") from inner
+    except ValueError as middle:
+        fault = GuestFault("outer", detail={"stage": "runtime"})
+        fault.__cause__ = middle
+        return fault
+
+
+class TestCauseChains:
+    def test_to_dict_walks_the_chain(self):
+        payload = _chained().to_dict()
+        assert payload["cause"]["type"] == "ValueError"
+        assert payload["cause"]["cause"]["type"] == "KeyError"
+
+    def test_payload_is_json_round_trippable(self):
+        payload = _chained().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_reconstruction_preserves_kind_and_chain(self):
+        revived = error_from_dict(_chained().to_dict())
+        assert isinstance(revived, GuestFault)
+        assert revived.message == "outer"
+        assert revived.detail == {"stage": "runtime"}
+        assert "ValueError" in str(revived.__cause__)
+
+    def test_nested_service_errors_reconstruct_as_taxonomy(self):
+        outer = WorkerCrash("died")
+        outer.__cause__ = ResourceExhausted("oom")
+        revived = error_from_dict(outer.to_dict())
+        assert isinstance(revived.__cause__, ResourceExhausted)
+        assert revived.retryable is True
+
+    def test_render_names_every_link(self):
+        text = _chained().render()
+        assert "guest-fault: outer" in text
+        assert "caused by ValueError: middle" in text
+        assert "caused by KeyError" in text
+
+    def test_unknown_kind_falls_back_to_base(self):
+        revived = error_from_dict({"kind": "martian", "message": "?"})
+        assert type(revived) is ServiceError

@@ -1,0 +1,90 @@
+"""The crash-isolated worker pool: every task gets exactly one outcome."""
+
+import os
+import time
+
+from repro.service.pool import WorkerPool, run_tasks, serialize_exception
+from repro.service.errors import GuestFault
+
+
+def _double(x):
+    return x * 2
+
+
+def _raise(x):
+    raise ValueError(f"task {x}")
+
+
+def _exit(x):
+    os._exit(77)
+
+
+def _hang(x):
+    while True:
+        time.sleep(0.05)
+
+
+def _mixed(x):
+    if x == "crash":
+        os._exit(77)
+    if x == "error":
+        raise ValueError("bad task")
+    return f"ok:{x}"
+
+
+class TestOutcomes:
+    def test_ok(self):
+        [outcome] = run_tasks(_double, [21], workers=1)
+        assert outcome.ok and outcome.value == 42
+
+    def test_error_is_serialized_not_raised(self):
+        [outcome] = run_tasks(_raise, [7], workers=1)
+        assert outcome.status == "error"
+        assert outcome.value["type"] == "ValueError"
+        assert "task 7" in outcome.value["message"]
+
+    def test_crash_is_classified_with_exitcode(self):
+        [outcome] = run_tasks(_exit, [0], workers=1)
+        assert outcome.status == "crash"
+        assert outcome.exitcode == 77
+
+    def test_hang_is_reaped(self):
+        [outcome] = run_tasks(_hang, [0], workers=1, timeout=0.5)
+        assert outcome.status == "timeout"
+        assert outcome.duration_s >= 0.5
+
+    def test_sibling_isolation(self):
+        # A crash and an error must not disturb the healthy tasks.
+        outcomes = run_tasks(_mixed, ["a", "crash", "error", "b"],
+                             workers=2)
+        assert [o.status for o in outcomes] \
+            == ["ok", "crash", "error", "ok"]
+        assert outcomes[0].value == "ok:a"
+        assert outcomes[3].value == "ok:b"
+
+    def test_more_tasks_than_workers(self):
+        outcomes = run_tasks(_double, list(range(9)), workers=2)
+        assert [o.value for o in outcomes] == [i * 2 for i in range(9)]
+
+    def test_every_task_resolves(self):
+        with WorkerPool(2, _double) as pool:
+            for i in range(5):
+                pool.submit(i, i)
+            collected = pool.drain()
+        assert sorted(key for key, _ in collected) == list(range(5))
+        assert pool.outstanding == 0
+
+
+class TestSerializeException:
+    def test_service_error_keeps_taxonomy_form(self):
+        payload = serialize_exception(GuestFault("nope"))
+        assert payload["kind"] == "guest-fault"
+
+    def test_external_keeps_type_and_traceback(self):
+        try:
+            raise ValueError("boom")
+        except ValueError as exc:
+            payload = serialize_exception(exc)
+        assert payload["kind"] == "external"
+        assert payload["type"] == "ValueError"
+        assert any("boom" in line for line in payload["traceback"])

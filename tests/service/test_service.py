@@ -1,0 +1,203 @@
+"""JobService end-to-end: retries, quarantine, cache, degradation.
+
+Pooled tests keep worker counts small (CI machines may expose a single
+CPU); chaos crash/hang plans only ever run under process isolation —
+inline they would take the test process with them.
+"""
+
+import json
+
+from repro.asm import assemble
+from repro.harness.runner import run_on_core
+from repro.obs import collect_service
+from repro.service import JobService, JobSpec, JobState, RetryPolicy
+from repro.service.chaos import clean_source, wild_jump_source
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base_s=0.01,
+                         backoff_cap_s=0.05, jitter=0.2)
+
+
+def _service(**kwargs) -> JobService:
+    kwargs.setdefault("retry", FAST_RETRY)
+    return JobService(**kwargs)
+
+
+class TestHealthyJobs:
+    def test_functional_inline(self):
+        result = _service(isolation=False).submit(
+            JobSpec(source=clean_source(0), core=None, name="fn"))
+        assert result.state is JobState.COMPLETED
+        assert result.exit_code == 0
+        assert result.metrics["instret"] > 0
+
+    def test_timed_inline(self):
+        result = _service(isolation=False).submit(
+            JobSpec(source=clean_source(1), core="xt910", name="timed"))
+        assert result.state is JobState.COMPLETED
+        assert result.metrics["cycles"] > 0
+        assert 0.0 < result.metrics["ipc"] < 8.0
+
+    def test_batch_order_and_job_ids(self):
+        service = _service(isolation=False)
+        specs = [JobSpec(source=clean_source(i), core=None, name=f"j{i}")
+                 for i in range(4)]
+        results = service.run(specs)
+        assert [r.name for r in results] == [f"j{i}" for i in range(4)]
+        assert sorted(r.job_id for r in results) == [1, 2, 3, 4]
+
+
+class TestRetries:
+    def test_crash_once_recovers(self):
+        result = _service(workers=2).submit(
+            JobSpec(source=clean_source(2), core=None, name="c1",
+                    chaos={"crash_attempts": [1]}))
+        assert result.state is JobState.COMPLETED
+        assert result.attempts == 2
+
+    def test_crash_always_exhausts_with_worker_crash_error(self):
+        service = _service(workers=2)
+        result = service.submit(
+            JobSpec(source=clean_source(3), core=None, name="c3",
+                    chaos={"crash_attempts": [1, 2, 3]}))
+        assert result.state is JobState.FAILED
+        assert result.attempts == 3
+        assert result.error["kind"] == "worker-crash"
+        assert service.counters()["worker_crashes"] == 3
+
+    def test_hang_is_reaped_and_retried(self):
+        result = _service(workers=2).submit(
+            JobSpec(source=clean_source(4), core=None, name="h1",
+                    wall_timeout_s=3.0, chaos={"hang_attempts": [1]}))
+        assert result.state is JobState.COMPLETED
+        assert result.attempts == 2
+
+    def test_internal_error_is_retried(self):
+        result = _service(isolation=False).submit(
+            JobSpec(source=clean_source(5), core=None, name="e1",
+                    chaos={"error_attempts": [1]}))
+        assert result.state is JobState.COMPLETED
+        assert result.attempts == 2
+
+    def test_deterministic_failures_are_not_retried(self):
+        service = _service(isolation=False)
+        result = service.submit(
+            JobSpec(source=wild_jump_source(), core=None, name="wild"))
+        assert result.state is JobState.FAILED
+        assert result.attempts == 1
+        assert service.counters()["retries"] == 0
+
+
+class TestQuarantine:
+    def test_breaker_opens_after_threshold(self):
+        service = _service(isolation=False, breaker_threshold=3)
+        spec = JobSpec(source=wild_jump_source(), core=None, name="toxic")
+        states = [service.submit(spec).state for _ in range(5)]
+        assert states[:3] == [JobState.FAILED] * 3
+        assert states[3:] == [JobState.QUARANTINED] * 2
+        counters = service.counters()
+        assert counters["breaker_trips"] == 1
+        assert counters["jobs_quarantined"] == 2
+        quarantined = service.submit(spec)
+        assert quarantined.error["kind"] == "internal"
+        assert spec.program_hash in quarantined.error["message"]
+
+    def test_healthy_programs_unaffected_by_open_breaker(self):
+        service = _service(isolation=False, breaker_threshold=1)
+        service.submit(JobSpec(source=wild_jump_source(), core=None))
+        healthy = service.submit(JobSpec(source=clean_source(6), core=None))
+        assert healthy.state is JobState.COMPLETED
+
+
+class TestCache:
+    def test_resubmission_hits(self):
+        service = _service(isolation=False)
+        spec = JobSpec(source=clean_source(7), core=None, name="cached")
+        first = service.submit(spec)
+        second = service.submit(spec)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.metrics == first.metrics
+        assert service.counters()["cache_hits"] == 1
+
+    def test_duplicates_inside_one_batch_hit(self):
+        service = _service(isolation=False)
+        spec = JobSpec(source=clean_source(8), core=None)
+        first, second = service.run([spec, spec])
+        assert not first.cache_hit
+        assert second.cache_hit
+
+    def test_different_config_misses(self):
+        service = _service(isolation=False)
+        a = JobSpec(source=clean_source(9), core=None, max_insts=1000)
+        b = JobSpec(source=clean_source(9), core=None, max_insts=2000)
+        service.submit(a)
+        assert not service.submit(b).cache_hit
+
+    def test_failures_are_not_cached(self):
+        service = _service(isolation=False)
+        spec = JobSpec(source=wild_jump_source(), core=None)
+        service.submit(spec)
+        assert not service.submit(spec).cache_hit
+
+
+class TestDegradation:
+    def test_fast_fault_falls_back_to_precise(self):
+        result = _service(isolation=False).submit(
+            JobSpec(source=clean_source(10), core="xt910",
+                    chaos={"fast_fault": True}))
+        assert result.state is JobState.COMPLETED
+        assert result.downgraded
+        assert "fast-path fault" in result.downgrade_reason
+
+    def test_divergence_falls_back_to_precise(self):
+        result = _service(isolation=False).submit(
+            JobSpec(source=clean_source(11), core="xt910",
+                    chaos={"divergence": True}))
+        assert result.state is JobState.COMPLETED
+        assert result.downgraded
+        assert "divergence" in result.downgrade_reason
+
+    def test_fallback_is_bit_identical_to_direct_precise_run(self):
+        # The degraded result must carry exactly the statistics a
+        # direct precise-mode run of the same program produces.
+        spec = JobSpec(source=clean_source(12), core="xt910",
+                       chaos={"fast_fault": True})
+        degraded = _service(isolation=False).submit(spec)
+        assert degraded.downgraded
+        program = assemble(spec.source, compress=spec.compress)
+        direct = run_on_core(program, "xt910", fast=False,
+                             max_insts=spec.max_insts)
+        assert degraded.metrics["stats"] == direct.stats.as_comparable()
+
+    def test_fast_mode_does_not_fall_back(self):
+        result = _service(isolation=False).submit(
+            JobSpec(source=clean_source(13), core="xt910", mode="fast",
+                    chaos={"fast_fault": True}))
+        assert result.state is JobState.FAILED
+        assert not result.downgraded
+
+
+class TestInvariants:
+    def test_no_silent_loss_on_a_mixed_batch(self):
+        service = _service(workers=2)
+        specs = [
+            JobSpec(source=clean_source(20), core=None, name="ok"),
+            JobSpec(source=wild_jump_source(), core=None, name="bad"),
+            JobSpec(source=clean_source(21), core=None, name="crashy",
+                    chaos={"crash_attempts": [1]}),
+            JobSpec(source="this is not assembly", core=None, name="junk"),
+        ]
+        results = service.run(specs)
+        assert len(results) == len(specs)
+        assert all(r.terminal for r in results)
+        assert [r.name for r in results] == ["ok", "bad", "crashy", "junk"]
+        for r in results:
+            payload = json.dumps(r.to_dict())   # always serializable
+            assert json.loads(payload)["state"] == r.state.value
+
+    def test_counters_walk_into_the_metrics_registry(self):
+        service = _service(isolation=False)
+        service.submit(JobSpec(source=clean_source(22), core=None))
+        registry = collect_service(service)
+        assert registry["service.jobs_completed"] == 1
+        assert "service.latency_p50_ms" in registry
