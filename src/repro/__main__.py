@@ -10,6 +10,7 @@
     python -m repro bench [--quick] [--out BENCH_emulator.json]
     python -m repro bench --pipeline [--out BENCH_pipeline.json]
     python -m repro bench --service [--out BENCH_service.json]
+    python -m repro bench --tier 3 [--out BENCH_tier3.json]
     python -m repro submit prog1.s prog2.s [--jobs 4] [--mode auto]
     python -m repro submit --workloads [coremark-int ...] --jobs 8
     python -m repro serve [--jobs 4]              (JSONL jobs on stdin)
@@ -241,7 +242,7 @@ def cmd_metrics(args) -> int:
               file=sys.stderr)
         return 2
     program = _load(args.program, not args.no_compress)
-    result = run_on_core(program, args.core)
+    result = run_on_core(program, args.core, tier=args.tier)
     registry = collect_run(result)
     if args.out:
         registry.save(args.out)
@@ -284,11 +285,18 @@ def cmd_bench(args) -> int:
         print("error: --pipeline and --service are exclusive",
               file=sys.stderr)
         return 2
+    if args.tier is not None and (args.pipeline or args.service):
+        print("error: --tier applies to the emulator bench only",
+              file=sys.stderr)
+        return 2
     if args.pipeline:
         from .harness import pipebench as bench_mod
     elif args.service:
         from .service import bench as bench_mod
+    elif args.tier == 3:
+        from .harness import tierbench as bench_mod
     else:
+        # tiers 1 and 2 are the emulator bench's precise/fast columns
         from .harness import perfbench as bench_mod
 
     if args.baseline and not os.path.exists(args.baseline):
@@ -492,6 +500,9 @@ def main(argv: list[str] | None = None) -> int:
     p_met.add_argument("--no-compress", action="store_true",
                        help="disable RVC compression")
     p_met.add_argument("--core", default="xt910", choices=sorted(PRESETS))
+    p_met.add_argument("--tier", type=int, default=None, choices=[1, 2, 3],
+                       help="execution tier for the run; 3 adds the "
+                            "sim.codegen.* translator counters")
     p_met.add_argument("--out", default=None, metavar="FILE",
                        help="write the snapshot (JSON; .csv for CSV)")
     p_met.add_argument("--csv", action="store_true",
@@ -532,9 +543,9 @@ def main(argv: list[str] | None = None) -> int:
                        choices=sorted(PRESETS) + ["none"],
                        help="timing core, or 'none' for functional-only")
     p_sub.add_argument("--mode", default="auto",
-                       choices=["auto", "fast", "precise"],
-                       help="execution tier; auto = fast with precise "
-                            "fallback on fast-path failure/divergence")
+                       choices=["auto", "tier3", "fast", "precise"],
+                       help="execution tier; auto = tier3 with fast and "
+                            "precise fallbacks on tier failure/divergence")
     p_sub.add_argument("--max-insts", type=int, default=5_000_000,
                        help="per-job instruction watchdog (default 5M)")
     p_sub.add_argument("--wall-timeout", type=float, default=60.0,
@@ -573,6 +584,13 @@ def main(argv: list[str] | None = None) -> int:
                               "latency percentiles under process "
                               "isolation); writes/reads "
                               "BENCH_service.json-shaped payloads")
+    p_bench.add_argument("--tier", type=int, default=None,
+                         choices=[1, 2, 3],
+                         help="execution tier to benchmark: 3 runs the "
+                              "cold/warm specializing-translator bench "
+                              "(BENCH_tier3.json); 1 and 2 are the "
+                              "precise/fast columns of the default "
+                              "emulator bench")
     p_bench.add_argument("--quick", action="store_true",
                          help="CoreMark kernels only (the CI smoke set)")
     p_bench.add_argument("--repeat", type=int, default=3,

@@ -41,12 +41,16 @@ def run_on_core(program: Program, core: CoreConfig | str,
                 fast: bool = True,
                 tracer=None, profiler=None,
                 max_insts: int | None = None,
-                partial_on_watchdog: bool = False) -> RunResult:
+                partial_on_watchdog: bool = False,
+                tier: int | None = None) -> RunResult:
     """Execute *program* functionally and time it on *core*.
 
     ``fast`` feeds the timing model through the block-translation
     cache (``Emulator.fast_trace``); the retired stream is identical
     to the precise interpreter, so timing results do not change.
+    ``tier`` overrides ``fast`` when given: 1 = precise interpreter,
+    2 = block cache, 3 = specializing translator
+    (``Emulator.codegen_trace``); every tier retires the same stream.
 
     ``tracer``/``profiler`` are optional ``repro.obs`` hook objects
     (a :class:`~repro.obs.PipelineTracer` / :class:`~repro.obs.
@@ -65,8 +69,16 @@ def run_on_core(program: Program, core: CoreConfig | str,
     pipeline = PipelineModel(config, hierarchy=hierarchy)
     pipeline.tracer = tracer
     pipeline.profiler = profiler
-    trace = (emulator.fast_trace(max_steps) if fast
-             else emulator.trace(max_steps))
+    if tier is not None and tier not in (1, 2, 3):
+        raise ValueError(f"tier must be 1, 2 or 3, not {tier!r}")
+    if tier == 3:
+        trace = emulator.codegen_trace(max_steps)
+    elif tier == 1:
+        trace = emulator.trace(max_steps)
+    elif tier == 2 or fast:
+        trace = emulator.fast_trace(max_steps)
+    else:
+        trace = emulator.trace(max_steps)
     watchdog = None
     try:
         stats = pipeline.run(trace)
@@ -84,6 +96,9 @@ def run_on_core(program: Program, core: CoreConfig | str,
     stats.decode_cache_misses = emulator.decode_cache_misses
     if emulator._blocks is not None:
         stats.extra.update(emulator._blocks.counters())
+    if emulator._codegen is not None:
+        stats.extra.update((f"codegen_{name}", value) for name, value
+                           in emulator._codegen.counters().items())
     return RunResult(core=config.name, stats=stats,
                      exit_code=emulator.exit_code or 0,
                      stdout=emulator.stdout, pipeline=pipeline,

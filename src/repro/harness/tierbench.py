@@ -1,0 +1,197 @@
+"""Tiered-execution benchmark (``python -m repro bench --tier 3``).
+
+Times the functional emulator across all three execution tiers — the
+precise interpreter (tier 1), the block-translation cache (tier 2) and
+the specializing translator (tier 3) — on the CoreMark and
+dhrystone-like kernels, and writes the numbers to ``BENCH_tier3.json``.
+Tier 3 is timed twice per kernel: **cold**, against an empty on-disk
+code cache (so the run pays Python codegen + ``compile()``), and
+**warm**, re-using the cache the cold run just persisted (translation
+time collapses to a disk ``marshal.load`` + link check).
+
+The committed JSON doubles as the CI regression baseline: the bench CI
+job re-runs ``bench --tier 3 --quick`` and fails when warm tier-3
+CoreMark MIPS or the tier-3/tier-2 speedup drops more than the
+tolerance (default 30%) below the checked-in numbers.  The nightly lane
+additionally asserts the warm-start invariant directly: a second
+invocation compiles zero blocks.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+
+from ..sim.emulator import Emulator
+from ..workloads import all_workloads, coremark_suite
+from .report import geomean
+
+#: JSON schema version of BENCH_tier3.json
+SCHEMA = 1
+DEFAULT_TOLERANCE = 0.30
+
+
+def _workloads(quick: bool):
+    names = [w.name for w in coremark_suite()] + ["dhrystone-like"]
+    if not quick:
+        names += ["specint-like", "nbench-numsort", "nbench-idea",
+                  "eembc-aifirf", "eembc-idctrn"]
+    by_name = {w.name: w for w in all_workloads()}
+    return [by_name[name] for name in names]
+
+
+def _time_tier(workload, tier: int, repeat: int,
+               cache_dir: str | None = None) -> tuple[int, float, dict]:
+    """(retired insts, best-of-*repeat* seconds, last counters)."""
+    best = float("inf")
+    insts = 0
+    counters: dict = {}
+    for _ in range(repeat):
+        emulator = Emulator(workload.program(), code_cache_dir=cache_dir)
+        start = time.perf_counter()
+        emulator.run(tier=tier)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        insts = emulator.state.instret
+        counters = emulator.counters()
+    return insts, best, counters
+
+
+def bench_workload(workload, repeat: int, cache_dir: str) -> dict:
+    """Tier-2 vs tier-3 (cold and warm) numbers for one kernel.
+
+    ``cache_dir`` must start empty for the workload: the first tier-3
+    run is the cold measurement (repeat=1 by definition — it populates
+    the cache), the following runs are the warm best-of-*repeat*.
+    """
+    insts, tier2_s, _ = _time_tier(workload, tier=2, repeat=repeat)
+    _, cold_s, cold = _time_tier(workload, tier=3, repeat=1,
+                                 cache_dir=cache_dir)
+    _, warm_s, warm = _time_tier(workload, tier=3, repeat=repeat,
+                                 cache_dir=cache_dir)
+    return {
+        "insts": insts,
+        "tier2_s": round(tier2_s, 6),
+        "tier3_cold_s": round(cold_s, 6),
+        "tier3_warm_s": round(warm_s, 6),
+        "tier2_mips": round(insts / tier2_s / 1e6, 4),
+        "tier3_mips": round(insts / warm_s / 1e6, 4),
+        "speedup_vs_tier2": round(tier2_s / warm_s, 3),
+        "blocks_compiled_cold": cold.get("codegen_blocks_compiled", 0),
+        "compile_s_cold": cold.get("codegen_compile_s", 0.0),
+        "blocks_compiled_warm": warm.get("codegen_blocks_compiled", 0),
+        "compile_s_warm": warm.get("codegen_compile_s", 0.0),
+        "disk_hits_warm": warm.get("codegen_disk_hits", 0),
+    }
+
+
+def run_bench(quick: bool = False, repeat: int = 3) -> dict:
+    """Benchmark every kernel; returns the BENCH_tier3.json payload."""
+    workloads = _workloads(quick)
+    cache_dir = tempfile.mkdtemp(prefix="repro-tierbench-")
+    try:
+        results = {w.name: bench_workload(w, repeat=repeat,
+                                          cache_dir=cache_dir)
+                   for w in workloads}
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    coremark = [r for name, r in results.items()
+                if name.startswith("coremark")]
+    all_r = list(results.values())
+    payload = {
+        "schema": SCHEMA,
+        "bench": "tier3",
+        "quick": quick,
+        "repeat": repeat,
+        "workloads": results,
+        "summary": {
+            "geomean_speedup_vs_tier2": round(
+                geomean([r["speedup_vs_tier2"] for r in all_r]), 3),
+            "coremark_tier2_mips": round(
+                geomean([r["tier2_mips"] for r in coremark]), 4),
+            "coremark_tier3_mips": round(
+                geomean([r["tier3_mips"] for r in coremark]), 4),
+            "coremark_speedup_vs_tier2": round(
+                geomean([r["speedup_vs_tier2"] for r in coremark]), 3),
+            "cold_compile_s": round(
+                sum(r["compile_s_cold"] for r in all_r), 6),
+            "warm_compile_s": round(
+                sum(r["compile_s_warm"] for r in all_r), 6),
+            "warm_blocks_compiled": sum(
+                r["blocks_compiled_warm"] for r in all_r),
+        },
+    }
+    return payload
+
+
+def check_regression(payload: dict, baseline: dict,
+                     tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Compare a fresh tier bench against the committed baseline.
+
+    Returns human-readable failure strings (empty = no regression).
+    Gates warm tier-3 CoreMark MIPS and the tier-3/tier-2 speedup —
+    both ratios, so absolute host-speed differences pass.  The
+    warm-start invariant (zero blocks compiled on a warm cache) is
+    absolute: any recompilation is a bug, not noise.
+    """
+    failures = []
+    base_summary = baseline.get("summary", {})
+    for key in ("coremark_tier3_mips", "coremark_speedup_vs_tier2"):
+        base = base_summary.get(key)
+        if not base:
+            continue
+        current = payload["summary"][key]
+        floor = base * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"{key} regressed: {current} < {floor:.4f} "
+                f"(baseline {base}, tolerance {tolerance:.0%})")
+    warm_compiled = payload["summary"].get("warm_blocks_compiled", 0)
+    if warm_compiled:
+        failures.append(
+            f"warm-start violated: {warm_compiled} blocks recompiled "
+            f"with a populated disk cache (expected 0)")
+    return failures
+
+
+def render(payload: dict) -> str:
+    """Terminal table for the tier bench payload."""
+    lines = [f"{'workload':18s}{'insts':>9}{'tier2':>9}{'t3 cold':>9}"
+             f"{'t3 warm':>9}{'speedup':>9}{'blocks':>8}",
+             f"{'':18s}{'':>9}{'MIPS':>9}{'MIPS':>9}{'MIPS':>9}"
+             f"{'vs t2':>9}{'':>8}"]
+    for name, r in payload["workloads"].items():
+        cold_mips = r["insts"] / r["tier3_cold_s"] / 1e6
+        lines.append(
+            f"{name:18s}{r['insts']:>9}{r['tier2_mips']:>9.2f}"
+            f"{cold_mips:>9.2f}{r['tier3_mips']:>9.2f}"
+            f"{r['speedup_vs_tier2']:>8.2f}x"
+            f"{r['blocks_compiled_cold']:>8}")
+    s = payload["summary"]
+    lines.append(
+        f"{'geomean':18s}{'':>9}{s['coremark_tier2_mips']:>9.2f}"
+        f"{'':>9}{s['coremark_tier3_mips']:>9.2f}"
+        f"{s['coremark_speedup_vs_tier2']:>8.2f}x{'':>8}")
+    lines.append(
+        f"(coremark geomeans; all-kernel geomean speedup "
+        f"{s['geomean_speedup_vs_tier2']:.2f}x; cold translation "
+        f"{s['cold_compile_s']:.3f}s, warm {s['warm_compile_s']:.3f}s, "
+        f"{s['warm_blocks_compiled']} blocks recompiled warm)")
+    return "\n".join(lines)
+
+
+def save(payload: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+__all__ = ["run_bench", "bench_workload", "check_regression", "render",
+           "save", "load", "DEFAULT_TOLERANCE", "SCHEMA"]

@@ -113,7 +113,10 @@ def collect_core_stats(stats: Any,
     """Walk a :class:`~repro.uarch.stats.CoreStats` into the registry.
 
     Scalar fields land under ``core.*``; the ``extra`` dict (block-
-    cache counters the runner copies in) lands under ``emu.*``.
+    cache counters the runner copies in) lands under ``emu.*``, except
+    the tier-3 translator's ``codegen_*`` counters, which get their
+    own ``sim.codegen.*`` namespace (blocks compiled, compile seconds,
+    disk-cache hits/misses, ...).
     """
     registry = registry if registry is not None else MetricsRegistry()
     for name, value in vars(stats).items():
@@ -122,7 +125,10 @@ def collect_core_stats(stats: Any,
         registry.set(f"{prefix}.{name}", value)
     registry.set(f"{prefix}.ipc", stats.ipc)
     for name, value in getattr(stats, "extra", {}).items():
-        registry.set(f"emu.{name}", value)
+        if name.startswith("codegen_"):
+            registry.set(f"sim.codegen.{name[len('codegen_'):]}", value)
+        else:
+            registry.set(f"emu.{name}", value)
     return registry
 
 

@@ -1,7 +1,9 @@
 """Content-addressed result cache in front of the worker pool.
 
-Keyed by ``(program_hash, config_hash, mode)`` — the full content
-address of one deterministic simulation — so a retry of a completed
+Keyed by ``(program_hash, config_hash, mode, tier)`` — the full
+content address of one deterministic simulation, including the numeric
+execution tier so tier-3 (specializing translator) results can never
+collide with tier-2/precise entries — so a retry of a completed
 job, a resubmission of the same program, or a duplicate inside one
 batch never reaches a worker.  Only :class:`~repro.service.job.
 JobState.COMPLETED` results are cacheable: failures must re-execute
@@ -21,7 +23,7 @@ from typing import Any
 
 from .job import JobResult, JobState
 
-CacheKey = tuple[str, str, str]
+CacheKey = tuple[str, str, str, int]
 
 
 class ResultCache:

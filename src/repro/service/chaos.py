@@ -169,6 +169,7 @@ _KIND_WEIGHTS: tuple[tuple[str, int], ...] = (
     ("hang-once", 2),
     ("error-once", 2),
     ("fast-fault", 2),
+    ("tier3-fault", 2),
     ("divergence", 2),
 )
 
@@ -242,6 +243,14 @@ def _plan_job(kind: str, variant: int) -> PlannedJob:
         spec = JobSpec(source=clean_source(variant), core="xt910",
                        name=f"{kind}-{variant}",
                        chaos={"fast_fault": True})
+        return PlannedJob(kind, spec, completed, faults=1,
+                          expect_downgrade=True)
+    if kind == "tier3-fault":
+        # Only the specializing translator fails; the ladder must stop
+        # one rung down, on the block-cache tier, and still complete.
+        spec = JobSpec(source=clean_source(variant), core="xt910",
+                       name=f"{kind}-{variant}",
+                       chaos={"tier3_fault": True})
         return PlannedJob(kind, spec, completed, faults=1,
                           expect_downgrade=True)
     if kind == "divergence":

@@ -41,6 +41,9 @@ TERMINAL_STATES = frozenset({
     JobState.REJECTED, JobState.QUARANTINED,
 })
 
+#: entry tier per execution mode (``auto`` starts the ladder at 3)
+_MODE_TIERS = {"precise": 1, "fast": 2, "tier3": 3, "auto": 3}
+
 
 @dataclass
 class JobSpec:
@@ -48,11 +51,12 @@ class JobSpec:
 
     ``core=None`` runs the functional emulator only; a preset name adds
     the 12-stage timing model.  ``mode`` selects the execution tier:
-    ``"fast"`` (block-translation cache), ``"precise"`` (per-step
-    interpreter) or ``"auto"`` — fast with automatic precise fallback
-    when the fast path fails or diverges (the degradation ladder).
-    ``chaos`` is the deterministic fault-injection door used by the
-    chaos harness; production submissions leave it empty.
+    ``"tier3"`` (specializing translator), ``"fast"`` (block-translation
+    cache), ``"precise"`` (per-step interpreter) or ``"auto"`` — tier-3
+    with automatic fast-then-precise fallback when a tier fails or
+    diverges (the degradation ladder).  ``chaos`` is the deterministic
+    fault-injection door used by the chaos harness; production
+    submissions leave it empty.
     """
 
     source: str
@@ -82,10 +86,21 @@ class JobSpec:
         blob = json.dumps(config, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]
 
-    def cache_key(self, mode: str | None = None) -> tuple[str, str, str]:
-        """(program, config, mode) key for the content-addressed cache."""
-        return (self.program_hash, self.config_hash,
-                mode if mode is not None else self.mode)
+    @property
+    def execution_tier(self) -> int:
+        """Numeric tier the mode *starts* at (1 precise, 2 fast,
+        3 specializing translator; ``auto`` enters the ladder at 3)."""
+        return _MODE_TIERS.get(self.mode, 3)
+
+    def cache_key(self, mode: str | None = None) -> tuple[str, str, str, int]:
+        """(program, config, mode, tier) key for the content-addressed
+        cache.  The tier component keeps tier-3 results from colliding
+        with tier-2/precise entries even for modes that share a string
+        (``auto`` historically meant "fast with fallback"; it now
+        enters at tier 3)."""
+        resolved = mode if mode is not None else self.mode
+        return (self.program_hash, self.config_hash, resolved,
+                _MODE_TIERS.get(resolved, 3))
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

@@ -8,15 +8,20 @@ it never raises for guest-program problems.
 
 The execution ladder for ``mode="auto"`` (the default):
 
-1. **fast** — block-translation cache feeding the timing model (or
-   ``Emulator.run_fast`` for functional-only jobs),
-2. on *any* fast-path failure — a blockcache fault, an injected
+1. **tier 3** — the specializing translator (per-block compiled
+   Python) feeding the timing model,
+2. **tier 2 (fast)** — the block-translation cache; entered when the
+   tier-3 rung fails for *any* reason — a codegen fault, an injected
    :class:`~repro.service.errors.DivergenceDetected`, an unexpected
-   exception — the job **degrades to precise mode** and re-executes
-   from scratch; success records ``downgraded=True`` plus the reason
-   in the result metadata instead of failing the job,
-3. a failure that survives precise execution is classified into the
-   error taxonomy and becomes the job's terminal error.
+   exception,
+3. **tier 1 (precise)** — the per-step interpreter; the last rung.
+   Success on a lower rung records ``downgraded=True`` plus the chain
+   of per-rung reasons in the result metadata instead of failing the
+   job; a failure that survives the precise rung is classified into
+   the error taxonomy and becomes the job's terminal error.
+
+``mode="tier3"/"fast"/"precise"`` pin a single rung: a failure there
+is terminal, never silently downgraded.
 
 The instruction watchdog is *not* on the ladder: an expired budget is
 deterministic (precise mode would burn the same budget), so it
@@ -33,10 +38,14 @@ the worker, so a seeded campaign replays exactly:
   wall-clock watchdog must SIGKILL the worker),
 * ``error_attempts: [n, ...]`` — raise a raw exception (an internal
   worker bug the pool must serialize and contain),
-* ``fast_fault: true``         — the fast path fails (degradation
-  ladder must fall back to precise),
-* ``divergence: true``         — fast-path divergence is detected
-  after execution (same ladder, different entry).
+* ``fast_fault: true``         — the block-cache machinery fails
+  (tiers 3 and 2 both depend on it, so the ladder must ride all the
+  way down to precise),
+* ``tier3_fault: true``        — only the tier-3 translator fails
+  (the ladder must stop one rung down, at fast),
+* ``divergence: true``         — divergence is detected after a
+  translated run (fails tiers 3 and 2; precise cannot diverge from
+  itself).
 """
 
 from __future__ import annotations
@@ -155,43 +164,54 @@ def _admit(spec: JobSpec) -> Program:
 # -- execution --------------------------------------------------------------
 
 
+def _ladder(mode: str) -> tuple[int, ...]:
+    """Tier rungs for *mode*; single-rung modes never downgrade."""
+    return {"auto": (3, 2, 1), "tier3": (3,), "fast": (2,),
+            "precise": (1,)}[mode]
+
+
+def _chaos_tier_fault(chaos: dict[str, Any], tier: int) -> None:
+    """Honour the per-tier chaos injection keys for one rung."""
+    if tier == 3 and chaos.get("tier3_fault"):
+        raise RuntimeError("chaos: injected tier-3 codegen fault")
+    if tier in (2, 3) and chaos.get("fast_fault"):
+        raise RuntimeError("chaos: injected fast-path fault")
+
+
 def _run_timed(spec: JobSpec, program: Program) -> JobResult:
     """Emulator + 12-stage timing model, with the degradation ladder."""
     assert spec.core is not None
-    downgrade_reason: str | None = None
-    if spec.mode in ("auto", "fast"):
+    rungs = _ladder(spec.mode)
+    reasons: list[str] = []
+    for index, tier in enumerate(rungs):
+        last = index == len(rungs) - 1
         try:
-            if spec.chaos.get("fast_fault"):
-                raise RuntimeError("chaos: injected fast-path fault")
-            run = run_on_core(program, spec.core, fast=True,
+            _chaos_tier_fault(spec.chaos, tier)
+            run = run_on_core(program, spec.core, tier=tier,
                               max_insts=spec.max_insts,
                               partial_on_watchdog=True)
-            if spec.chaos.get("divergence"):
+            if tier != 1 and spec.chaos.get("divergence"):
                 raise DivergenceDetected(
-                    "chaos: injected fast/precise divergence",
-                    detail={"injected": True})
-            return _timed_result(spec, run, downgrade_reason=None)
+                    "chaos: injected translated/precise divergence",
+                    detail={"injected": True, "tier": tier})
+            return _timed_result(
+                spec, run, tier=tier,
+                downgrade_reason="; ".join(reasons) or None)
         except Exception as exc:
-            if spec.mode != "auto":
+            if last:
                 _raise_classified(exc)
-            downgrade_reason = f"{type(exc).__name__}: {exc}"
-    # Precise tier: either requested directly or the fallback rung.
-    try:
-        run = run_on_core(program, spec.core, fast=False,
-                          max_insts=spec.max_insts,
-                          partial_on_watchdog=True)
-    except Exception as exc:
-        _raise_classified(exc)
-    return _timed_result(spec, run, downgrade_reason=downgrade_reason)
+            reasons.append(f"tier{tier}: {type(exc).__name__}: {exc}")
+    raise AssertionError("unreachable: ladder exhausted without raising")
 
 
-def _timed_result(spec: JobSpec, run: RunResult,
+def _timed_result(spec: JobSpec, run: RunResult, tier: int,
                   downgrade_reason: str | None) -> JobResult:
     stats = run.stats
     metrics: dict[str, Any] = {
         "cycles": stats.cycles,
         "instructions": stats.instructions,
         "ipc": round(stats.ipc, 6),
+        "tier": tier,
         "stats": stats.as_comparable(),
     }
     if run.watchdog is not None:
@@ -219,48 +239,46 @@ def _timed_result(spec: JobSpec, run: RunResult,
 
 def _run_functional(spec: JobSpec, program: Program) -> JobResult:
     """Emulator-only execution; the exit code is data, not a fault."""
-    downgrade_reason: str | None = None
-    if spec.mode in ("auto", "fast"):
+    rungs = _ladder(spec.mode)
+    reasons: list[str] = []
+    for index, tier in enumerate(rungs):
+        last = index == len(rungs) - 1
         try:
-            if spec.chaos.get("fast_fault"):
-                raise RuntimeError("chaos: injected fast-path fault")
-            return _functional_attempt(spec, program, fast=True,
-                                       downgrade_reason=None)
+            _chaos_tier_fault(spec.chaos, tier)
+            return _functional_attempt(
+                spec, program, tier=tier,
+                downgrade_reason="; ".join(reasons) or None)
         except WatchdogExpired as exc:
-            return _functional_timeout(spec, exc, downgraded=False)
+            # Deterministic across tiers: not a ladder rung.
+            return _functional_timeout(
+                spec, exc, downgraded=bool(reasons),
+                downgrade_reason="; ".join(reasons) or None)
         except SanitizerViolation as exc:
+            # A vetting hit is a property of the guest, not the tier.
             raise GuestFault(
                 f"sanitizer: {exc.violation.render()}",
                 detail={"stage": "runtime"}) from exc
         except Exception as exc:
-            if spec.mode != "auto":
+            if last:
                 _raise_classified(exc)
-            downgrade_reason = f"{type(exc).__name__}: {exc}"
-    try:
-        return _functional_attempt(spec, program, fast=False,
-                                   downgrade_reason=downgrade_reason)
-    except WatchdogExpired as exc:
-        return _functional_timeout(
-            spec, exc, downgraded=downgrade_reason is not None,
-            downgrade_reason=downgrade_reason)
-    except Exception as exc:
-        _raise_classified(exc)
+            reasons.append(f"tier{tier}: {type(exc).__name__}: {exc}")
+    raise AssertionError("unreachable: ladder exhausted without raising")
 
 
-def _functional_attempt(spec: JobSpec, program: Program, fast: bool,
+def _functional_attempt(spec: JobSpec, program: Program, tier: int,
                         downgrade_reason: str | None) -> JobResult:
     emulator = Emulator(program, instruction_limit=spec.max_insts)
-    if fast:
-        if spec.vet:
-            # Runtime arm of the vetting layer: the static summaries
-            # ride along as shadow state on the block-cache path.
-            emulator.sanitizer = Sanitizer(program)
-        code = emulator.run_fast()
-    else:
-        code = emulator.run()
+    if tier != 1 and spec.vet:
+        # Runtime arm of the vetting layer: the static summaries ride
+        # along as shadow state on the block-cache path.  A sanitizer
+        # makes the emulator tier-3-ineligible, so a vetted tier-3
+        # request transparently executes on the tier-2 engine.
+        emulator.sanitizer = Sanitizer(program)
+    code = emulator.run(tier=tier)
     metrics: dict[str, Any] = {
         "instret": emulator.state.instret,
         "exit_code": code,
+        "tier": tier,
     }
     metrics.update(emulator.counters())
     return JobResult(

@@ -127,6 +127,9 @@ class BlockEngine:
         if self.blocks:
             self.blocks.clear()
             self.flushes += 1
+        codegen = self.emu._codegen
+        if codegen is not None:
+            codegen.invalidate()
 
     def _invalidate_tail(self, block: TranslatedBlock, executed: int) -> None:
         """A store hit the untranslated-yet-unexecuted tail of *block*.
@@ -138,6 +141,9 @@ class BlockEngine:
         """
         self.smc_invalidations += 1
         self.blocks.pop(block.start, None)
+        codegen = self.emu._codegen
+        if codegen is not None:
+            codegen.drop(block.start)
         decode_cache = self.emu._decode_cache
         for entry in block.entries[executed:]:
             decode_cache.pop(entry[2], None)

@@ -92,7 +92,7 @@ class Emulator:
                  load: bool = True, interrupt_fn=None,
                  enable_mmu: bool = False,
                  instruction_limit: int | None = None,
-                 fault_injector=None):
+                 fault_injector=None, code_cache_dir: str | None = None):
         self.program = program
         self.state = MachineState(memory=memory, hart_id=hart_id)
         #: optional zero-arg callable returning pending mip bits
@@ -127,6 +127,10 @@ class Emulator:
         self.decode_cache_flushes = 0
         #: lazily created block-translation engine (fast mode)
         self._blocks = None
+        #: lazily created tier-3 specializing translator
+        self._codegen = None
+        #: on-disk code cache override (None = env/default resolution)
+        self.code_cache_dir = code_cache_dir
         #: optional repro.analysis.sanitize.Sanitizer checked at block
         #: boundaries on the fast path (None = zero overhead)
         self.sanitizer = None
@@ -396,6 +400,19 @@ class Emulator:
             self._blocks = BlockEngine(self)
         return self._blocks
 
+    def _tier3_eligible(self) -> bool:
+        """Tier-3 additionally requires no sanitizer: compiled blocks
+        skip the per-block pre/post hooks the sanitizer relies on."""
+        return self._fast_eligible() and self.sanitizer is None
+
+    def _codegen_engine(self):
+        if self._codegen is None:
+            from .codegen import CodegenEngine
+
+            self._codegen = CodegenEngine(self,
+                                          cache_dir=self.code_cache_dir)
+        return self._codegen
+
     def counters(self) -> dict[str, int]:
         """Functional-engine counters (the repro.obs metrics surface):
         decode cache, machine checks, and — once the fast path has run —
@@ -408,6 +425,9 @@ class Emulator:
         }
         if self._blocks is not None:
             counters.update(self._blocks.counters())
+        if self._codegen is not None:
+            counters.update({f"codegen_{name}": value for name, value
+                             in self._codegen.counters().items()})
         return counters
 
     def fast_trace(self, max_steps: int | None = None):
@@ -495,15 +515,57 @@ class Emulator:
             steps += retired
         return self.exit_code if self.exit_code is not None else -1
 
-    def run(self, max_steps: int | None = None, fast: bool = False) -> int:
+    def run_codegen(self, max_steps: int | None = None) -> int:
+        """:meth:`run` through tier-3 compiled blocks, recording nothing.
+
+        Ineligible configurations degrade to :meth:`run_fast` (which
+        itself degrades to the precise interpreter); newly compiled
+        blocks are persisted to the on-disk code cache on the way out.
+        """
+        if not self._tier3_eligible():
+            return self.run_fast(max_steps)
+        limit = max_steps if max_steps is not None else self.instruction_limit
+        engine = self._codegen_engine()
+        try:
+            return engine.run(limit)
+        finally:
+            engine.persist()
+
+    def codegen_trace(self, max_steps: int | None = None):
+        """:meth:`fast_trace` through tier-3 compiled blocks.
+
+        Same record-reuse contract as :meth:`fast_trace`: each yielded
+        batch is only valid until the next one is requested.
+        """
+        if not self._tier3_eligible():
+            yield from self.fast_trace(max_steps)
+            return
+        limit = max_steps if max_steps is not None else self.instruction_limit
+        engine = self._codegen_engine()
+        try:
+            yield from engine.trace(limit)
+        finally:
+            engine.persist()
+
+    def run(self, max_steps: int | None = None, fast: bool = False,
+            tier: int | None = None) -> int:
         """Run to exit (or the watchdog); returns the exit code.
 
         A normal halt returns; a runaway loop raises
         :class:`WatchdogExpired` with a post-mortem dump.  ``fast=True``
         dispatches through the block-translation cache when the
         configuration allows it (see :meth:`_fast_eligible`).
+
+        ``tier`` selects the speed tier explicitly: 1 = precise
+        interpreter, 2 = block cache (same as ``fast=True``), 3 =
+        specializing translator.  Each tier silently falls back to the
+        next-safer one when the configuration requires it.
         """
-        if fast:
+        if tier is not None and tier not in (1, 2, 3):
+            raise ValueError(f"unknown execution tier {tier!r}")
+        if tier == 3:
+            return self.run_codegen(max_steps)
+        if tier == 2 or (tier is None and fast):
             return self.run_fast(max_steps)
         limit = max_steps if max_steps is not None else self.instruction_limit
         steps = 0

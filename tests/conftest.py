@@ -22,3 +22,17 @@ if settings is not None:
     _profile = os.environ.get("HYPOTHESIS_PROFILE", "default")
     if _profile != "default":
         settings.load_profile(_profile)
+
+
+import pytest  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _isolated_code_cache(tmp_path, monkeypatch):
+    """Point the tier-3 on-disk code cache at a per-test directory.
+
+    Without this, tests would read and write ``~/.cache/repro-codegen``
+    — warm/cold assertions would depend on whatever earlier runs left
+    behind, and the suite would litter the user's cache.
+    """
+    monkeypatch.setenv("REPRO_CODE_CACHE_DIR", str(tmp_path / "codegen"))

@@ -72,6 +72,27 @@ def test_collect_run_namespaces():
         assert any(key.startswith(f"mem.{sub}.") for key in registry)
 
 
+def test_codegen_counters_get_their_own_namespace():
+    """A tier-3 run surfaces the translator's counters as
+    ``sim.codegen.*`` — not folded into ``emu.*`` — and every key
+    passes registry validation (blocks compiled, compile seconds,
+    disk-cache hits/misses)."""
+    workload = next(w for w in coremark_suite()
+                    if w.name == "coremark-crc")
+    registry = collect_run(
+        run_on_core(workload.program(), "xt910", tier=3))
+    for key in ("sim.codegen.blocks_compiled", "sim.codegen.compile_s",
+                "sim.codegen.disk_hits", "sim.codegen.disk_misses",
+                "sim.codegen.executions", "sim.codegen.persisted"):
+        assert key in registry.keys()
+        assert _KEY_RE.match(key)
+    assert registry["sim.codegen.blocks_compiled"] >= 1
+    assert not any(key.startswith("emu.codegen_")
+                   for key in registry.keys())
+    prefixes = {key.split(".", 1)[0] for key in registry.keys()}
+    assert prefixes == {"core", "emu", "mem", "sim"}
+
+
 def test_experiment_metric_namespacing():
     result = ExperimentResult(experiment="figx", title="t")
     result.metric("speedup.kernel", 1.5)

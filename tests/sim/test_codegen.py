@@ -1,0 +1,321 @@
+"""Tier-3 (specializing translator) must be bit-identical to step().
+
+The equivalence gate for ``repro.sim.codegen``: every bundled workload
+retires the same DynInst stream, register file, memory image and exit
+code through ``codegen_trace`` as through the precise interpreter —
+with the on-disk code cache **cold** (blocks freshly emitted and
+compiled) and **warm** (code objects loaded back via ``marshal``).
+Plus the cache lifecycle rules: version bumps and text mutations miss,
+corrupt cache files are discarded rather than fatal, ``fence.i``
+drops compiled blocks, and ineligible configurations fall back.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim import Emulator, WatchdogExpired
+from repro.sim import codegen
+from repro.workloads import all_workloads
+
+ALL_WORKLOADS = list(all_workloads())
+
+_FIELDS = ("seq", "pc", "next_pc", "taken", "target", "mem_addr",
+           "mem_size", "vl", "sew", "div_bits")
+
+
+def _snap(dyn):
+    return (dyn.inst.spec.mnemonic,) + tuple(
+        getattr(dyn, f) for f in _FIELDS)
+
+
+def _memory_digest(emulator):
+    mem = emulator.state.memory
+    digest = hashlib.sha256()
+    for base in sorted(mem._pages):
+        digest.update(base.to_bytes(8, "little"))
+        digest.update(bytes(mem._pages[base]))
+    return digest.hexdigest()
+
+
+def _tier3_stream(program, max_steps=None):
+    emulator = Emulator(program)
+    stream = []
+    for batch in emulator.codegen_trace(max_steps):
+        stream.extend(_snap(d) for d in batch)
+    return emulator, stream
+
+
+def _assert_equivalent(precise, other, precise_stream, other_stream):
+    assert precise_stream == other_stream
+    assert list(precise.state.regs) == list(other.state.regs)
+    assert list(precise.state.fregs) == list(other.state.fregs)
+    assert precise.state.pc == other.state.pc
+    assert precise.state.instret == other.state.instret
+    assert precise.exit_code == other.exit_code
+    assert _memory_digest(precise) == _memory_digest(other)
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS,
+                         ids=[w.name for w in ALL_WORKLOADS])
+def test_equivalence_cold_and_warm(workload):
+    precise = Emulator(workload.program())
+    precise_stream = [_snap(d) for d in precise.trace(None)]
+
+    cold, cold_stream = _tier3_stream(workload.program())
+    _assert_equivalent(precise, cold, precise_stream, cold_stream)
+    cold_counters = cold.counters()
+    assert cold_counters["codegen_blocks_compiled"] > 0
+    assert cold_counters["codegen_disk_hits"] == 0
+
+    # The autouse cache-dir fixture is per-test, so this second run
+    # warms from exactly what the cold run persisted.
+    warm, warm_stream = _tier3_stream(workload.program())
+    _assert_equivalent(precise, warm, precise_stream, warm_stream)
+    warm_counters = warm.counters()
+    assert warm_counters["codegen_blocks_compiled"] == 0
+    assert (warm_counters["codegen_disk_hits"]
+            >= cold_counters["codegen_blocks_compiled"])
+
+
+# -- the persistent code cache ----------------------------------------------
+
+_TINY = """
+_start:
+    li t0, 50
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 7
+    li a7, 93
+    ecall
+"""
+
+
+def _cache_dir():
+    return os.environ["REPRO_CODE_CACHE_DIR"]
+
+
+def _cache_files():
+    directory = _cache_dir()
+    if not os.path.isdir(directory):
+        return []
+    return sorted(name for name in os.listdir(directory)
+                  if name.endswith(".cgc"))
+
+
+class TestDiskCache:
+    def test_warm_start_skips_translation(self):
+        first = Emulator(assemble(_TINY))
+        assert first.run(tier=3) == 7
+        assert first.counters()["codegen_blocks_compiled"] > 0
+        assert len(_cache_files()) == 1
+
+        second = Emulator(assemble(_TINY))
+        assert second.run(tier=3) == 7
+        counters = second.counters()
+        assert counters["codegen_blocks_compiled"] == 0
+        assert counters["codegen_compile_s"] == 0.0
+        assert counters["codegen_disk_hits"] > 0
+
+    def test_version_bump_retranslates(self, monkeypatch):
+        Emulator(assemble(_TINY)).run(tier=3)
+        monkeypatch.setattr(codegen, "CODEGEN_VERSION",
+                            codegen.CODEGEN_VERSION + 1)
+        emulator = Emulator(assemble(_TINY))
+        assert emulator.run(tier=3) == 7
+        counters = emulator.counters()
+        assert counters["codegen_disk_hits"] == 0
+        assert counters["codegen_blocks_compiled"] > 0
+
+    def test_text_mutation_retranslates(self):
+        Emulator(assemble(_TINY)).run(tier=3)
+        mutated = _TINY.replace("li a0, 7", "li a0, 9")
+        emulator = Emulator(assemble(mutated))
+        assert emulator.run(tier=3) == 9
+        counters = emulator.counters()
+        assert counters["codegen_disk_hits"] == 0
+        assert counters["codegen_blocks_compiled"] > 0
+
+    def test_corrupt_cache_file_discarded_not_fatal(self):
+        Emulator(assemble(_TINY)).run(tier=3)
+        (name,) = _cache_files()
+        path = os.path.join(_cache_dir(), name)
+        with open(path, "wb") as handle:
+            handle.write(b"\x00garbage, not a marshal payload")
+
+        emulator = Emulator(assemble(_TINY))
+        assert emulator.run(tier=3) == 7
+        counters = emulator.counters()
+        assert counters["codegen_disk_corrupt"] == 1
+        assert counters["codegen_blocks_compiled"] > 0
+        # The poisoned file was unlinked and replaced by a fresh one.
+        assert _cache_files() == [name]
+        second = Emulator(assemble(_TINY))
+        assert second.run(tier=3) == 7
+        assert second.counters()["codegen_disk_hits"] > 0
+
+    def test_cache_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_CACHE", "0")
+        emulator = Emulator(assemble(_TINY))
+        assert emulator.run(tier=3) == 7
+        assert emulator.counters()["codegen_blocks_compiled"] > 0
+        assert _cache_files() == []
+
+    def test_prune_bounds_cache_files(self, monkeypatch):
+        monkeypatch.setattr(codegen, "DISK_CACHE_FILES", 2)
+        for value in range(4):
+            source = _TINY.replace("li a0, 7", f"li a0, {value}")
+            Emulator(assemble(source)).run(tier=3)
+        assert len(_cache_files()) <= 2
+
+
+# -- invalidation ------------------------------------------------------------
+
+_PATCH_WORD = 0x00200513       # "addi a0, x0, 2"
+
+
+def _smc_source(barrier: str) -> str:
+    return f"""
+    _start:
+        li s0, 2
+        la t0, patchme
+        li t1, {_PATCH_WORD:#x}
+    again:
+    patchme:
+        addi a0, x0, 1
+        sw t1, 0(t0)
+        {barrier}
+        addi s0, s0, -1
+        bnez s0, again
+        li a7, 93
+        ecall
+    """
+
+
+class TestInvalidation:
+    def test_fence_i_invalidates_compiled_blocks(self):
+        emulator = Emulator(assemble(_smc_source("fence.i"),
+                                     compress=False))
+        assert emulator.run(tier=3) == 2
+
+    def test_without_fence_matches_precise_staleness(self):
+        # The precise interpreter keeps the stale decode without a
+        # fence (exit 1); tier-3 must reproduce that, not fix it.
+        source = _smc_source("nop")
+        precise = Emulator(assemble(source, compress=False))
+        tier3 = Emulator(assemble(source, compress=False))
+        assert precise.run() == tier3.run(tier=3) == 1
+
+    def test_smc_stream_equivalence(self):
+        for barrier in ("fence.i", "nop", "icache.iall"):
+            program = assemble(_smc_source(barrier), compress=False)
+            precise = Emulator(assemble(_smc_source(barrier),
+                                        compress=False))
+            precise_stream = [_snap(d) for d in precise.trace(None)]
+            tier3, tier3_stream = _tier3_stream(program)
+            _assert_equivalent(precise, tier3, precise_stream,
+                               tier3_stream)
+
+    def test_mutated_run_not_persisted(self):
+        # A run that observed code mutation must not seed the disk
+        # cache: the entries describe text that no longer holds.
+        emulator = Emulator(assemble(_smc_source("fence.i"),
+                                     compress=False))
+        assert emulator.run(tier=3) == 2
+        assert _cache_files() == []
+
+
+# -- dispatch, fallback and bounds -------------------------------------------
+
+class TestTier3Mode:
+    def test_run_rejects_unknown_tier(self):
+        with pytest.raises(ValueError):
+            Emulator(assemble(_TINY)).run(tier=4)
+
+    def test_run_tier_selects_engines(self):
+        tier1 = Emulator(assemble(_TINY))
+        assert tier1.run(tier=1) == 7
+        assert tier1._blocks is None and tier1._codegen is None
+        tier2 = Emulator(assemble(_TINY))
+        assert tier2.run(tier=2) == 7
+        assert tier2._blocks is not None and tier2._codegen is None
+        tier3 = Emulator(assemble(_TINY))
+        assert tier3.run(tier=3) == 7
+        assert tier3._codegen is not None
+
+    def test_sanitizer_falls_back_to_fast(self):
+        from repro.analysis import Sanitizer
+
+        program = assemble(_TINY)
+        emulator = Emulator(program)
+        emulator.sanitizer = Sanitizer(program)
+        assert not emulator._tier3_eligible()
+        assert emulator._fast_eligible()
+        assert emulator.run(tier=3) == 7
+        assert emulator._codegen is None         # engine never built
+        assert emulator._blocks is not None      # tier-2 ran instead
+
+    def test_interrupt_fn_falls_back_to_precise(self):
+        emulator = Emulator(assemble(_TINY), interrupt_fn=lambda: 0)
+        assert not emulator._tier3_eligible()
+        batches = list(emulator.codegen_trace())
+        assert all(len(batch) == 1 for batch in batches)
+        assert emulator._codegen is None
+        assert emulator._blocks is None
+        assert emulator.exit_code == 7
+
+    def test_run_tier3_watchdog(self):
+        emulator = Emulator(assemble(_TINY))
+        with pytest.raises(WatchdogExpired):
+            emulator.run(max_steps=10, tier=3)
+
+    def test_trace_respects_budget_mid_block(self):
+        precise = Emulator(assemble(_TINY))
+        precise_stream = []
+        try:
+            for dyn in precise.trace(7):
+                precise_stream.append(_snap(dyn))
+        except WatchdogExpired:
+            pass
+        tier3 = Emulator(assemble(_TINY))
+        tier3_stream = []
+        try:
+            for batch in tier3.codegen_trace(7):
+                tier3_stream.extend(_snap(d) for d in batch)
+        except WatchdogExpired:
+            pass
+        assert precise_stream == tier3_stream
+        assert tier3.state.instret == precise.state.instret == 7
+
+    def test_code_cache_bounded(self, monkeypatch):
+        monkeypatch.setattr(codegen, "CODE_CACHE_LIMIT", 2)
+        emulator = Emulator(assemble(_TINY))
+        assert emulator.run(tier=3) == 7
+        engine = emulator._codegen
+        assert len(engine.compiled) <= 2
+
+    def test_counters_exposed(self):
+        emulator = Emulator(assemble(_TINY))
+        emulator.run(tier=3)
+        counters = emulator.counters()
+        for key in ("codegen_blocks_compiled", "codegen_compile_s",
+                    "codegen_executions", "codegen_disk_hits",
+                    "codegen_disk_misses", "codegen_persisted"):
+            assert key in counters
+        # The loop block's first iterations run on tier-2 (compile is
+        # deferred until a block has proven itself once), so the
+        # compiled execution count is a little under the trip count.
+        assert counters["codegen_executions"] >= 40
+        assert counters["codegen_persisted"] == 1
+
+    def test_surfaced_in_core_stats(self):
+        from repro.harness.runner import run_on_core
+
+        result = run_on_core(
+            assemble(_TINY.replace("li a0, 7", "li a0, 0")), "xt910",
+            tier=3)
+        assert result.stats.extra["codegen_blocks_compiled"] >= 1
+        assert "codegen_disk_hits" in result.stats.extra

@@ -86,6 +86,20 @@ def test_matches_committed_golden_stats(name):
     assert got == want
 
 
+@pytest.mark.parametrize("name", GOLDEN_SUBSET)
+def test_tier3_matches_committed_golden_stats(name):
+    """The specializing translator feeds the same timing model the
+    same stream: its stats must hit the frozen oracle exactly, cold
+    (this test's cache dir starts empty) — the warm half lives in
+    tests/sim/test_codegen.py."""
+    result = run_on_core(_workload(name).program(), "xt910", tier=3)
+    got = result.stats.as_comparable()
+    want = {key: value for key, value in GOLDEN[name].items()
+            if key in got}
+    assert got == want
+    assert result.stats.extra["codegen_blocks_compiled"] >= 1
+
+
 def test_golden_file_covers_every_bundled_workload():
     assert sorted(GOLDEN) == sorted(w.name for w in all_workloads())
 
