@@ -11,6 +11,7 @@
     python -m repro bench --pipeline [--out BENCH_pipeline.json]
     python -m repro bench --service [--out BENCH_service.json]
     python -m repro bench --tier 3 [--out BENCH_tier3.json]
+    python -m repro bench --vector [--out BENCH_vector.json]
     python -m repro submit prog1.s prog2.s [--jobs 4] [--mode auto]
     python -m repro submit --workloads [coremark-int ...] --jobs 8
     python -m repro serve [--jobs 4]              (JSONL jobs on stdin)
@@ -281,11 +282,13 @@ def cmd_compare(args) -> int:
 def cmd_bench(args) -> int:
     import os
 
-    if args.pipeline and args.service:
-        print("error: --pipeline and --service are exclusive",
+    exclusive = [flag for flag in ("pipeline", "service", "vector")
+                 if getattr(args, flag)]
+    if len(exclusive) > 1:
+        print(f"error: --{' and --'.join(exclusive)} are exclusive",
               file=sys.stderr)
         return 2
-    if args.tier is not None and (args.pipeline or args.service):
+    if args.tier is not None and exclusive:
         print("error: --tier applies to the emulator bench only",
               file=sys.stderr)
         return 2
@@ -293,6 +296,8 @@ def cmd_bench(args) -> int:
         from .harness import pipebench as bench_mod
     elif args.service:
         from .service import bench as bench_mod
+    elif args.vector:
+        from .harness import vecbench as bench_mod
     elif args.tier == 3:
         from .harness import tierbench as bench_mod
     else:
@@ -591,6 +596,12 @@ def main(argv: list[str] | None = None) -> int:
                               "(BENCH_tier3.json); 1 and 2 are the "
                               "precise/fast columns of the default "
                               "emulator bench")
+    p_bench.add_argument("--vector", action="store_true",
+                         help="benchmark the RVV kernel suite: numpy-"
+                              "batched vs per-element reference vector "
+                              "engine across tiers, with bit-identity "
+                              "verified per run; writes/reads "
+                              "BENCH_vector.json-shaped payloads")
     p_bench.add_argument("--quick", action="store_true",
                          help="CoreMark kernels only (the CI smoke set)")
     p_bench.add_argument("--repeat", type=int, default=3,

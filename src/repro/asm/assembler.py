@@ -564,6 +564,15 @@ class Assembler:
             key = "rd" if fmt == "VLS" else "rs3"
             kw = {key: reg, "rs1": base, "rs2": stride,
                   "aux": 0 if masked else 1}
+        elif fmt in ("VLX", "VSX"):
+            # vlxei32.v vd, (rs1), vs2 [, v0.t]
+            reg = parse_vreg(ops[0])
+            base = _parse_paren(ops[1], item.line)
+            index = parse_vreg(ops[2])
+            masked = len(ops) > 3 and ops[3] == "v0.t"
+            key = "rd" if fmt == "VLX" else "rs3"
+            kw = {key: reg, "rs1": base, "rs2": index,
+                  "aux": 0 if masked else 1}
         elif fmt == "XTIDX":
             kw = {"rd": gx(0), "rs1": gx(1), "rs2": gx(2),
                   "aux": imm(3) if len(ops) > 3 else 0}

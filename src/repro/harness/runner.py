@@ -99,6 +99,10 @@ def run_on_core(program: Program, core: CoreConfig | str,
     if emulator._codegen is not None:
         stats.extra.update((f"codegen_{name}", value) for name, value
                            in emulator._codegen.counters().items())
+    vec = emulator.state.vec_counters
+    if any(vec.values()):  # scalar workloads: extra stays unchanged
+        stats.extra.update((f"vector_{name}", value)
+                           for name, value in vec.items())
     return RunResult(core=config.name, stats=stats,
                      exit_code=emulator.exit_code or 0,
                      stdout=emulator.stdout, pipeline=pipeline,

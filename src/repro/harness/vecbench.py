@@ -1,0 +1,220 @@
+"""Vector-engine benchmark (``python -m repro bench --vector``).
+
+Times the RVV kernel suite under the per-element reference vector
+engine and under the numpy-batched engine (``repro.sim.exec_vector``),
+on every execution tier the batched engine plugs into, and writes the
+numbers to ``BENCH_vector.json``.  Each batched measurement doubles as
+an equivalence check: the run is only accepted if the full vector
+register file, the touched-memory digest and the exit code are
+bit-identical to the reference engine's run of the same kernel.
+
+The committed JSON is the CI regression baseline: the bench CI job
+re-runs ``bench --vector --quick`` and fails when the geomean
+numpy/reference speedup drops below both the absolute floor
+(``MIN_GEOMEAN_SPEEDUP``, the ISSUE acceptance gate) and the
+tolerance-scaled committed numbers.  The nightly lane runs the full
+(non-quick) variant and separately re-verifies the whole suite with
+``REPRO_VECTOR_ENGINE=ref`` forced on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+from ..sim import exec_vector
+from ..sim.emulator import Emulator
+from ..workloads import vector_suite
+from .report import geomean
+
+#: JSON schema version of BENCH_vector.json
+SCHEMA = 1
+DEFAULT_TOLERANCE = 0.30
+#: the ISSUE acceptance floor: batched must beat per-element by 3x
+#: geomean on the vector suite at VLEN=128.
+MIN_GEOMEAN_SPEEDUP = 3.0
+
+#: kernels dominated by scalar work (kept out of the speedup geomean
+#: but still run — they guard against the batched engine slowing the
+#: scalar path down).
+_SCALAR_BASELINES = frozenset({"scalar-mac16"})
+
+
+def _workloads(quick: bool):
+    suite = vector_suite()
+    if quick:
+        keep = {"vec-mac16", "scalar-mac16", "vec-axpy-f32",
+                "vec-stencil32", "vec-gather", "vec-memcpy"}
+        suite = [w for w in suite if w.name in keep]
+    return suite
+
+
+def _run_once(workload, tier: int):
+    """One run; returns (emulator, elapsed seconds)."""
+    emulator = Emulator(workload.program())
+    start = time.perf_counter()
+    emulator.run(tier=tier)
+    elapsed = time.perf_counter() - start
+    return emulator, elapsed
+
+
+def _fingerprint(workload, emulator) -> tuple:
+    """Bit-level identity evidence: vregs, result memory, exit code."""
+    program = workload.program()
+    result = emulator.state.memory.load_int(
+        program.symbol(workload.result_symbol), 8)
+    data_len = max(len(program.data), 8)
+    mem = emulator.state.memory.load_bytes(program.data_base, data_len)
+    return (bytes(emulator.state.vbuf),
+            hashlib.sha256(mem).hexdigest(),
+            result, emulator.exit_code or 0)
+
+
+def bench_workload(workload, repeat: int, tiers=(1, 2, 3)) -> dict:
+    """Reference vs numpy timings (plus identity proof) for one kernel.
+
+    The reference engine is timed once per tier (it is the slow side
+    by construction); the numpy engine gets best-of-*repeat*.
+    """
+    entry: dict = {"tiers": {}}
+    for tier in tiers:
+        exec_vector.select_engine("ref")
+        try:
+            ref_emu, ref_s = _run_once(workload, tier)
+        finally:
+            exec_vector.select_engine("numpy")
+        ref_fp = _fingerprint(workload, ref_emu)
+        best = float("inf")
+        np_fp = None
+        for _ in range(repeat):
+            np_emu, elapsed = _run_once(workload, tier)
+            best = min(best, elapsed)
+            np_fp = _fingerprint(workload, np_emu)
+        if np_fp != ref_fp:
+            raise AssertionError(
+                f"{workload.name} tier {tier}: numpy engine diverged "
+                f"from the reference engine")
+        insts = np_emu.state.instret
+        vec = np_emu.state.vec_counters
+        entry["tiers"][str(tier)] = {
+            "insts": insts,
+            "ref_s": round(ref_s, 6),
+            "numpy_s": round(best, 6),
+            "speedup": round(ref_s / best, 3),
+            "ref_mips": round(insts / ref_s / 1e6, 4),
+            "numpy_mips": round(insts / best / 1e6, 4),
+        }
+        entry["batched_ops"] = vec["batched_ops"]
+        entry["specialized_ops"] = vec["specialized_ops"]
+        entry["fallback_ops"] = vec["fallback_ops"]
+        entry["mask_density"] = round(
+            vec["elems_active"] / vec["elems_total"], 4) if (
+                vec["elems_total"]) else 1.0
+    entry["insts"] = entry["tiers"][str(tiers[0])]["insts"]
+    return entry
+
+
+def run_bench(quick: bool = False, repeat: int = 3) -> dict:
+    """Benchmark the vector suite; returns the BENCH_vector.json payload.
+
+    ``quick`` trims the workload list (the CI bench job's variant);
+    both variants cover all three tiers so the tier-3 specialization
+    path is always exercised.
+    """
+    workloads = _workloads(quick)
+    tiers = (1, 2, 3)
+    results = {w.name: bench_workload(w, repeat=repeat, tiers=tiers)
+               for w in workloads}
+    vector_names = [name for name in results
+                    if name not in _SCALAR_BASELINES]
+    per_tier = {
+        str(tier): round(geomean(
+            [results[n]["tiers"][str(tier)]["speedup"]
+             for n in vector_names]), 3)
+        for tier in tiers}
+    all_speedups = [results[n]["tiers"][str(t)]["speedup"]
+                    for n in vector_names for t in tiers]
+    payload = {
+        "schema": SCHEMA,
+        "bench": "vector",
+        "quick": quick,
+        "repeat": repeat,
+        "vlen": 128,
+        "workloads": results,
+        "summary": {
+            "geomean_speedup": round(geomean(all_speedups), 3),
+            "geomean_speedup_per_tier": per_tier,
+            "total_fallback_ops": sum(
+                r["fallback_ops"] for r in results.values()),
+        },
+    }
+    return payload
+
+
+def check_regression(payload: dict, baseline: dict,
+                     tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Compare a fresh vector bench against the committed baseline.
+
+    Returns human-readable failure strings (empty = no regression).
+    Two gates: the absolute ``MIN_GEOMEAN_SPEEDUP`` floor from the
+    ISSUE acceptance criteria, and the relative tolerance against the
+    committed geomean (a ratio, so host-speed differences pass).
+    """
+    failures = []
+    current = payload["summary"]["geomean_speedup"]
+    if current < MIN_GEOMEAN_SPEEDUP:
+        failures.append(
+            f"geomean numpy/ref speedup {current} below the absolute "
+            f"floor {MIN_GEOMEAN_SPEEDUP}")
+    base = baseline.get("summary", {}).get("geomean_speedup")
+    if base:
+        floor = base * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"geomean_speedup regressed: {current} < {floor:.3f} "
+                f"(baseline {base}, tolerance {tolerance:.0%})")
+    return failures
+
+
+def render(payload: dict) -> str:
+    """Terminal table for the vector bench payload."""
+    tiers = sorted(next(iter(payload["workloads"].values()))["tiers"])
+    header = f"{'workload':16s}{'insts':>9}"
+    for tier in tiers:
+        header += f"{'t' + tier + ' ref':>9}{'t' + tier + ' np':>9}"
+    header += f"{'speedup':>9}{'fallback':>9}"
+    lines = [header]
+    for name, r in payload["workloads"].items():
+        line = f"{name:16s}{r['insts']:>9}"
+        for tier in tiers:
+            t = r["tiers"][tier]
+            line += f"{t['ref_mips']:>9.2f}{t['numpy_mips']:>9.2f}"
+        best = max(r["tiers"][t]["speedup"] for t in tiers)
+        line += f"{best:>8.2f}x{r['fallback_ops']:>9}"
+        lines.append(line)
+    s = payload["summary"]
+    per_tier = ", ".join(
+        f"tier{t}: {v:.2f}x"
+        for t, v in sorted(s["geomean_speedup_per_tier"].items()))
+    lines.append(
+        f"(geomean numpy/ref speedup {s['geomean_speedup']:.2f}x — "
+        f"{per_tier}; {s['total_fallback_ops']} per-element fallbacks; "
+        f"MIPS columns are ref vs numpy per tier)")
+    return "\n".join(lines)
+
+
+def save(payload: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+__all__ = ["run_bench", "bench_workload", "check_regression", "render",
+           "save", "load", "DEFAULT_TOLERANCE", "MIN_GEOMEAN_SPEEDUP",
+           "SCHEMA"]

@@ -105,6 +105,10 @@ def disassemble(inst: Instruction, pc: int | None = None) -> str:
         reg = _v(inst.rd if fmt == "VLS" else inst.rs3)
         mask = "" if inst.aux else ", v0.t"
         return f"{mn} {reg}, ({_x(inst.rs1)}), {_x(inst.rs2)}{mask}"
+    if fmt in ("VLX", "VSX"):
+        reg = _v(inst.rd if fmt == "VLX" else inst.rs3)
+        mask = "" if inst.aux else ", v0.t"
+        return f"{mn} {reg}, ({_x(inst.rs1)}), {_v(inst.rs2)}{mask}"
     if fmt == "XTIDX":
         return (f"{mn} {_x(inst.rd)}, {_x(inst.rs1)}, {_x(inst.rs2)}, "
                 f"{inst.aux}")

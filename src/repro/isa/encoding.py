@@ -136,16 +136,16 @@ def encode(inst: Instruction) -> int:
         rs2_slot = rs2 if spec.rs2_file is not None else 0
         return ((spec.funct7 or 0) << 26 | vm << 25 | rs2_slot << 20
                 | rs1_slot << 15 | f3 << 12 | rd << 7 | op)
-    if fmt in ("VL", "VLS"):
-        mop = 0 if fmt == "VL" else 2
+    if fmt in ("VL", "VLS", "VLX"):
+        mop = {"VL": 0, "VLS": 2, "VLX": 3}[fmt]
         vm = inst.aux & 1
-        stride = rs2 if fmt == "VLS" else 0   # unit-stride: lumop = 0
+        stride = rs2 if fmt in ("VLS", "VLX") else 0  # unit-stride: lumop=0
         return (mop << 26 | vm << 25 | stride << 20 | rs1 << 15 | f3 << 12
                 | rd << 7 | op)
-    if fmt in ("VS", "VSS"):
-        mop = 0 if fmt == "VS" else 2
+    if fmt in ("VS", "VSS", "VSX"):
+        mop = {"VS": 0, "VSS": 2, "VSX": 3}[fmt]
         vm = inst.aux & 1
-        stride = rs2 if fmt == "VSS" else 0
+        stride = rs2 if fmt in ("VSS", "VSX") else 0
         return (mop << 26 | vm << 25 | stride << 20 | rs1 << 15 | f3 << 12
                 | rs3 << 7 | op)
     if fmt == "XTIDX":
@@ -208,8 +208,8 @@ _FR3_TABLE = _index(("FR3",), lambda s: (s.funct7, s.funct3))
 _FCVT_TABLE = _index(("FCVT",), lambda s: (s.funct7, s.funct3))
 _R4_TABLE = _index(("R4",), lambda s: (s.opcode, s.funct7))
 _OPV_TABLE = _index(("OPV",), lambda s: (s.funct3, s.funct7))
-_VL_TABLE = _index(("VL", "VLS"), lambda s: (s.fmt, s.funct3))
-_VS_TABLE = _index(("VS", "VSS"), lambda s: (s.fmt, s.funct3))
+_VL_TABLE = _index(("VL", "VLS", "VLX"), lambda s: (s.fmt, s.funct3))
+_VS_TABLE = _index(("VS", "VSS", "VSX"), lambda s: (s.fmt, s.funct3))
 _XTIDX_TABLE = _index(("XTIDX", "XTIDXS"), lambda s: (s.funct3, s.funct7))
 _XT2_TABLE = _index(("XTBF", "XTR1", "XTSH", "XTMAC", "XTCMO"),
                     lambda s: (s.funct3, s.funct7))
@@ -256,7 +256,7 @@ def decode_word(word: int) -> Instruction:
         return _mk(spec, word, rd=rd, rs1=rs1,
                    imm=_sign_extend(word >> 20, 12))
     if op == 0x07:  # vector loads
-        fmt = "VL" if _field(word, 26, 2) == 0 else "VLS"
+        fmt = {0: "VL", 2: "VLS", 3: "VLX"}.get(_field(word, 26, 2), "VLS")
         spec = _VL_TABLE.get((fmt, f3))
         if spec is None:
             raise EncodingError(f"bad vector load funct3 {f3}")
@@ -269,7 +269,7 @@ def decode_word(word: int) -> Instruction:
         imm = _field(word, 25, 7) << 5 | _field(word, 7, 5)
         return _mk(spec, word, rs1=rs1, rs2=rs2, imm=_sign_extend(imm, 12))
     if op == 0x27:  # vector stores
-        fmt = "VS" if _field(word, 26, 2) == 0 else "VSS"
+        fmt = {0: "VS", 2: "VSS", 3: "VSX"}.get(_field(word, 26, 2), "VSS")
         spec = _VS_TABLE.get((fmt, f3))
         if spec is None:
             raise EncodingError(f"bad vector store funct3 {f3}")

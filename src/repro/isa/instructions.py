@@ -151,7 +151,8 @@ def compute_operands(inst: Instruction) -> None:
     if spec.rd_file and not (spec.rd_file == "x" and inst.rd == 0):
         dests.append(Reg(spec.rd_file, inst.rd))
     # Vector ops under mask implicitly read v0; widening MACs read vd.
-    if spec.fmt in ("OPV", "VL", "VS", "VLS", "VSS") and inst.aux == 0:
+    if (spec.fmt in ("OPV", "VL", "VS", "VLS", "VSS", "VLX", "VSX")
+            and inst.aux == 0):
         srcs.append(Reg("v", 0))
     if spec.mnemonic in _VD_IS_SOURCE:
         srcs.append(Reg("v", inst.rd))
@@ -493,6 +494,14 @@ for _width, _f3 in [(8, 0), (16, 5), (32, 6), (64, 7)]:
     _spec(f"vsse{_width}.v", fmt="VSS", iclass=InstrClass.VSTORE, opcode=0x27,
           funct3=_f3, rd_file=None, rs2_file="x", rs3_file="v",
           mem_bytes=_width // 8)
+    # Indexed (gather/scatter): data EEW from the mnemonic, byte
+    # offsets read from the vs2 group at the current SEW.
+    _spec(f"vlxei{_width}.v", fmt="VLX", iclass=InstrClass.VLOAD,
+          opcode=0x07, funct3=_f3, rd_file="v", rs2_file="v",
+          mem_bytes=_width // 8)
+    _spec(f"vsxei{_width}.v", fmt="VSX", iclass=InstrClass.VSTORE,
+          opcode=0x27, funct3=_f3, rd_file=None, rs2_file="v",
+          rs3_file="v", mem_bytes=_width // 8)
 
 # --------------------------------------------------------------------------
 # XT-910 non-standard extensions (section VIII)

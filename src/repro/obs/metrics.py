@@ -114,9 +114,11 @@ def collect_core_stats(stats: Any,
 
     Scalar fields land under ``core.*``; the ``extra`` dict (block-
     cache counters the runner copies in) lands under ``emu.*``, except
-    the tier-3 translator's ``codegen_*`` counters, which get their
-    own ``sim.codegen.*`` namespace (blocks compiled, compile seconds,
-    disk-cache hits/misses, ...).
+    the tier-3 translator's ``codegen_*`` counters (own
+    ``sim.codegen.*`` namespace: blocks compiled, compile seconds,
+    disk-cache hits/misses, ...) and the batched vector engine's
+    ``vector_*`` counters (``sim.vector.*``: batched/specialized/
+    fallback ops, mask density).
     """
     registry = registry if registry is not None else MetricsRegistry()
     for name, value in vars(stats).items():
@@ -125,7 +127,9 @@ def collect_core_stats(stats: Any,
         registry.set(f"{prefix}.{name}", value)
     registry.set(f"{prefix}.ipc", stats.ipc)
     for name, value in getattr(stats, "extra", {}).items():
-        if name.startswith("codegen_"):
+        if name.startswith("vector_"):
+            registry.set(f"sim.vector.{name[len('vector_'):]}", value)
+        elif name.startswith("codegen_"):
             registry.set(f"sim.codegen.{name[len('codegen_'):]}", value)
         else:
             registry.set(f"emu.{name}", value)

@@ -49,6 +49,7 @@ import time
 
 from ..isa.instructions import SPECS, InstrClass, Instruction
 from .exec_scalar import EcallShim, Trap
+from .exec_vector import active_engine, specialize
 from .syscalls import ExitRequest
 from .trace import DynInst
 from .blockcache import (
@@ -61,7 +62,7 @@ from .blockcache import (
 
 #: bump on any change to the emitted source or the cold-path helpers —
 #: stale on-disk code must never be reused across emitter revisions.
-CODEGEN_VERSION = 1
+CODEGEN_VERSION = 2
 
 #: compiled blocks kept in memory before a wholesale flush
 CODE_CACHE_LIMIT = 4096
@@ -307,9 +308,12 @@ class _Emitter:
         self.out(f"r{k}.sew = sew")
         self.out(f"r{k}.div_bits = 0")
 
-    def emit(self, k: int, entry, kind: str, n: int) -> None:
+    def emit(self, k: int, entry, kind, n: int) -> None:
         handler, inst, pc, fall, flags, _rec = entry
         spec = inst.spec
+        static_vtype = None
+        if isinstance(kind, tuple):  # ("full", (sew, lmul) | None)
+            kind, static_vtype = kind
         if self.trace:
             self.params.append(f"r{k}=E[{k}][5]")
         if kind == "alu":
@@ -398,7 +402,17 @@ class _Emitter:
             return
         # -- the full step()-equivalent dance --------------------------------
         self.needs_cold_state = True
-        self.params.append(f"h{k}=E[{k}][0]")
+        if static_vtype is not None:
+            # vtype is provably static here (a constant-imm vsetvli
+            # dominates this entry inside the block): bind a handler
+            # with SEW/LMUL constant-folded when the active vector
+            # engine offers one, else the generic tier-2 handler.
+            sew_c, lmul_c = static_vtype
+            self.params.append(
+                f"h{k}=_vspec({spec.mnemonic!r}, {sew_c}, {lmul_c})"
+                f" or E[{k}][0]")
+        else:
+            self.params.append(f"h{k}=E[{k}][0]")
         self.params.append(f"i{k}=E[{k}][1]")
         terminator = spec.iclass in (InstrClass.BRANCH, InstrClass.JUMP,
                                      InstrClass.SYSTEM, InstrClass.CSR)
@@ -455,7 +469,21 @@ def emit_source(block) -> str:
     """Emit the ``make(E)`` factory module for one tier-2 block."""
     entries = block.entries
     n = len(entries)
-    kinds = [_resolve(entry) for entry in entries]
+    kinds: list = [_resolve(entry) for entry in entries]
+    # Static-vtype scan: inside one straight-line block, a constant-imm
+    # vsetvli fixes SEW/LMUL for every later vector entry (vsetvl takes
+    # vtype from a register, so it resets the knowledge; jumps into the
+    # middle of a block start a new block and never see these kinds).
+    static = None
+    for idx, entry in enumerate(entries):
+        mn = entry[1].spec.mnemonic
+        if mn == "vsetvli":
+            from ..asm.assembler import decode_vtype
+            static = decode_vtype(entry[1].imm)
+        elif mn == "vsetvl":
+            static = None
+        elif kinds[idx] == "full" and (entry[4] & FLAG_VECTOR):
+            kinds[idx] = ("full", static)
     parts = [f"# generated by repro.sim.codegen v{CODEGEN_VERSION} for "
              f"block {block.start:#x}..{block.end:#x} ({n} insts)",
              "def make(E):"]
@@ -507,7 +535,7 @@ class CompiledBlock:
 
 def _link(code, block):
     """Exec one generated module and bind it to *block*'s entries."""
-    module_globals = {"_EXC": _EXC}
+    module_globals = {"_EXC": _EXC, "_vspec": specialize}
     exec(code, module_globals)
     run_fn, trace_fn = module_globals["make"](block.entries)
     return CompiledBlock(block, run_fn, trace_fn)
@@ -580,7 +608,7 @@ class CodegenEngine:
         text_hash = hashlib.sha256(bytes(program.text)).hexdigest()
         raw = (f"{CODEGEN_VERSION}:{importlib.util.MAGIC_NUMBER.hex()}:"
                f"{text_hash}:{program.text_base}:{self.emu.state.vlen}:"
-               f"{MAX_BLOCK_INSTS}")
+               f"{MAX_BLOCK_INSTS}:{active_engine()}")
         return hashlib.sha256(raw.encode()).hexdigest()[:24]
 
     def _cache_path(self) -> str | None:

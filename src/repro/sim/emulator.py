@@ -428,6 +428,8 @@ class Emulator:
         if self._codegen is not None:
             counters.update({f"codegen_{name}": value for name, value
                              in self._codegen.counters().items()})
+        counters.update({f"vector_{name}": value for name, value
+                         in self.state.vec_counters.items()})
         return counters
 
     def fast_trace(self, max_steps: int | None = None):

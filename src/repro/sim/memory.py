@@ -123,5 +123,32 @@ class Memory:
             self.store_bytes(program.data_base, program.data)
 
     @property
+    def has_mmio(self) -> bool:
+        """True when any MMIO window is mapped (vector batch paths
+        fall back to per-element accesses in that case)."""
+        return bool(self._mmio)
+
+    def ram_view(self, addr: int, size: int,
+                 allocate: bool = False) -> memoryview | None:
+        """Writable view of [addr, addr+size) when it sits inside ONE
+        RAM page; None otherwise (MMIO mapped, page-crossing span, or
+        — unless *allocate* — a page that was never touched).
+
+        With ``allocate=True`` the backing page is materialised, which
+        must only be done on store paths (loads from untouched memory
+        read zeros without allocating).
+        """
+        if self._mmio or size <= 0:
+            return None
+        offset = addr & PAGE_MASK
+        if offset + size > PAGE_SIZE:
+            return None
+        ppn = addr >> PAGE_SHIFT
+        page = self._page(ppn) if allocate else self._pages.get(ppn)
+        if page is None:
+            return None
+        return memoryview(page)[offset:offset + size]
+
+    @property
     def allocated_bytes(self) -> int:
         return len(self._pages) * PAGE_SIZE

@@ -5,6 +5,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..isa.csr import (
     CSR_CYCLE,
     CSR_INSTRET,
@@ -96,8 +98,35 @@ class MachineState:
         self.fregs: list[int] = [0] * 32
         self.vlen = vlen
         self.vlenb = vlen // 8
-        self.vregs: list[bytearray] = [bytearray(self.vlenb)
-                                       for _ in range(32)]
+        # The 32 VLEN-bit vector registers live in ONE contiguous numpy
+        # buffer so the batched engine (repro.sim.exec_vector) can
+        # reinterpret whole register groups as typed lanes without
+        # copying.  ``vregs`` keeps the historical per-register byte
+        # interface as writable memoryview slices of that buffer — the
+        # per-element reference engine mutates registers through them
+        # and the numpy views observe every write (same storage).
+        self.vbuf: np.ndarray = np.zeros(32 * self.vlenb, dtype=np.uint8)
+        _mv = self.vbuf.data  # writable memoryview over the same storage
+        self.vregs: list[memoryview] = [
+            _mv[r * self.vlenb:(r + 1) * self.vlenb] for r in range(32)]
+        # Cached per-SEW reinterpretations of the whole file (unsigned,
+        # signed, and float lanes).  Views are free to create but the
+        # batched handlers hit these dicts on every instruction.
+        self.vview_u: dict[int, np.ndarray] = {
+            8: self.vbuf, 16: self.vbuf.view(np.uint16),
+            32: self.vbuf.view(np.uint32), 64: self.vbuf.view(np.uint64)}
+        self.vview_s: dict[int, np.ndarray] = {
+            8: self.vbuf.view(np.int8), 16: self.vbuf.view(np.int16),
+            32: self.vbuf.view(np.int32), 64: self.vbuf.view(np.int64)}
+        self.vview_f: dict[int, np.ndarray] = {
+            16: self.vbuf.view(np.float16), 32: self.vbuf.view(np.float32),
+            64: self.vbuf.view(np.float64)}
+        #: sim.vector.* counters (batched ops, fallbacks, mask density);
+        #: only the numpy engine bumps these, the reference engine and
+        #: the scalar pipeline leave them at zero.
+        self.vec_counters: dict[str, int] = {
+            "batched_ops": 0, "specialized_ops": 0, "fallback_ops": 0,
+            "masked_ops": 0, "elems_total": 0, "elems_active": 0}
         self.vl = 0
         self.vtype = 0
         self.sew = 64
@@ -140,19 +169,18 @@ class MachineState:
 
     def vreg_group(self, start: int) -> bytearray:
         """Concatenated bytes of the LMUL register group starting at *start*."""
-        if self.lmul == 1:
-            return self.vregs[start]
         out = bytearray()
         for i in range(self.lmul):
             out += self.vregs[(start + i) % 32]
         return out
 
     def write_vreg_group(self, start: int, data: bytearray) -> None:
+        """Write a group back IN PLACE (the numpy views must see it)."""
         for i in range(self.lmul):
-            chunk = data[i * self.vlenb:(i + 1) * self.vlenb]
+            chunk = bytes(data[i * self.vlenb:(i + 1) * self.vlenb])
             if len(chunk) < self.vlenb:
                 chunk = chunk + bytes(self.vlenb - len(chunk))
-            self.vregs[(start + i) % 32] = bytearray(chunk)
+            self.vregs[(start + i) % 32][:] = chunk
 
     def mask_bit(self, element: int) -> bool:
         """Bit *element* of the mask register v0."""

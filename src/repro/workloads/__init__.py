@@ -9,7 +9,18 @@ from .nbench import nbench_suite  # noqa: F401
 from .specint import specint_workload  # noqa: F401
 from .stream import stream_kernel, stream_suite  # noqa: F401
 from .stringops import strlen_base, strlen_xt  # noqa: F401
-from .vector import scalar_mac16, vec_fp16_axpy, vec_mac16, vector_suite  # noqa: F401
+from .vector import (  # noqa: F401
+    scalar_mac16,
+    vec_axpy_f32,
+    vec_axpy_f64,
+    vec_fp16_axpy,
+    vec_gather,
+    vec_mac16,
+    vec_memcpy,
+    vec_stencil32,
+    vec_strcmp,
+    vector_suite,
+)
 
 
 def all_workloads() -> list[Workload]:

@@ -149,8 +149,10 @@ sm_loop:
                     category="vector")
 
 
-def vec_fp16_axpy(n: int = 64) -> Workload:
-    """Half-precision y = a*x + y (unsupported by A73's NEON)."""
+def vec_fp16_axpy(n: int = 192, passes: int = 32) -> Workload:
+    """Half-precision y = a*x + y (unsupported by A73's NEON),
+    strip-mined at e16/m8 (64 lanes per op at VLEN=128) and repeated
+    *passes* times so the kernel stays vector-dominated."""
     x = [struct.unpack("<e", struct.pack("<e", 0.25 * (i % 8)))[0]
          for i in range(n)]
     y = [struct.unpack("<e", struct.pack("<e", 0.5 * (i % 4)))[0]
@@ -167,22 +169,26 @@ fy: .half {y_bits}
 result: .dword 0
     .text
 _start:
+    li t0, 0x4000              # fp16 bit pattern of 2.0
+    fmv.w.x fa0, t0            # scalar operand: low 16 bits are the fp16
+    li s6, {passes}
+axpy_pass:
     la s0, fx
     la s1, fy
     li s2, {n}
-    li t0, 0x4000              # fp16 bit pattern of 2.0
-    fmv.w.x fa0, t0            # scalar operand: low 16 bits are the fp16
 axpy_loop:
-    vsetvli t0, s2, e16, m1
-    vle16.v v1, (s0)
-    vle16.v v2, (s1)
-    vfmacc.vf v2, fa0, v1      # y += a*x  (fp16 lanes, fp32 scalar bits)
-    vse16.v v2, (s1)
+    vsetvli t0, s2, e16, m8
+    vle16.v v8, (s0)
+    vle16.v v16, (s1)
+    vfmacc.vf v16, fa0, v8     # y += a*x  (fp16 lanes, fp32 scalar bits)
+    vse16.v v16, (s1)
     slli t1, t0, 1
     add s0, s0, t1
     add s1, s1, t1
     sub s2, s2, t0
     bnez s2, axpy_loop
+    addi s6, s6, -1
+    bnez s6, axpy_pass
     # checksum: sum of result bit patterns
     la s1, fy
     li s2, {n}
@@ -206,14 +212,423 @@ chk:
 
         a_val = 2.0  # fp16 0x4000 broadcast as the scalar operand
         for xv, yv in zip(x, y):
-            r = st.unpack("<e", st.pack(
-                "<e", a_val * xv + yv))[0]
-            total += st.unpack("<H", st.pack("<e", r))[0]
+            acc = yv
+            for _ in range(passes):
+                acc = st.unpack("<e", st.pack("<e", a_val * xv + acc))[0]
+            total += st.unpack("<H", st.pack("<e", acc))[0]
         return total & ((1 << 64) - 1)
 
     return Workload(name="vec-fp16-axpy", source=source, reference=reference,
                     category="vector")
 
 
+def _f32_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _f32_round(value: float) -> float:
+    return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+def _f64_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def vec_axpy_f32(n: int = 128, passes: int = 32) -> Workload:
+    """Single-precision y = a*x + y (the BSC suite's axpy kernel),
+    strip-mined at e32/m8 and repeated *passes* times so the kernel is
+    dominated by vector work rather than the scalar checksum."""
+    x = [0.25 * (i % 16) - 1.5 for i in range(n)]
+    y = [0.5 * (i % 8) + 0.125 for i in range(n)]
+    x_bits = ", ".join(hex(_f32_bits(v)) for v in x)
+    y_bits = ", ".join(hex(_f32_bits(v)) for v in y)
+    source = f"""
+    .data
+    .align 3
+ax: .word {x_bits}
+ay: .word {y_bits}
+result: .dword 0
+    .text
+_start:
+    li t0, 0x40000000          # f32 bit pattern of 2.0
+    fmv.w.x fa0, t0
+    li s6, {passes}
+af_pass:
+    la s0, ax
+    la s1, ay
+    li s2, {n}
+af_loop:
+    vsetvli t0, s2, e32, m8
+    vle32.v v8, (s0)
+    vle32.v v16, (s1)
+    vfmacc.vf v16, fa0, v8     # y += a*x
+    vse32.v v16, (s1)
+    slli t1, t0, 2
+    add s0, s0, t1
+    add s1, s1, t1
+    sub s2, s2, t0
+    bnez s2, af_loop
+    addi s6, s6, -1
+    bnez s6, af_pass
+    # checksum: sum of result bit patterns
+    la s1, ay
+    li s2, {n}
+    li t2, 0
+af_chk:
+    lwu t3, 0(s1)
+    add t2, t2, t3
+    addi s1, s1, 4
+    addi s2, s2, -1
+    bnez s2, af_chk
+    la t4, result
+    sd t2, 0(t4)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        total = 0
+        for xv, yv in zip(x, y):
+            # the emulator computes a*x+y in double then rounds to f32
+            acc = _f32_round(yv)
+            for _ in range(passes):
+                acc = _f32_round(2.0 * _f32_round(xv) + acc)
+            total += _f32_bits(acc)
+        return total & ((1 << 64) - 1)
+
+    return Workload(name="vec-axpy-f32", source=source, reference=reference,
+                    category="vector")
+
+
+def vec_axpy_f64(n: int = 128, passes: int = 32) -> Workload:
+    """Double-precision y = a*x + y, repeated *passes* times."""
+    x = [0.03125 * (i % 32) - 0.5 for i in range(n)]
+    y = [0.0625 * (i % 16) + 1.0 for i in range(n)]
+    x_bits = ", ".join(hex(_f64_bits(v)) for v in x)
+    y_bits = ", ".join(hex(_f64_bits(v)) for v in y)
+    source = f"""
+    .data
+    .align 3
+dx: .dword {x_bits}
+dy: .dword {y_bits}
+result: .dword 0
+    .text
+_start:
+    li t0, 0x4004000000000000  # f64 bit pattern of 2.5
+    fmv.d.x fa0, t0
+    li s6, {passes}
+ad_pass:
+    la s0, dx
+    la s1, dy
+    li s2, {n}
+ad_loop:
+    vsetvli t0, s2, e64, m8
+    vle64.v v8, (s0)
+    vle64.v v16, (s1)
+    vfmacc.vf v16, fa0, v8     # y += a*x
+    vse64.v v16, (s1)
+    slli t1, t0, 3
+    add s0, s0, t1
+    add s1, s1, t1
+    sub s2, s2, t0
+    bnez s2, ad_loop
+    addi s6, s6, -1
+    bnez s6, ad_pass
+    # checksum: sum of result bit patterns mod 2^64
+    la s1, dy
+    li s2, {n}
+    li t2, 0
+ad_chk:
+    ld t3, 0(s1)
+    add t2, t2, t3
+    addi s1, s1, 8
+    addi s2, s2, -1
+    bnez s2, ad_chk
+    la t4, result
+    sd t2, 0(t4)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        total = 0
+        for xv, yv in zip(x, y):
+            acc = yv
+            for _ in range(passes):
+                acc = 2.5 * xv + acc    # Python float == IEEE binary64
+            total += _f64_bits(acc)
+        return total & ((1 << 64) - 1)
+
+    return Workload(name="vec-axpy-f64", source=source, reference=reference,
+                    category="vector")
+
+
+def vec_stencil32(n: int = 128, passes: int = 32) -> Workload:
+    """1-D 3-point int32 stencil: out[i] = in[i] + in[i+1] + in[i+2].
+
+    The three input taps are unaligned overlapping unit-stride loads
+    (base, base+4, base+8) — the slowest shape for per-element
+    emulation and the bread-and-butter case for the batched engine.
+    The stencil is idempotent in its output, so it is re-run *passes*
+    times to keep the kernel vector-dominated.
+    """
+    data = [((i * 2654435761) >> 7) & 0xFFFF for i in range(n + 2)]
+    in_words = ", ".join(str(v) for v in data)
+    source = f"""
+    .data
+    .align 3
+st_in:  .word {in_words}
+st_out: .zero {4 * n}
+result: .dword 0
+    .text
+_start:
+    li s6, {passes}
+stn_pass:
+    la s0, st_in
+    la s1, st_out
+    li s2, {n}
+stn_loop:
+    vsetvli t0, s2, e32, m8
+    vle32.v v8, (s0)
+    addi t1, s0, 4
+    vle32.v v16, (t1)
+    vadd.vv v8, v8, v16
+    addi t1, s0, 8
+    vle32.v v16, (t1)
+    vadd.vv v8, v8, v16
+    vse32.v v8, (s1)
+    slli t1, t0, 2
+    add s0, s0, t1
+    add s1, s1, t1
+    sub s2, s2, t0
+    bnez s2, stn_loop
+    addi s6, s6, -1
+    bnez s6, stn_pass
+    la s1, st_out
+    li s2, {n}
+    li t2, 0
+stn_chk:
+    lwu t3, 0(s1)
+    add t2, t2, t3
+    addi s1, s1, 4
+    addi s2, s2, -1
+    bnez s2, stn_chk
+    la t4, result
+    sd t2, 0(t4)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        total = 0
+        for i in range(n):
+            total += (data[i] + data[i + 1] + data[i + 2]) & 0xFFFFFFFF
+        return total & ((1 << 64) - 1)
+
+    return Workload(name="vec-stencil32", source=source, reference=reference,
+                    category="vector")
+
+
+def vec_gather(n: int = 128, passes: int = 32) -> Workload:
+    """Sparse gather/scatter through the indexed vector ops.
+
+    Byte-offset indices form a full permutation (stride 37 mod n), so
+    the scatter writes every output slot exactly once — the sparse
+    SpMV-style access pattern from the BSC suite.  The gather/reduce/
+    scatter body runs *passes* times, accumulating the reduced sum.
+    """
+    table = [(i * 40503) & 0xFFFF for i in range(n)]
+    perm = [((i * 37) % n) * 4 for i in range(n)]
+    t_words = ", ".join(str(v) for v in table)
+    p_words = ", ".join(str(v) for v in perm)
+    source = f"""
+    .data
+    .align 3
+g_tab: .word {t_words}
+g_idx: .word {p_words}
+g_out: .zero {4 * n}
+result: .dword 0
+    .text
+_start:
+    la s1, g_tab
+    la s3, g_out
+    li t2, 0                   # gathered-value checksum
+    li s6, {passes}
+ga_pass:
+    la s0, g_idx
+    li s2, {n}
+ga_loop:
+    vsetvli t0, s2, e32, m8
+    vle32.v v8, (s0)           # byte offsets
+    vlxei32.v v16, (s1), v8    # gather table[perm[i]]
+    vsxei32.v v16, (s3), v8    # scatter back to the same slots
+    vmv.v.i v24, 0
+    vredsum.vs v24, v16, v24
+    vmv.x.s t3, v24
+    add t2, t2, t3
+    slli t1, t0, 2
+    add s0, s0, t1
+    sub s2, s2, t0
+    bnez s2, ga_loop
+    addi s6, s6, -1
+    bnez s6, ga_pass
+    # fold in the scattered output (== table, full permutation)
+    la s1, g_out
+    li s2, {n}
+ga_chk:
+    lwu t3, 0(s1)
+    add t2, t2, t3
+    addi s1, s1, 4
+    addi s2, s2, -1
+    bnez s2, ga_chk
+    la t4, result
+    sd t2, 0(t4)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        total = sum(table[off // 4] for off in perm) * passes
+        total += sum(table)             # scattered output == table
+        return total & ((1 << 64) - 1)
+
+    return Workload(name="vec-gather", source=source, reference=reference,
+                    category="vector")
+
+
+def vec_memcpy(n: int = 250, passes: int = 32) -> Workload:
+    """Vector byte memcpy with a tail (n deliberately not a multiple of
+    VLEN/8, so the last stripmine iteration runs with a partial vl).
+    The copy is idempotent, so it repeats *passes* times."""
+    data = [(i * 73 + 11) & 0xFF for i in range(n)]
+    src_bytes = ", ".join(str(v) for v in data)
+    source = f"""
+    .data
+    .align 3
+mc_src: .byte {src_bytes}
+    .align 3
+mc_dst: .zero {n}
+    .align 3
+result: .dword 0
+    .text
+_start:
+    li s6, {passes}
+mc_pass:
+    la s0, mc_src
+    la s1, mc_dst
+    li s2, {n}
+mc_loop:
+    vsetvli t0, s2, e8, m8
+    vle8.v v8, (s0)
+    vse8.v v8, (s1)
+    add s0, s0, t0
+    add s1, s1, t0
+    sub s2, s2, t0
+    bnez s2, mc_loop
+    addi s6, s6, -1
+    bnez s6, mc_pass
+    la s1, mc_dst
+    li s2, {n}
+    li t2, 0
+mc_chk:
+    lbu t3, 0(s1)
+    add t2, t2, t3
+    addi s1, s1, 1
+    addi s2, s2, -1
+    bnez s2, mc_chk
+    la t4, result
+    sd t2, 0(t4)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        return sum(data) & ((1 << 64) - 1)
+
+    return Workload(name="vec-memcpy", source=source, reference=reference,
+                    category="vector")
+
+
+def vec_strcmp(n: int = 192, diff_at: int = 131, passes: int = 32) -> Workload:
+    """Vectorized strcmp-style scan: compare VLEN-sized chunks (e8 m8,
+    128 bytes at VLEN=128) with vmsne + vcpop, drop to a scalar scan
+    only in the chunk holding the first mismatch.  The scan repeats
+    *passes* times (the comparison is pure, so each pass recomputes
+    the same answer).  Result = (index << 8) | (a[i]-b[i] & 0xFF)."""
+    a = [((i * 31 + 7) % 255) + 1 for i in range(n)]
+    b = list(a)
+    b[diff_at] = (b[diff_at] + 3) & 0xFF or 1
+    a_bytes = ", ".join(str(v) for v in a)
+    b_bytes = ", ".join(str(v) for v in b)
+    source = f"""
+    .data
+    .align 3
+sc_a: .byte {a_bytes}
+    .align 3
+sc_b: .byte {b_bytes}
+    .align 3
+result: .dword 0
+    .text
+_start:
+    li s6, {passes}
+sc_pass:
+    la s0, sc_a
+    la s1, sc_b
+    li s2, {n}
+    li s3, 0                   # global byte index
+sc_loop:
+    vsetvli t0, s2, e8, m8
+    vle8.v v8, (s0)
+    vle8.v v16, (s1)
+    vmsne.vv v24, v8, v16
+    vcpop.m t3, v24
+    bnez t3, sc_found
+    add s0, s0, t0
+    add s1, s1, t0
+    add s3, s3, t0
+    sub s2, s2, t0
+    bnez s2, sc_loop
+    slli t5, s3, 8             # equal: result = n << 8
+    j sc_done
+sc_found:                      # scalar scan inside the hit chunk
+    lbu t3, 0(s0)
+    lbu t4, 0(s1)
+    bne t3, t4, sc_diff
+    addi s0, s0, 1
+    addi s1, s1, 1
+    addi s3, s3, 1
+    j sc_found
+sc_diff:
+    sub t5, t3, t4
+    andi t5, t5, 0xFF
+    slli t6, s3, 8
+    or t5, t5, t6
+sc_done:
+    addi s6, s6, -1
+    bnez s6, sc_pass
+    la t4, result
+    sd t5, 0(t4)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def reference() -> int:
+        for i, (av, bv) in enumerate(zip(a, b)):
+            if av != bv:
+                return (i << 8) | ((av - bv) & 0xFF)
+        return n << 8
+
+    return Workload(name="vec-strcmp", source=source, reference=reference,
+                    category="vector")
+
+
 def vector_suite() -> list[Workload]:
-    return [vec_mac16(), scalar_mac16(), vec_fp16_axpy()]
+    return [vec_mac16(), scalar_mac16(), vec_fp16_axpy(),
+            vec_axpy_f32(), vec_axpy_f64(), vec_stencil32(),
+            vec_gather(), vec_memcpy(), vec_strcmp()]

@@ -19,7 +19,7 @@ from repro.analysis.lint import DEFAULT_BASELINE
 class TestWorkloadsAgainstBaseline:
     def test_all_workloads_covered_by_baseline(self):
         reports = lint_workloads()
-        assert len(reports) == 33
+        assert len(reports) == 39
         baseline = load_baseline()
         new, stale = compare_to_baseline(reports, baseline)
         assert new == [], [f"{n}: {f.render()}" for n, f in new]
