@@ -1,6 +1,7 @@
 """Command-line interface.
 
     python -m repro run program.s [--core xt910] [--mmu] [--profile]
+    python -m repro run program.s --uarch my.yaml --extend overlay.yaml
     python -m repro run program.s --sanitize
     python -m repro lint program.s [--json]
     python -m repro lint --workloads [--update-baseline]
@@ -15,7 +16,13 @@
     python -m repro submit prog1.s prog2.s [--jobs 4] [--mode auto]
     python -m repro submit --workloads [coremark-int ...] --jobs 8
     python -m repro serve [--jobs 4]              (JSONL jobs on stdin)
+    python -m repro explore sweep.yaml [--jobs 8] [--out report.json]
+    python -m repro explore --depth [--out BENCH_explore.json]
     python -m repro harness [experiment ...]      (alias of repro.harness)
+
+``--core`` everywhere takes a preset name *or* a config document path
+(.yaml/.yml/.json); ``--extend`` merges overlay documents on top in
+order (see ``repro.uarch.uconfig``).
 """
 
 from __future__ import annotations
@@ -36,13 +43,39 @@ def _load(path: str, compress: bool) -> "Program":  # noqa: F821
         return assemble(handle.read(), compress=compress)
 
 
+def _core_config(core, extends=()):
+    """Resolve a ``--core``/``--uarch`` value into a CoreConfig, lazily.
+
+    argparse no longer bakes ``choices=sorted(PRESETS)`` into the
+    parsers, so *core* may be a preset name or a config document path —
+    and an unknown name gets the validator's error message (which
+    lists the presets) instead of a parser rejection.
+    """
+    from .uarch import uconfig
+
+    try:
+        return uconfig.resolve_core(core, tuple(extends or ()))
+    except uconfig.UconfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
 def cmd_run(args) -> int:
     program = _load(args.program, not args.no_compress)
-    if args.profile and not args.core:
+    if args.core and args.uarch:
+        print("error: --core and --uarch are exclusive (both name the "
+              "timing config)", file=sys.stderr)
+        return 2
+    core_arg = args.uarch or args.core
+    if args.extend and not core_arg:
+        print("error: --extend overlays need a --core or --uarch base",
+              file=sys.stderr)
+        return 2
+    if args.profile and not core_arg:
         print("error: --profile needs --core (it profiles the harness "
               "path: emulator + timing model)", file=sys.stderr)
         return 2
-    if args.trace and not args.core:
+    if args.trace and not core_arg:
         print("error: --trace needs --core (stage cycles come from the "
               "timing model)", file=sys.stderr)
         return 2
@@ -51,30 +84,31 @@ def cmd_run(args) -> int:
               file=sys.stderr)
         return 2
     if args.sanitize:
-        if args.core or args.mmu or args.lockstep:
+        if core_arg or args.mmu or args.lockstep:
             print("error: --sanitize hooks the block-cache fast path "
                   "and excludes --core/--mmu/--lockstep", file=sys.stderr)
             return 2
         return _run_sanitized(program, args)
-    if args.core:
+    if core_arg:
+        config = _core_config(core_arg, args.extend)
         breakdown = None
         tracer = None
         if args.profile:
             from .harness.runner import profile_run, render_profile
 
-            result, breakdown = profile_run(program, args.core)
+            result, breakdown = profile_run(program, config)
         else:
             if args.trace:
                 from .obs import PipelineTracer
 
                 tracer = PipelineTracer(window=args.trace_window)
-            result = run_on_core(program, args.core, tracer=tracer,
+            result = run_on_core(program, config, tracer=tracer,
                                  max_insts=args.max_insts,
                                  partial_on_watchdog=True)
         if result.watchdog is not None:
             first_line = str(result.watchdog.args[0]).splitlines()[0]
             print(f"{first_line}; stats below cover the bounded prefix")
-        print(f"core {args.core}: {result.cycles} cycles, "
+        print(f"core {config.name}: {result.cycles} cycles, "
               f"IPC {result.ipc:.3f}, exit {result.exit_code}")
         if result.stdout:
             print(result.stdout, end="")
@@ -220,7 +254,7 @@ def cmd_disasm(args) -> int:
 
 def cmd_profile(args) -> int:
     program = _load(args.program, not args.no_compress)
-    profile = profile_program(program, core=args.core)
+    profile = profile_program(program, core=_core_config(args.core))
     print(profile.report(top=args.top))
     return 0
 
@@ -243,7 +277,8 @@ def cmd_metrics(args) -> int:
               file=sys.stderr)
         return 2
     program = _load(args.program, not args.no_compress)
-    result = run_on_core(program, args.core, tier=args.tier)
+    config = _core_config(args.uarch or args.core, args.extend)
+    result = run_on_core(program, config, tier=args.tier)
     registry = collect_run(result)
     if args.out:
         registry.save(args.out)
@@ -260,7 +295,7 @@ def cmd_top(args) -> int:
 
     program = _load(args.program, not args.no_compress)
     profiler = GuestProfiler()
-    run_on_core(program, args.core, profiler=profiler)
+    run_on_core(program, _core_config(args.core), profiler=profiler)
     report = profiler.attribute(program)
     print(report.render(top=args.top, cumulative=args.cumulative))
     return 0
@@ -270,8 +305,9 @@ def cmd_compare(args) -> int:
     program = _load(args.program, not args.no_compress)
     rows = []
     for core in args.cores:
-        result = run_on_core(program, core)
-        rows.append((core, result.cycles, result.ipc))
+        config = _core_config(core, args.extend)
+        result = run_on_core(program, config)
+        rows.append((config.name, result.cycles, result.ipc))
     base = rows[0][1]
     print(f"{'core':14s}{'cycles':>10}{'IPC':>8}{'vs ' + rows[0][0]:>12}")
     for core, cycles, ipc in rows:
@@ -335,7 +371,17 @@ def _submit_specs(args) -> list:
     from .service import JobSpec
 
     core = None if args.core in (None, "none") else args.core
-    common = dict(core=core, mode=args.mode, max_insts=args.max_insts,
+    uarch = None
+    if args.uarch or args.extend:
+        from .uarch import uconfig
+
+        # Resolve and validate up front: a bad document fails the whole
+        # submit with the validator's message, before any job runs.
+        config = _core_config(args.uarch or core or "xt910", args.extend)
+        uarch = uconfig.config_to_doc(config)
+        core = config.name
+    common = dict(core=core, uarch=uarch, mode=args.mode,
+                  max_insts=args.max_insts,
                   wall_timeout_s=args.wall_timeout, vet=not args.no_vet)
     specs = []
     if args.workloads:
@@ -395,6 +441,48 @@ def cmd_submit(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def cmd_explore(args) -> int:
+    from .harness import explore
+    from .uarch import uconfig
+
+    if bool(args.spec) == bool(args.depth):
+        print("error: explore needs a sweep spec file or --depth",
+              file=sys.stderr)
+        return 2
+    store = explore.ExploreStore(args.store)
+    if args.depth:
+        payload = explore.run_bench(quick=args.quick, jobs=args.jobs,
+                                    store=store)
+        print(explore.render(payload))
+        if args.out:
+            explore.save(payload, args.out)
+            print(f"wrote {args.out}")
+        if args.baseline:
+            baseline = explore.load(args.baseline)
+            failures = explore.check_regression(payload, baseline)
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            if failures:
+                return 1
+            print(f"no regression vs {args.baseline} (simulated "
+                  f"cycles compared exactly)")
+        return 0
+    try:
+        spec = explore.load_sweep(args.spec)
+        report = explore.run_sweep(spec, jobs=args.jobs, store=store,
+                                   timeout=args.timeout, progress=print)
+    except (explore.ExploreError, uconfig.UconfigError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{spec.name}: {report.points} point(s) x "
+          f"{len(spec.workloads)} workload(s) = {report.cells} cells; "
+          f"{report.cache_hits} cached, {report.simulated} simulated")
+    if args.out:
+        report.save(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     """JSONL job server: one JobSpec per stdin line, one JobResult per
     stdout line.  Malformed lines get a rejected result, not a crash."""
@@ -435,10 +523,24 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--no-compress", action="store_true",
                        help="disable RVC compression")
 
+    #: help-text tail shared by every --core option; the actual
+    #: resolution is lazy (see _core_config), never an argparse choices
+    #: list, so config files work everywhere a preset does.
+    core_help = (f"preset ({', '.join(sorted(PRESETS))}) or config "
+                 f"document path (.yaml/.json)")
+
     p_run = sub.add_parser("run", help="assemble and execute / time")
     add_common(p_run)
-    p_run.add_argument("--core", choices=sorted(PRESETS),
-                       help="time on this core model (default: emulate only)")
+    p_run.add_argument("--core", default=None, metavar="CORE",
+                       help=f"time on this core model: {core_help} "
+                            f"(default: emulate only)")
+    p_run.add_argument("--uarch", default=None, metavar="FILE",
+                       help="core config document (equivalent to "
+                            "--core FILE; exclusive with --core)")
+    p_run.add_argument("--extend", action="append", default=[],
+                       metavar="FILE",
+                       help="overlay document(s) merged onto the "
+                            "--core/--uarch base, in order (repeatable)")
     p_run.add_argument("--mmu", action="store_true",
                        help="enable SV39 translation in the emulator")
     p_run.add_argument("--stats", action="store_true")
@@ -493,7 +595,8 @@ def main(argv: list[str] | None = None) -> int:
 
     p_prof = sub.add_parser("profile", help="per-PC hot-spot profile")
     add_common(p_prof)
-    p_prof.add_argument("--core", default="xt910", choices=sorted(PRESETS))
+    p_prof.add_argument("--core", default="xt910", metavar="CORE",
+                        help=core_help)
     p_prof.add_argument("--top", type=int, default=15)
     p_prof.set_defaults(fn=cmd_profile)
 
@@ -504,7 +607,14 @@ def main(argv: list[str] | None = None) -> int:
                        help="assembly source file (or use --diff)")
     p_met.add_argument("--no-compress", action="store_true",
                        help="disable RVC compression")
-    p_met.add_argument("--core", default="xt910", choices=sorted(PRESETS))
+    p_met.add_argument("--core", default="xt910", metavar="CORE",
+                       help=core_help)
+    p_met.add_argument("--uarch", default=None, metavar="FILE",
+                       help="core config document (overrides --core)")
+    p_met.add_argument("--extend", action="append", default=[],
+                       metavar="FILE",
+                       help="overlay document(s) merged onto the base "
+                            "config, in order (repeatable)")
     p_met.add_argument("--tier", type=int, default=None, choices=[1, 2, 3],
                        help="execution tier for the run; 3 adds the "
                             "sim.codegen.* translator counters")
@@ -520,7 +630,8 @@ def main(argv: list[str] | None = None) -> int:
     p_top = sub.add_parser(
         "top", help="guest cycle profile rolled up to functions")
     add_common(p_top)
-    p_top.add_argument("--core", default="xt910", choices=sorted(PRESETS))
+    p_top.add_argument("--core", default="xt910", metavar="CORE",
+                       help=core_help)
     p_top.add_argument("--top", type=int, default=20)
     p_top.add_argument("--cumulative", action="store_true",
                        help="rank by call-period (inclusive) cycles")
@@ -529,7 +640,12 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp = sub.add_parser("compare", help="same binary on several cores")
     add_common(p_cmp)
     p_cmp.add_argument("--cores", nargs="+", default=["xt910", "u74"],
-                       choices=sorted(PRESETS))
+                       metavar="CORE",
+                       help=f"each a {core_help}")
+    p_cmp.add_argument("--extend", action="append", default=[],
+                       metavar="FILE",
+                       help="overlay document(s) merged onto *every* "
+                            "compared core, in order (repeatable)")
     p_cmp.set_defaults(fn=cmd_compare)
 
     p_sub = sub.add_parser(
@@ -544,9 +660,17 @@ def main(argv: list[str] | None = None) -> int:
                             "(all of them, or the named subset)")
     p_sub.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker-pool width (default: up to 8)")
-    p_sub.add_argument("--core", default="xt910",
-                       choices=sorted(PRESETS) + ["none"],
-                       help="timing core, or 'none' for functional-only")
+    p_sub.add_argument("--core", default="xt910", metavar="CORE",
+                       help=f"timing core ({core_help}), or 'none' "
+                            f"for functional-only")
+    p_sub.add_argument("--uarch", default=None, metavar="FILE",
+                       help="core config document; resolved and "
+                            "validated up front, shipped inline in "
+                            "each JobSpec")
+    p_sub.add_argument("--extend", action="append", default=[],
+                       metavar="FILE",
+                       help="overlay document(s) merged onto the "
+                            "--core/--uarch base, in order (repeatable)")
     p_sub.add_argument("--mode", default="auto",
                        choices=["auto", "tier3", "fast", "precise"],
                        help="execution tier; auto = tier3 with fast and "
@@ -576,6 +700,40 @@ def main(argv: list[str] | None = None) -> int:
     p_srv.add_argument("--no-isolation", action="store_true",
                        help="run jobs inline (no crash containment)")
     p_srv.set_defaults(fn=cmd_serve)
+
+    p_exp = sub.add_parser(
+        "explore", help="design-space sweep: expand config axes into "
+                        "points, run them through the worker pool, "
+                        "reuse results from the content-addressed "
+                        "store")
+    p_exp.add_argument("spec", nargs="?", default=None,
+                       help="sweep spec file (YAML/JSON): base config, "
+                            "workloads, axes (or use --depth)")
+    p_exp.add_argument("--depth", action="store_true",
+                       help="run the committed pipeline-depth bench "
+                            "(the BENCH_explore.json payload: "
+                            "frequency/depth trade-off over CoreMark)")
+    p_exp.add_argument("--quick", action="store_true",
+                       help="with --depth: coremark-list only (the CI "
+                            "smoke column)")
+    p_exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker-pool width (default: serial)")
+    p_exp.add_argument("--store", default=None, metavar="DIR",
+                       help="result store directory (default: "
+                            "$REPRO_EXPLORE_CACHE_DIR or "
+                            "~/.cache/repro-explore)")
+    p_exp.add_argument("--timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-cell wall-clock budget (parallel "
+                            "runs only)")
+    p_exp.add_argument("--out", default=None, metavar="FILE",
+                       help="write the sweep report / bench payload "
+                            "here (JSON)")
+    p_exp.add_argument("--baseline", default=None, metavar="FILE",
+                       help="with --depth: committed BENCH_explore."
+                            "json to gate against; exits 1 on any "
+                            "cycle difference")
+    p_exp.set_defaults(fn=cmd_explore)
 
     p_bench = sub.add_parser(
         "bench", help="emulator MIPS + harness wall-clock benchmark")

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from .asid import run_asid  # noqa: F401
 from .blockchain import run_blockchain  # noqa: F401
+from .explore import run_explore  # noqa: F401
 from .fig17 import run_fig17  # noqa: F401
 from .fig18 import run_fig18  # noqa: F401
 from .fig19 import run_fig19  # noqa: F401
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "ras": run_ras,
     "lint": run_lint,
     "service": run_service,
+    "explore": run_explore,
 }
 
 

@@ -1,0 +1,677 @@
+"""Design-space exploration: sweep config axes through the worker pool.
+
+A *sweep spec* names a base config (preset, file, or inline document),
+a workload list, an execution tier, and a set of axes — each axis a
+dotted config path plus the values to try.  ``expand`` takes the
+cartesian product into config *points* (one overlay-merged document
+per point, content-digested), and ``run_sweep`` pushes every
+(point, workload) cell through :func:`repro.harness.parallel.
+run_cells` — the same crash-isolated pool the figure sweeps use.
+
+Results live in a content-addressed store keyed by
+``(program hash, config digest, tier, max_insts)``: a point that was
+ever simulated — this run, a previous run, an interrupted run — is
+served from disk and never simulated again.  That is what makes
+thousand-point sweeps incremental: re-running a sweep after adding one
+axis value only simulates the new column.  The ``explore-smoke`` CI
+job runs a sweep twice and asserts the second pass is 100% cache hits
+with zero new simulations.
+
+``run_depth_bench`` is the committed experiment: the pipeline-depth
+sweep (``frontend.depth``) over the CoreMark kernels, reproducing the
+RV-IM100-style depth/frequency trade-off — cycles grow with depth
+while the achievable clock grows sublinearly (``f = 1/(t_logic/depth +
+t_latch)``), so relative performance has an interior optimum.  Cycle
+counts are simulated, hence deterministic: the BENCH_explore.json gate
+is exact equality, not a tolerance band.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from ..uarch import uconfig
+from ..uarch.config import CoreConfig
+from .parallel import run_cells
+from .report import ExperimentResult
+
+#: Result-record schema version; part of every store key so old
+#: records are invisible after an incompatible change.
+STORE_VERSION = 1
+
+#: Hard ceiling on expanded points: a typo'd range axis should fail
+#: loudly, not fill the disk.
+MAX_POINTS = 100_000
+
+
+class ExploreError(ValueError):
+    """A sweep spec failed validation."""
+
+
+# -- sweep spec --------------------------------------------------------------
+
+
+@dataclass
+class SweepAxis:
+    """One swept dimension: a list of override sets to try.
+
+    The scalar form (``path`` + ``values``/``range``) sweeps one knob.
+    The linked form (``points``) sets several knobs per axis value —
+    how "pipeline depth" sweeps honestly: a deeper frontend also pays
+    a larger mispredict flush and a later decode-point correction, so
+    one depth point sets all three knobs together.
+    """
+
+    label: str
+    points: list[dict[str, Any]]  # one dict of dotted-path -> value each
+
+    @property
+    def values(self) -> list[Any]:
+        """Scalar-form values (single-knob axes), else the point dicts."""
+        if all(len(point) == 1 for point in self.points):
+            return [next(iter(point.values())) for point in self.points]
+        return list(self.points)
+
+    @classmethod
+    def single(cls, path: str, values: Iterable[Any]) -> "SweepAxis":
+        return cls(path, [{path: value} for value in values])
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepAxis":
+        unknown = set(payload) - {"path", "values", "range", "points",
+                                  "label"}
+        if unknown:
+            raise ExploreError(f"axis: unknown key(s) "
+                               f"{', '.join(sorted(unknown))}")
+        if "points" in payload:
+            if "path" in payload or "values" in payload \
+                    or "range" in payload:
+                raise ExploreError("axis: 'points' excludes path/"
+                                   "values/range")
+            points = payload["points"]
+            if not isinstance(points, list) or not points or \
+                    not all(isinstance(p, Mapping) and p
+                            for p in points):
+                raise ExploreError("axis: 'points' must be a non-empty "
+                                   "list of non-empty mappings")
+            label = str(payload.get("label")
+                        or "+".join(sorted(points[0])))
+            return cls(label, [dict(p) for p in points])
+        path = payload.get("path")
+        if not isinstance(path, str) or not path:
+            raise ExploreError(f"axis: 'path' must be a dotted config "
+                               f"path, got {path!r}")
+        if ("values" in payload) == ("range" in payload):
+            raise ExploreError(f"axis {path}: give exactly one of "
+                               f"'values' or 'range'")
+        if "values" in payload:
+            values = payload["values"]
+            if not isinstance(values, list) or not values:
+                raise ExploreError(f"axis {path}: 'values' must be a "
+                                   f"non-empty list")
+            return cls.single(path, values)
+        rng = payload["range"]
+        if not isinstance(rng, Mapping) or \
+                set(rng) - {"start", "stop", "step"}:
+            raise ExploreError(f"axis {path}: 'range' takes start/stop"
+                               f"/step")
+        try:
+            start, stop = int(rng["start"]), int(rng["stop"])
+            step = int(rng.get("step", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExploreError(f"axis {path}: bad range: {exc}") from exc
+        if step < 1 or stop < start:
+            raise ExploreError(f"axis {path}: need step >= 1 and "
+                               f"stop >= start")
+        return cls.single(path, range(start, stop + 1, step))
+
+
+@dataclass
+class SweepSpec:
+    """A full sweep description (the ``repro explore`` input file)."""
+
+    base: str | Mapping[str, Any] = "xt910"
+    extends: list[str] = field(default_factory=list)
+    workloads: list[str] = field(default_factory=lambda: ["coremark-list"])
+    axes: list[SweepAxis] = field(default_factory=list)
+    tier: int = 2
+    max_insts: int | None = None
+    name: str = "sweep"
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        known = {"base", "extends", "workloads", "axes", "tier",
+                 "max_insts", "name", "description"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ExploreError(
+                f"sweep spec: unknown key(s) "
+                f"{', '.join(sorted(unknown))} (known: "
+                f"{', '.join(sorted(known))})")
+        axes = [SweepAxis.from_dict(axis)
+                for axis in payload.get("axes", [])]
+        spec = cls(
+            base=payload.get("base", "xt910"),
+            extends=list(payload.get("extends", [])),
+            workloads=list(payload.get("workloads", ["coremark-list"])),
+            axes=axes,
+            tier=int(payload.get("tier", 2)),
+            max_insts=payload.get("max_insts"),
+            name=str(payload.get("name", "sweep")))
+        if spec.tier not in (1, 2, 3):
+            raise ExploreError(f"sweep spec: tier must be 1, 2 or 3, "
+                               f"not {spec.tier}")
+        if not spec.workloads:
+            raise ExploreError("sweep spec: 'workloads' must name at "
+                               "least one bundled workload")
+        return spec
+
+
+def load_sweep(path: str) -> SweepSpec:
+    """Read a sweep spec file (YAML or JSON, like config documents)."""
+    return SweepSpec.from_dict(uconfig.load_doc(path))
+
+
+# -- expansion ---------------------------------------------------------------
+
+
+@dataclass
+class ExplorePoint:
+    """One expanded config point of a sweep."""
+
+    index: int
+    overrides: dict[str, Any]     # dotted path -> axis value
+    doc: dict[str, Any]           # fully merged document
+    digest: str                   # uconfig.config_digest of the doc
+
+    @property
+    def label(self) -> str:
+        return f"p{self.index:04d}"
+
+
+def expand(spec: SweepSpec) -> list[ExplorePoint]:
+    """Cartesian-product the axes into validated config points.
+
+    Every point document is schema-validated at expansion time, so an
+    axis that walks a knob out of range fails before any simulation.
+    """
+    base_doc = uconfig.config_to_doc(
+        uconfig.resolve_core(spec.base, tuple(spec.extends)))
+    total = 1
+    for axis in spec.axes:
+        total *= len(axis.points)
+    if total > MAX_POINTS:
+        raise ExploreError(f"sweep expands to {total} points; the "
+                           f"ceiling is {MAX_POINTS}")
+    points: list[ExplorePoint] = []
+    value_grid = itertools.product(*(axis.points for axis in spec.axes)) \
+        if spec.axes else iter([()])
+    for index, chosen in enumerate(value_grid):
+        overrides: dict[str, Any] = {}
+        for point_overrides in chosen:
+            overrides.update(point_overrides)
+        doc = uconfig.apply_overrides(base_doc, overrides)
+        try:
+            digest = uconfig.config_digest(doc)
+        except uconfig.UconfigError as exc:
+            raise ExploreError(
+                f"point {index} ({overrides}): {exc}") from exc
+        points.append(ExplorePoint(index, overrides, doc, digest))
+    return points
+
+
+# -- content-addressed result store ------------------------------------------
+
+
+def default_store_dir() -> str:
+    """``REPRO_EXPLORE_CACHE_DIR`` or ``~/.cache/repro-explore``."""
+    override = os.environ.get("REPRO_EXPLORE_CACHE_DIR")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache",
+                        "repro-explore")
+
+
+def store_key(program_hash: str, config_digest: str, tier: int,
+              max_insts: int | None) -> str:
+    """The content address of one simulation result."""
+    blob = (f"{STORE_VERSION}\x00{program_hash}\x00{config_digest}"
+            f"\x00{tier}\x00{max_insts}")
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ExploreStore:
+    """Durable (program, config, tier)-addressed result records.
+
+    Records are JSON files two directory levels deep (``ab/cdef...``),
+    written atomically; a corrupt or truncated record is treated as a
+    miss and overwritten, never fatal.
+    """
+
+    def __init__(self, root: str | None = None) -> None:
+        self.root = root if root is not None else default_store_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key[2:] + ".json")
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        try:
+            with open(self._path(key)) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(record, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Mapping[str, Any]) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(dict(record), handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(1 for _dir, _sub, files in os.walk(self.root)
+                   for fn in files if fn.endswith(".json"))
+
+
+# -- cell execution ----------------------------------------------------------
+
+
+def _program_hash(source: str, compress: bool) -> str:
+    blob = f"{compress}\x00{source}".encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _find_workload(name: str) -> Any:
+    from ..workloads import all_workloads
+
+    for workload in all_workloads():
+        if workload.name == name:
+            return workload
+    known = ", ".join(sorted(w.name for w in all_workloads()))
+    raise ExploreError(f"unknown workload {name!r} (known: {known})")
+
+
+def _explore_cell(workload_name: str, doc_json: str, tier: int,
+                  max_insts: int | None) -> dict[str, Any]:
+    """One (point, workload) simulation; module-level for pickling."""
+    from .runner import run_on_core
+
+    config = uconfig.config_from_doc(json.loads(doc_json))
+    workload = _find_workload(workload_name)
+    result = run_on_core(workload.program(), config, tier=tier,
+                         max_insts=max_insts, partial_on_watchdog=True)
+    stats = result.stats
+    return {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "ipc": round(stats.ipc, 6),
+        "exit_code": result.exit_code,
+        "watchdog_expired": int(result.watchdog is not None),
+        "stats": stats.as_comparable(),
+    }
+
+
+# -- the sweep runner --------------------------------------------------------
+
+
+@dataclass
+class CellResult:
+    """One simulated-or-cached (point, workload) outcome."""
+
+    point: ExplorePoint
+    workload: str
+    record: dict[str, Any]
+    cached: bool
+
+
+@dataclass
+class ExploreReport:
+    """Everything one sweep run produced, with provenance counters."""
+
+    name: str
+    tier: int
+    axes: list[SweepAxis]
+    points: int
+    results: list[CellResult]
+    cache_hits: int
+    simulated: int
+
+    @property
+    def cells(self) -> int:
+        return len(self.results)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """MetricsRegistry-schema payload: the ``explore.*`` namespace
+        flat dict plus the per-cell record table."""
+        from ..obs.metrics import collect_explore
+
+        return {
+            "sweep": self.name,
+            "tier": self.tier,
+            "axes": [{"label": axis.label, "values": axis.values}
+                     for axis in self.axes],
+            "metrics": collect_explore(self).as_dict(),
+            "cells": [{
+                "point": cell.point.label,
+                "workload": cell.workload,
+                "overrides": cell.point.overrides,
+                "config_digest": cell.point.digest,
+                "cached": cell.cached,
+                **{k: v for k, v in cell.record.items() if k != "stats"},
+            } for cell in self.results],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+
+
+def run_sweep(spec: SweepSpec, jobs: int | None = None,
+              store: ExploreStore | None = None,
+              timeout: float | None = None,
+              progress: Callable[[str], None] | None = None
+              ) -> ExploreReport:
+    """Expand *spec*, serve repeated points from the store, simulate
+    the rest through the worker pool, and persist every new record."""
+    points = expand(spec)
+    store = store if store is not None else ExploreStore()
+    workloads = {name: _find_workload(name) for name in spec.workloads}
+
+    plan: list[tuple[ExplorePoint, str, str]] = []   # point, workload, key
+    results: dict[tuple[int, str], CellResult] = {}
+    for point in points:
+        for name, workload in workloads.items():
+            key = store_key(
+                _program_hash(workload.source, workload.compress),
+                point.digest, spec.tier, spec.max_insts)
+            record = store.get(key)
+            if record is not None:
+                results[point.index, name] = CellResult(
+                    point, name, record, cached=True)
+            else:
+                plan.append((point, name, key))
+    if progress is not None:
+        progress(f"{spec.name}: {len(points)} points, "
+                 f"{len(results)} cell(s) cached, {len(plan)} to "
+                 f"simulate")
+
+    if plan:
+        cells = [(name, json.dumps(point.doc, sort_keys=True),
+                  spec.tier, spec.max_insts)
+                 for point, name, _key in plan]
+
+        def persist(index: int, record: Any) -> None:
+            point, name, key = plan[index]
+            store.put(key, record)
+            results[point.index, name] = CellResult(
+                point, name, record, cached=False)
+
+        run_cells(_explore_cell, cells, jobs=jobs, timeout=timeout,
+                  on_result=persist)
+
+    ordered = [results[point.index, name]
+               for point in points for name in spec.workloads]
+    simulated = sum(1 for cell in ordered if not cell.cached)
+    return ExploreReport(
+        name=spec.name, tier=spec.tier, axes=list(spec.axes),
+        points=len(points), results=ordered,
+        cache_hits=len(ordered) - simulated, simulated=simulated)
+
+
+# -- the committed depth-sweep bench -----------------------------------------
+
+#: Swept frontend depths (XT-910's own frontend is 7 of the 12 stages).
+DEPTHS = [3, 5, 7, 9, 11, 13]
+
+#: Latch/clock overhead as a fraction of total logic depth at the
+#: reference point: the classic pipelining model ``f = 1/(t_logic/d +
+#: t_latch)`` that gives the RV-IM100-style interior optimum.
+LATCH_FRACTION = 0.10
+
+#: The reference depth frequencies are normalized against.
+_REF_DEPTH = 7
+
+DEFAULT_TOLERANCE = 0.0     # cycles are simulated: the gate is exact
+
+_QUICK_WORKLOADS = ["coremark-list"]
+_FULL_WORKLOADS = ["coremark-list", "coremark-matrix", "coremark-state",
+                   "coremark-crc"]
+
+
+def frequency_scale(depth: int) -> float:
+    """Relative achievable clock at *depth* (1.0 at the reference)."""
+    ref_period = 1.0 / _REF_DEPTH + LATCH_FRACTION
+    period = 1.0 / depth + LATCH_FRACTION
+    return ref_period / period
+
+
+def depth_point(depth: int) -> dict[str, Any]:
+    """The linked knob set for one frontend depth.
+
+    A deeper frontend pays proportionally on every redirect: each
+    added stage is one more flush slot to drain *and* one more refill
+    cycle before fetch re-steers (2 cycles/stage), and the decode-point
+    correction for L1-miss taken branches lands later.  This is the
+    RV-IM100 methodology — depth is not one knob but a family of
+    penalties that move together.
+    """
+    return {
+        "frontend.depth": depth,
+        "frontend.mispredict_extra": 2 * max(0, depth - 3),
+        "frontend.taken_bubble_miss": max(1, depth // 3),
+    }
+
+
+def depth_sweep_spec(quick: bool = False) -> SweepSpec:
+    """The BENCH_explore.json sweep: frontend depth over CoreMark."""
+    return SweepSpec(
+        base="xt910",
+        workloads=list(_QUICK_WORKLOADS if quick else _FULL_WORKLOADS),
+        axes=[SweepAxis("frontend.depth",
+                        [depth_point(depth) for depth in DEPTHS])],
+        tier=2,
+        name="depth-sweep")
+
+
+def run_bench(quick: bool = False, repeat: int = 1,
+              jobs: int | None = None,
+              store: ExploreStore | None = None) -> dict[str, Any]:
+    """Run the depth sweep and shape the BENCH_explore.json payload.
+
+    ``repeat`` is accepted for CLI symmetry with the timing benches and
+    ignored: cycle counts are simulated, not measured, so one run is
+    exact.
+    """
+    del repeat
+    spec = depth_sweep_spec(quick)
+    report = run_sweep(spec, jobs=jobs, store=store)
+    by_depth: dict[int, dict[str, Any]] = {}
+    for cell in report.results:
+        depth = int(cell.point.overrides["frontend.depth"])
+        row = by_depth.setdefault(depth, {
+            "depth": depth, "freq_rel": round(frequency_scale(depth), 6),
+            "workloads": {}})
+        row["workloads"][cell.workload] = {
+            "cycles": cell.record["cycles"],
+            "ipc": cell.record["ipc"],
+        }
+    rows = []
+    for depth in sorted(by_depth):
+        row = by_depth[depth]
+        cycles = sum(w["cycles"] for w in row["workloads"].values())
+        row["cycles_total"] = cycles
+        # higher is better: work per unit time, normalized to depth 7
+        row["perf_rel"] = round(row["freq_rel"] / cycles, 9)
+        rows.append(row)
+    ref = next(r for r in rows if r["depth"] == _REF_DEPTH)
+    for row in rows:
+        row["perf_rel"] = round(row["perf_rel"] / (ref["freq_rel"]
+                                                   / ref["cycles_total"]
+                                                   ), 6)
+    best = max(rows, key=lambda r: r["perf_rel"])
+    return {
+        "bench": "explore-depth",
+        "version": STORE_VERSION,
+        "quick": quick,
+        "workloads": spec.workloads,
+        "latch_fraction": LATCH_FRACTION,
+        "rows": rows,
+        "best_depth": best["depth"],
+        "cache_hits": report.cache_hits,
+        "simulated": report.simulated,
+    }
+
+
+def render(payload: Mapping[str, Any]) -> str:
+    lines = [f"== explore: pipeline-depth sweep "
+             f"({', '.join(payload['workloads'])}) =="]
+    lines.append(f"{'depth':>6}{'cycles':>12}{'freq_rel':>10}"
+                 f"{'perf_rel':>10}")
+    for row in payload["rows"]:
+        marker = "  <- best" if row["depth"] == payload["best_depth"] \
+            else ""
+        lines.append(f"{row['depth']:>6}{row['cycles_total']:>12}"
+                     f"{row['freq_rel']:>10.3f}{row['perf_rel']:>10.3f}"
+                     f"{marker}")
+    lines.append(f"(latch fraction {payload['latch_fraction']}: deeper "
+                 f"pipes clock faster but pay more bubble cycles — the "
+                 f"RV-IM100 trade-off shape)")
+    return "\n".join(lines)
+
+
+def save(payload: Mapping[str, Any], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(dict(payload), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load(path: str) -> dict[str, Any]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return payload
+
+
+def check_regression(payload: Mapping[str, Any],
+                     baseline: Mapping[str, Any],
+                     tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Exact-equality gate: simulated cycles must match the committed
+    baseline per depth per workload, and the trade-off shape must hold
+    (cycles non-decreasing in depth).  ``tolerance`` is accepted for
+    CLI symmetry; cycles are compared exactly regardless."""
+    del tolerance
+    failures: list[str] = []
+    base_rows = {row["depth"]: row for row in baseline.get("rows", [])}
+    quick = bool(payload.get("quick"))
+    for row in payload["rows"]:
+        base = base_rows.get(row["depth"])
+        if base is None:
+            failures.append(f"depth {row['depth']}: not in baseline")
+            continue
+        for name, measured in row["workloads"].items():
+            expected = base.get("workloads", {}).get(name)
+            if expected is None:
+                if not quick:
+                    failures.append(f"depth {row['depth']}: workload "
+                                    f"{name} not in baseline")
+                continue
+            if measured["cycles"] != expected["cycles"]:
+                failures.append(
+                    f"depth {row['depth']} {name}: cycles "
+                    f"{measured['cycles']} != baseline "
+                    f"{expected['cycles']} (simulation is "
+                    f"deterministic; this is a timing-model change)")
+    cycles = [row["cycles_total"] for row in payload["rows"]]
+    if cycles != sorted(cycles):
+        failures.append(f"cycle counts not monotonic in depth: "
+                        f"{cycles} (deeper frontend must not get "
+                        f"cheaper)")
+    return failures
+
+
+# -- the harness experiment --------------------------------------------------
+
+
+def smoke_spec() -> SweepSpec:
+    """The CI smoke sweep: 2 axes on a tiny workload, >=100 points."""
+    return SweepSpec(
+        base="xt910",
+        workloads=["blockchain-base"],
+        axes=[
+            SweepAxis("frontend.depth",
+                      [depth_point(depth) for depth in DEPTHS]),
+            SweepAxis.single("mem.dram.latency",
+                             [80, 120, 160, 200, 240]),
+            SweepAxis.single("mem.l1_prefetch.distance", [2, 4, 8, 16]),
+        ],
+        tier=2,
+        name="explore-smoke")
+
+
+def run_explore(quick: bool = True,
+                jobs: int | None = None) -> ExperimentResult:
+    """``EXPERIMENTS['explore']``: run the smoke sweep twice and prove
+    the second pass is pure cache, then summarize the depth trade-off."""
+    store = ExploreStore()
+    spec = smoke_spec()
+    first = run_sweep(spec, jobs=jobs, store=store)
+    second = run_sweep(spec, jobs=jobs, store=store)
+    bench = run_bench(quick=quick, jobs=jobs, store=store)
+
+    result = ExperimentResult(
+        experiment="explore",
+        title="design-space sweeps: config points through the pool, "
+              "content-addressed result reuse")
+    result.add("sweep points", None, first.points, "configs",
+               note="x".join(str(len(a.points)) for a in spec.axes))
+    result.add("first-pass simulated", None, first.simulated, "cells")
+    result.add("second-pass cache hits", None, second.cache_hits,
+               "cells")
+    result.add("best depth", None, bench["best_depth"], "stages",
+               note="freq/cycles optimum")
+    result.metric("points", first.points)
+    result.metric("cells", first.cells)
+    result.metric("first_pass_simulated", first.simulated)
+    result.metric("first_pass_cache_hits", first.cache_hits)
+    result.metric("second_pass_simulated", second.simulated)
+    result.metric("second_pass_cache_hits", second.cache_hits)
+    result.metric("depth_best", bench["best_depth"])
+    result.raw = {
+        "points": first.points,
+        "first_simulated": first.simulated,
+        "second_simulated": second.simulated,
+        "second_hits": second.cache_hits,
+        "second_all_cached": second.simulated == 0
+        and second.cache_hits == second.cells,
+        "bench": bench,
+    }
+    return result
+
+
+__all__ = [
+    "ExploreError", "SweepAxis", "SweepSpec", "load_sweep",
+    "ExplorePoint", "expand", "ExploreStore", "store_key",
+    "default_store_dir", "CellResult", "ExploreReport", "run_sweep",
+    "depth_sweep_spec", "smoke_spec", "run_bench", "render", "save",
+    "load", "check_regression", "run_explore", "frequency_scale",
+    "DEFAULT_TOLERANCE", "DEPTHS",
+]

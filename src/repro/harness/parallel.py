@@ -85,7 +85,8 @@ def _fn_name(fn: Callable) -> str:
 
 
 def run_cells(fn: Callable, cells: Iterable[tuple], jobs: int | None = None,
-              timeout: float | None = None) -> list:
+              timeout: float | None = None,
+              on_result: Callable[[int, object], None] | None = None) -> list:
     """Run ``fn(*cell)`` for every cell, preserving input order.
 
     With ``jobs`` > 1 the cells are fanned out over crash-isolated
@@ -98,6 +99,12 @@ def run_cells(fn: Callable, cells: Iterable[tuple], jobs: int | None = None,
     with its function and arguments.  Callers that want per-cell
     containment *as data* (e.g. the RAS campaign) catch inside the
     cell function as before.
+
+    ``on_result(index, value)`` is invoked in the parent, in completion
+    order, for every cell that succeeds — the explore runner uses it to
+    persist finished sweep points to its result store as they land, so
+    an interrupted sweep keeps everything already simulated.  A raising
+    callback is a caller bug and propagates.
     """
     # Imported lazily: repro.service pulls in repro.harness (the job
     # worker runs cells through run_on_core), so a module-level import
@@ -118,6 +125,9 @@ def run_cells(fn: Callable, cells: Iterable[tuple], jobs: int | None = None,
                 failures.append(CellError(
                     index, name, tuple(cell), "error",
                     serialize_exception(exc)))
+                continue
+            if on_result is not None:
+                on_result(index, results[index])
         if failures:
             raise CellFailure(failures, len(cells)) from last_exc
         return results
@@ -129,6 +139,8 @@ def run_cells(fn: Callable, cells: Iterable[tuple], jobs: int | None = None,
             index = int(key)  # submitted as int; Hashable in the pool API
             if outcome.ok:
                 results[index] = outcome.value
+                if on_result is not None:
+                    on_result(index, outcome.value)
             elif outcome.status == "error":
                 failures.append(CellError(index, name, tuple(cells[index]),
                                           "error", outcome.value))

@@ -21,6 +21,7 @@ from .metrics import (
     MetricDelta,
     MetricsRegistry,
     collect_core_stats,
+    collect_explore,
     collect_hierarchy,
     collect_run,
     collect_service,
@@ -48,6 +49,7 @@ __all__ = [
     "STAGES",
     "TraceRecord",
     "collect_core_stats",
+    "collect_explore",
     "collect_hierarchy",
     "collect_run",
     "collect_service",

@@ -177,6 +177,38 @@ def collect_service(service: Any,
     return registry
 
 
+def collect_explore(report: Any,
+                    registry: MetricsRegistry | None = None,
+                    prefix: str = "explore") -> MetricsRegistry:
+    """Walk an :class:`~repro.harness.explore.ExploreReport`.
+
+    Sweep-level provenance lands under ``explore.*`` (points, cells,
+    cache hits vs simulations, tier); each cell's headline numbers land
+    under ``explore.<point>.<workload>.*`` with the point's axis
+    values beside them (``explore.<point>.axis.<dotted.path>``), so a
+    saved report diffs meaningfully against any other sweep of the
+    same spec.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    registry.set(f"{prefix}.sweep", report.name)
+    registry.set(f"{prefix}.tier", report.tier)
+    registry.set(f"{prefix}.points", report.points)
+    registry.set(f"{prefix}.cells", report.cells)
+    registry.set(f"{prefix}.cache_hits", report.cache_hits)
+    registry.set(f"{prefix}.simulated", report.simulated)
+    for cell in report.results:
+        head = f"{prefix}.{cell.point.label}.{cell.workload}"
+        registry.set(f"{head}.cycles", cell.record["cycles"])
+        registry.set(f"{head}.instructions",
+                     cell.record["instructions"])
+        registry.set(f"{head}.ipc", cell.record["ipc"])
+        registry.set(f"{head}.cached", cell.cached)
+        for path, value in cell.point.overrides.items():
+            registry.set(f"{prefix}.{cell.point.label}.axis.{path}",
+                         value)
+    return registry
+
+
 def collect_run(result: Any,
                 registry: MetricsRegistry | None = None) -> MetricsRegistry:
     """Everything one :class:`~repro.harness.runner.RunResult` measured."""

@@ -50,7 +50,14 @@ class JobSpec:
     """One simulation request.
 
     ``core=None`` runs the functional emulator only; a preset name adds
-    the 12-stage timing model.  ``mode`` selects the execution tier:
+    the 12-stage timing model.  ``uarch`` optionally carries an inline
+    config *document* (the ``repro.uarch.uconfig`` schema — what
+    ``--uarch file.yaml --extend overlay.yaml`` resolves to): when set
+    it defines the timing core, is schema-validated at admission
+    (invalid documents are REJECTED, never executed), and is folded
+    into ``config_hash`` so differently-configured runs of the same
+    program never share a cache entry.  ``mode`` selects the execution
+    tier:
     ``"tier3"`` (specializing translator), ``"fast"`` (block-translation
     cache), ``"precise"`` (per-step interpreter) or ``"auto"`` — tier-3
     with automatic fast-then-precise fallback when a tier fails or
@@ -62,6 +69,7 @@ class JobSpec:
     source: str
     name: str = "job"
     core: str | None = "xt910"
+    uarch: dict[str, Any] | None = None
     mode: str = "auto"
     max_insts: int = 5_000_000
     wall_timeout_s: float | None = 60.0
@@ -80,6 +88,7 @@ class JobSpec:
         """Content hash of every knob that changes the result."""
         config = {
             "core": self.core,
+            "uarch": self.uarch,
             "max_insts": self.max_insts,
             "vet": self.vet,
         }

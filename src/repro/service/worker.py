@@ -86,7 +86,7 @@ def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
     except ServiceError as exc:
         return _error_result(spec, JobState.REJECTED, exc)
     try:
-        if spec.core is None:
+        if spec.core is None and spec.uarch is None:
             result = _run_functional(spec, program)
         else:
             result = _run_timed(spec, program)
@@ -124,8 +124,20 @@ def _admit(spec: JobSpec) -> Program:
 
     Raises :class:`ResourceExhausted` for size-cap violations and
     :class:`GuestFault` for programs that fail to assemble, crash the
-    static analyzer, or carry error-severity lint findings.
+    static analyzer, carry error-severity lint findings, or ship an
+    inline ``uarch`` document that fails schema validation.
     """
+    if spec.uarch is not None:
+        from ..uarch import uconfig
+
+        try:
+            uconfig.resolve_core(spec.uarch)
+        except uconfig.UconfigError as exc:
+            raise GuestFault(
+                f"invalid uarch config document: {exc}",
+                detail={"stage": "admission",
+                        "problems": list(exc.problems)},
+                retryable=False) from exc
     raw = len(spec.source.encode())
     if raw > MAX_SOURCE_BYTES:
         raise ResourceExhausted(
@@ -180,14 +192,22 @@ def _chaos_tier_fault(chaos: dict[str, Any], tier: int) -> None:
 
 def _run_timed(spec: JobSpec, program: Program) -> JobResult:
     """Emulator + 12-stage timing model, with the degradation ladder."""
-    assert spec.core is not None
+    assert spec.core is not None or spec.uarch is not None
+    if spec.uarch is not None:
+        # Admission already validated the document; resolution here
+        # cannot fail for schema reasons.
+        from ..uarch import uconfig
+
+        core = uconfig.resolve_core(spec.uarch)
+    else:
+        core = spec.core
     rungs = _ladder(spec.mode)
     reasons: list[str] = []
     for index, tier in enumerate(rungs):
         last = index == len(rungs) - 1
         try:
             _chaos_tier_fault(spec.chaos, tier)
-            run = run_on_core(program, spec.core, tier=tier,
+            run = run_on_core(program, core, tier=tier,
                               max_insts=spec.max_insts,
                               partial_on_watchdog=True)
             if tier != 1 and spec.chaos.get("divergence"):

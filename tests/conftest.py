@@ -36,3 +36,14 @@ def _isolated_code_cache(tmp_path, monkeypatch):
     behind, and the suite would litter the user's cache.
     """
     monkeypatch.setenv("REPRO_CODE_CACHE_DIR", str(tmp_path / "codegen"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_explore_store(tmp_path, monkeypatch):
+    """Point the explore result store at a per-test directory.
+
+    Same rationale as the code cache: cache-hit/miss assertions must
+    not depend on what earlier runs left in ``~/.cache/repro-explore``.
+    """
+    monkeypatch.setenv("REPRO_EXPLORE_CACHE_DIR",
+                       str(tmp_path / "explore"))

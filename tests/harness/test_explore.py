@@ -1,0 +1,294 @@
+"""The design-space exploration harness (``repro.harness.explore``).
+
+Covers sweep-spec parsing (both axis forms and their negatives), point
+expansion with validation at expansion time, the content-addressed
+result store (second-pass-all-hits, corrupt records as misses, and key
+separation across program/config/tier/budget), the depth bench's
+trade-off shape against the committed BENCH_explore.json, and a
+>=100-point sweep actually fanned through the worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import explore
+from repro.uarch import uconfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+# -- spec parsing ------------------------------------------------------------
+
+
+def test_axis_scalar_form():
+    axis = explore.SweepAxis.from_dict(
+        {"path": "frontend.depth", "values": [3, 5, 7]})
+    assert axis.label == "frontend.depth"
+    assert axis.values == [3, 5, 7]
+    assert axis.points == [{"frontend.depth": 3}, {"frontend.depth": 5},
+                           {"frontend.depth": 7}]
+
+
+def test_axis_range_form():
+    axis = explore.SweepAxis.from_dict(
+        {"path": "mem.dram.latency",
+         "range": {"start": 100, "stop": 300, "step": 100}})
+    assert axis.values == [100, 200, 300]
+
+
+def test_axis_linked_points_form():
+    axis = explore.SweepAxis.from_dict({
+        "label": "depth",
+        "points": [{"frontend.depth": 3, "frontend.mispredict_extra": 0},
+                   {"frontend.depth": 9,
+                    "frontend.mispredict_extra": 12}]})
+    assert axis.label == "depth"
+    assert len(axis.points) == 2
+    # multi-knob axes expose the whole point dict as the value
+    assert axis.values == axis.points
+
+
+@pytest.mark.parametrize("payload", [
+    {"values": [1]},                                   # missing path
+    {"path": "x"},                                     # neither form
+    {"path": "x", "values": [1], "range": {}},         # both forms
+    {"path": "x", "values": []},                       # empty values
+    {"path": "x", "range": {"start": 5, "stop": 1}},   # inverted range
+    {"points": []},                                    # empty points
+    {"points": [{}]},                                  # empty point
+    {"points": [{"a": 1}], "path": "x"},               # mixed forms
+    {"path": "x", "values": [1], "bogus": True},       # unknown key
+])
+def test_axis_negatives(payload):
+    with pytest.raises(explore.ExploreError):
+        explore.SweepAxis.from_dict(payload)
+
+
+def test_sweep_spec_parsing_and_negatives():
+    spec = explore.SweepSpec.from_dict({
+        "name": "s", "base": "u74", "workloads": ["coremark-list"],
+        "axes": [{"path": "rob_entries", "values": [64, 96]}],
+        "tier": 2})
+    assert spec.base == "u74" and spec.axes[0].values == [64, 96]
+    with pytest.raises(explore.ExploreError):
+        explore.SweepSpec.from_dict({"tier": 5})
+    with pytest.raises(explore.ExploreError):
+        explore.SweepSpec.from_dict({"workloads": []})
+    with pytest.raises(explore.ExploreError):
+        explore.SweepSpec.from_dict({"bogus": 1})
+
+
+def test_load_sweep_file(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps({
+        "name": "file-sweep",
+        "axes": [{"path": "iq_entries", "values": [8, 16]}]}))
+    spec = explore.load_sweep(str(path))
+    assert spec.name == "file-sweep"
+    assert spec.workloads == ["coremark-list"]
+
+
+# -- expansion ---------------------------------------------------------------
+
+
+def test_expand_cartesian_product_with_digests():
+    spec = explore.SweepSpec(axes=[
+        explore.SweepAxis.single("frontend.depth", [5, 7]),
+        explore.SweepAxis.single("mem.dram.latency", [100, 200, 300]),
+    ])
+    points = explore.expand(spec)
+    assert len(points) == 6
+    assert points[0].overrides == {"frontend.depth": 5,
+                                   "mem.dram.latency": 100}
+    assert points[-1].overrides == {"frontend.depth": 7,
+                                    "mem.dram.latency": 300}
+    assert len({p.digest for p in points}) == 6   # all distinct configs
+    assert points[3].label == "p0003"
+
+
+def test_expand_validates_each_point():
+    spec = explore.SweepSpec(axes=[
+        explore.SweepAxis.single("decode_width", [2, 99])])
+    with pytest.raises(explore.ExploreError) as excinfo:
+        explore.expand(spec)
+    assert "out of range" in str(excinfo.value)
+
+
+def test_expand_point_ceiling():
+    spec = explore.SweepSpec(axes=[
+        explore.SweepAxis.single("rob_entries",
+                                 range(1, explore.MAX_POINTS + 2))])
+    with pytest.raises(explore.ExploreError) as excinfo:
+        explore.expand(spec)
+    assert "ceiling" in str(excinfo.value)
+
+
+def test_no_axes_is_one_point():
+    points = explore.expand(explore.SweepSpec())
+    assert len(points) == 1 and points[0].overrides == {}
+
+
+# -- the store ---------------------------------------------------------------
+
+
+def test_store_key_separates_every_component():
+    keys = {
+        explore.store_key("prog", "conf", 2, None),
+        explore.store_key("prog2", "conf", 2, None),     # program
+        explore.store_key("prog", "conf2", 2, None),     # config
+        explore.store_key("prog", "conf", 3, None),      # tier
+        explore.store_key("prog", "conf", 2, 1000),      # budget
+    }
+    assert len(keys) == 5
+
+
+def test_store_key_no_collision_across_field_boundaries():
+    """The key material is delimited: shifting characters between
+    adjacent fields must not produce the same address."""
+    assert explore.store_key("ab", "cd", 2, None) != \
+        explore.store_key("a", "bcd", 2, None)
+    assert explore.store_key("p", "c1", 2, None) != \
+        explore.store_key("p", "c", 12, None)
+
+
+def test_store_round_trip_and_corrupt_record_is_miss(tmp_path):
+    store = explore.ExploreStore(str(tmp_path / "store"))
+    key = explore.store_key("p", "c", 2, None)
+    assert store.get(key) is None
+    store.put(key, {"cycles": 123})
+    assert store.get(key) == {"cycles": 123}
+    assert len(store) == 1
+    # corrupt the record on disk: treated as a miss, not an error
+    Path(store._path(key)).write_text("{truncated")
+    assert store.get(key) is None
+    assert store.hits == 1 and store.misses == 2
+
+
+def test_default_store_dir_honours_env(monkeypatch):
+    monkeypatch.setenv("REPRO_EXPLORE_CACHE_DIR", "/tmp/somewhere")
+    assert explore.default_store_dir() == "/tmp/somewhere"
+
+
+# -- running sweeps ----------------------------------------------------------
+
+
+def _tiny_spec(values=(100, 200)):
+    return explore.SweepSpec(
+        base="xt910", workloads=["blockchain-base"],
+        axes=[explore.SweepAxis.single("mem.dram.latency",
+                                       list(values))],
+        tier=2, name="tiny")
+
+
+def test_second_pass_is_pure_cache(tmp_path):
+    store = explore.ExploreStore(str(tmp_path / "store"))
+    first = explore.run_sweep(_tiny_spec(), store=store)
+    assert first.simulated == 2 and first.cache_hits == 0
+    second = explore.run_sweep(_tiny_spec(), store=store)
+    assert second.simulated == 0 and second.cache_hits == 2
+    # identical records either way, and flagged as cached
+    assert [c.record["cycles"] for c in second.results] == \
+        [c.record["cycles"] for c in first.results]
+    assert all(c.cached for c in second.results)
+
+
+def test_growing_a_sweep_only_simulates_the_new_column(tmp_path):
+    store = explore.ExploreStore(str(tmp_path / "store"))
+    explore.run_sweep(_tiny_spec((100, 200)), store=store)
+    grown = explore.run_sweep(_tiny_spec((100, 200, 300)), store=store)
+    assert grown.cache_hits == 2 and grown.simulated == 1
+
+
+def test_config_actually_changes_the_simulation(tmp_path):
+    store = explore.ExploreStore(str(tmp_path / "store"))
+    report = explore.run_sweep(_tiny_spec((100, 400)), store=store)
+    cycles = [cell.record["cycles"] for cell in report.results]
+    assert cycles[0] < cycles[1]       # 4x DRAM latency costs cycles
+
+
+def test_hundred_point_sweep_through_the_pool(tmp_path):
+    """The acceptance sweep: >=100 points fanned over worker
+    processes, then replayed entirely from the store."""
+    spec = explore.smoke_spec()
+    store = explore.ExploreStore(str(tmp_path / "store"))
+    report = explore.run_sweep(spec, jobs=2, store=store)
+    assert report.points >= 100
+    assert report.simulated == report.cells
+    again = explore.run_sweep(spec, jobs=2, store=store)
+    assert again.simulated == 0
+    assert again.cache_hits == again.cells
+
+
+def test_report_json_is_metrics_schema(tmp_path):
+    from repro.obs import MetricsRegistry
+
+    store = explore.ExploreStore(str(tmp_path / "store"))
+    report = explore.run_sweep(_tiny_spec(), store=store)
+    path = tmp_path / "report.json"
+    report.save(str(path))
+    payload = json.loads(path.read_text())
+    # every metrics key passes MetricsRegistry validation on reload
+    registry = MetricsRegistry.from_dict(payload["metrics"])
+    assert registry["explore.sweep"] == "tiny"
+    assert registry["explore.p0000.blockchain-base.cycles"] == \
+        report.results[0].record["cycles"]
+    assert registry["explore.p0001.axis.mem.dram.latency"] == 200
+
+
+# -- the depth bench ---------------------------------------------------------
+
+
+def test_depth_points_scale_redirect_penalties():
+    shallow = explore.depth_point(3)
+    deep = explore.depth_point(13)
+    assert shallow["frontend.mispredict_extra"] == 0
+    assert deep["frontend.mispredict_extra"] > \
+        shallow["frontend.mispredict_extra"]
+    assert deep["frontend.taken_bubble_miss"] >= \
+        shallow["frontend.taken_bubble_miss"]
+
+
+def test_frequency_scale_shape():
+    assert explore.frequency_scale(7) == pytest.approx(1.0)
+    # deeper clocks faster, but sublinearly
+    assert 1.0 < explore.frequency_scale(13) < 13 / 7
+    assert explore.frequency_scale(3) < 1.0
+
+
+def test_depth_bench_quick_matches_committed_baseline(tmp_path):
+    baseline = explore.load(str(REPO_ROOT / "BENCH_explore.json"))
+    payload = explore.run_bench(
+        quick=True, store=explore.ExploreStore(str(tmp_path / "s")))
+    assert explore.check_regression(payload, baseline) == []
+    cycles = [row["cycles_total"] for row in payload["rows"]]
+    assert cycles == sorted(cycles)       # deeper is never cheaper
+    # the committed full-suite optimum is interior, the trade-off shape
+    assert min(explore.DEPTHS) < baseline["best_depth"] \
+        < max(explore.DEPTHS)
+
+
+def test_check_regression_flags_cycle_drift():
+    baseline = explore.load(str(REPO_ROOT / "BENCH_explore.json"))
+    payload = json.loads(json.dumps(baseline))
+    row = payload["rows"][0]
+    name = next(iter(row["workloads"]))
+    row["workloads"][name]["cycles"] += 1
+    failures = explore.check_regression(payload, baseline)
+    assert any("timing-model change" in failure for failure in failures)
+
+
+# -- uconfig integration edge ------------------------------------------------
+
+
+def test_sweep_base_may_be_inline_document():
+    spec = explore.SweepSpec(
+        base={"name": "inline", "rob_entries": 64},
+        axes=[explore.SweepAxis.single("iq_entries", [8, 12])])
+    points = explore.expand(spec)
+    assert len(points) == 2
+    config = uconfig.config_from_doc(points[0].doc)
+    assert config.rob_entries == 64 and config.iq_entries == 8

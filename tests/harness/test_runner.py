@@ -70,7 +70,7 @@ class TestExperimentRegistry:
 
         expected = {"table1", "table2", "fig17", "fig18", "fig19",
                     "fig20", "fig21", "spec", "asid", "vecmac",
-                    "blockchain", "ras", "lint", "service"}
+                    "blockchain", "ras", "lint", "service", "explore"}
         assert set(EXPERIMENTS) == expected
 
     def test_fast_experiments_run(self):

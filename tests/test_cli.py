@@ -180,3 +180,104 @@ _start:
         assert main(["run", program_file, "--sanitize", "--core",
                      "xt910"]) == 2
         assert "--sanitize" in capsys.readouterr().err
+
+
+class TestUarchCli:
+    """--uarch/--extend: config documents on the run/compare path."""
+
+    @pytest.fixture
+    def xt910_doc(self, tmp_path):
+        path = tmp_path / "core.json"
+        from repro.uarch import uconfig
+        from repro.uarch.presets import get_preset
+        uconfig.dump_config(get_preset("xt910"), str(path))
+        return str(path)
+
+    def test_uarch_file_matches_preset(self, program_file, xt910_doc,
+                                       capsys):
+        assert main(["run", program_file, "--core", "xt910",
+                     "--stats"]) == 0
+        preset_out = capsys.readouterr().out
+        assert main(["run", program_file, "--uarch", xt910_doc,
+                     "--stats"]) == 0
+        file_out = capsys.readouterr().out
+        assert file_out == preset_out       # bit-identical stats block
+
+    def test_core_accepts_a_document_path(self, program_file,
+                                          xt910_doc, capsys):
+        # --core is not limited to preset names any more
+        assert main(["run", program_file, "--core", xt910_doc]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_extend_overlay_changes_the_run(self, program_file,
+                                            tmp_path, capsys):
+        import json as _json
+        overlay = tmp_path / "slow.json"
+        overlay.write_text(_json.dumps(
+            {"mem": {"dram": {"latency": 400}}}))
+        assert main(["run", program_file, "--core", "xt910",
+                     "--stats"]) == 0
+        base = capsys.readouterr().out
+        assert main(["run", program_file, "--core", "xt910",
+                     "--extend", str(overlay), "--stats"]) == 0
+        slowed = capsys.readouterr().out
+        assert slowed != base
+
+    def test_core_and_uarch_are_exclusive(self, program_file,
+                                          xt910_doc, capsys):
+        assert main(["run", program_file, "--core", "xt910",
+                     "--uarch", xt910_doc]) == 2
+        assert "exclusive" in capsys.readouterr().err
+
+    def test_extend_needs_a_base(self, program_file, tmp_path, capsys):
+        overlay = tmp_path / "o.json"
+        overlay.write_text("{}")
+        assert main(["run", program_file,
+                     "--extend", str(overlay)]) == 2
+        assert "--extend" in capsys.readouterr().err
+
+    def test_bad_core_error_lists_presets(self, program_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", program_file, "--core", "pentium"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "xt910" in err               # names the valid presets
+
+    def test_invalid_document_is_a_clean_error(self, program_file,
+                                               tmp_path, capsys):
+        import json as _json
+        bad = tmp_path / "bad.json"
+        bad.write_text(_json.dumps({"rob_entries": -1}))
+        with pytest.raises(SystemExit):
+            main(["run", program_file, "--uarch", str(bad)])
+        err = capsys.readouterr().err
+        assert "rob_entries" in err and "Traceback" not in err
+
+
+class TestExploreCli:
+    def test_spec_file_sweep(self, tmp_path, capsys):
+        import json as _json
+        spec = tmp_path / "sweep.json"
+        spec.write_text(_json.dumps({
+            "name": "cli-sweep", "base": "xt910",
+            "workloads": ["blockchain-base"], "tier": 2,
+            "axes": [{"path": "mem.dram.latency",
+                      "values": [100, 200]}]}))
+        assert main(["explore", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "2 point(s)" in out and "2 simulated" in out
+        # second invocation replays entirely from the store
+        assert main(["explore", str(spec)]) == 0
+        assert "2 cached, 0 simulated" in capsys.readouterr().out
+
+    def test_spec_or_depth_required(self, capsys):
+        assert main(["explore"]) == 2
+        assert "sweep spec" in capsys.readouterr().err
+
+    def test_bad_spec_is_a_clean_error(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text('{"axes": [{"path": "frontend.depht", '
+                        '"values": [1]}]}')
+        assert main(["explore", str(spec)]) == 2
+        err = capsys.readouterr().err
+        assert "frontend.depht" in err and "Traceback" not in err
